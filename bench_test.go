@@ -1,0 +1,414 @@
+// Per-figure benchmark suite: one testing.B benchmark per reproduced table/
+// figure (see DESIGN.md's experiment index), each regenerating its figure
+// on the scaled-down QuickConfig collection and reporting the headline
+// numbers as custom metrics, plus micro-benchmarks for the system's hot
+// paths. Run the full paper-scale reproduction with cmd/mmbench.
+package mmprofile_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mmprofile/internal/bench"
+	"mmprofile/internal/core"
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/index"
+	"mmprofile/internal/pubsub"
+	"mmprofile/internal/sim"
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+// harness is shared across benchmarks: the dataset build is not what any
+// individual benchmark measures.
+var harness = bench.NewHarness(bench.QuickConfig())
+
+func reportSeries(b *testing.B, fig bench.Figure) {
+	for _, s := range fig.Series {
+		b.ReportMetric(s.Y[len(s.Y)-1], "final-"+s.Label)
+	}
+}
+
+// BenchmarkFig04TopLevelEffectiveness regenerates Figure 4 (E1): niap of
+// RI, RG(10), and MM over top-level interest workloads.
+func BenchmarkFig04TopLevelEffectiveness(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.Fig4()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig05SecondLevelEffectiveness regenerates Figure 5 (E2).
+func BenchmarkFig05SecondLevelEffectiveness(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.Fig5()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig06ThresholdPrecision and BenchmarkFig07ThresholdProfileSize
+// regenerate the θ sweep (E3, E4).
+func BenchmarkFig06ThresholdPrecision(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var prec bench.Figure
+	for i := 0; i < b.N; i++ {
+		prec, _ = harness.ThresholdFigures()
+	}
+	reportSeries(b, prec)
+}
+
+func BenchmarkFig07ThresholdProfileSize(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var size bench.Figure
+	for i := 0; i < b.N; i++ {
+		_, size = harness.ThresholdFigures()
+	}
+	reportSeries(b, size)
+}
+
+// BenchmarkFig08PartialShift .. BenchmarkFig11DeleteInterest regenerate the
+// Section 5.5 adaptability curves (E5–E8).
+func BenchmarkFig08PartialShift(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.Fig8()
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFig09CompleteShift(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.Fig9()
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFig10AddInterest(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.Fig10()
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFig11DeleteInterest(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.Fig11()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkTextBatchRocchio regenerates the Section 5.2 in-text batch
+// comparison (E9).
+func BenchmarkTextBatchRocchio(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.BatchFigure()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkTextLearningRate regenerates the Section 5.1 in-text learning-
+// rate observation (E10).
+func BenchmarkTextLearningRate(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.LearningRateFigure()
+	}
+	reportSeries(b, fig)
+}
+
+// ---------------------------------------------------------------------------
+// Ablations and extensions (see DESIGN.md §6 and EXPERIMENTS.md).
+
+// BenchmarkAblationEtaSweep sweeps MM's adaptability η.
+func BenchmarkAblationEtaSweep(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.EtaSweepFigure()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkAblationGroupSize sweeps Rocchio's group size (Allan's claim).
+func BenchmarkAblationGroupSize(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.GroupSizeFigure()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkAblationMerge compares MM with and without the merge operation.
+func BenchmarkAblationMerge(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var size bench.Figure
+	for i := 0; i < b.N; i++ {
+		_, size = harness.MergeAblationFigure()
+	}
+	reportSeries(b, size)
+}
+
+// BenchmarkAblationDecayVariant compares strength-decay instantiations.
+func BenchmarkAblationDecayVariant(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.DecayVariantFigure()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkAblationNoise measures robustness to flipped judgments.
+func BenchmarkAblationNoise(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.NoiseFigure()
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkAblationBatchCluster compares single-pass MM clustering with
+// offline spherical k-means at equal cluster budgets.
+func BenchmarkAblationBatchCluster(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var prec bench.Figure
+	for i := 0; i < b.N; i++ {
+		prec, _ = harness.BatchClusterFigure()
+	}
+	reportSeries(b, prec)
+}
+
+// BenchmarkExtensionLSI compares keyword-space and LSI-space learners.
+func BenchmarkExtensionLSI(b *testing.B) {
+	harness.Dataset()
+	b.ResetTimer()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.LSIFigure()
+	}
+	reportSeries(b, fig)
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the hot paths behind the figures.
+
+// BenchmarkPipeline measures raw page → term-list throughput.
+func BenchmarkPipeline(b *testing.B) {
+	coll := corpus.Generate(harness.Cfg.Corpus)
+	pipe := text.NewPipeline()
+	var total int64
+	for _, p := range coll.Pages {
+		total += int64(len(p.HTML))
+	}
+	b.SetBytes(total / int64(len(coll.Pages)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pipe.Terms(coll.Pages[i%len(coll.Pages)].HTML)
+	}
+}
+
+// BenchmarkPorterStem measures the stemmer alone.
+func BenchmarkPorterStem(b *testing.B) {
+	words := []string{"relational", "computing", "adjustments", "profiles", "dissemination", "adaptively"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = text.Stem(words[i%len(words)])
+	}
+}
+
+// BenchmarkCosine measures similarity between two 100-term vectors.
+func BenchmarkCosine(b *testing.B) {
+	ds := harness.Dataset()
+	a, c := ds.Docs[0].Vec, ds.Docs[1].Vec
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vsm.Cosine(a, c)
+	}
+}
+
+// BenchmarkMMObserve measures one MM feedback step on a trained profile.
+func BenchmarkMMObserve(b *testing.B) {
+	ds := harness.Dataset()
+	u := sim.NewUser(corpus.Category{Top: 0, Sub: -1}, corpus.Category{Top: 1, Sub: -1})
+	mm := core.NewDefault()
+	for _, d := range ds.Docs[:100] {
+		mm.Observe(d.Vec, u.Feedback(d))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := ds.Docs[i%len(ds.Docs)]
+		mm.Observe(d.Vec, u.Feedback(d))
+	}
+}
+
+// BenchmarkMMScore measures scoring one document against a trained
+// multi-vector profile.
+func BenchmarkMMScore(b *testing.B) {
+	ds := harness.Dataset()
+	u := sim.NewUser(corpus.Category{Top: 0, Sub: -1})
+	mm := core.NewDefault()
+	for _, d := range ds.Docs {
+		mm.Observe(d.Vec, u.Feedback(d))
+	}
+	b.ReportMetric(float64(mm.ProfileSize()), "profile-vectors")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mm.Score(ds.Docs[i%len(ds.Docs)].Vec)
+	}
+}
+
+// BenchmarkIndexMatch measures matching one document against 1000 indexed
+// profile vectors via the inverted index — the paper's argument that
+// "filtering cost is not linearly proportional to the number of vectors".
+func BenchmarkIndexMatch(b *testing.B) {
+	ds := harness.Dataset()
+	ix := index.New()
+	for i := 0; i < 1000; i++ {
+		d := ds.Docs[i%len(ds.Docs)]
+		ix.Upsert(fmt.Sprintf("user%03d", i%100), i/100, d.Vec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Match(ds.Docs[i%len(ds.Docs)].Vec, 0.25)
+	}
+}
+
+// BenchmarkIndexVsBruteForce contrasts inverted-index matching with the
+// naive every-profile scan at increasing subscriber counts, demonstrating
+// the paper's §4.3 claim that "the filtering cost is not linearly
+// proportional to the number of vectors since well-known indexing
+// techniques are applicable".
+func BenchmarkIndexVsBruteForce(b *testing.B) {
+	ds := harness.Dataset()
+	for _, users := range []int{100, 1000} {
+		vecsPerUser := 5
+		ix := index.New()
+		var flat []vsm.Vector
+		for u := 0; u < users; u++ {
+			for v := 0; v < vecsPerUser; v++ {
+				d := ds.Docs[(u*vecsPerUser+v)%len(ds.Docs)]
+				ix.Upsert(fmt.Sprintf("user%04d", u), v, d.Vec)
+				flat = append(flat, d.Vec)
+			}
+		}
+		b.Run(fmt.Sprintf("index/users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ix.Match(ds.Docs[i%len(ds.Docs)].Vec, 0.25)
+			}
+		})
+		b.Run(fmt.Sprintf("brute/users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				doc := ds.Docs[i%len(ds.Docs)].Vec
+				hits := 0
+				for _, pv := range flat {
+					if vsm.Cosine(pv, doc) >= 0.25 {
+						hits++
+					}
+				}
+				_ = hits
+			}
+		})
+	}
+}
+
+// BenchmarkBrokerPublish measures the full dissemination path: publish a
+// pre-vectorized page to a broker with 100 adaptive subscribers.
+func BenchmarkBrokerPublish(b *testing.B) {
+	ds := harness.Dataset()
+	broker := pubsub.New(pubsub.Options{Threshold: 0.25, QueueSize: 16})
+	for i := 0; i < 100; i++ {
+		u := sim.NewUser(sim.RandomTopInterests(rand.New(rand.NewSource(int64(i))), ds, 1)...)
+		mm := core.NewDefault()
+		for _, d := range ds.Docs[:60] {
+			mm.Observe(d.Vec, u.Feedback(d))
+		}
+		if _, err := broker.Subscribe(fmt.Sprintf("user%03d", i), mm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		broker.PublishVector(ds.Docs[i%len(ds.Docs)].Vec)
+	}
+}
+
+// BenchmarkBrokerPublishParallel measures publish throughput with many
+// goroutines pushing simultaneously — the broker's fine-grained locking at
+// work (compare ns/op with the sequential BenchmarkBrokerPublish).
+func BenchmarkBrokerPublishParallel(b *testing.B) {
+	ds := harness.Dataset()
+	broker := pubsub.New(pubsub.Options{Threshold: 0.25, QueueSize: 16})
+	for i := 0; i < 100; i++ {
+		u := sim.NewUser(sim.RandomTopInterests(rand.New(rand.NewSource(int64(i))), ds, 1)...)
+		mm := core.NewDefault()
+		for _, d := range ds.Docs[:60] {
+			mm.Observe(d.Vec, u.Feedback(d))
+		}
+		if _, err := broker.Subscribe(fmt.Sprintf("user%03d", i), mm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			broker.PublishVector(ds.Docs[i%len(ds.Docs)].Vec)
+			i++
+		}
+	})
+}
+
+// BenchmarkBrokerFeedback measures the feedback path including reindexing.
+func BenchmarkBrokerFeedback(b *testing.B) {
+	ds := harness.Dataset()
+	broker := pubsub.New(pubsub.Options{Threshold: 0.25})
+	sub, err := broker.Subscribe("alice", core.NewDefault())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int64, len(ds.Docs))
+	for i, d := range ds.Docs {
+		ids[i], _ = broker.PublishVector(d.Vec)
+	}
+	u := sim.NewUser(corpus.Category{Top: 0, Sub: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ds.Docs)
+		if err := sub.Feedback(ids[j], u.Feedback(ds.Docs[j])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Command mmbench regenerates the paper's evaluation figures (see
+// DESIGN.md's experiment index) on the synthetic Yahoo!-style collection
+// and prints each as an aligned table, optionally writing CSV files.
+//
+// Usage:
+//
+//	mmbench [-fig all|ablations|everything|4|...|learning|eta|group|merge|decay|lsi]
+//	        [-runs N] [-quick] [-csv DIR] [-seed N]
+//
+// "all" runs the paper's figures; "ablations" runs the design-choice
+// ablations and extensions (η sweep, RG group-size sweep, merge on/off,
+// decay variants, LSI space); "everything" runs both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mmprofile/internal/bench"
+)
+
+func main() {
+	var (
+		figFlag = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,batch,learning or all")
+		runs    = flag.Int("runs", 0, "seeded repetitions per data point (0 = config default)")
+		quick   = flag.Bool("quick", false, "use the scaled-down configuration (fast smoke run)")
+		csvDir  = flag.String("csv", "", "also write <fig>.csv files into this directory")
+		svgDir  = flag.String("svg", "", "also write <fig>.svg charts into this directory")
+		seed    = flag.Int64("seed", 0, "base seed (0 = config default)")
+		list    = flag.Bool("list", false, "print the experiment index and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		printIndex()
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *seed != 0 {
+		cfg.BaseSeed = *seed
+	}
+	h := bench.NewHarness(cfg)
+
+	type runner struct {
+		key string
+		fn  func() []bench.Figure
+	}
+	runners := []runner{
+		{"4", func() []bench.Figure { return []bench.Figure{h.Fig4()} }},
+		{"5", func() []bench.Figure { return []bench.Figure{h.Fig5()} }},
+		{"6", func() []bench.Figure { p, _ := h.ThresholdFigures(); return []bench.Figure{p} }},
+		{"7", func() []bench.Figure { _, s := h.ThresholdFigures(); return []bench.Figure{s} }},
+		{"8", func() []bench.Figure { return []bench.Figure{h.Fig8()} }},
+		{"9", func() []bench.Figure { return []bench.Figure{h.Fig9()} }},
+		{"10", func() []bench.Figure { return []bench.Figure{h.Fig10()} }},
+		{"11", func() []bench.Figure { return []bench.Figure{h.Fig11()} }},
+		{"batch", func() []bench.Figure { return []bench.Figure{h.BatchFigure()} }},
+		{"learning", func() []bench.Figure { return []bench.Figure{h.LearningRateFigure()} }},
+		// Ablations and extensions (not in the paper's figure set; run with
+		// -fig ablations or by name).
+		{"eta", func() []bench.Figure { return []bench.Figure{h.EtaSweepFigure()} }},
+		{"group", func() []bench.Figure { return []bench.Figure{h.GroupSizeFigure()} }},
+		{"merge", func() []bench.Figure {
+			p, s := h.MergeAblationFigure()
+			return []bench.Figure{p, s}
+		}},
+		{"decay", func() []bench.Figure { return []bench.Figure{h.DecayVariantFigure()} }},
+		{"noise", func() []bench.Figure { return []bench.Figure{h.NoiseFigure()} }},
+		{"kmeans", func() []bench.Figure {
+			p, s := h.BatchClusterFigure()
+			return []bench.Figure{p, s}
+		}},
+		{"lsi", func() []bench.Figure { return []bench.Figure{h.LSIFigure()} }},
+		{"scale", func() []bench.Figure { return []bench.Figure{h.ScaleFigure(nil)} }},
+	}
+
+	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true}
+	want := strings.Split(*figFlag, ",")
+
+	// -fig ttest prints paired significance tests instead of a figure.
+	for _, w := range want {
+		if strings.TrimSpace(w) == "ttest" {
+			n := cfg.Runs
+			if n < 10 {
+				n = 10 // t-tests at the figure default of 4 runs have little power
+			}
+			bench.WriteComparisons(os.Stdout, h.Significance("MM", "RG10", n))
+			fmt.Println()
+			bench.WriteComparisons(os.Stdout, h.Significance("MM", "RI", n))
+			return
+		}
+	}
+	selected := func(key string) bool {
+		for _, w := range want {
+			w = strings.TrimSpace(w)
+			switch {
+			case w == key || w == "everything":
+				return true
+			case w == "all" && !ablationKeys[key]:
+				return true
+			case w == "ablations" && ablationKeys[key]:
+				return true
+			}
+		}
+		return false
+	}
+
+	// Figures 6 and 7 share one sweep; when both are selected, run it once.
+	if selected("6") && selected("7") {
+		runners[2] = runner{"6+7", func() []bench.Figure {
+			p, s := h.ThresholdFigures()
+			return []bench.Figure{p, s}
+		}}
+		runners = append(runners[:3], runners[4:]...)
+	}
+
+	shiftFigs := map[string]bool{"fig8": true, "fig9": true, "fig10": true, "fig11": true}
+	ran := 0
+	for _, r := range runners {
+		keys := strings.Split(r.key, "+")
+		if !selected(keys[0]) && (len(keys) < 2 || !selected(keys[1])) {
+			continue
+		}
+		start := time.Now()
+		for _, fig := range r.fn() {
+			fig.WriteText(os.Stdout)
+			if shiftFigs[fig.ID] {
+				fmt.Printf("  docs to recover 95%% of shift-point precision:")
+				rt := h.RecoveryTimes(fig)
+				for _, s := range fig.Series {
+					if rt[s.Label] >= 0 {
+						fmt.Printf("  %s=%d", s.Label, rt[s.Label])
+					} else {
+						fmt.Printf("  %s=never", s.Label)
+					}
+				}
+				fmt.Println()
+			}
+			fmt.Printf("  [%s: %d runs, %v]\n\n", fig.ID, cfg.Runs, time.Since(start).Round(time.Millisecond))
+			if *csvDir != "" {
+				if err := writeFile(*csvDir, fig.ID+".csv", func(w *os.File) error {
+					fig.WriteCSV(w)
+					return nil
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "mmbench:", err)
+					os.Exit(1)
+				}
+			}
+			if *svgDir != "" {
+				fig := fig
+				if err := writeFile(*svgDir, fig.ID+".svg", func(w *os.File) error {
+					return fig.WriteSVG(w)
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "mmbench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "mmbench: no figure matches -fig=%s\n", *figFlag)
+		os.Exit(2)
+	}
+}
+
+func printIndex() {
+	rows := [][2]string{
+		{"4", "Fig. 4 — niap, top-level categories (RI, RG10, MM)"},
+		{"5", "Fig. 5 — niap, second-level categories"},
+		{"6", "Fig. 6 — precision vs threshold θ"},
+		{"7", "Fig. 7 — profile size vs threshold θ"},
+		{"8", "Fig. 8 — partial interest shift"},
+		{"9", "Fig. 9 — complete interest shift"},
+		{"10", "Fig. 10 — adding an interest"},
+		{"11", "Fig. 11 — deleting an interest"},
+		{"batch", "§5.2 — batch Rocchio vs incremental learners"},
+		{"learning", "§5.1 — learning rate"},
+		{"eta", "A1 — adaptability η sweep"},
+		{"group", "A2 — Rocchio group-size sweep"},
+		{"merge", "A3 — merge operation on/off"},
+		{"decay", "A4 — strength-decay variants"},
+		{"noise", "A6 — feedback-noise robustness"},
+		{"kmeans", "A7 — single-pass vs batch clustering"},
+		{"lsi", "A5 — keyword vs LSI space"},
+		{"scale", "matching cost vs subscriber count (index vs brute force)"},
+		{"ttest", "paired significance tests (MM vs RG10, MM vs RI)"},
+	}
+	fmt.Println("experiments (-fig KEY; groups: all, ablations, everything):")
+	for _, r := range rows {
+		fmt.Printf("  %-9s %s\n", r[0], r[1])
+	}
+}
+
+func writeFile(dir, name string, write func(*os.File) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}

@@ -1,0 +1,208 @@
+// Command mmclient talks to an mmserver: subscribe with an adaptive
+// profile, publish pages, poll deliveries, send relevance feedback, and
+// inspect profiles.
+//
+// Usage:
+//
+//	mmclient [-addr host:7070] subscribe -user alice [-learner MM] [-keywords "cats,jazz"]
+//	mmclient publish -file page.html        (or -text "...")
+//	mmclient poll -user alice [-max 10]     (or: watch [-timeout 30s] to long-poll)
+//	mmclient feedback -user alice -doc 12 -relevant=true
+//	mmclient profile -user alice
+//	mmclient fetch -doc 12                  (server must run -retain-content)
+//	mmclient export -user alice -out alice.profile
+//	mmclient import -user alice -in alice.profile
+//	mmclient stats
+//	mmclient unsubscribe -user alice
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mmprofile/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "mmserver address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cmd, rest := args[0], args[1:]
+
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "subscribe":
+		fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		learner := fs.String("learner", "", "algorithm (default MM)")
+		keywords := fs.String("keywords", "", "comma-separated seed keywords")
+		parse(fs, rest)
+		var kw []string
+		if *keywords != "" {
+			for _, k := range strings.Split(*keywords, ",") {
+				kw = append(kw, strings.TrimSpace(k))
+			}
+		}
+		check(c.Subscribe(*user, *learner, kw))
+		fmt.Printf("subscribed %s\n", *user)
+
+	case "unsubscribe":
+		fs := flag.NewFlagSet("unsubscribe", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		parse(fs, rest)
+		check(c.Unsubscribe(*user))
+		fmt.Printf("unsubscribed %s\n", *user)
+
+	case "publish":
+		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		file := fs.String("file", "", "HTML/text file to publish")
+		textArg := fs.String("text", "", "literal content to publish")
+		parse(fs, rest)
+		content := *textArg
+		if *file != "" {
+			raw, err := os.ReadFile(*file)
+			if err != nil {
+				fail(err)
+			}
+			content = string(raw)
+		}
+		if content == "" {
+			fail(fmt.Errorf("publish needs -file or -text"))
+		}
+		doc, delivered, err := c.Publish(content)
+		check(err)
+		fmt.Printf("doc %d delivered to %d subscriber(s)\n", doc, delivered)
+
+	case "poll":
+		fs := flag.NewFlagSet("poll", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		max := fs.Int("max", 0, "max deliveries (0 = all)")
+		parse(fs, rest)
+		ds, err := c.Poll(*user, *max)
+		check(err)
+		if len(ds) == 0 {
+			fmt.Println("no deliveries")
+			return
+		}
+		for _, d := range ds {
+			fmt.Printf("doc %d  score %.4f\n", d.Doc, d.Score)
+		}
+
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		max := fs.Int("max", 0, "max deliveries (0 = all)")
+		timeout := fs.Duration("timeout", 30*time.Second, "how long to wait")
+		parse(fs, rest)
+		ds, err := c.Watch(*user, *max, *timeout)
+		check(err)
+		if len(ds) == 0 {
+			fmt.Println("no deliveries (timed out)")
+			return
+		}
+		for _, d := range ds {
+			fmt.Printf("doc %d  score %.4f\n", d.Doc, d.Score)
+		}
+
+	case "feedback":
+		fs := flag.NewFlagSet("feedback", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		doc := fs.Int64("doc", -1, "document id")
+		relevant := fs.Bool("relevant", true, "judgment")
+		parse(fs, rest)
+		check(c.Feedback(*user, *doc, *relevant))
+		fmt.Printf("feedback recorded for doc %d\n", *doc)
+
+	case "profile":
+		fs := flag.NewFlagSet("profile", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		parse(fs, rest)
+		p, err := c.Profile(*user)
+		check(err)
+		fmt.Printf("learner %s, %d vector(s)\n", p.Learner, p.Size)
+		for i, terms := range p.Vectors {
+			fmt.Printf("  #%d: %s\n", i+1, strings.Join(terms, " "))
+		}
+
+	case "fetch":
+		fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+		doc := fs.Int64("doc", -1, "document id")
+		parse(fs, rest)
+		content, err := c.Fetch(*doc)
+		check(err)
+		fmt.Println(content)
+
+	case "export":
+		fs := flag.NewFlagSet("export", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		out := fs.String("out", "", "file to write the profile to (default stdout as base64)")
+		parse(fs, rest)
+		learner, state, err := c.Export(*user)
+		check(err)
+		if *out == "" {
+			fmt.Printf("%s %s\n", learner, base64.StdEncoding.EncodeToString(state))
+			return
+		}
+		blob := append([]byte(learner+"\n"), state...)
+		check(os.WriteFile(*out, blob, 0o644))
+		fmt.Printf("exported %s profile of %s (%d bytes) to %s\n", learner, *user, len(state), *out)
+
+	case "import":
+		fs := flag.NewFlagSet("import", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		in := fs.String("in", "", "file written by export")
+		parse(fs, rest)
+		raw, err := os.ReadFile(*in)
+		check(err)
+		nl := strings.IndexByte(string(raw), '\n')
+		if nl < 0 {
+			fail(fmt.Errorf("malformed profile file %s", *in))
+		}
+		check(c.Import(*user, string(raw[:nl]), raw[nl+1:]))
+		fmt.Printf("imported %s as %s\n", *in, *user)
+
+	case "stats":
+		st, err := c.Stats()
+		check(err)
+		fmt.Printf("published   %d\n", st.Published)
+		fmt.Printf("deliveries  %d (dropped %d)\n", st.Deliveries, st.Dropped)
+		fmt.Printf("feedbacks   %d\n", st.Feedbacks)
+		fmt.Printf("subscribers %d\n", st.Subscribers)
+		fmt.Printf("index       %d vectors over %d terms\n", st.IndexVectors, st.IndexTerms)
+
+	default:
+		usage()
+	}
+}
+
+func parse(fs *flag.FlagSet, args []string) {
+	_ = fs.Parse(args) // ExitOnError
+}
+
+func check(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mmclient:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|feedback|profile|fetch|export|import|stats [flags]")
+	os.Exit(2)
+}

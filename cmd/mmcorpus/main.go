@@ -1,0 +1,107 @@
+// Command mmcorpus generates the synthetic Yahoo!-style collection used by
+// the experiments and either writes it to disk as a category-structured
+// tree of HTML files (consumable by `mmprofile -data` or any external
+// tool) or prints collection statistics.
+//
+// Usage:
+//
+//	mmcorpus -out DIR [-seed N] [-tops 10] [-subs 10] [-pages 9]
+//	mmcorpus -stats [-seed N] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "", "directory to write the collection into")
+		stats = flag.Bool("stats", false, "print collection statistics instead of writing files")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		tops  = flag.Int("tops", 10, "top-level categories")
+		subs  = flag.Int("subs", 10, "second-level categories per top-level one")
+		pages = flag.Int("pages", 9, "pages per second-level category")
+	)
+	flag.Parse()
+	if *out == "" && !*stats {
+		fmt.Fprintln(os.Stderr, "mmcorpus: need -out DIR or -stats")
+		os.Exit(2)
+	}
+
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TopCategories = *tops
+	cfg.SubPerTop = *subs
+	cfg.PagesPerSub = *pages
+	coll := corpus.Generate(cfg)
+
+	if *out != "" {
+		if err := write(coll, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "mmcorpus:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d pages under %s\n", len(coll.Pages), *out)
+	}
+	if *stats {
+		printStats(coll)
+	}
+}
+
+func write(coll *corpus.Collection, out string) error {
+	for _, p := range coll.Pages {
+		dir := filepath.Join(out,
+			fmt.Sprintf("C%d", p.Cat.Top),
+			fmt.Sprintf("C%d%d", p.Cat.Top, p.Cat.Sub))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("page-%04d.html", p.ID))
+		if err := os.WriteFile(path, []byte(p.HTML), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printStats(coll *corpus.Collection) {
+	ds := coll.Vectorize(text.NewPipeline())
+	var sameSub, sameTop, cross float64
+	var nSub, nTop, nCross int
+	// Sample pairs rather than the full quadratic set on big collections.
+	step := 1
+	if len(ds.Docs) > 400 {
+		step = len(ds.Docs) / 400
+	}
+	for i := 0; i < len(ds.Docs); i += step {
+		for j := i + 1; j < len(ds.Docs); j += step {
+			a, b := ds.Docs[i], ds.Docs[j]
+			sim := vsm.Cosine(a.Vec, b.Vec)
+			switch {
+			case a.Cat == b.Cat:
+				sameSub += sim
+				nSub++
+			case a.Cat.Top == b.Cat.Top:
+				sameTop += sim
+				nTop++
+			default:
+				cross += sim
+				nCross++
+			}
+		}
+	}
+	fmt.Printf("pages:               %d\n", len(ds.Docs))
+	fmt.Printf("vocabulary (stems):  %d\n", ds.Stats.VocabularySize())
+	fmt.Printf("avg length (terms):  %.1f\n", ds.Stats.AvgLen())
+	if nSub > 0 && nTop > 0 && nCross > 0 {
+		fmt.Printf("avg cosine same-sub: %.3f\n", sameSub/float64(nSub))
+		fmt.Printf("avg cosine same-top: %.3f\n", sameTop/float64(nTop))
+		fmt.Printf("avg cosine cross:    %.3f\n", cross/float64(nCross))
+	}
+}

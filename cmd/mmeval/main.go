@@ -1,0 +1,190 @@
+// Command mmeval works with TREC exchange formats (the evaluation
+// methodology of the paper's Section 4.3 is the TREC routing track):
+//
+// Evaluate an existing run against judgments (any ranking, including ones
+// produced by other systems):
+//
+//	mmeval -run run.txt -qrels qrels.txt
+//
+// Generate runs + qrels from this repository's learners on the synthetic
+// collection (one topic per seeded user workload), then evaluate them:
+//
+//	mmeval -generate out/ [-learners MM,RG10,RI] [-topics 8] [-seed 1]
+//
+// The generated files are standard, so trec_eval can independently verify
+// every number this repository reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mmprofile/internal/bench"
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/eval"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/sim"
+	"mmprofile/internal/text"
+	"mmprofile/internal/trec"
+
+	_ "mmprofile/internal/core"    // register learners
+	_ "mmprofile/internal/rocchio" // register learners
+)
+
+func main() {
+	var (
+		runPath   = flag.String("run", "", "run file to evaluate")
+		qrelsPath = flag.String("qrels", "", "qrels file")
+		generate  = flag.String("generate", "", "directory to generate runs + qrels into")
+		learners  = flag.String("learners", "MM,RG10,RI", "learners for -generate")
+		topics    = flag.Int("topics", 8, "topics (seeded user workloads) for -generate")
+		seed      = flag.Int64("seed", 1, "base seed for -generate")
+	)
+	flag.Parse()
+
+	switch {
+	case *generate != "":
+		if err := generateRuns(*generate, strings.Split(*learners, ","), *topics, *seed); err != nil {
+			fail(err)
+		}
+	case *runPath != "" && *qrelsPath != "":
+		if err := evaluateFiles(*runPath, *qrelsPath); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mmeval: need -run FILE -qrels FILE, or -generate DIR")
+		os.Exit(2)
+	}
+}
+
+func evaluateFiles(runPath, qrelsPath string) error {
+	rf, err := os.Open(runPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	run, err := trec.ReadRun(rf)
+	if err != nil {
+		return err
+	}
+	qf, err := os.Open(qrelsPath)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	qrels, err := trec.ReadQrels(qf)
+	if err != nil {
+		return err
+	}
+	results, mean := trec.Evaluate(run, qrels)
+	if len(results) == 0 {
+		return fmt.Errorf("no judged topics in common between run and qrels")
+	}
+	fmt.Printf("%10s %8s %8s %8s %8s\n", "topic", "niap", "P@10", "P@30", "R-prec")
+	for _, r := range results {
+		fmt.Printf("%10s %8.4f %8.4f %8.4f %8.4f\n", r.Topic,
+			r.Metrics.NIAP, r.Metrics.PrecisionAt[10], r.Metrics.PrecisionAt[30], r.Metrics.RPrecision)
+	}
+	fmt.Printf("%10s %8.4f %8.4f %8.4f %8.4f   (%d topics)\n", "mean",
+		mean.NIAP, mean.PrecisionAt[10], mean.PrecisionAt[30], mean.RPrecision, len(results))
+	return nil
+}
+
+func generateRuns(dir string, learners []string, topics int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := bench.DefaultConfig()
+	cfg.BaseSeed = seed
+	ds := corpus.Generate(cfg.Corpus).Vectorize(text.NewPipeline())
+
+	qrels := trec.Qrels{}
+	runs := map[string]trec.Run{}
+	for _, name := range learners {
+		runs[strings.TrimSpace(name)] = trec.Run{}
+	}
+
+	for topic := 0; topic < topics; topic++ {
+		topicID := fmt.Sprintf("T%02d", topic)
+		rng := rand.New(rand.NewSource(seed + int64(topic)*7919))
+		train, test := ds.Split(rng.Int63(), cfg.TrainDocs)
+		u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1+topic%3)...)
+		stream := sim.Stream(rng, train, len(train))
+
+		qrels[topicID] = map[string]bool{}
+		for _, d := range test {
+			qrels[topicID][docNo(d)] = u.Relevant(d.Cat)
+		}
+
+		for name, run := range runs {
+			l, err := filter.New(name)
+			if err != nil {
+				return err
+			}
+			eval.Run(l, u, stream, test) // trains and freezes
+			type scored struct {
+				doc   corpus.Document
+				score float64
+			}
+			rows := make([]scored, len(test))
+			for i, d := range test {
+				rows[i] = scored{doc: d, score: l.Score(d.Vec)}
+			}
+			sort.Slice(rows, func(i, j int) bool {
+				if rows[i].score != rows[j].score {
+					return rows[i].score > rows[j].score
+				}
+				return rows[i].doc.ID < rows[j].doc.ID
+			})
+			for rank, r := range rows {
+				run[topicID] = append(run[topicID], trec.RunEntry{
+					Topic: topicID,
+					DocNo: docNo(r.doc),
+					Rank:  rank + 1,
+					Score: r.score,
+					Tag:   name,
+				})
+			}
+		}
+	}
+
+	qf, err := os.Create(filepath.Join(dir, "qrels.txt"))
+	if err != nil {
+		return err
+	}
+	if err := trec.WriteQrels(qf, qrels); err != nil {
+		qf.Close()
+		return err
+	}
+	qf.Close()
+
+	for name, run := range runs {
+		rf, err := os.Create(filepath.Join(dir, "run-"+name+".txt"))
+		if err != nil {
+			return err
+		}
+		if err := trec.WriteRun(rf, run); err != nil {
+			rf.Close()
+			return err
+		}
+		rf.Close()
+		_, mean := trec.Evaluate(run, qrels)
+		fmt.Printf("%-6s mean niap %.4f  P@10 %.4f  R-prec %.4f  (%d topics) -> %s\n",
+			name, mean.NIAP, mean.PrecisionAt[10], mean.RPrecision, topics,
+			filepath.Join(dir, "run-"+name+".txt"))
+	}
+	fmt.Printf("qrels -> %s\n", filepath.Join(dir, "qrels.txt"))
+	return nil
+}
+
+func docNo(d corpus.Document) string { return fmt.Sprintf("D%04d", d.ID) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mmeval:", err)
+	os.Exit(1)
+}

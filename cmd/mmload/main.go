@@ -1,0 +1,192 @@
+// Command mmload drives an mmserver with synthetic load: it subscribes a
+// population of adaptive profiles, fans publishers out over the synthetic
+// collection, has every subscriber consume and judge its deliveries, and
+// reports publish throughput, round-trip latency percentiles, and delivery
+// counts — the operational side of "large-scale data delivery".
+//
+// Usage:
+//
+//	mmload [-addr 127.0.0.1:7070] [-subscribers 20] [-publishers 4]
+//	       [-docs 2000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/text"
+	"mmprofile/internal/wire"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "mmserver address")
+		subscribers = flag.Int("subscribers", 20, "subscriber connections")
+		publishers  = flag.Int("publishers", 4, "publisher connections")
+		docs        = flag.Int("docs", 2000, "total pages to publish")
+		seed        = flag.Int64("seed", 1, "corpus and workload seed")
+	)
+	flag.Parse()
+
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = *seed
+	coll := corpus.Generate(cfg)
+	rng := rand.New(rand.NewSource(*seed))
+
+	// Subscribe the population. Each subscriber seeds its profile with a
+	// few words from a randomly chosen page of its "interest" category, so
+	// deliveries start immediately.
+	for i := 0; i < *subscribers; i++ {
+		c, err := wire.Dial(*addr)
+		if err != nil {
+			fail(err)
+		}
+		page := coll.Pages[rng.Intn(len(coll.Pages))]
+		if err := c.Subscribe(fmt.Sprintf("load-user-%03d", i), "", topicWords(page.HTML, 6)); err != nil {
+			fail(err)
+		}
+		c.Close()
+	}
+	fmt.Printf("subscribed %d users\n", *subscribers)
+
+	// Consumers: poll deliveries and send feedback (alternating polarity,
+	// which exercises the adaptation path server-side).
+	stop := make(chan struct{})
+	var consumed atomic.Int64
+	var consumerWG sync.WaitGroup
+	for i := 0; i < *subscribers; i++ {
+		consumerWG.Add(1)
+		go func(i int) {
+			defer consumerWG.Done()
+			c, err := wire.Dial(*addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			user := fmt.Sprintf("load-user-%03d", i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ds, err := c.Watch(user, 32, 500*time.Millisecond)
+				if err != nil {
+					return
+				}
+				for _, d := range ds {
+					// Mostly-positive judgments (every fifth negative)
+					// exercise the adaptation path without starving fresh
+					// single-vector profiles, which one early negative
+					// would decay away.
+					n := consumed.Add(1)
+					_ = c.Feedback(user, d.Doc, n%5 != 0)
+				}
+			}
+		}(i)
+	}
+
+	// Publishers: split the document budget, measure per-publish RTT.
+	var pubWG sync.WaitGroup
+	latencies := make([][]time.Duration, *publishers)
+	var published atomic.Int64
+	start := time.Now()
+	for p := 0; p < *publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			c, err := wire.Dial(*addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			prng := rand.New(rand.NewSource(*seed + int64(p)))
+			n := *docs / *publishers
+			lats := make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
+				page := coll.Pages[prng.Intn(len(coll.Pages))]
+				t0 := time.Now()
+				if _, _, err := c.Publish(page.HTML); err != nil {
+					fmt.Fprintln(os.Stderr, "mmload: publish:", err)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+				published.Add(1)
+			}
+			latencies[p] = lats
+		}(p)
+	}
+	pubWG.Wait()
+	elapsed := time.Since(start)
+	// Let consumers drain the tail, then stop them.
+	time.Sleep(700 * time.Millisecond)
+	close(stop)
+	consumerWG.Wait()
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Printf("\npublished %d pages in %v (%.0f pages/s, %d publishers)\n",
+		published.Load(), elapsed.Round(time.Millisecond),
+		float64(published.Load())/elapsed.Seconds(), *publishers)
+	if len(all) > 0 {
+		fmt.Printf("publish RTT: p50 %v  p95 %v  p99 %v  max %v\n",
+			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1])
+	}
+	fmt.Printf("deliveries consumed (with feedback): %d\n", consumed.Load())
+
+	c, err := wire.Dial(*addr)
+	if err == nil {
+		if st, err := c.Stats(); err == nil {
+			fmt.Printf("server: %d published, %d delivered (%d dropped), %d feedbacks, index %d vectors\n",
+				st.Published, st.Deliveries, st.Dropped, st.Feedbacks, st.IndexVectors)
+		}
+		c.Close()
+	}
+}
+
+// topicWords extracts a page's k most frequent pipeline terms — after
+// stop-listing, high-frequency terms are the topical ones — to use as a
+// subscription seed.
+func topicWords(page string, k int) []string {
+	counts := map[string]int{}
+	for _, t := range text.NewPipeline().Terms(page) {
+		counts[t]++
+	}
+	terms := make([]string, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if counts[terms[i]] != counts[terms[j]] {
+			return counts[terms[i]] > counts[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if len(terms) > k {
+		terms = terms[:k]
+	}
+	return terms
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	i := p * len(sorted) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mmload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Command mmprofile trains a user profile on a document collection and
+// reports its filtering effectiveness — the paper's protocol on a single
+// profile, end to end.
+//
+// By default it uses the built-in synthetic Yahoo!-style collection; pass
+// -data to use your own documents instead (one sub-directory per category,
+// .html/.htm/.txt files inside).
+//
+// Usage:
+//
+//	mmprofile [-learner MM] [-interests C0,C3] [-theta 0.15] [-eta 0.2]
+//	          [-train 500] [-seed 1] [-data DIR] [-show 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/eval"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/sim"
+	"mmprofile/internal/text"
+	"mmprofile/internal/trec"
+
+	_ "mmprofile/internal/rocchio" // register baseline learners
+)
+
+func main() {
+	var (
+		learner   = flag.String("learner", "MM", "profile algorithm: MM, MMND, RI, RG10, RG100, Batch, NRN")
+		interests = flag.String("interests", "", "comma-separated categories, e.g. C0,C34 (empty = 2 random top-level)")
+		theta     = flag.Float64("theta", 0.15, "MM similarity threshold θ")
+		eta       = flag.Float64("eta", 0.2, "MM adaptability η")
+		train     = flag.Int("train", 500, "training documents (rest of the collection is the test set)")
+		seed      = flag.Int64("seed", 1, "random seed for split, stream order and random interests")
+		data      = flag.String("data", "", "directory of real documents (default: synthetic collection)")
+		show      = flag.Int("show", 5, "profile vectors to print")
+		trecRun   = flag.String("trecrun", "", "write the test-set ranking as a TREC run file")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmprofile:", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	cats, err := parseInterests(*interests, ds, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmprofile:", err)
+		os.Exit(1)
+	}
+
+	l, err := makeLearner(*learner, *theta, *eta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmprofile:", err)
+		os.Exit(1)
+	}
+
+	u := sim.NewUser(cats...)
+	trainDocs, testDocs := ds.Split(rng.Int63(), *train)
+	stream := sim.Stream(rng, trainDocs, len(trainDocs))
+	res := eval.Run(l, u, stream, testDocs)
+	metrics := eval.Metrics(eval.Rank(l, u, testDocs))
+
+	fmt.Printf("collection:    %d documents (%d train / %d test)\n",
+		len(ds.Docs), len(stream), len(testDocs))
+	fmt.Printf("interests:     %v\n", u.Interests())
+	fmt.Printf("learner:       %s\n", l.Name())
+	fmt.Printf("niap:          %.4f\n", res.NIAP)
+	fmt.Printf("P@5/10/20/30:  %.4f / %.4f / %.4f / %.4f\n",
+		metrics.PrecisionAt[5], metrics.PrecisionAt[10],
+		metrics.PrecisionAt[20], metrics.PrecisionAt[30])
+	fmt.Printf("R-precision:   %.4f  (%d relevant in test set)\n", metrics.RPrecision, metrics.Relevant)
+	fmt.Printf("recall@10:     %.4f\n", res.RecallAt10)
+	fmt.Printf("profile size:  %d vector(s)\n", res.ProfileSize)
+
+	if *trecRun != "" {
+		if err := writeTRECRun(*trecRun, l, testDocs); err != nil {
+			fmt.Fprintln(os.Stderr, "mmprofile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trec run:      %s\n", *trecRun)
+	}
+
+	if mm, ok := l.(*core.Profile); ok && *show > 0 {
+		fmt.Println("\nstrongest profile vectors:")
+		for i, pv := range mm.Vectors() {
+			if i >= *show {
+				fmt.Printf("  … and %d more\n", len(mm.Vectors())-*show)
+				break
+			}
+			fmt.Printf("  #%d strength %.2f, %d terms: %s\n",
+				i+1, pv.Strength, pv.Vec.Len(), strings.Join(pv.Vec.TopTerms(6), " "))
+		}
+		c := mm.Counts()
+		fmt.Printf("\noperations: %d created, %d incorporated, %d merged, %d deleted\n",
+			c.Created, c.Incorporated, c.Merged, c.Deleted+c.Annihilated)
+
+		// Explain the top-ranked test document.
+		bestIdx, bestScore := -1, -1.0
+		for i, d := range testDocs {
+			if s := mm.Score(d.Vec); s > bestScore {
+				bestIdx, bestScore = i, s
+			}
+		}
+		if bestIdx >= 0 {
+			d := testDocs[bestIdx]
+			ex := mm.Explain(d.Vec, 5)
+			fmt.Printf("\ntop-ranked test document: id %d, category %s, score %.4f\n",
+				d.ID, d.Cat, ex.Score)
+			fmt.Printf("  matched cluster #%d (strength %.2f); contributing terms:", ex.Cluster+1, ex.Strength)
+			for _, tc := range ex.Contributions {
+				fmt.Printf(" %s(%.3f)", tc.Term, tc.Weight)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func loadDataset(dir string) (*corpus.Dataset, error) {
+	if dir == "" {
+		return corpus.Generate(corpus.DefaultConfig()).Vectorize(text.NewPipeline()), nil
+	}
+	return corpus.LoadDirectory(dir, text.NewPipeline())
+}
+
+// parseInterests reads "C3,C27"-style category names; Cij means top-level
+// category i, second-level j.
+func parseInterests(s string, ds *corpus.Dataset, rng *rand.Rand) ([]corpus.Category, error) {
+	if s == "" {
+		return sim.RandomTopInterests(rng, ds, 2), nil
+	}
+	var out []corpus.Category
+	for _, part := range strings.Split(s, ",") {
+		cat, err := corpus.ParseCategory(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cat)
+	}
+	return out, nil
+}
+
+// writeTRECRun emits the frozen profile's ranking of the test set in the
+// standard run-file format (topic "T1"), consumable by cmd/mmeval or
+// trec_eval.
+func writeTRECRun(path string, l filter.Learner, test []corpus.Document) error {
+	type scored struct {
+		doc   corpus.Document
+		score float64
+	}
+	rows := make([]scored, len(test))
+	for i, d := range test {
+		rows[i] = scored{doc: d, score: l.Score(d.Vec)}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].score != rows[j].score {
+			return rows[i].score > rows[j].score
+		}
+		return rows[i].doc.ID < rows[j].doc.ID
+	})
+	run := trec.Run{}
+	for rank, r := range rows {
+		run["T1"] = append(run["T1"], trec.RunEntry{
+			Topic: "T1",
+			DocNo: fmt.Sprintf("D%04d", r.doc.ID),
+			Rank:  rank + 1,
+			Score: r.score,
+			Tag:   l.Name(),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trec.WriteRun(f, run)
+}
+
+func makeLearner(name string, theta, eta float64) (filter.Learner, error) {
+	switch name {
+	case "MM", "MMND":
+		opts := core.DefaultOptions()
+		opts.Theta = theta
+		opts.Eta = eta
+		opts.DisableDecay = name == "MMND"
+		return core.New(opts), nil
+	default:
+		return filter.New(name)
+	}
+}

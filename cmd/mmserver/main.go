@@ -1,0 +1,177 @@
+// Command mmserver runs the push-based dissemination engine as a TCP
+// daemon speaking the newline-delimited JSON protocol of internal/wire.
+// Subscribers register adaptive profiles (MM by default), publishers push
+// raw pages, and every relevance judgment reshapes the subscriber's profile
+// online.
+//
+// With -state, profiles are durable: subscriptions and judgments are
+// journaled to a write-ahead log, checkpointed periodically, and restored
+// on restart.
+//
+// Usage:
+//
+//	mmserver [-addr :7070] [-threshold 0.25] [-queue 128] [-retention 4096]
+//	         [-state DIR] [-checkpoint 5m] [-fsync]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"mmprofile/internal/pubsub"
+	"mmprofile/internal/store"
+	"mmprofile/internal/wire"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address")
+		threshold  = flag.Float64("threshold", 0.25, "minimum profile/document similarity for delivery")
+		queue      = flag.Int("queue", 128, "per-subscriber delivery buffer")
+		retention  = flag.Int("retention", 4096, "recent documents kept for feedback")
+		retainBody = flag.Bool("retain-content", false, "keep raw page content for the retention window (enables fetch)")
+		httpAddr   = flag.String("http", "", "optional HTTP status address (e.g. :8080)")
+		stateDir   = flag.String("state", "", "directory for durable profiles (empty = in-memory only)")
+		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "snapshot interval when -state is set")
+		fsync      = flag.Bool("fsync", false, "fsync the journal on every feedback")
+	)
+	flag.Parse()
+
+	opts := pubsub.Options{
+		Threshold:     *threshold,
+		QueueSize:     *queue,
+		Retention:     *retention,
+		RetainContent: *retainBody,
+	}
+
+	var st *store.Store
+	if *stateDir != "" {
+		var err error
+		st, err = store.Open(*stateDir, store.Options{SyncEveryAppend: *fsync})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		opts.Journal = st
+	}
+
+	broker := pubsub.New(opts)
+	srv := wire.NewServer(broker, log.Printf)
+
+	if st != nil {
+		if err := restore(st, broker, srv); err != nil {
+			fatal(err)
+		}
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("mmserver: listening on %s (threshold %.2f, state %q)", lis.Addr(), *threshold, *stateDir)
+
+	if *httpAddr != "" {
+		httpLis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("mmserver: status pages on http://%s/", httpLis.Addr())
+		go func() {
+			if err := http.Serve(httpLis, wire.NewStatusHandler(broker)); err != nil {
+				log.Printf("mmserver: http: %v", err)
+			}
+		}()
+	}
+
+	stopCheckpoints := make(chan struct{})
+	if st != nil && *checkpoint > 0 {
+		go func() {
+			t := time.NewTicker(*checkpoint)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := snapshot(st, broker); err != nil {
+						log.Printf("mmserver: checkpoint: %v", err)
+					}
+				case <-stopCheckpoints:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("mmserver: shutting down")
+		close(stopCheckpoints)
+		if st != nil {
+			if err := snapshot(st, broker); err != nil {
+				log.Printf("mmserver: final checkpoint: %v", err)
+			}
+		}
+		srv.Close()
+	}()
+
+	if err := srv.Serve(lis); err != nil && err != net.ErrClosed {
+		log.Printf("mmserver: serve: %v", err)
+	}
+}
+
+// restore rebuilds subscriptions from the snapshot + journal, registers
+// them with both broker and server, and takes an immediate checkpoint so
+// the journal restarts empty (Subscribe re-journals each restored profile).
+func restore(st *store.Store, broker *pubsub.Broker, srv *wire.Server) error {
+	profiles, events, err := st.Load()
+	if err != nil {
+		return err
+	}
+	learners, err := store.Restore(profiles, events)
+	if err != nil {
+		return err
+	}
+	users := make([]string, 0, len(learners))
+	for u := range learners {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, user := range users {
+		sub, err := broker.Subscribe(user, learners[user])
+		if err != nil {
+			return fmt.Errorf("restoring %q: %w", user, err)
+		}
+		srv.Adopt(user, sub)
+	}
+	if len(users) > 0 {
+		log.Printf("mmserver: restored %d subscriber(s) from %d snapshot record(s) + %d journal event(s)",
+			len(users), len(profiles), len(events))
+	}
+	return snapshot(st, broker)
+}
+
+func snapshot(st *store.Store, broker *pubsub.Broker) error {
+	snaps, err := broker.ExportProfiles()
+	if err != nil {
+		return err
+	}
+	records := make([]store.ProfileRecord, len(snaps))
+	for i, s := range snaps {
+		records[i] = store.ProfileRecord{User: s.User, Learner: s.Learner, Data: s.Data}
+	}
+	return st.Snapshot(records)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mmserver:", err)
+	os.Exit(1)
+}

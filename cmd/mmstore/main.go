@@ -1,0 +1,98 @@
+// Command mmstore inspects an mmserver state directory (see
+// internal/store): the current snapshot, the journal, and the profiles
+// that recovery would reconstruct.
+//
+// Usage:
+//
+//	mmstore -state DIR           # summary of snapshot + journal + users
+//	mmstore -state DIR -user ID  # one restored profile in detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/store"
+
+	_ "mmprofile/internal/core"    // register MM/MMND for restore
+	_ "mmprofile/internal/rocchio" // register baselines for restore
+)
+
+func main() {
+	var (
+		stateDir = flag.String("state", "", "state directory")
+		user     = flag.String("user", "", "show one user's restored profile")
+	)
+	flag.Parse()
+	if *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "mmstore: need -state DIR")
+		os.Exit(2)
+	}
+
+	st, err := store.Open(*stateDir, store.Options{})
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+	profiles, events, err := st.Load()
+	if err != nil {
+		fail(err)
+	}
+
+	if *user == "" {
+		summarize(profiles, events)
+		return
+	}
+	learners, err := store.Restore(profiles, events)
+	if err != nil {
+		fail(err)
+	}
+	l, ok := learners[*user]
+	if !ok {
+		fail(fmt.Errorf("no such user %q (known: %v)", *user, store.Users(profiles, events)))
+	}
+	describe(*user, l)
+}
+
+func summarize(profiles []store.ProfileRecord, events []store.Event) {
+	fmt.Printf("snapshot records: %d\n", len(profiles))
+	var snapBytes int
+	for _, p := range profiles {
+		snapBytes += len(p.Data)
+	}
+	fmt.Printf("snapshot bytes:   %d\n", snapBytes)
+	counts := map[store.EventType]int{}
+	for _, ev := range events {
+		counts[ev.Type]++
+	}
+	fmt.Printf("journal events:   %d (%d feedback, %d subscribe, %d unsubscribe)\n",
+		len(events), counts[store.EventFeedback], counts[store.EventSubscribe], counts[store.EventUnsubscribe])
+	users := store.Users(profiles, events)
+	fmt.Printf("users after replay: %d\n", len(users))
+	for _, u := range users {
+		fmt.Printf("  %s\n", u)
+	}
+}
+
+func describe(user string, l filter.Learner) {
+	fmt.Printf("user:         %s\n", user)
+	fmt.Printf("learner:      %s\n", l.Name())
+	fmt.Printf("profile size: %d vector(s)\n", l.ProfileSize())
+	if vs, ok := l.(filter.VectorSource); ok {
+		for i, v := range vs.ProfileVectors() {
+			if i >= 10 {
+				fmt.Printf("  … and %d more\n", l.ProfileSize()-10)
+				break
+			}
+			fmt.Printf("  #%d (%d terms): %s\n", i+1, v.Len(), strings.Join(v.TopTerms(6), " "))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mmstore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package mmprofile is a reproduction of "Self-Adaptive User Profiles for
+// Large-Scale Data Delivery" (Çetintemel, Franklin, Giles; ICDE 2000).
+//
+// The module implements the paper's Multi-Modal (MM) profile-learning
+// algorithm together with every substrate the paper depends on: a vector-
+// space text model, a web-page processing pipeline, Rocchio-family baseline
+// learners, a synthetic Yahoo!-style document collection, a TREC-routing
+// evaluation framework, and a push-based dissemination (publish/subscribe)
+// engine with an inverted profile index.
+//
+// Library code lives under internal/; runnable entry points under cmd/ and
+// examples/. The root package exists to host the per-figure benchmark suite
+// (bench_test.go) and module documentation.
+package mmprofile

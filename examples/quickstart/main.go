@@ -1,0 +1,93 @@
+// Quickstart: build a self-adaptive user profile from relevance feedback on
+// a handful of web pages, then rank unseen pages by predicted relevance.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+// page builds a tiny web page around the given body text.
+func page(title, body string) string {
+	return "<html><head><title>" + title + "</title></head><body><h1>" +
+		title + "</h1><p>" + body + "</p></body></html>"
+}
+
+func main() {
+	// The pages our user has already judged. She likes astronomy and
+	// baking; she is not interested in celebrity gossip.
+	judged := []struct {
+		title, body string
+		relevant    bool
+	}{
+		{"Galaxies", "telescope observations of spiral galaxies and distant nebulae in deep space", true},
+		{"Planets", "planets orbiting distant stars, telescope surveys of the night sky", true},
+		{"Sourdough", "baking sourdough bread with a rye starter, kneading dough and oven temperatures", true},
+		{"Croissants", "laminated dough, butter folding and baking flaky croissants in a hot oven", true},
+		{"Gossip Tonight", "celebrity gossip red carpet scandal awards show fashion", false},
+		{"More Gossip", "celebrity scandal breakup rumors award show gossip", false},
+	}
+
+	// Unseen pages to be filtered.
+	incoming := []struct{ title, body string }{
+		{"Comet Watch", "a bright comet visible by telescope near the nebula this month in the night sky"},
+		{"Bagel Recipe", "boiling and baking bagels, proofing the dough overnight"},
+		{"Red Carpet", "celebrity fashion gossip from last night's award show"},
+		{"Stock Markets", "bond yields and stock market indexes moved sideways today"},
+	}
+
+	// 1. The processing pipeline of the paper's Figure 3 turns raw pages
+	//    into term lists; collection statistics accumulate incrementally.
+	pipe := text.NewPipeline()
+	stats := vsm.NewStats()
+	var judgedTerms [][]string
+	for _, p := range judged {
+		terms := pipe.Terms(page(p.title, p.body))
+		judgedTerms = append(judgedTerms, terms)
+		stats.Add(terms)
+	}
+	for _, p := range incoming {
+		stats.Add(pipe.Terms(page(p.title, p.body)))
+	}
+	weighting := vsm.Bel{Stats: stats}
+
+	// 2. Feed the judgments to an MM profile, one at a time.
+	profile := core.NewDefault()
+	for i, p := range judged {
+		fd := filter.NotRelevant
+		if p.relevant {
+			fd = filter.Relevant
+		}
+		profile.Observe(vsm.DocumentVector(judgedTerms[i], weighting), fd)
+	}
+
+	// 3. The profile discovered the user's interests as separate clusters.
+	fmt.Printf("profile has %d vectors (one per discovered interest):\n", profile.ProfileSize())
+	for i, pv := range profile.Vectors() {
+		fmt.Printf("  cluster %d: %v\n", i+1, pv.Vec.TopTerms(4))
+	}
+
+	// 4. Rank the unseen pages.
+	type scored struct {
+		title string
+		score float64
+	}
+	var ranked []scored
+	for _, p := range incoming {
+		v := vsm.DocumentVector(pipe.Terms(page(p.title, p.body)), weighting)
+		ranked = append(ranked, scored{p.title, profile.Score(v)})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+
+	fmt.Println("\nincoming pages ranked by predicted relevance:")
+	for _, r := range ranked {
+		fmt.Printf("  %-14s %.4f\n", r.title, r.score)
+	}
+}

@@ -1,0 +1,3 @@
+module mmprofile
+
+go 1.22

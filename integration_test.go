@@ -1,0 +1,236 @@
+// End-to-end integration tests: the full system assembled the way the
+// binaries assemble it — broker + persistence + TCP protocol — exercised
+// through real sockets and real state directories.
+package mmprofile_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mmprofile/internal/pubsub"
+	"mmprofile/internal/store"
+	"mmprofile/internal/wire"
+)
+
+// startStack boots a broker (optionally durable in dir) and a wire server
+// on a loopback socket, returning a connected client and a shutdown func.
+func startStack(t *testing.T, dir string) (*wire.Client, func()) {
+	t.Helper()
+	opts := pubsub.Options{Threshold: 0.2, QueueSize: 64, RetainContent: true}
+	var st *store.Store
+	if dir != "" {
+		var err error
+		st, err = store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Journal = st
+	}
+	broker := pubsub.New(opts)
+	srv := wire.NewServer(broker, func(string, ...any) {})
+
+	if st != nil {
+		profiles, events, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		learners, err := store.Restore(profiles, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for user, l := range learners {
+			sub, err := broker.Subscribe(user, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv.Adopt(user, sub)
+		}
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	c, err := wire.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := func() {
+		c.Close()
+		srv.Close()
+		<-done
+		if st != nil {
+			st.Close()
+		}
+	}
+	return c, shutdown
+}
+
+const integPage = "<html><head><title>t</title></head><body>cats and kittens and cat toys</body></html>"
+
+// TestIntegrationLifecycle drives subscribe → publish → watch → feedback →
+// profile → fetch over a real socket.
+func TestIntegrationLifecycle(t *testing.T) {
+	c, shutdown := startStack(t, "")
+	defer shutdown()
+
+	if err := c.Subscribe("alice", "", []string{"cats", "kittens"}); err != nil {
+		t.Fatal(err)
+	}
+	doc, delivered, err := c.Publish(integPage)
+	if err != nil || delivered != 1 {
+		t.Fatalf("publish: %v, delivered %d", err, delivered)
+	}
+	ds, err := c.Watch("alice", 0, 2*time.Second)
+	if err != nil || len(ds) != 1 || ds[0].Doc != doc {
+		t.Fatalf("watch: %v %+v", err, ds)
+	}
+	if err := c.Feedback("alice", doc, true); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Profile("alice")
+	if err != nil || p.Size < 1 {
+		t.Fatalf("profile: %v %+v", err, p)
+	}
+	content, err := c.Fetch(doc)
+	if err != nil || content != integPage {
+		t.Fatalf("fetch: %v %q", err, content)
+	}
+	st, err := c.Stats()
+	if err != nil || st.Published != 1 || st.Feedbacks != 1 {
+		t.Fatalf("stats: %v %+v", err, st)
+	}
+}
+
+// TestIntegrationDurability restarts the whole stack and checks the
+// adapted profile survives: the same page must be delivered to the
+// restored subscriber without resubscribing.
+func TestIntegrationDurability(t *testing.T) {
+	dir := t.TempDir()
+	c, shutdown := startStack(t, dir)
+	if err := c.Subscribe("alice", "", []string{"cats", "kittens"}); err != nil {
+		t.Fatal(err)
+	}
+	doc, _, err := c.Publish(integPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Feedback("alice", doc, true); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Profile("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown() // includes closing the store
+
+	c2, shutdown2 := startStack(t, dir)
+	defer shutdown2()
+	after, err := c2.Profile("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size != before.Size || after.Learner != before.Learner {
+		t.Fatalf("profile changed across restart: %+v vs %+v", after, before)
+	}
+	if _, delivered, err := c2.Publish(integPage); err != nil || delivered != 1 {
+		t.Fatalf("restored subscriber missed delivery: %v, %d", err, delivered)
+	}
+}
+
+// TestIntegrationManyClients hammers one stack from concurrent
+// connections mixing subscribes, publishes, polls and feedback.
+func TestIntegrationManyClients(t *testing.T) {
+	c0, shutdown := startStack(t, "")
+	defer shutdown()
+
+	const users = 6
+	for i := 0; i < users; i++ {
+		if err := c0.Subscribe(fmt.Sprintf("u%d", i), "", []string{"cats"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrClient := func() *wire.Client { // each goroutine needs its own conn
+		c, err := wire.Dial(dialAddr(t, c0))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return c
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := addrClient()
+			if c == nil {
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 25; i++ {
+				if _, _, err := c.Publish(integPage); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := addrClient()
+			if c == nil {
+				return
+			}
+			defer c.Close()
+			user := fmt.Sprintf("u%d", i)
+			judged := 0
+			for judged < 10 {
+				ds, err := c.Watch(user, 8, time.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(ds) == 0 {
+					return // publishers done and queue drained
+				}
+				for _, d := range ds {
+					if err := c.Feedback(user, d.Doc, true); err != nil {
+						t.Error(err)
+						return
+					}
+					judged++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st, err := c0.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Published != 100 {
+		t.Errorf("published = %d, want 100", st.Published)
+	}
+	if st.Deliveries == 0 || st.Feedbacks == 0 {
+		t.Errorf("no traffic: %+v", st)
+	}
+}
+
+// dialAddr recovers the server address from an existing client's
+// connection (test helper; the stack does not export its listener).
+func dialAddr(t *testing.T, c *wire.Client) string {
+	t.Helper()
+	return c.RemoteAddr()
+}

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestManualFig4(t *testing.T) {
+	if os.Getenv("FIGS") == "" {
+		t.Skip("set FIGS=1 to run")
+	}
+	h := NewHarness(DefaultConfig())
+	for _, fig := range []Figure{h.Fig4(), h.Fig5(), h.BatchFigure()} {
+		fig.WriteText(os.Stderr)
+	}
+	p, s := h.ThresholdFigures()
+	p.WriteText(os.Stderr)
+	s.WriteText(os.Stderr)
+}
+
+func TestManualShifts(t *testing.T) {
+	if os.Getenv("FIGS") == "" {
+		t.Skip("set FIGS=1 to run")
+	}
+	h := NewHarness(DefaultConfig())
+	for _, fig := range []Figure{h.Fig8(), h.Fig9(), h.Fig10(), h.Fig11(), h.LearningRateFigure()} {
+		fig.WriteText(os.Stderr)
+	}
+}

@@ -1,0 +1,113 @@
+// Package bench regenerates every figure of the paper's evaluation
+// (Section 5) plus the two in-text results, as documented in DESIGN.md's
+// experiment index. Runners return Figure values that render as aligned
+// text tables or CSV, so cmd/mmbench and the root benchmark suite share one
+// implementation.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one line of a figure: a label and (x, y) points.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a reproduced table/figure: metadata plus one or more series
+// sharing an x-axis.
+type Figure struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteText renders the figure as an aligned table, x values as rows and
+// one column per series — the same rows/series the paper plots.
+func (f *Figure) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "  (x = %s, y = %s)\n", f.XLabel, f.YLabel)
+
+	header := fmt.Sprintf("%12s", f.XLabel)
+	for _, s := range f.Series {
+		header += fmt.Sprintf("%12s", s.Label)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	if len(f.Series) == 0 {
+		return
+	}
+	for i := range f.Series[0].X {
+		row := fmt.Sprintf("%12.4g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row += fmt.Sprintf("%12.4f", s.Y[i])
+			} else {
+				row += fmt.Sprintf("%12s", "-")
+			}
+		}
+		fmt.Fprintln(w, row)
+	}
+}
+
+// WriteCSV renders the figure as CSV with one row per x value.
+func (f *Figure) WriteCSV(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	if len(f.Series) == 0 {
+		return
+	}
+	for i := range f.Series[0].X {
+		row := []string{fmt.Sprintf("%g", f.Series[0].X[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.6f", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// SeriesByLabel returns the series with the given label, or nil.
+func (f *Figure) SeriesByLabel(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// FinalY returns the last y value of the labelled series; it panics when
+// the series is missing or empty (a harness bug).
+func (f *Figure) FinalY(label string) float64 {
+	s := f.SeriesByLabel(label)
+	if s == nil || len(s.Y) == 0 {
+		panic(fmt.Sprintf("bench: no series %q in %s", label, f.ID))
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// MeanY returns the mean y value of the labelled series.
+func (f *Figure) MeanY(label string) float64 {
+	s := f.SeriesByLabel(label)
+	if s == nil || len(s.Y) == 0 {
+		panic(fmt.Sprintf("bench: no series %q in %s", label, f.ID))
+	}
+	var sum float64
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/eval"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/rocchio"
+	"mmprofile/internal/sim"
+)
+
+// interestPercentages are the paper's workload sizes: interests covering
+// 10%, 20%, and 30% of the collection.
+var interestPercentages = []int{10, 20, 30}
+
+// thresholdSweep is the θ range of Figures 6 and 7.
+var thresholdSweep = []float64{0, 0.05, 0.10, 0.15, 0.20}
+
+// newLearner constructs a learner by name using the harness's θ/η for the
+// MM variants; it panics on unknown names (fixed at compile time).
+func (h *Harness) newLearner(name string) filter.Learner {
+	return h.newLearnerTheta(name, h.Cfg.Theta)
+}
+
+func (h *Harness) newLearnerTheta(name string, theta float64) filter.Learner {
+	opts := core.DefaultOptions()
+	opts.Theta = theta
+	opts.Eta = h.Cfg.Eta
+	switch name {
+	case "MM":
+		return core.New(opts)
+	case "MMND":
+		opts.DisableDecay = true
+		return core.New(opts)
+	case "RI":
+		return rocchio.NewRI()
+	case "RG10":
+		return rocchio.NewRG(10)
+	case "RG100":
+		return rocchio.NewRG(100)
+	case "Batch":
+		return rocchio.NewBatch()
+	case "NRN":
+		return rocchio.NewNRN()
+	}
+	panic(fmt.Sprintf("bench: unknown learner %q", name))
+}
+
+// interestCount converts a coverage percentage into a number of interest
+// categories for the configured collection (e.g. 20% of 10 top-level
+// categories → 2; 20% of 100 second-level categories → 20).
+func (h *Harness) interestCount(pct int, topLevel bool) int {
+	var total int
+	if topLevel {
+		total = h.Cfg.Corpus.TopCategories
+	} else {
+		total = h.Cfg.Corpus.TopCategories * h.Cfg.Corpus.SubPerTop
+	}
+	n := int(math.Round(float64(pct) / 100 * float64(total)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runSeed decorrelates repetitions.
+func (h *Harness) runSeed(run int) int64 { return h.Cfg.BaseSeed + int64(run)*7919 }
+
+// workload is one repetition's fixed random draw, shared by every learner
+// so comparisons are paired.
+type workload struct {
+	user   *sim.User
+	stream []corpus.Document
+	test   []corpus.Document
+	rng    *rand.Rand
+}
+
+// staticWorkload draws a synthetic profile of n categories plus a training
+// stream and test set for repetition run.
+func (h *Harness) staticWorkload(run, nInterests int, topLevel bool) workload {
+	ds := h.Dataset()
+	rng := rand.New(rand.NewSource(h.runSeed(run)))
+	train, test := ds.Split(rng.Int63(), h.Cfg.TrainDocs)
+	var cats []corpus.Category
+	if topLevel {
+		cats = sim.RandomTopInterests(rng, ds, nInterests)
+	} else {
+		cats = sim.RandomSubInterests(rng, ds, nInterests)
+	}
+	return workload{
+		user:   sim.NewUser(cats...),
+		stream: sim.Stream(rng, train, len(train)),
+		test:   test,
+		rng:    rng,
+	}
+}
+
+// EffectivenessFigure reproduces Figures 4 and 5: average niap per learner
+// across the three interest ranges, at top (Figure 4) or second (Figure 5)
+// level.
+func (h *Harness) EffectivenessFigure(id, title string, topLevel bool, learners []string) Figure {
+	fig := Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "pct-relevant",
+		YLabel: "niap",
+	}
+	for _, name := range learners {
+		fig.Series = append(fig.Series, Series{Label: name})
+	}
+	for _, pct := range interestPercentages {
+		n := h.interestCount(pct, topLevel)
+		sums := make([]float64, len(learners))
+		for run := 0; run < h.Cfg.Runs; run++ {
+			w := h.staticWorkload(run, n, topLevel)
+			for li, name := range learners {
+				res := eval.Run(h.newLearner(name), w.user, w.stream, w.test)
+				sums[li] += res.NIAP
+			}
+		}
+		for li := range learners {
+			fig.Series[li].X = append(fig.Series[li].X, float64(pct))
+			fig.Series[li].Y = append(fig.Series[li].Y, sums[li]/float64(h.Cfg.Runs))
+		}
+	}
+	return fig
+}
+
+// Fig4 is the top-level effectiveness comparison (RI, RG(10), MM).
+func (h *Harness) Fig4() Figure {
+	return h.EffectivenessFigure("fig4",
+		"Effectiveness, top-level categories (θ=0.15, RG group 10)",
+		true, []string{"RI", "RG10", "MM"})
+}
+
+// Fig5 is the second-level effectiveness comparison.
+func (h *Harness) Fig5() Figure {
+	return h.EffectivenessFigure("fig5",
+		"Effectiveness, second-level categories (θ=0.15, RG group 10)",
+		false, []string{"RI", "RG10", "MM"})
+}
+
+// ThresholdFigures reproduces Figures 6 and 7 in one sweep: MM's precision
+// and profile size as θ grows, one series per interest range (top-level).
+func (h *Harness) ThresholdFigures() (precision, size Figure) {
+	precision = Figure{
+		ID:     "fig6",
+		Title:  "Threshold effects on precision (top-level categories)",
+		XLabel: "theta",
+		YLabel: "niap",
+	}
+	size = Figure{
+		ID:     "fig7",
+		Title:  "Threshold effects on profile size (top-level categories)",
+		XLabel: "theta",
+		YLabel: "profile-vectors",
+	}
+	for _, pct := range interestPercentages {
+		label := fmt.Sprintf("%d%%", pct)
+		ps := Series{Label: label}
+		ss := Series{Label: label}
+		n := h.interestCount(pct, true)
+		for _, theta := range thresholdSweep {
+			var niapSum, sizeSum float64
+			for run := 0; run < h.Cfg.Runs; run++ {
+				w := h.staticWorkload(run, n, true)
+				res := eval.Run(h.newLearnerTheta("MM", theta), w.user, w.stream, w.test)
+				niapSum += res.NIAP
+				sizeSum += float64(res.ProfileSize)
+			}
+			ps.X = append(ps.X, theta)
+			ps.Y = append(ps.Y, niapSum/float64(h.Cfg.Runs))
+			ss.X = append(ss.X, theta)
+			ss.Y = append(ss.Y, sizeSum/float64(h.Cfg.Runs))
+		}
+		precision.Series = append(precision.Series, ps)
+		size.Series = append(size.Series, ss)
+	}
+	return precision, size
+}
+
+// shiftLearners are the algorithms compared in the Section 5.5 experiments.
+var shiftLearners = []string{"MM", "MMND", "RI", "RG100"}
+
+// ShiftFigure reproduces one of Figures 8–11: niap learning curves through
+// an interest change at ShiftAt, averaged over Runs repetitions.
+func (h *Harness) ShiftFigure(id, title string,
+	scenario func(*rand.Rand, *corpus.Dataset) sim.Shift) Figure {
+
+	ds := h.Dataset()
+	fig := Figure{ID: id, Title: title, XLabel: "docs-seen", YLabel: "niap"}
+	curves := make(map[string][][]eval.CurvePoint)
+	for run := 0; run < h.Cfg.Runs; run++ {
+		rng := rand.New(rand.NewSource(h.runSeed(run)))
+		train, test := ds.Split(rng.Int63(), h.Cfg.TrainDocs)
+		shift := scenario(rng, ds)
+		stream := sim.Stream(rng, train, h.Cfg.ShiftStream)
+		for _, name := range shiftLearners {
+			u := sim.NewUser()
+			pts := eval.Curve(h.newLearner(name), u, stream, test, eval.CurveConfig{
+				Every:  h.Cfg.CurveEvery,
+				OnStep: func(step int) { shift.Apply(u, step, h.Cfg.ShiftAt) },
+			})
+			curves[name] = append(curves[name], pts)
+		}
+	}
+	for _, name := range shiftLearners {
+		avg := eval.AverageCurves(curves[name])
+		s := Series{Label: name}
+		for _, p := range avg {
+			s.X = append(s.X, float64(p.Seen))
+			s.Y = append(s.Y, p.NIAP)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// RecoveryTimes summarizes a shift figure the way the paper's prose does:
+// per learner, the number of documents past the shift needed to regain
+// 95% of shift-point precision (−1 = never within the plotted range).
+func (h *Harness) RecoveryTimes(fig Figure) map[string]int {
+	out := make(map[string]int, len(fig.Series))
+	for _, s := range fig.Series {
+		curve := make([]eval.CurvePoint, len(s.X))
+		for i := range s.X {
+			curve[i] = eval.CurvePoint{Seen: int(s.X[i]), NIAP: s.Y[i]}
+		}
+		out[s.Label] = eval.RecoveryTime(curve, h.Cfg.ShiftAt, 0.95)
+	}
+	return out
+}
+
+// Fig8 is the partial interest shift ({Ci,Cj} → {Ci,Ck}).
+func (h *Harness) Fig8() Figure {
+	return h.ShiftFigure("fig8", "Partially changing interests (RG group 100)", sim.PartialShift)
+}
+
+// Fig9 is the complete interest shift ({Ci,Cj} → {Ck,Cl}).
+func (h *Harness) Fig9() Figure {
+	return h.ShiftFigure("fig9", "Completely changing interests (RG group 100)", sim.CompleteShift)
+}
+
+// Fig10 is the category-addition scenario ({Ci} → {Ci,Cj}).
+func (h *Harness) Fig10() Figure {
+	return h.ShiftFigure("fig10", "Adding new interests (RG group 100)", sim.AddInterest)
+}
+
+// Fig11 is the category-deletion scenario ({Ci,Cj} → {Ci}).
+func (h *Harness) Fig11() Figure {
+	return h.ShiftFigure("fig11", "Deleting interests (RG group 100)", sim.DeleteInterest)
+}
+
+// BatchFigure reproduces the Section 5.2 in-text comparison: batch Rocchio
+// lands a few points above RG(10) but below MM, across the top-level
+// interest ranges.
+func (h *Harness) BatchFigure() Figure {
+	return h.EffectivenessFigure("batch",
+		"Batch Rocchio vs incremental learners (top-level categories)",
+		true, []string{"RI", "RG10", "Batch", "MM"})
+}
+
+// LearningRateFigure reproduces the Section 5.1 in-text observation: MM's
+// effectiveness rises quickly, levels off around 200 documents, and is
+// stable by 400–500; RI and RG stabilize slightly faster.
+func (h *Harness) LearningRateFigure() Figure {
+	fig := Figure{
+		ID:     "learning",
+		Title:  "Learning rate, 20% top-level workload",
+		XLabel: "docs-seen",
+		YLabel: "niap",
+	}
+	learners := []string{"MM", "RG10", "RI"}
+	n := h.interestCount(20, true)
+	curves := make(map[string][][]eval.CurvePoint)
+	for run := 0; run < h.Cfg.Runs; run++ {
+		w := h.staticWorkload(run, n, true)
+		for _, name := range learners {
+			pts := eval.Curve(h.newLearner(name), w.user, w.stream, w.test,
+				eval.CurveConfig{Every: h.Cfg.CurveEvery})
+			curves[name] = append(curves[name], pts)
+		}
+	}
+	for _, name := range learners {
+		avg := eval.AverageCurves(curves[name])
+		s := Series{Label: name}
+		for _, p := range avg {
+			s.X = append(s.X, float64(p.Seen))
+			s.Y = append(s.Y, p.NIAP)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullHarness runs at the paper's scale (900 pages, 500 training docs,
+// 4 seeded runs); shared across shape tests because the dataset dominates
+// setup cost.
+var fullHarness = NewHarness(DefaultConfig())
+
+// quickHarness runs the scaled-down configuration for the expensive
+// curve-based experiments.
+var quickHarness = NewHarness(QuickConfig())
+
+func TestFig4Shape(t *testing.T) {
+	fig := fullHarness.Fig4()
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// The paper's headline result: MM > RG > RI on average, and the MM
+	// advantage grows with the number of interest categories.
+	mm, rg, ri := fig.MeanY("MM"), fig.MeanY("RG10"), fig.MeanY("RI")
+	if !(mm > rg && rg > ri) {
+		t.Errorf("ordering violated: MM=%.3f RG=%.3f RI=%.3f", mm, rg, ri)
+	}
+	mmS, rgS := fig.SeriesByLabel("MM"), fig.SeriesByLabel("RG10")
+	gapNarrow := mmS.Y[0] - rgS.Y[0]
+	gapWide := mmS.Y[2] - rgS.Y[2]
+	if gapWide <= gapNarrow {
+		t.Errorf("MM advantage did not grow with interest breadth: %0.3f -> %0.3f", gapNarrow, gapWide)
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y <= 0 || y > 1 {
+				t.Errorf("series %s point %d out of range: %v", s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	fig := fullHarness.Fig5()
+	mm, rg, ri := fig.MeanY("MM"), fig.MeanY("RG10"), fig.MeanY("RI")
+	if !(mm > rg && rg > ri) {
+		t.Errorf("second-level ordering violated: MM=%.3f RG=%.3f RI=%.3f", mm, rg, ri)
+	}
+	// MM must suffer the smallest drop from the top-level workload.
+	top := fullHarness.Fig4()
+	mmDrop := (top.MeanY("MM") - mm) / top.MeanY("MM")
+	rgDrop := (top.MeanY("RG10") - rg) / top.MeanY("RG10")
+	if mmDrop >= rgDrop {
+		t.Errorf("MM relative drop %.3f not below RG's %.3f", mmDrop, rgDrop)
+	}
+}
+
+func TestThresholdFiguresShape(t *testing.T) {
+	prec, size := fullHarness.ThresholdFigures()
+	for _, s := range size.Series {
+		// Profile size grows monotonically with θ.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Errorf("size series %s not monotone at θ=%v: %v < %v",
+					s.Label, s.X[i], s.Y[i], s.Y[i-1])
+			}
+		}
+	}
+	// At fixed θ=0.15, size grows with interest breadth.
+	i15 := 3 // index of θ=0.15 in the sweep
+	if !(size.Series[0].Y[i15] < size.Series[1].Y[i15] &&
+		size.Series[1].Y[i15] < size.Series[2].Y[i15]) {
+		t.Errorf("size at θ=0.15 not increasing with breadth: %v %v %v",
+			size.Series[0].Y[i15], size.Series[1].Y[i15], size.Series[2].Y[i15])
+	}
+	// Precision at the paper's default θ=0.15 clearly beats θ=0, and the
+	// curve levels out (no large gain from 0.15 to 0.2).
+	for _, s := range prec.Series {
+		if s.Y[i15] <= s.Y[0] {
+			t.Errorf("precision series %s: θ=0.15 (%v) not above θ=0 (%v)", s.Label, s.Y[i15], s.Y[0])
+		}
+		if s.Y[4]-s.Y[i15] > 0.05 {
+			t.Errorf("precision series %s still rising sharply past 0.15: %v -> %v",
+				s.Label, s.Y[i15], s.Y[4])
+		}
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	fig := fullHarness.BatchFigure()
+	batch, ri, mm := fig.MeanY("Batch"), fig.MeanY("RI"), fig.MeanY("MM")
+	if batch <= ri {
+		t.Errorf("batch Rocchio (%.3f) not above RI (%.3f)", batch, ri)
+	}
+	if mm <= batch {
+		t.Errorf("MM (%.3f) not above batch Rocchio (%.3f) on average", mm, batch)
+	}
+}
+
+func TestLearningRateShape(t *testing.T) {
+	fig := fullHarness.LearningRateFigure()
+	mm := fig.SeriesByLabel("MM")
+	if mm.Y[len(mm.Y)-1] <= mm.Y[0] {
+		t.Error("MM did not learn")
+	}
+	// Levels off: the second half of training gains far less than the
+	// first half.
+	half := len(mm.Y) / 2
+	firstHalfGain := mm.Y[half] - mm.Y[0]
+	secondHalfGain := mm.Y[len(mm.Y)-1] - mm.Y[half]
+	if secondHalfGain > firstHalfGain/2 {
+		t.Errorf("no level-off: first-half gain %.3f, second-half %.3f", firstHalfGain, secondHalfGain)
+	}
+	if fig.FinalY("MM") <= fig.FinalY("RI") {
+		t.Errorf("MM final (%.3f) not above RI final (%.3f)", fig.FinalY("MM"), fig.FinalY("RI"))
+	}
+}
+
+func TestShiftFigureStructure(t *testing.T) {
+	fig := quickHarness.Fig8()
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	cfg := quickHarness.Cfg
+	wantPoints := cfg.ShiftStream/cfg.CurveEvery + 1
+	for _, s := range fig.Series {
+		if len(s.X) != wantPoints {
+			t.Errorf("series %s has %d points, want %d", s.Label, len(s.X), wantPoints)
+		}
+		if s.X[0] != 0 || s.X[len(s.X)-1] != float64(cfg.ShiftStream) {
+			t.Errorf("series %s x-range [%v,%v]", s.Label, s.X[0], s.X[len(s.X)-1])
+		}
+	}
+	// MM's precision drops at the shift and recovers: the final value must
+	// clearly exceed the first post-shift checkpoint.
+	mm := fig.SeriesByLabel("MM")
+	shiftIdx := cfg.ShiftAt/cfg.CurveEvery + 1
+	if mm.Y[len(mm.Y)-1] <= mm.Y[shiftIdx] {
+		t.Errorf("MM did not recover after shift: %.3f -> %.3f", mm.Y[shiftIdx], mm.Y[len(mm.Y)-1])
+	}
+}
+
+func TestCompleteShiftDecayHelps(t *testing.T) {
+	// The paper's core adaptability claim (Figure 9): with every past
+	// judgment invalidated, MM with decay ends clearly above MMND.
+	fig := quickHarness.Fig9()
+	if fig.FinalY("MM") <= fig.FinalY("MMND") {
+		t.Errorf("decay did not help on complete shift: MM %.3f vs MMND %.3f",
+			fig.FinalY("MM"), fig.FinalY("MMND"))
+	}
+}
+
+func TestAddInterestDecayHarmless(t *testing.T) {
+	// Figure 10: when no interest is dropped, decay costs nothing — MM and
+	// MMND must track each other closely.
+	fig := quickHarness.Fig10()
+	mm, mmnd := fig.SeriesByLabel("MM"), fig.SeriesByLabel("MMND")
+	var maxGap float64
+	for i := range mm.Y {
+		if gap := mmnd.Y[i] - mm.Y[i]; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap > 0.08 {
+		t.Errorf("decay hurt the add-interest scenario by up to %.3f", maxGap)
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.75}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{0.25}},
+		},
+	}
+	var txt strings.Builder
+	fig.WriteText(&txt)
+	for _, want := range []string{"figX", "demo", "a", "b", "0.7500", "-"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("WriteText missing %q in:\n%s", want, txt.String())
+		}
+	}
+	var csv strings.Builder
+	fig.WriteCSV(&csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,a,b" {
+		t.Errorf("WriteCSV:\n%s", csv.String())
+	}
+	if !strings.HasPrefix(lines[2], "2,0.750000,") {
+		t.Errorf("CSV row: %q", lines[2])
+	}
+}
+
+func TestFigureAccessors(t *testing.T) {
+	fig := Figure{Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{0.2, 0.4}}}}
+	if fig.SeriesByLabel("missing") != nil {
+		t.Error("SeriesByLabel returned a phantom series")
+	}
+	if got := fig.FinalY("a"); got != 0.4 {
+		t.Errorf("FinalY = %v", got)
+	}
+	if got := fig.MeanY("a"); got < 0.299 || got > 0.301 {
+		t.Errorf("MeanY = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FinalY on missing series did not panic")
+		}
+	}()
+	fig.FinalY("missing")
+}
+
+func TestInterestCount(t *testing.T) {
+	h := NewHarness(DefaultConfig())
+	if got := h.interestCount(10, true); got != 1 {
+		t.Errorf("10%% of 10 top categories = %d", got)
+	}
+	if got := h.interestCount(30, true); got != 3 {
+		t.Errorf("30%% = %d", got)
+	}
+	if got := h.interestCount(20, false); got != 20 {
+		t.Errorf("20%% of 100 sub categories = %d", got)
+	}
+	if got := h.interestCount(1, true); got != 1 {
+		t.Errorf("rounding floor = %d", got)
+	}
+}
+
+func TestNewLearnerPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fullHarness.newLearner("bogus")
+}

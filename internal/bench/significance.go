@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mmprofile/internal/eval"
+)
+
+// Comparison is a paired significance test between two learners on one
+// workload: the per-run niap samples are paired (identical corpus split,
+// interests, and stream per run).
+type Comparison struct {
+	Workload string // e.g. "20% top-level"
+	A, B     string // learner names; MeanDiff > 0 means A wins
+	MeanDiff float64
+	P        float64
+	Runs     int
+}
+
+// Significance runs paired t-tests of learner A against learner B for
+// every top-level interest range, using more repetitions than the figure
+// runs (t-tests on n = 4 have little power). It answers "is the Figure 4
+// gap real or seed noise?".
+func (h *Harness) Significance(a, b string, runs int) []Comparison {
+	if runs < 2 {
+		runs = h.Cfg.Runs
+	}
+	var out []Comparison
+	for _, pct := range interestPercentages {
+		n := h.interestCount(pct, true)
+		sa := make([]float64, runs)
+		sb := make([]float64, runs)
+		for run := 0; run < runs; run++ {
+			w := h.staticWorkload(run, n, true)
+			sa[run] = eval.Run(h.newLearner(a), w.user, w.stream, w.test).NIAP
+			sb[run] = eval.Run(h.newLearner(b), w.user, w.stream, w.test).NIAP
+		}
+		res, err := eval.PairedTTest(sa, sb)
+		if err != nil {
+			panic(err) // lengths are equal by construction
+		}
+		out = append(out, Comparison{
+			Workload: fmt.Sprintf("%d%% top-level", pct),
+			A:        a,
+			B:        b,
+			MeanDiff: res.MeanDiff,
+			P:        res.P,
+			Runs:     runs,
+		})
+	}
+	return out
+}
+
+// WriteComparisons renders a significance table.
+func WriteComparisons(w io.Writer, cs []Comparison) {
+	if len(cs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "paired t-tests, %s vs %s (%d runs):\n", cs[0].A, cs[0].B, cs[0].Runs)
+	fmt.Fprintf(w, "%16s %12s %10s %s\n", "workload", "mean-diff", "p-value", "verdict")
+	for _, c := range cs {
+		verdict := "not significant"
+		switch {
+		case c.P < 0.01:
+			verdict = "significant (p<0.01)"
+		case c.P < 0.05:
+			verdict = "significant (p<0.05)"
+		}
+		fmt.Fprintf(w, "%16s %+12.4f %10.4f %s\n", c.Workload, c.MeanDiff, c.P, verdict)
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteSVG renders the figure as a self-contained SVG line chart — axes,
+// ticks, legend, one polyline per series — so every reproduced figure can
+// be looked at, not just read as a table. Pure stdlib, no fonts beyond
+// SVG defaults.
+func (f *Figure) WriteSVG(w io.Writer) error {
+	const (
+		width, height = 640, 420
+		marginL       = 70
+		marginR       = 160
+		marginT       = 48
+		marginB       = 56
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at 0: niap/sizes/µs are non-negative
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	maxY *= 1.05 // headroom
+
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*float64(plotW) }
+	py := func(y float64) float64 { return marginT + (1-(y-minY)/(maxY-minY))*float64(plotH) }
+
+	// A colorblind-safe categorical palette (Okabe–Ito).
+	palette := []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000"}
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	p(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	p(`<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, xmlEscape(f.Title))
+
+	// Axes.
+	p(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	p(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	p(`<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, xmlEscape(f.XLabel))
+	p(`<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(f.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		p(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px(xv), marginT+plotH, px(xv), marginT+plotH+5)
+		p(`<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(xv), marginT+plotH+20, formatTick(xv))
+		p(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, py(yv), marginL, py(yv))
+		p(`<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-9, py(yv)+4, formatTick(yv))
+		// Light horizontal gridline.
+		if i > 0 {
+			p(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+				marginL, py(yv), marginL+plotW, py(yv))
+		}
+	}
+
+	// Series.
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		p(`<polyline fill="none" stroke="%s" stroke-width="2" points="`, color)
+		for i := range s.X {
+			p("%.1f,%.1f ", px(s.X[i]), py(s.Y[i]))
+		}
+		p(`"/>` + "\n")
+		for i := range s.X {
+			p(`<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 16 + si*20
+		p(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+12, ly-4, width-marginR+36, ly-4, color)
+		p(`<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			width-marginR+42, ly, xmlEscape(s.Label))
+	}
+	p("</svg>\n")
+	return err
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// xmlEscape escapes the handful of characters that matter in SVG text.
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

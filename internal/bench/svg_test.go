@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoFigure() Figure {
+	return Figure{
+		ID: "demo", Title: "Demo & more", XLabel: "x<axis>", YLabel: "niap",
+		Series: []Series{
+			{Label: "MM", X: []float64{0, 10, 20}, Y: []float64{0.2, 0.5, 0.7}},
+			{Label: "RI", X: []float64{0, 10, 20}, Y: []float64{0.2, 0.3, 0.4}},
+		},
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	var out strings.Builder
+	fig := demoFigure()
+	if err := fig.WriteSVG(&out); err != nil {
+		t.Fatal(err)
+	}
+	svg := out.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Demo &amp; more", "x&lt;axis&gt;",
+		"MM", "RI",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// One marker per point.
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("non-finite coordinates in SVG")
+	}
+}
+
+func TestWriteSVGDegenerate(t *testing.T) {
+	var out strings.Builder
+	empty := Figure{ID: "empty", Title: "t", XLabel: "x", YLabel: "y"}
+	if err := empty.WriteSVG(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "</svg>") {
+		t.Error("empty figure produced malformed SVG")
+	}
+	// Single point, zero range.
+	out.Reset()
+	point := Figure{Series: []Series{{Label: "a", X: []float64{5}, Y: []float64{0}}}}
+	if err := point.WriteSVG(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "NaN") {
+		t.Error("zero-range figure produced NaN coordinates")
+	}
+}
+
+// TestHarnessDeterministic guards against hidden global state: two
+// independently constructed harnesses with the same configuration must
+// produce byte-identical figures.
+func TestHarnessDeterministic(t *testing.T) {
+	cfg := QuickConfig()
+	a := NewHarness(cfg).Fig4()
+	b := NewHarness(cfg).Fig4()
+	if len(a.Series) != len(b.Series) {
+		t.Fatal("series count differs")
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Y {
+			if a.Series[i].Y[j] != b.Series[i].Y[j] {
+				t.Fatalf("series %s point %d: %v vs %v",
+					a.Series[i].Label, j, a.Series[i].Y[j], b.Series[i].Y[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+func vec(pairs ...any) vsm.Vector {
+	m := map[string]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return vsm.FromMap(m).Normalized()
+}
+
+// threeTopics builds documents in three clean lexical groups with noise.
+func threeTopics(rng *rand.Rand, perTopic int) []vsm.Vector {
+	topics := [][]string{
+		{"cat", "dog", "pet", "fur"},
+		{"stock", "bond", "market", "yield"},
+		{"guitar", "piano", "chord", "melody"},
+	}
+	var docs []vsm.Vector
+	for _, vocab := range topics {
+		for i := 0; i < perTopic; i++ {
+			m := map[string]float64{}
+			for _, w := range vocab {
+				if rng.Float64() < 0.8 {
+					m[w] = 0.5 + rng.Float64()
+				}
+			}
+			m["noise"+string(rune('a'+rng.Intn(6)))] = 0.2 * rng.Float64()
+			docs = append(docs, vsm.FromMap(m).Normalized())
+		}
+	}
+	return docs
+}
+
+func TestKMeansFindsTopics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	km := NewKMeans(KMeansOptions{K: 3, Seed: 1})
+	for _, d := range threeTopics(rng, 15) {
+		km.Observe(d, filter.Relevant)
+	}
+	km.Flush()
+	if km.ProfileSize() != 3 {
+		t.Fatalf("centroids = %d", km.ProfileSize())
+	}
+	// Each topic probe must hit some centroid strongly, and the three
+	// probes must prefer three distinct centroids.
+	probes := []vsm.Vector{
+		vec("cat", 1.0, "dog", 1.0),
+		vec("stock", 1.0, "bond", 1.0),
+		vec("guitar", 1.0, "piano", 1.0),
+	}
+	seen := map[int]bool{}
+	for _, p := range probes {
+		if s := km.Score(p); s < 0.6 {
+			t.Errorf("probe scored only %v", s)
+		}
+		best, bestIdx := -1.0, -1
+		for j, c := range km.ProfileVectors() {
+			if s := vsm.Cosine(c, p); s > best {
+				best, bestIdx = s, j
+			}
+		}
+		seen[bestIdx] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("probes mapped to %d distinct centroids", len(seen))
+	}
+}
+
+func TestKMeansIgnoresNegativesAndZero(t *testing.T) {
+	km := NewKMeans(KMeansOptions{Seed: 1})
+	km.Observe(vec("cat", 1.0), filter.NotRelevant)
+	km.Observe(vsm.Vector{}, filter.Relevant)
+	km.Flush()
+	if km.ProfileSize() != 0 {
+		t.Errorf("profile = %d from negatives only", km.ProfileSize())
+	}
+	if km.Score(vec("cat", 1.0)) != 0 {
+		t.Error("empty profile scored non-zero")
+	}
+}
+
+func TestKMeansAutoK(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 8: 2, 50: 5, 200: 10}
+	for n, want := range cases {
+		if got := autoK(n); got != want {
+			t.Errorf("autoK(%d) = %d, want %d", n, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	km := NewKMeans(KMeansOptions{Seed: 2}) // K auto
+	docs := threeTopics(rng, 10)
+	for _, d := range docs {
+		km.Observe(d, filter.Relevant)
+	}
+	km.Flush()
+	if km.ProfileSize() < 1 || km.ProfileSize() > len(docs) {
+		t.Errorf("auto K produced %d centroids", km.ProfileSize())
+	}
+}
+
+func TestKMeansKLargerThanData(t *testing.T) {
+	km := NewKMeans(KMeansOptions{K: 10, Seed: 3})
+	km.Observe(vec("cat", 1.0), filter.Relevant)
+	km.Observe(vec("dog", 1.0), filter.Relevant)
+	km.Flush()
+	if km.ProfileSize() > 2 {
+		t.Errorf("more centroids (%d) than documents", km.ProfileSize())
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	docs := threeTopics(rng, 12)
+	build := func() []vsm.Vector {
+		km := NewKMeans(KMeansOptions{K: 3, Seed: 9})
+		for _, d := range docs {
+			km.Observe(d, filter.Relevant)
+		}
+		km.Flush()
+		return km.ProfileVectors()
+	}
+	a, b := build(), build()
+	for i := range a {
+		if vsm.Cosine(a[i], b[i]) < 1-1e-12 {
+			t.Fatal("same seed produced different centroids")
+		}
+	}
+}
+
+func TestKMeansReset(t *testing.T) {
+	km := NewKMeans(KMeansOptions{Seed: 1})
+	km.Observe(vec("cat", 1.0), filter.Relevant)
+	km.Flush()
+	km.Reset()
+	if km.ProfileSize() != 0 {
+		t.Error("Reset incomplete")
+	}
+}

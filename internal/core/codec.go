@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mmprofile/internal/vsm"
+)
+
+// profileCodecVersion guards the binary layout; bump on change.
+const profileCodecVersion = 1
+
+func appendF64(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func readF64(buf []byte) (float64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("core: truncated float")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:8])), buf[8:], nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("core: truncated varint")
+	}
+	return v, buf[k:], nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: a compact,
+// self-contained snapshot of the profile — options, feedback step,
+// operation counters, and every profile vector with its strength — for the
+// persistence layer (internal/store).
+func (p *Profile) MarshalBinary() ([]byte, error) {
+	buf := []byte{profileCodecVersion}
+	for _, f := range []float64{
+		p.opts.Theta, p.opts.Eta, p.opts.DecayC,
+		p.opts.DeleteThreshold, p.opts.InitialStrength,
+	} {
+		buf = appendF64(buf, f)
+	}
+	flags := byte(0)
+	if p.opts.DisableDecay {
+		flags |= 1
+	}
+	if p.opts.DisableMerge {
+		flags |= 2
+	}
+	if p.opts.UnweightedDecay {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(p.opts.MaxTerms))
+	buf = binary.AppendUvarint(buf, uint64(p.opts.MaxVectors))
+	buf = binary.AppendUvarint(buf, uint64(p.step))
+	for _, c := range []int{
+		p.ops.Created, p.ops.Incorporated, p.ops.Merged,
+		p.ops.Deleted, p.ops.Annihilated, p.ops.Ignored,
+	} {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.vectors)))
+	for _, pv := range p.vectors {
+		buf = vsm.AppendVector(buf, pv.Vec)
+		buf = appendF64(buf, pv.Strength)
+		buf = binary.AppendUvarint(buf, uint64(pv.CreatedAt))
+		buf = binary.AppendUvarint(buf, uint64(pv.Incorporations))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, fully replacing
+// the profile's state with the snapshot.
+func (p *Profile) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 {
+		return fmt.Errorf("core: empty profile snapshot")
+	}
+	if data[0] != profileCodecVersion {
+		return fmt.Errorf("core: unsupported profile codec version %d", data[0])
+	}
+	buf := data[1:]
+
+	var opts Options
+	var err error
+	for _, dst := range []*float64{
+		&opts.Theta, &opts.Eta, &opts.DecayC,
+		&opts.DeleteThreshold, &opts.InitialStrength,
+	} {
+		if *dst, buf, err = readF64(buf); err != nil {
+			return err
+		}
+	}
+	if len(buf) < 1 {
+		return fmt.Errorf("core: truncated flags")
+	}
+	opts.DisableDecay = buf[0]&1 != 0
+	opts.DisableMerge = buf[0]&2 != 0
+	opts.UnweightedDecay = buf[0]&4 != 0
+	buf = buf[1:]
+	var u uint64
+	if u, buf, err = readUvarint(buf); err != nil {
+		return err
+	}
+	opts.MaxTerms = int(u)
+	if u, buf, err = readUvarint(buf); err != nil {
+		return err
+	}
+	opts.MaxVectors = int(u)
+	if err := opts.Validate(); err != nil {
+		return fmt.Errorf("core: snapshot options: %w", err)
+	}
+
+	if u, buf, err = readUvarint(buf); err != nil {
+		return err
+	}
+	step := int(u)
+	var counts [6]int
+	for i := range counts {
+		if u, buf, err = readUvarint(buf); err != nil {
+			return err
+		}
+		counts[i] = int(u)
+	}
+
+	if u, buf, err = readUvarint(buf); err != nil {
+		return err
+	}
+	n := int(u)
+	if n > 1<<20 {
+		return fmt.Errorf("core: implausible vector count %d", n)
+	}
+	vectors := make([]*ProfileVector, 0, n)
+	for i := 0; i < n; i++ {
+		var vec vsm.Vector
+		if vec, buf, err = vsm.DecodeVector(buf); err != nil {
+			return fmt.Errorf("core: vector %d: %w", i, err)
+		}
+		pv := &ProfileVector{Vec: vec}
+		if pv.Strength, buf, err = readF64(buf); err != nil {
+			return err
+		}
+		if pv.Strength <= 0 || math.IsNaN(pv.Strength) || math.IsInf(pv.Strength, 0) {
+			return fmt.Errorf("core: vector %d has invalid strength %v", i, pv.Strength)
+		}
+		if u, buf, err = readUvarint(buf); err != nil {
+			return err
+		}
+		pv.CreatedAt = int(u)
+		if u, buf, err = readUvarint(buf); err != nil {
+			return err
+		}
+		pv.Incorporations = int(u)
+		vectors = append(vectors, pv)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("core: %d trailing bytes in profile snapshot", len(buf))
+	}
+
+	p.opts = opts
+	p.step = step
+	p.ops = OpCounts{
+		Created:      counts[0],
+		Incorporated: counts[1],
+		Merged:       counts[2],
+		Deleted:      counts[3],
+		Annihilated:  counts[4],
+		Ignored:      counts[5],
+	}
+	p.vectors = vectors
+	return nil
+}

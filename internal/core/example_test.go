@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+// Example demonstrates the basic MM loop: feed judged document vectors,
+// watch the profile grow one cluster per discovered interest, score an
+// unseen document.
+func Example() {
+	profile := core.NewDefault()
+
+	cooking := vsm.FromMap(map[string]float64{"bake": 1, "oven": 1, "dough": 1}).Normalized()
+	astronomy := vsm.FromMap(map[string]float64{"telescope": 1, "galaxy": 1, "star": 1}).Normalized()
+	gossip := vsm.FromMap(map[string]float64{"celebrity": 1, "scandal": 1}).Normalized()
+
+	profile.Observe(cooking, filter.Relevant)
+	profile.Observe(astronomy, filter.Relevant)
+	profile.Observe(gossip, filter.NotRelevant)
+
+	fmt.Println("clusters:", profile.ProfileSize())
+
+	comet := vsm.FromMap(map[string]float64{"telescope": 1, "comet": 1}).Normalized()
+	fmt.Printf("score(comet page) = %.2f\n", profile.Score(comet))
+	fmt.Printf("score(gossip page) = %.2f\n", profile.Score(gossip))
+	// Output:
+	// clusters: 2
+	// score(comet page) = 0.41
+	// score(gossip page) = 0.00
+}
+
+// ExampleOptions shows the θ knob: the same feedback stream under a low
+// and a high similarity threshold.
+func ExampleOptions() {
+	docs := []vsm.Vector{
+		vsm.FromMap(map[string]float64{"cat": 1, "dog": 0.5}).Normalized(),
+		vsm.FromMap(map[string]float64{"cat": 0.5, "dog": 1}).Normalized(),
+		vsm.FromMap(map[string]float64{"stock": 1, "bond": 0.5}).Normalized(),
+	}
+	for _, theta := range []float64{0.0, 0.9} {
+		opts := core.DefaultOptions()
+		opts.Theta = theta
+		p := core.New(opts)
+		for _, d := range docs {
+			p.Observe(d, filter.Relevant)
+		}
+		fmt.Printf("theta=%.1f -> %d profile vector(s)\n", theta, p.ProfileSize())
+	}
+	// Output:
+	// theta=0.0 -> 1 profile vector(s)
+	// theta=0.9 -> 3 profile vector(s)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+func TestExplainEmptyAndZero(t *testing.T) {
+	p := NewDefault()
+	ex := p.Explain(vec("cat", 1.0), 5)
+	if ex.Cluster != -1 || ex.Score != 0 {
+		t.Errorf("empty profile explanation: %+v", ex)
+	}
+	p.Observe(vec("cat", 1.0), filter.Relevant)
+	ex = p.Explain(vsm.Vector{}, 5)
+	if ex.Cluster != -1 {
+		t.Errorf("zero doc explanation: %+v", ex)
+	}
+}
+
+func TestExplainMatchesScore(t *testing.T) {
+	p := NewDefault()
+	p.Observe(vec("cat", 1.0, "dog", 0.5), filter.Relevant)
+	p.Observe(vec("stock", 1.0, "bond", 0.5), filter.Relevant)
+	doc := vec("stock", 1.0, "market", 0.3)
+	ex := p.Explain(doc, 5)
+	if math.Abs(ex.Score-p.Score(doc)) > 1e-12 {
+		t.Errorf("Explain score %v != Score %v", ex.Score, p.Score(doc))
+	}
+	if ex.Cluster < 0 {
+		t.Fatal("no cluster identified")
+	}
+	if ex.Strength <= 0 {
+		t.Errorf("strength = %v", ex.Strength)
+	}
+}
+
+func TestExplainContributionsSumToScore(t *testing.T) {
+	p := NewDefault()
+	p.Observe(vec("cat", 1.0, "dog", 0.7, "bird", 0.3), filter.Relevant)
+	doc := vec("cat", 0.8, "dog", 0.6)
+	ex := p.Explain(doc, 10)
+	var sum float64
+	for _, c := range ex.Contributions {
+		if c.Weight <= 0 {
+			t.Errorf("non-positive contribution %+v", c)
+		}
+		sum += c.Weight
+	}
+	if math.Abs(sum-ex.Score) > 1e-9 {
+		t.Errorf("contributions sum %v != score %v", sum, ex.Score)
+	}
+	// Shared terms only.
+	for _, c := range ex.Contributions {
+		if c.Term == "bird" {
+			t.Error("unshared term contributed")
+		}
+	}
+	// Descending order, "cat" strongest.
+	if len(ex.Contributions) != 2 || ex.Contributions[0].Term != "cat" {
+		t.Errorf("contributions = %+v", ex.Contributions)
+	}
+	if ex.Contributions[0].Weight < ex.Contributions[1].Weight {
+		t.Error("contributions not sorted")
+	}
+}
+
+func TestExplainMaxTermsCap(t *testing.T) {
+	p := NewDefault()
+	p.Observe(vec("a", 1.0, "b", 0.9, "c", 0.8, "d", 0.7), filter.Relevant)
+	ex := p.Explain(vec("a", 1.0, "b", 1.0, "c", 1.0, "d", 1.0), 2)
+	if len(ex.Contributions) != 2 {
+		t.Errorf("cap not applied: %d contributions", len(ex.Contributions))
+	}
+}

@@ -1,0 +1,84 @@
+// Package core implements MM, the paper's Multi-Modal self-adaptive profile
+// algorithm (Section 3): a user profile represented as a dynamic set of
+// weighted term vectors maintained by four operations driven by relevance
+// feedback — incorporate, create, merge, and delete (strength decay).
+package core
+
+import "fmt"
+
+// Options are MM's tuning parameters (paper Sections 3.5 and 5.1).
+type Options struct {
+	// Theta (θ ∈ [0,1]) is the similarity threshold. A judged document is
+	// incorporated into its most similar profile vector when their cosine
+	// exceeds Theta; otherwise a relevant document creates a new profile
+	// vector. Theta also gates merging of profile vectors. θ = 0 collapses
+	// MM to a single vector (Rocchio-like); θ = 1 keeps one vector per
+	// relevant document (NRN-like). Paper default: 0.15.
+	Theta float64
+	// Eta (η ∈ [0,1]) is the adaptability: how far the active profile
+	// vector moves toward (f_d = +1) or away from (f_d = −1) an
+	// incorporated document: p ← (1−η)p + η·f_d·v. Paper default: 0.2.
+	Eta float64
+	// DecayC is the positive constant c of the strength decay function:
+	// each incorporation multiplies the active vector's strength by
+	// exp(c·f_d). Paper default: 0.5.
+	DecayC float64
+	// DeleteThreshold is the strength below which a profile vector is
+	// removed. Paper default: 1.0 (also the creation strength).
+	DeleteThreshold float64
+	// InitialStrength is the strength assigned to a newly created profile
+	// vector. Paper default: 1.0.
+	InitialStrength float64
+	// DisableDecay turns off strength bookkeeping and deletion entirely,
+	// producing the paper's MMND variant (Section 5.5).
+	DisableDecay bool
+	// DisableMerge turns off the merge operation (Section 3.3), for
+	// ablation: without merging, clusters pulled together by drifting
+	// feedback stay redundant.
+	DisableMerge bool
+	// UnweightedDecay uses the plain strength update s ← s·exp(c·f_d)
+	// instead of the similarity-weighted s ← s·exp(c·f_d·sim) this
+	// implementation defaults to (see DESIGN.md §6), for ablation.
+	UnweightedDecay bool
+	// MaxTerms caps the number of term/weight pairs retained per profile
+	// vector after each update. Paper default: 100.
+	MaxTerms int
+	// MaxVectors, when positive, bounds the number of profile vectors: once
+	// the bound is reached, a relevant document that would have created a
+	// new vector is instead incorporated into its most similar existing
+	// vector regardless of Theta. This is an extension for bounded-memory
+	// deployments; 0 (the default) reproduces the paper exactly.
+	MaxVectors int
+}
+
+// DefaultOptions returns the paper's experimental defaults: θ = 0.15,
+// η = 0.2, c = 0.5, deletion threshold 1.0, 100 terms per vector.
+func DefaultOptions() Options {
+	return Options{
+		Theta:           0.15,
+		Eta:             0.2,
+		DecayC:          0.5,
+		DeleteThreshold: 1.0,
+		InitialStrength: 1.0,
+		MaxTerms:        100,
+	}
+}
+
+// Validate reports whether the options are internally consistent.
+func (o Options) Validate() error {
+	switch {
+	case o.Theta < 0 || o.Theta > 1:
+		return fmt.Errorf("core: Theta %v outside [0,1]", o.Theta)
+	case o.Eta < 0 || o.Eta > 1:
+		return fmt.Errorf("core: Eta %v outside [0,1]", o.Eta)
+	case o.DecayC < 0:
+		return fmt.Errorf("core: DecayC %v negative", o.DecayC)
+	case o.InitialStrength <= 0:
+		return fmt.Errorf("core: InitialStrength %v not positive", o.InitialStrength)
+	case o.MaxTerms <= 0:
+		return fmt.Errorf("core: MaxTerms %v not positive", o.MaxTerms)
+	case o.MaxVectors < 0:
+		return fmt.Errorf("core: MaxVectors %v negative", o.MaxVectors)
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+// ProfileVector is one cluster of the multi-modal profile: a representative
+// vector plus the strength statistic that drives deletion.
+type ProfileVector struct {
+	// Vec is the cluster representative, truncated to Options.MaxTerms and
+	// unit-normalized.
+	Vec vsm.Vector
+	// Strength starts at Options.InitialStrength and is multiplied by
+	// exp(DecayC·f_d) on every incorporation; merging sums strengths.
+	Strength float64
+	// CreatedAt is the feedback step at which the vector was created.
+	CreatedAt int
+	// Incorporations counts documents folded into this vector.
+	Incorporations int
+}
+
+// OpCounts tallies MM's structural operations, for introspection and for
+// the ablation benchmarks.
+type OpCounts struct {
+	Created      int // new profile vectors created
+	Incorporated int // documents folded into an existing vector
+	Merged       int // merge operations performed
+	Deleted      int // vectors removed by strength decay
+	Annihilated  int // vectors removed because negative feedback zeroed them
+	Ignored      int // judgments with no effect (dissimilar non-relevant, …)
+}
+
+// Profile is the MM learner. It implements filter.Learner. A Profile is
+// not safe for concurrent use.
+type Profile struct {
+	opts    Options
+	vectors []*ProfileVector
+	step    int
+	ops     OpCounts
+}
+
+// New constructs an MM profile; it panics if opts fail validation, since
+// option values are compile-time constants in every intended use.
+func New(opts Options) *Profile {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	return &Profile{opts: opts}
+}
+
+// NewDefault constructs an MM profile with the paper's default parameters.
+func NewDefault() *Profile { return New(DefaultOptions()) }
+
+// Name implements filter.Learner.
+func (p *Profile) Name() string {
+	if p.opts.DisableDecay {
+		return "MMND"
+	}
+	return "MM"
+}
+
+// Options returns the profile's configuration.
+func (p *Profile) Options() Options { return p.opts }
+
+// ProfileSize implements filter.Learner: the number of profile vectors,
+// the storage metric of Figure 7.
+func (p *Profile) ProfileSize() int { return len(p.vectors) }
+
+// Counts returns the operation tallies accumulated since construction or
+// the last Reset.
+func (p *Profile) Counts() OpCounts { return p.ops }
+
+// Vectors returns a deep copy of the current profile vectors, strongest
+// first. The copy keeps callers from mutating internal state.
+func (p *Profile) Vectors() []ProfileVector {
+	out := make([]ProfileVector, len(p.vectors))
+	for i, pv := range p.vectors {
+		out[i] = ProfileVector{
+			Vec:            pv.Vec.Clone(),
+			Strength:       pv.Strength,
+			CreatedAt:      pv.CreatedAt,
+			Incorporations: pv.Incorporations,
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Strength > out[j-1].Strength; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ProfileVectors implements filter.VectorSource: the current cluster
+// representatives, unit-normalized, as independent copies.
+func (p *Profile) ProfileVectors() []vsm.Vector {
+	out := make([]vsm.Vector, len(p.vectors))
+	for i, pv := range p.vectors {
+		out[i] = pv.Vec.Clone()
+	}
+	return out
+}
+
+// Reset implements filter.Learner.
+func (p *Profile) Reset() {
+	p.vectors = nil
+	p.step = 0
+	p.ops = OpCounts{}
+}
+
+// Score implements filter.Learner: the relevance of a document to a
+// multi-modal profile is its cosine similarity to the closest profile
+// vector (the Foltz–Dumais convention the paper adopts). An empty profile
+// scores everything 0.
+func (p *Profile) Score(v vsm.Vector) float64 {
+	best := 0.0
+	for _, pv := range p.vectors {
+		if s := vsm.Cosine(pv.Vec, v); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Observe implements filter.Learner; it is the paper's Section 3.2–3.4
+// update procedure.
+func (p *Profile) Observe(v vsm.Vector, fd filter.Feedback) {
+	p.step++
+	if v.IsZero() {
+		p.ops.Ignored++
+		return
+	}
+
+	actIdx := p.closestTo(v, -1)
+	if actIdx < 0 {
+		// Empty profile: only a relevant document may seed it (§3.2).
+		if fd == filter.Relevant {
+			p.create(v)
+		} else {
+			p.ops.Ignored++
+		}
+		return
+	}
+
+	act := p.vectors[actIdx]
+	sim := vsm.Cosine(act.Vec, v)
+	// Incorporation requires sim ≥ θ (so θ = 0 always incorporates and the
+	// profile stays a single vector, and θ = 1 creates a vector per distinct
+	// relevant document — the paper's two extremes in §3.5).
+	if sim < p.opts.Theta {
+		// Outside every similarity circle: relevant documents start a new
+		// cluster, non-relevant ones are ignored (§3.2).
+		if fd != filter.Relevant {
+			p.ops.Ignored++
+			return
+		}
+		if p.opts.MaxVectors > 0 && len(p.vectors) >= p.opts.MaxVectors {
+			// Bounded-memory extension: fold into the nearest vector anyway.
+			p.incorporate(actIdx, v, fd, sim)
+			return
+		}
+		p.create(v)
+		return
+	}
+	p.incorporate(actIdx, v, fd, sim)
+}
+
+// create inserts v as a new profile vector.
+func (p *Profile) create(v vsm.Vector) {
+	p.vectors = append(p.vectors, &ProfileVector{
+		Vec:       v.Truncated(p.opts.MaxTerms).Normalized(),
+		Strength:  p.opts.InitialStrength,
+		CreatedAt: p.step,
+	})
+	p.ops.Created++
+}
+
+// incorporate folds v into the active vector at index actIdx, applies
+// strength decay and the deletion rule, then attempts a single merge
+// (§3.2–3.4). sim is the pre-move cosine between the active vector and v:
+// the strength exponent is similarity-weighted (s ← s·exp(c·f_d·sim)), so
+// a barely-similar judgment barely moves the strength while a judgment
+// close to the cluster's core counts fully — see DESIGN.md for why this
+// instantiation of the paper's "simple exponential decay" was chosen.
+func (p *Profile) incorporate(actIdx int, v vsm.Vector, fd filter.Feedback, sim float64) {
+	act := p.vectors[actIdx]
+	moved := vsm.Combine(act.Vec, 1-p.opts.Eta, v, p.opts.Eta*float64(fd))
+	moved = moved.Truncated(p.opts.MaxTerms).Normalized()
+	p.ops.Incorporated++
+	act.Incorporations++
+
+	if moved.IsZero() {
+		// Negative feedback annihilated the vector entirely.
+		p.remove(actIdx)
+		p.ops.Annihilated++
+		return
+	}
+	act.Vec = moved
+
+	if !p.opts.DisableDecay {
+		exponent := p.opts.DecayC * float64(fd)
+		if !p.opts.UnweightedDecay {
+			exponent *= sim
+		}
+		act.Strength *= math.Exp(exponent)
+		if act.Strength < p.opts.DeleteThreshold {
+			p.remove(actIdx)
+			p.ops.Deleted++
+			return
+		}
+	}
+
+	// Merge check: only pairs containing the (moved) active vector can have
+	// changed distance; at most one merge per feedback step, further merges
+	// happen lazily (§3.3).
+	if p.opts.DisableMerge || len(p.vectors) < 2 {
+		return
+	}
+	cIdx := p.closestTo(act.Vec, actIdx)
+	if cIdx < 0 {
+		return
+	}
+	c := p.vectors[cIdx]
+	if vsm.Cosine(act.Vec, c.Vec) < p.opts.Theta {
+		return
+	}
+	// Mixing ratio is the strength share of the removed vector (§3.3).
+	r := c.Strength / (act.Strength + c.Strength)
+	merged := vsm.Combine(act.Vec, 1-r, c.Vec, r)
+	act.Vec = merged.Truncated(p.opts.MaxTerms).Normalized()
+	act.Strength += c.Strength
+	act.Incorporations += c.Incorporations
+	p.remove(cIdx)
+	p.ops.Merged++
+}
+
+// closestTo returns the index of the profile vector most similar to v,
+// skipping index skip (pass −1 to consider all); −1 when the profile is
+// empty or only contains the skipped vector.
+func (p *Profile) closestTo(v vsm.Vector, skip int) int {
+	best, bestIdx := -1.0, -1
+	for i, pv := range p.vectors {
+		if i == skip {
+			continue
+		}
+		if s := vsm.Cosine(pv.Vec, v); s > best {
+			best, bestIdx = s, i
+		}
+	}
+	return bestIdx
+}
+
+// remove deletes the vector at index i, preserving the order of the rest
+// (determinism matters for reproducible experiments).
+func (p *Profile) remove(i int) {
+	p.vectors = append(p.vectors[:i], p.vectors[i+1:]...)
+}
+
+// String summarizes the profile for logs.
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s{vectors: %d, steps: %d, ops: %+v}", p.Name(), len(p.vectors), p.step, p.ops)
+}
+
+func init() {
+	filter.Register("MM", func() filter.Learner { return NewDefault() })
+	filter.Register("MMND", func() filter.Learner {
+		o := DefaultOptions()
+		o.DisableDecay = true
+		return New(o)
+	})
+}

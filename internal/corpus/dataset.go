@@ -1,0 +1,83 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+// Document is one collection member after vectorization: the unit consumed
+// by learners, the evaluator, and the dissemination engine.
+type Document struct {
+	ID  int
+	Cat Category
+	Vec vsm.Vector
+}
+
+// Dataset is a vectorized collection together with the collection
+// statistics used to weight it.
+type Dataset struct {
+	Docs  []Document
+	Stats *vsm.Stats
+}
+
+// Vectorize runs every page through the Figure-3 pipeline and converts it
+// to a weighted document vector. Following the paper (Section 5.1,
+// footnote 4), collection statistics are computed by a first pass over the
+// whole collection and then used to weight each document with Allan's bel
+// scheme, keeping the 100 highest-weighted terms, length-normalized.
+func (c *Collection) Vectorize(p *text.Pipeline) *Dataset {
+	terms := make([][]string, len(c.Pages))
+	stats := vsm.NewStats()
+	for i, page := range c.Pages {
+		terms[i] = p.Terms(page.HTML)
+		stats.Add(terms[i])
+	}
+	w := vsm.Bel{Stats: stats}
+	ds := &Dataset{Stats: stats, Docs: make([]Document, len(c.Pages))}
+	for i, page := range c.Pages {
+		ds.Docs[i] = Document{ID: page.ID, Cat: page.Cat, Vec: vsm.DocumentVector(terms[i], w)}
+	}
+	return ds
+}
+
+// Split shuffles the dataset with the given seed and partitions it into a
+// training set of nTrain documents and a test set of the remainder, the
+// paper's protocol (500 training / 400 test by default).
+func (d *Dataset) Split(seed int64, nTrain int) (train, test []Document) {
+	docs := append([]Document(nil), d.Docs...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(docs), func(i, j int) { docs[i], docs[j] = docs[j], docs[i] })
+	if nTrain > len(docs) {
+		nTrain = len(docs)
+	}
+	return docs[:nTrain], docs[nTrain:]
+}
+
+// TopCategories returns the list of top-level categories in the dataset's
+// configuration-independent form (derived from the documents themselves).
+func (d *Dataset) TopCategories() []Category {
+	seen := map[int]bool{}
+	var out []Category
+	for _, doc := range d.Docs {
+		if !seen[doc.Cat.Top] {
+			seen[doc.Cat.Top] = true
+			out = append(out, Category{Top: doc.Cat.Top, Sub: -1})
+		}
+	}
+	return out
+}
+
+// SubCategories returns every second-level category present in the dataset.
+func (d *Dataset) SubCategories() []Category {
+	seen := map[Category]bool{}
+	var out []Category
+	for _, doc := range d.Docs {
+		if !seen[doc.Cat] {
+			seen[doc.Cat] = true
+			out = append(out, doc.Cat)
+		}
+	}
+	return out
+}

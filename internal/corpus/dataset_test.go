@@ -1,0 +1,164 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+func vectorizeSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds := Generate(smallConfig()).Vectorize(text.NewPipeline())
+	if len(ds.Docs) == 0 {
+		t.Fatal("empty dataset")
+	}
+	return ds
+}
+
+func TestVectorizeBasics(t *testing.T) {
+	ds := vectorizeSmall(t)
+	for _, d := range ds.Docs {
+		if d.Vec.IsZero() {
+			t.Fatalf("doc %d has zero vector", d.ID)
+		}
+		if d.Vec.Len() > vsm.MaxDocumentTerms {
+			t.Fatalf("doc %d has %d terms", d.ID, d.Vec.Len())
+		}
+		if n := d.Vec.Norm(); n < 0.999 || n > 1.001 {
+			t.Fatalf("doc %d not normalized: %v", d.ID, n)
+		}
+	}
+	if ds.Stats.N() != len(ds.Docs) {
+		t.Errorf("stats N = %d, docs = %d", ds.Stats.N(), len(ds.Docs))
+	}
+}
+
+// TestCategorySeparability is the load-bearing property of the substitution:
+// pages must be more similar within a second-level category than across
+// top-level categories, with siblings in between.
+func TestCategorySeparability(t *testing.T) {
+	ds := vectorizeSmall(t)
+	var sameSub, sameTop, cross float64
+	var nSub, nTop, nCross int
+	for i := 0; i < len(ds.Docs); i++ {
+		for j := i + 1; j < len(ds.Docs); j++ {
+			a, b := ds.Docs[i], ds.Docs[j]
+			sim := vsm.Cosine(a.Vec, b.Vec)
+			switch {
+			case a.Cat == b.Cat:
+				sameSub += sim
+				nSub++
+			case a.Cat.Top == b.Cat.Top:
+				sameTop += sim
+				nTop++
+			default:
+				cross += sim
+				nCross++
+			}
+		}
+	}
+	avgSub := sameSub / float64(nSub)
+	avgTop := sameTop / float64(nTop)
+	avgCross := cross / float64(nCross)
+	t.Logf("avg cosine: same-sub %.3f, same-top %.3f, cross %.3f", avgSub, avgTop, avgCross)
+	if !(avgSub > avgTop && avgTop > avgCross) {
+		t.Errorf("separability violated: sub %.3f, top %.3f, cross %.3f", avgSub, avgTop, avgCross)
+	}
+	if avgSub < avgCross+0.05 {
+		t.Errorf("within-category similarity too close to cross-category: %.3f vs %.3f", avgSub, avgCross)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := vectorizeSmall(t)
+	train, test := ds.Split(42, 30)
+	if len(train) != 30 || len(test) != len(ds.Docs)-30 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, d := range append(append([]Document{}, train...), test...) {
+		if seen[d.ID] {
+			t.Fatalf("doc %d appears twice", d.ID)
+		}
+		seen[d.ID] = true
+	}
+	// Deterministic given the seed.
+	train2, _ := ds.Split(42, 30)
+	for i := range train {
+		if train[i].ID != train2[i].ID {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// Oversized nTrain is clamped.
+	all, none := ds.Split(1, len(ds.Docs)+10)
+	if len(all) != len(ds.Docs) || len(none) != 0 {
+		t.Errorf("clamped split sizes %d/%d", len(all), len(none))
+	}
+}
+
+func TestCategoryEnumeration(t *testing.T) {
+	ds := vectorizeSmall(t)
+	cfg := smallConfig()
+	tops := ds.TopCategories()
+	if len(tops) != cfg.TopCategories {
+		t.Errorf("TopCategories = %d, want %d", len(tops), cfg.TopCategories)
+	}
+	for _, c := range tops {
+		if c.Sub != -1 {
+			t.Errorf("top category %v has Sub set", c)
+		}
+	}
+	subs := ds.SubCategories()
+	if len(subs) != cfg.TopCategories*cfg.SubPerTop {
+		t.Errorf("SubCategories = %d, want %d", len(subs), cfg.TopCategories*cfg.SubPerTop)
+	}
+}
+
+func TestLoadDirectory(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("arts/painting1.html", "<html><body>painting museum gallery exhibition canvas</body></html>")
+	write("arts/painting2.html", "<html><body>museum gallery sculpture exhibition artist</body></html>")
+	write("sports/modern/soccer.txt", "soccer football goal match league players")
+	write("sports/modern/tennis.txt", "tennis racket court match tournament players")
+	write("sports/ignored.bin", "not a document")
+
+	ds, err := LoadDirectory(root, text.NewPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Docs) != 4 {
+		t.Fatalf("loaded %d docs, want 4", len(ds.Docs))
+	}
+	tops := map[int]int{}
+	for _, d := range ds.Docs {
+		tops[d.Cat.Top]++
+		if d.Vec.IsZero() {
+			t.Errorf("doc %d has zero vector", d.ID)
+		}
+	}
+	if tops[0] != 2 || tops[1] != 2 {
+		t.Errorf("category distribution %v", tops)
+	}
+}
+
+func TestLoadDirectoryErrors(t *testing.T) {
+	if _, err := LoadDirectory(filepath.Join(t.TempDir(), "missing"), text.NewPipeline()); err == nil {
+		t.Error("expected error for missing root")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDirectory(empty, text.NewPipeline()); err == nil {
+		t.Error("expected error for empty root")
+	}
+}

@@ -1,0 +1,288 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Category identifies a node of the two-level hierarchy: top-level category
+// C<Top> and, when Sub >= 0, second-level category C<Top><Sub>.
+type Category struct {
+	Top int
+	Sub int
+}
+
+// String renders the paper's Ci / Cij notation.
+func (c Category) String() string {
+	if c.Sub < 0 {
+		return fmt.Sprintf("C%d", c.Top)
+	}
+	return fmt.Sprintf("C%d%d", c.Top, c.Sub)
+}
+
+// TopLevel returns the top-level ancestor of c.
+func (c Category) TopLevel() Category { return Category{Top: c.Top, Sub: -1} }
+
+// ParseCategory parses the paper's Ci / Cij notation ("C3" is top-level
+// category 3; "C37" is second-level category 7 under it). Parsing is
+// case-insensitive.
+func ParseCategory(s string) (Category, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	if len(s) < 2 || len(s) > 3 || s[0] != 'C' {
+		return Category{}, fmt.Errorf("corpus: bad category %q (want C<i> or C<i><j>)", s)
+	}
+	digit := func(b byte) (int, error) {
+		if b < '0' || b > '9' {
+			return 0, fmt.Errorf("corpus: bad category %q (non-digit %q)", s, string(b))
+		}
+		return int(b - '0'), nil
+	}
+	top, err := digit(s[1])
+	if err != nil {
+		return Category{}, err
+	}
+	if len(s) == 2 {
+		return Category{Top: top, Sub: -1}, nil
+	}
+	sub, err := digit(s[2])
+	if err != nil {
+		return Category{}, err
+	}
+	return Category{Top: top, Sub: sub}, nil
+}
+
+// Page is one generated web page with its ground-truth category labels.
+type Page struct {
+	ID   int
+	Cat  Category // second-level category (Sub >= 0)
+	HTML string
+}
+
+// Config parameterizes collection generation. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	TopCategories int // number of top-level categories (paper: 10)
+	SubPerTop     int // second-level categories per top-level one (paper: 10)
+	PagesPerSub   int // pages per second-level category (paper: 9 → 900 total)
+
+	BackgroundVocab int // size of the shared background vocabulary
+	TopVocab        int // size of each top-level category vocabulary
+	SubVocab        int // size of each second-level category vocabulary
+
+	// Mixture proportions for sampling each content word; they need not sum
+	// to one (they are normalized). MixNoise draws from a uniformly random
+	// other category's vocabulary, modelling off-topic material on a page.
+	MixBackground float64
+	MixTop        float64
+	MixSub        float64
+	MixNoise      float64
+
+	// OffTopicProb is the probability that a page carries a concentrated
+	// off-topic block — a fraction of its words drawn from one other,
+	// randomly chosen second-level category (mixed-topic pages, link lists,
+	// ads). OffTopicMaxFrac bounds that fraction; the actual fraction is
+	// uniform in [OffTopicMaxFrac/3, OffTopicMaxFrac]. These blocks are
+	// what makes ranking genuinely hard: diffuse noise only raises the
+	// similarity floor, concentrated blocks create confusable pages.
+	OffTopicProb    float64
+	OffTopicMaxFrac float64
+
+	// TopicJitter perturbs each page's category-signal share: the MixTop
+	// and MixSub proportions are scaled by a per-page factor uniform in
+	// [1−TopicJitter, 1+TopicJitter], so some pages are only weakly about
+	// their topic.
+	TopicJitter float64
+
+	MinWords int // minimum content words per page
+	MaxWords int // maximum content words per page
+
+	ZipfExponent float64 // skew of every vocabulary's rank distribution
+
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the experiments: the
+// paper's 10×10×9 layout with web-page-like vocabulary mixing.
+func DefaultConfig() Config {
+	return Config{
+		TopCategories:   10,
+		SubPerTop:       10,
+		PagesPerSub:     9,
+		BackgroundVocab: 1200,
+		TopVocab:        150,
+		SubVocab:        300,
+		MixBackground:   0.47,
+		MixTop:          0.07,
+		MixSub:          0.28,
+		MixNoise:        0.18,
+		OffTopicProb:    0.5,
+		OffTopicMaxFrac: 0.30,
+		TopicJitter:     0.5,
+		MinWords:        80,
+		MaxWords:        420,
+		ZipfExponent:    0.90,
+		Seed:            1,
+	}
+}
+
+// NumPages returns the total collection size for the configuration.
+func (c Config) NumPages() int { return c.TopCategories * c.SubPerTop * c.PagesPerSub }
+
+// Collection is a generated document collection.
+type Collection struct {
+	Cfg   Config
+	Pages []Page
+}
+
+// vocabulary ids: 0 = background, 1..T = top-level, T+1.. = second-level.
+func (c Config) topVocabID(top int) int      { return 1 + top }
+func (c Config) subVocabID(top, sub int) int { return 1 + c.TopCategories + top*c.SubPerTop + sub }
+
+// Generate builds the full collection deterministically from cfg.Seed.
+// Pages are generated independently (each from a seed derived from the
+// collection seed and the page id), so the collection is reproducible
+// regardless of iteration order.
+func Generate(cfg Config) *Collection {
+	coll := &Collection{Cfg: cfg}
+	background := newVocabulary(0, cfg.BackgroundVocab, cfg.ZipfExponent)
+	topVocabs := make([]*vocabulary, cfg.TopCategories)
+	for i := range topVocabs {
+		topVocabs[i] = newVocabulary(cfg.topVocabID(i), cfg.TopVocab, cfg.ZipfExponent)
+	}
+	subVocabs := make([][]*vocabulary, cfg.TopCategories)
+	for i := range subVocabs {
+		subVocabs[i] = make([]*vocabulary, cfg.SubPerTop)
+		for j := range subVocabs[i] {
+			subVocabs[i][j] = newVocabulary(cfg.subVocabID(i, j), cfg.SubVocab, cfg.ZipfExponent)
+		}
+	}
+
+	id := 0
+	for top := 0; top < cfg.TopCategories; top++ {
+		for sub := 0; sub < cfg.SubPerTop; sub++ {
+			for k := 0; k < cfg.PagesPerSub; k++ {
+				rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(id)))
+				cat := Category{Top: top, Sub: sub}
+				words := cfg.sampleWords(rng, background, topVocabs, subVocabs, cat)
+				coll.Pages = append(coll.Pages, Page{
+					ID:   id,
+					Cat:  cat,
+					HTML: renderHTML(rng, cat, words),
+				})
+				id++
+			}
+		}
+	}
+	return coll
+}
+
+// sampleWords draws the content words of one page from the mixture.
+func (cfg Config) sampleWords(rng *rand.Rand, background *vocabulary,
+	topVocabs []*vocabulary, subVocabs [][]*vocabulary, cat Category) []string {
+
+	n := cfg.MinWords
+	if cfg.MaxWords > cfg.MinWords {
+		n += rng.Intn(cfg.MaxWords - cfg.MinWords)
+	}
+
+	// Per-page jitter: some pages are only weakly about their category.
+	jitter := 1.0
+	if cfg.TopicJitter > 0 {
+		jitter = 1 - cfg.TopicJitter + 2*cfg.TopicJitter*rng.Float64()
+	}
+	mixTop := cfg.MixTop * jitter
+	mixSub := cfg.MixSub * jitter
+
+	// Concentrated off-topic block from one other second-level category.
+	offFrac := 0.0
+	offTop, offSub := 0, 0
+	if cfg.OffTopicProb > 0 && rng.Float64() < cfg.OffTopicProb {
+		offFrac = cfg.OffTopicMaxFrac * (1 + 2*rng.Float64()) / 3
+		offTop = rng.Intn(cfg.TopCategories)
+		offSub = rng.Intn(cfg.SubPerTop)
+	}
+
+	total := cfg.MixBackground + mixTop + mixSub + cfg.MixNoise
+	pBack := cfg.MixBackground / total
+	pTop := pBack + mixTop/total
+	pSub := pTop + mixSub/total
+
+	words := make([]string, 0, n)
+	for w := 0; w < n; w++ {
+		if offFrac > 0 && rng.Float64() < offFrac {
+			words = append(words, subVocabs[offTop][offSub].sample(rng.Float64()))
+			continue
+		}
+		u := rng.Float64()
+		switch {
+		case u < pBack:
+			words = append(words, background.sample(rng.Float64()))
+		case u < pTop:
+			words = append(words, topVocabs[cat.Top].sample(rng.Float64()))
+		case u < pSub:
+			words = append(words, subVocabs[cat.Top][cat.Sub].sample(rng.Float64()))
+		default:
+			// Diffuse noise: a word from a uniformly random second-level
+			// vocabulary anywhere in the hierarchy (possibly this page's own).
+			t := rng.Intn(cfg.TopCategories)
+			s := rng.Intn(cfg.SubPerTop)
+			words = append(words, subVocabs[t][s].sample(rng.Float64()))
+		}
+	}
+	return words
+}
+
+// renderHTML wraps content words in web-page markup: a head that must be
+// stripped, navigation chrome built from stop words, paragraphs, the odd
+// comment and script block — the raw material of the paper's Figure 3.
+func renderHTML(rng *rand.Rand, cat Category, words []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s index</title>", cat)
+	b.WriteString("<style>body { font-family: serif; }</style></head><body>\n")
+	b.WriteString("<!-- generated page -->\n")
+	fmt.Fprintf(&b, "<h1>%s &amp; more</h1>\n", strings.Join(words[:min(4, len(words))], " "))
+	b.WriteString("<p>the home page for this and that, with links to other sites</p>\n")
+	i := min(4, len(words))
+	para := 0
+	for i < len(words) {
+		n := 30 + rng.Intn(50)
+		if i+n > len(words) {
+			n = len(words) - i
+		}
+		if para%4 == 3 {
+			fmt.Fprintf(&b, "<h2>%s</h2>\n", strings.Join(words[i:i+min(3, n)], " "))
+		}
+		fmt.Fprintf(&b, "<p>%s</p>\n", sentenceCase(words[i:i+n]))
+		i += n
+		para++
+	}
+	b.WriteString("<script>var tracker = 1;</script>\n")
+	b.WriteString("<p>copyright 1999, all rights reserved</p>\n</body></html>\n")
+	return b.String()
+}
+
+// sentenceCase joins words with spaces and periodically inserts sentence
+// punctuation, so pages look like prose rather than a word list.
+func sentenceCase(words []string) string {
+	var b strings.Builder
+	for i, w := range words {
+		if i > 0 {
+			if i%12 == 0 {
+				b.WriteString(". ")
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(w)
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+// smallConfig keeps tests fast: 4 top categories × 3 subs × 4 pages.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TopCategories = 4
+	cfg.SubPerTop = 3
+	cfg.PagesPerSub = 4
+	cfg.MinWords = 80
+	cfg.MaxWords = 160
+	return cfg
+}
+
+func TestCategoryString(t *testing.T) {
+	if got := (Category{Top: 3, Sub: -1}).String(); got != "C3" {
+		t.Errorf("top-level String = %q", got)
+	}
+	if got := (Category{Top: 3, Sub: 7}).String(); got != "C37" {
+		t.Errorf("second-level String = %q", got)
+	}
+	if got := (Category{Top: 3, Sub: 7}).TopLevel(); got != (Category{Top: 3, Sub: -1}) {
+		t.Errorf("TopLevel = %v", got)
+	}
+}
+
+func TestParseCategory(t *testing.T) {
+	good := map[string]Category{
+		"C0":   {Top: 0, Sub: -1},
+		"c3":   {Top: 3, Sub: -1},
+		" C9 ": {Top: 9, Sub: -1},
+		"C37":  {Top: 3, Sub: 7},
+		"c05":  {Top: 0, Sub: 5},
+	}
+	for in, want := range good {
+		got, err := ParseCategory(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCategory(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "C", "X3", "C1234", "Cx", "C3y", "37"} {
+		if _, err := ParseCategory(bad); err == nil {
+			t.Errorf("ParseCategory(%q) accepted", bad)
+		}
+	}
+	// Round trip with String.
+	for _, c := range []Category{{Top: 4, Sub: -1}, {Top: 4, Sub: 8}} {
+		got, err := ParseCategory(c.String())
+		if err != nil || got != c {
+			t.Errorf("round trip %v: %v, %v", c, got, err)
+		}
+	}
+}
+
+// TestGenerateDistributions checks the generator's statistical contract:
+// document lengths stay within [MinWords, MaxWords] content words, and
+// topical (non-background) terms make up a substantial share of the
+// pipeline output.
+func TestGenerateDistributions(t *testing.T) {
+	cfg := smallConfig()
+	ds := Generate(cfg).Vectorize(text.NewPipeline())
+	for _, d := range ds.Docs {
+		if d.Vec.IsZero() {
+			t.Fatalf("doc %d empty", d.ID)
+		}
+	}
+	if avg := ds.Stats.AvgLen(); avg < 40 || avg > float64(cfg.MaxWords) {
+		t.Errorf("avg pipeline length %v implausible for %d–%d content words",
+			avg, cfg.MinWords, cfg.MaxWords)
+	}
+	// Vocabulary must be dominated by synthetic stems, not leftovers of
+	// markup (which would indicate the pipeline is leaking chrome).
+	if v := ds.Stats.VocabularySize(); v < 500 {
+		t.Errorf("vocabulary %d suspiciously small", v)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig()
+	coll := Generate(cfg)
+	if len(coll.Pages) != cfg.NumPages() {
+		t.Fatalf("pages = %d, want %d", len(coll.Pages), cfg.NumPages())
+	}
+	counts := map[Category]int{}
+	for i, pg := range coll.Pages {
+		if pg.ID != i {
+			t.Errorf("page %d has ID %d", i, pg.ID)
+		}
+		counts[pg.Cat]++
+		if !strings.Contains(pg.HTML, "<html>") {
+			t.Fatalf("page %d is not HTML", i)
+		}
+	}
+	for cat, n := range counts {
+		if n != cfg.PagesPerSub {
+			t.Errorf("category %v has %d pages, want %d", cat, n, cfg.PagesPerSub)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a.Pages {
+		if a.Pages[i].HTML != b.Pages[i].HTML {
+			t.Fatalf("page %d differs between identically-seeded runs", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c := Generate(cfg2)
+	same := 0
+	for i := range a.Pages {
+		if a.Pages[i].HTML == c.Pages[i].HTML {
+			same++
+		}
+	}
+	if same == len(a.Pages) {
+		t.Error("different seeds produced identical collections")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TopCategories != 10 || cfg.SubPerTop != 10 || cfg.NumPages() != 900 {
+		t.Errorf("default layout %dx%dx%d does not match the paper's 900 pages",
+			cfg.TopCategories, cfg.SubPerTop, cfg.PagesPerSub)
+	}
+}
+
+// TestOffTopicBlocksRaiseConfusion verifies the generator knob that makes
+// ranking hard: with concentrated off-topic blocks enabled, cross-category
+// page pairs become more similar than in a clean collection.
+func TestOffTopicBlocksRaiseConfusion(t *testing.T) {
+	base := smallConfig()
+	base.OffTopicProb = 0
+	noisy := smallConfig()
+	noisy.OffTopicProb = 1
+	noisy.OffTopicMaxFrac = 0.4
+
+	crossSim := func(cfg Config) float64 {
+		ds := Generate(cfg).Vectorize(text.NewPipeline())
+		var sum float64
+		var n int
+		for i := 0; i < len(ds.Docs); i++ {
+			for j := i + 1; j < len(ds.Docs); j++ {
+				if ds.Docs[i].Cat.Top != ds.Docs[j].Cat.Top {
+					sum += vsm.Cosine(ds.Docs[i].Vec, ds.Docs[j].Vec)
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	clean, confused := crossSim(base), crossSim(noisy)
+	if confused <= clean {
+		t.Errorf("off-topic blocks did not raise cross-category similarity: %v vs %v", confused, clean)
+	}
+}
+
+func TestWordForUniqueAcrossVocabularies(t *testing.T) {
+	seen := map[string][2]int{}
+	for vocab := 0; vocab < 120; vocab++ {
+		for k := 0; k < 200; k++ {
+			w := wordFor(vocab, k)
+			if prev, dup := seen[w]; dup {
+				t.Fatalf("word %q generated for both %v and [%d %d]", w, prev, vocab, k)
+			}
+			seen[w] = [2]int{vocab, k}
+		}
+	}
+}
+
+func TestStemCollisionsRare(t *testing.T) {
+	// Distinct synthetic words must map to distinct Porter stems almost
+	// always, or category vocabularies would bleed into each other.
+	stems := map[string]string{}
+	collisions, total := 0, 0
+	for vocab := 0; vocab < 120; vocab++ {
+		for k := 0; k < 120; k++ {
+			w := wordFor(vocab, k)
+			s := text.Stem(w)
+			total++
+			if prev, ok := stems[s]; ok && prev != w {
+				collisions++
+			} else {
+				stems[s] = w
+			}
+		}
+	}
+	if frac := float64(collisions) / float64(total); frac > 0.02 {
+		t.Errorf("stem collision rate %.3f exceeds 2%%", frac)
+	}
+}
+
+func TestVocabularyZipfSkew(t *testing.T) {
+	v := newVocabulary(0, 100, 1.0)
+	// The CDF must be monotone and rank 0 must dominate.
+	if v.cdf[0] <= 1.0/100 {
+		t.Errorf("rank 0 mass %v not Zipf-skewed", v.cdf[0])
+	}
+	for i := 1; i < len(v.cdf); i++ {
+		if v.cdf[i] < v.cdf[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if got := v.cdf[len(v.cdf)-1]; got < 0.999999 {
+		t.Errorf("CDF does not reach 1: %v", got)
+	}
+	// Boundary samples.
+	if v.sample(0) != v.words[0] {
+		t.Error("sample(0) is not the top-ranked word")
+	}
+	if v.sample(0.9999999) != v.words[len(v.words)-1] && v.sample(0.9999999) == "" {
+		t.Error("sample near 1 out of range")
+	}
+}

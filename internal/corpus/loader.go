@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+// LoadDirectory builds a dataset from real documents on disk, so the
+// library can be used beyond the synthetic benchmark. Each immediate
+// sub-directory of root is treated as one top-level category and every
+// .html/.htm/.txt file beneath it as one page of that category (nested
+// sub-directories of a category directory become its second-level
+// categories). Category labels are assigned in lexicographic directory
+// order for determinism.
+func LoadDirectory(root string, p *text.Pipeline) (*Dataset, error) {
+	catDirs, err := sortedSubdirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(catDirs) == 0 {
+		return nil, fmt.Errorf("corpus: no category directories under %s", root)
+	}
+
+	var termLists [][]string
+	var cats []Category
+	stats := vsm.NewStats()
+
+	for top, dir := range catDirs {
+		subDirs, err := sortedSubdirs(filepath.Join(root, dir))
+		if err != nil {
+			return nil, err
+		}
+		// Files directly in the category directory belong to sub-category 0;
+		// each nested directory gets its own sub-category id after that.
+		groups := append([]string{""}, subDirs...)
+		for gi, g := range groups {
+			files, err := docFiles(filepath.Join(root, dir, g))
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range files {
+				raw, err := os.ReadFile(f)
+				if err != nil {
+					return nil, fmt.Errorf("corpus: reading %s: %w", f, err)
+				}
+				terms := p.Terms(string(raw))
+				if len(terms) == 0 {
+					continue
+				}
+				stats.Add(terms)
+				termLists = append(termLists, terms)
+				cats = append(cats, Category{Top: top, Sub: gi})
+			}
+		}
+	}
+	if len(termLists) == 0 {
+		return nil, fmt.Errorf("corpus: no documents found under %s", root)
+	}
+
+	w := vsm.Bel{Stats: stats}
+	ds := &Dataset{Stats: stats, Docs: make([]Document, len(termLists))}
+	for i, terms := range termLists {
+		ds.Docs[i] = Document{ID: i, Cat: cats[i], Vec: vsm.DocumentVector(terms, w)}
+	}
+	return ds, nil
+}
+
+func sortedSubdirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: reading %s: %w", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func docFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("corpus: reading %s: %w", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".html", ".htm", ".txt":
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/sim"
+)
+
+// CurvePoint is one checkpoint of a learning curve: effectiveness of the
+// profile after Seen training documents, measured against the user's
+// interests at that moment.
+type CurvePoint struct {
+	Seen        int
+	NIAP        float64
+	ProfileSize int
+}
+
+// CurveConfig controls learning-curve generation.
+type CurveConfig struct {
+	// Every is the checkpoint interval in documents (default 20).
+	Every int
+	// OnStep, when set, runs before document step (0-based) is presented;
+	// interest-shift scenarios mutate the user here.
+	OnStep func(step int)
+}
+
+// Curve presents the stream one document at a time and, at every
+// checkpoint, scores the test set with the profile as it stands (the
+// profile is "frozen" for the measurement simply by not being given
+// judgments — scoring never mutates it). The learner is reset first.
+// Buffered learners (RG) are deliberately NOT flushed at checkpoints: the
+// paper's Figure 8 discussion relies on RG waiting for a full group.
+func Curve(l filter.Learner, u sim.Oracle, stream, test []corpus.Document, cfg CurveConfig) []CurvePoint {
+	every := cfg.Every
+	if every <= 0 {
+		every = 20
+	}
+	l.Reset()
+	var points []CurvePoint
+	record := func(seen int) {
+		r := Evaluate(l, u, test)
+		points = append(points, CurvePoint{Seen: seen, NIAP: r.NIAP, ProfileSize: r.ProfileSize})
+	}
+	if cfg.OnStep != nil {
+		cfg.OnStep(0)
+	}
+	record(0)
+	for i, d := range stream {
+		if cfg.OnStep != nil && i > 0 {
+			cfg.OnStep(i)
+		}
+		l.Observe(d.Vec, u.Feedback(d))
+		if (i+1)%every == 0 || i == len(stream)-1 {
+			record(i + 1)
+		}
+	}
+	return points
+}
+
+// RecoveryTime summarizes an interest-shift curve the way the paper's
+// Section 5.5 discussion does ("regain the precision that they had at the
+// shift point"): it returns how many documents past the shift the learner
+// needed before its niap climbed back to the level it held at the shift
+// point, scaled by tolerance (e.g. 0.95 = recover 95% of it). It returns
+// −1 when the curve never recovers within its range, and 0 when the shift
+// point precedes the first checkpoint.
+func RecoveryTime(curve []CurvePoint, shiftAt int, tolerance float64) int {
+	atShift := 0.0
+	found := false
+	for _, p := range curve {
+		if p.Seen <= shiftAt {
+			atShift = p.NIAP
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	target := atShift * tolerance
+	for _, p := range curve {
+		if p.Seen <= shiftAt {
+			continue
+		}
+		if p.NIAP >= target {
+			return p.Seen - shiftAt
+		}
+	}
+	return -1
+}
+
+// AverageCurves averages several same-shape curves point-wise (the paper
+// averages at least four randomly seeded runs). It panics on mismatched
+// shapes, which indicate a harness bug.
+func AverageCurves(curves [][]CurvePoint) []CurvePoint {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	out := make([]CurvePoint, n)
+	for _, c := range curves {
+		if len(c) != n {
+			panic("eval: mismatched curve lengths")
+		}
+		for i, p := range c {
+			if c[0].Seen != curves[0][0].Seen || p.Seen != curves[0][i].Seen {
+				panic("eval: mismatched curve checkpoints")
+			}
+			out[i].Seen = p.Seen
+			out[i].NIAP += p.NIAP
+			out[i].ProfileSize += p.ProfileSize
+		}
+	}
+	for i := range out {
+		out[i].NIAP /= float64(len(curves))
+		out[i].ProfileSize = (out[i].ProfileSize + len(curves)/2) / len(curves)
+	}
+	return out
+}

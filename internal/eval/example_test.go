@@ -1,0 +1,30 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"mmprofile/internal/eval"
+)
+
+// ExampleNIAP reproduces the paper's worked example (Section 4.3): three
+// relevant documents ranked at positions 2, 4, and 6 give niap 0.5.
+func ExampleNIAP() {
+	ranked := []bool{false, true, false, true, false, true}
+	fmt.Printf("niap = %.1f\n", eval.NIAP(ranked))
+	// Output:
+	// niap = 0.5
+}
+
+// ExamplePairedTTest shows how the harness decides whether a gap between
+// two learners across seeded runs is real.
+func ExamplePairedTTest() {
+	mm := []float64{0.74, 0.71, 0.76, 0.72, 0.75}
+	ri := []float64{0.55, 0.51, 0.58, 0.54, 0.52}
+	res, err := eval.PairedTTest(mm, ri)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean diff %+.2f, significant at 5%%: %v\n", res.MeanDiff, res.P < 0.05)
+	// Output:
+	// mean diff +0.20, significant at 5%: true
+}

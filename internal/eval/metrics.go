@@ -1,0 +1,104 @@
+// Package eval implements the paper's evaluation methodology (Section 4.3),
+// modelled on the TREC routing track: a learner is trained on a judged
+// stream, its profile frozen, and the frozen profile used to rank the test
+// collection; effectiveness is reported as non-interpolated average
+// precision (niap). The package also produces the learning curves of the
+// Section 5.5 interest-shift experiments.
+package eval
+
+// NIAP computes non-interpolated average precision over a ranked list:
+// relevance flags ordered from the highest-scored document downward.
+// With the i-th relevant document (1-based) at rank r_i (1-based),
+// niap = (1/T)·Σ_i i/r_i where T is the total number of relevant documents
+// in the list. It is 0 when the list contains no relevant document.
+func NIAP(rankedRelevance []bool) float64 {
+	var sum float64
+	found := 0
+	total := 0
+	for rank, rel := range rankedRelevance {
+		if rel {
+			total++
+			found++
+			sum += float64(found) / float64(rank+1)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// PrecisionAtK returns the fraction of the top k ranked documents that are
+// relevant. k is clamped to the list length; k ≤ 0 returns 0.
+func PrecisionAtK(rankedRelevance []bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(rankedRelevance) {
+		k = len(rankedRelevance)
+	}
+	if k == 0 {
+		return 0
+	}
+	rel := 0
+	for _, r := range rankedRelevance[:k] {
+		rel++
+		if !r {
+			rel--
+		}
+	}
+	return float64(rel) / float64(k)
+}
+
+// RankedMetrics is the TREC-style metric bundle for one ranked list.
+type RankedMetrics struct {
+	NIAP        float64
+	PrecisionAt map[int]float64 // at the standard cutoffs 5/10/20/30/100
+	RPrecision  float64         // precision at rank R, R = #relevant
+	Relevant    int
+}
+
+// standardCutoffs are the TREC reporting points.
+var standardCutoffs = []int{5, 10, 20, 30, 100}
+
+// Metrics computes the full bundle over a ranked relevance list.
+func Metrics(rankedRelevance []bool) RankedMetrics {
+	m := RankedMetrics{
+		NIAP:        NIAP(rankedRelevance),
+		PrecisionAt: make(map[int]float64, len(standardCutoffs)),
+	}
+	for _, rel := range rankedRelevance {
+		if rel {
+			m.Relevant++
+		}
+	}
+	for _, k := range standardCutoffs {
+		m.PrecisionAt[k] = PrecisionAtK(rankedRelevance, k)
+	}
+	m.RPrecision = PrecisionAtK(rankedRelevance, m.Relevant)
+	return m
+}
+
+// RecallAtK returns the fraction of all relevant documents found in the top
+// k. It is 0 when the list has no relevant documents.
+func RecallAtK(rankedRelevance []bool, k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(rankedRelevance) {
+		k = len(rankedRelevance)
+	}
+	total, found := 0, 0
+	for i, r := range rankedRelevance {
+		if r {
+			total++
+			if i < k {
+				found++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(found) / float64(total)
+}

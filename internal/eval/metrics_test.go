@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNIAPPaperExample(t *testing.T) {
+	// The paper's worked example (Section 4.3): three relevant documents at
+	// ranks 2, 4, 6 → niap = (1/2 + 2/4 + 3/6)/3 = 0.5.
+	flags := []bool{false, true, false, true, false, true}
+	if got := NIAP(flags); !almostEqual(got, 0.5) {
+		t.Errorf("NIAP = %v, want 0.5", got)
+	}
+}
+
+func TestNIAPPerfectRanking(t *testing.T) {
+	flags := []bool{true, true, true, false, false}
+	if got := NIAP(flags); !almostEqual(got, 1.0) {
+		t.Errorf("perfect ranking NIAP = %v", got)
+	}
+}
+
+func TestNIAPWorstRanking(t *testing.T) {
+	// Relevant documents at the very bottom of a length-6 list.
+	flags := []bool{false, false, false, false, true, true}
+	want := (1.0/5 + 2.0/6) / 2
+	if got := NIAP(flags); !almostEqual(got, want) {
+		t.Errorf("NIAP = %v, want %v", got, want)
+	}
+}
+
+func TestNIAPNoRelevant(t *testing.T) {
+	if got := NIAP([]bool{false, false}); got != 0 {
+		t.Errorf("NIAP with no relevant docs = %v", got)
+	}
+	if got := NIAP(nil); got != 0 {
+		t.Errorf("NIAP(nil) = %v", got)
+	}
+}
+
+func TestNIAPBounds(t *testing.T) {
+	// Property: niap ∈ [0,1], equals 1 iff all relevant docs come first.
+	f := func(pattern []bool) bool {
+		v := NIAP(pattern)
+		if v < 0 || v > 1+1e-12 {
+			return false
+		}
+		sorted := true
+		seenIrrelevant := false
+		any := false
+		for _, r := range pattern {
+			if r {
+				any = true
+				if seenIrrelevant {
+					sorted = false
+				}
+			} else {
+				seenIrrelevant = true
+			}
+		}
+		if any && sorted && !almostEqual(v, 1) {
+			return false
+		}
+		if any && !sorted && v >= 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsBundle(t *testing.T) {
+	// 3 relevant docs at ranks 1, 3, 6 in a list of 10.
+	flags := []bool{true, false, true, false, false, true, false, false, false, false}
+	m := Metrics(flags)
+	if m.Relevant != 3 {
+		t.Errorf("Relevant = %d", m.Relevant)
+	}
+	if !almostEqual(m.NIAP, NIAP(flags)) {
+		t.Errorf("NIAP mismatch")
+	}
+	if !almostEqual(m.PrecisionAt[5], 0.4) {
+		t.Errorf("P@5 = %v", m.PrecisionAt[5])
+	}
+	if !almostEqual(m.PrecisionAt[10], 0.3) {
+		t.Errorf("P@10 = %v", m.PrecisionAt[10])
+	}
+	// R-precision: precision at rank 3 = 2/3.
+	if !almostEqual(m.RPrecision, 2.0/3) {
+		t.Errorf("RPrecision = %v", m.RPrecision)
+	}
+	for _, k := range []int{5, 10, 20, 30, 100} {
+		if _, ok := m.PrecisionAt[k]; !ok {
+			t.Errorf("missing cutoff %d", k)
+		}
+	}
+	empty := Metrics(nil)
+	if empty.Relevant != 0 || empty.NIAP != 0 || empty.RPrecision != 0 {
+		t.Errorf("empty metrics: %+v", empty)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	flags := []bool{true, false, true, true}
+	if got := PrecisionAtK(flags, 2); !almostEqual(got, 0.5) {
+		t.Errorf("P@2 = %v", got)
+	}
+	if got := PrecisionAtK(flags, 4); !almostEqual(got, 0.75) {
+		t.Errorf("P@4 = %v", got)
+	}
+	if got := PrecisionAtK(flags, 10); !almostEqual(got, 0.75) {
+		t.Errorf("P@10 (clamped) = %v", got)
+	}
+	if got := PrecisionAtK(flags, 0); got != 0 {
+		t.Errorf("P@0 = %v", got)
+	}
+	if got := PrecisionAtK(nil, 5); got != 0 {
+		t.Errorf("P@5 on empty list = %v", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	flags := []bool{true, false, true, false, true}
+	if got := RecallAtK(flags, 1); !almostEqual(got, 1.0/3) {
+		t.Errorf("R@1 = %v", got)
+	}
+	if got := RecallAtK(flags, 5); !almostEqual(got, 1.0) {
+		t.Errorf("R@5 = %v", got)
+	}
+	if got := RecallAtK([]bool{false}, 1); got != 0 {
+		t.Errorf("recall with no relevant docs = %v", got)
+	}
+	if got := RecallAtK(flags, -3); got != 0 {
+		t.Errorf("R@-3 = %v", got)
+	}
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"sort"
+
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/sim"
+)
+
+// Flusher is implemented by learners that buffer judgments (group and batch
+// Rocchio); the evaluator flushes them when training completes so that
+// batch mode applies its single update before scoring.
+type Flusher interface {
+	Flush()
+}
+
+// Result is the outcome of evaluating a frozen profile on a test set.
+type Result struct {
+	// NIAP is the paper's headline metric.
+	NIAP float64
+	// PrecisionAt10 / RecallAt10 supplement niap for reporting.
+	PrecisionAt10 float64
+	RecallAt10    float64
+	// ProfileSize is the number of vectors in the learner's profile at
+	// evaluation time, the metric of Figure 7.
+	ProfileSize int
+	// Relevant is the number of test documents relevant to the user.
+	Relevant int
+}
+
+// Train presents the stream to the learner with the user's judgments, the
+// training phase of the paper's protocol.
+func Train(l filter.Learner, u sim.Oracle, stream []corpus.Document) {
+	for _, d := range stream {
+		l.Observe(d.Vec, u.Feedback(d))
+	}
+}
+
+// Rank orders the test documents by the learner's predicted relevance,
+// highest first (ties broken by document id for determinism), and returns
+// the relevance flag of each position.
+func Rank(l filter.Learner, u sim.Oracle, test []corpus.Document) []bool {
+	type scored struct {
+		score float64
+		id    int
+		rel   bool
+	}
+	rows := make([]scored, len(test))
+	for i, d := range test {
+		rows[i] = scored{score: l.Score(d.Vec), id: d.ID, rel: u.Relevant(d.Cat)}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].score != rows[j].score {
+			return rows[i].score > rows[j].score
+		}
+		return rows[i].id < rows[j].id
+	})
+	flags := make([]bool, len(rows))
+	for i, r := range rows {
+		flags[i] = r.rel
+	}
+	return flags
+}
+
+// Evaluate scores and rank-orders the test set with the learner's current
+// (frozen) profile and computes the effectiveness metrics. Scoring does
+// not modify the profile.
+func Evaluate(l filter.Learner, u sim.Oracle, test []corpus.Document) Result {
+	flags := Rank(l, u, test)
+	rel := 0
+	for _, f := range flags {
+		if f {
+			rel++
+		}
+	}
+	return Result{
+		NIAP:          NIAP(flags),
+		PrecisionAt10: PrecisionAtK(flags, 10),
+		RecallAt10:    RecallAtK(flags, 10),
+		ProfileSize:   l.ProfileSize(),
+		Relevant:      rel,
+	}
+}
+
+// Run executes the full protocol: reset, train on the stream, flush any
+// buffered judgments (batch Rocchio's single update), freeze, evaluate.
+func Run(l filter.Learner, u sim.Oracle, stream, test []corpus.Document) Result {
+	l.Reset()
+	Train(l, u, stream)
+	if f, ok := l.(Flusher); ok {
+		f.Flush()
+	}
+	return Evaluate(l, u, test)
+}

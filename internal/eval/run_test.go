@@ -1,0 +1,241 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/rocchio"
+	"mmprofile/internal/sim"
+	"mmprofile/internal/text"
+)
+
+func testDataset(t testing.TB) *corpus.Dataset {
+	t.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.TopCategories = 5
+	cfg.SubPerTop = 3
+	cfg.PagesPerSub = 6
+	cfg.MinWords = 80
+	cfg.MaxWords = 150
+	return corpus.Generate(cfg).Vectorize(text.NewPipeline())
+}
+
+func TestRunProducesUsefulProfile(t *testing.T) {
+	ds := testDataset(t)
+	train, test := ds.Split(7, 60)
+	rng := rand.New(rand.NewSource(7))
+	u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1)...)
+	stream := sim.Stream(rng, train, len(train))
+
+	mm := core.NewDefault()
+	res := Run(mm, u, stream, test)
+	if res.NIAP <= 0.3 {
+		t.Errorf("trained MM niap = %v, expected clearly better than chance", res.NIAP)
+	}
+	if res.ProfileSize == 0 {
+		t.Error("trained profile is empty")
+	}
+	if res.Relevant == 0 {
+		t.Error("test set contains no relevant documents — workload bug")
+	}
+	// A random (untrained) profile must do much worse.
+	empty := Evaluate(core.NewDefault(), u, test)
+	if empty.NIAP >= res.NIAP {
+		t.Errorf("untrained profile (%v) beat trained (%v)", empty.NIAP, res.NIAP)
+	}
+}
+
+func TestRunFlushesBatch(t *testing.T) {
+	ds := testDataset(t)
+	train, test := ds.Split(8, 60)
+	rng := rand.New(rand.NewSource(8))
+	u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1)...)
+	stream := sim.Stream(rng, train, len(train))
+
+	b := rocchio.NewBatch()
+	res := Run(b, u, stream, test)
+	if b.Updates() != 1 {
+		t.Errorf("batch updates = %d, want exactly 1 flush", b.Updates())
+	}
+	if res.ProfileSize != 1 {
+		t.Errorf("batch profile size = %d", res.ProfileSize)
+	}
+	if res.NIAP <= 0.2 {
+		t.Errorf("batch niap = %v, suspiciously low", res.NIAP)
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	ds := testDataset(t)
+	_, test := ds.Split(9, 60)
+	u := sim.NewUser(corpus.Category{Top: 0, Sub: -1})
+	l := core.NewDefault() // empty profile: every score is 0 → all ties
+	a := Rank(l, u, test)
+	b := Rank(l, u, test)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-broken ranking not deterministic")
+		}
+	}
+}
+
+func TestEvaluateDoesNotMutateProfile(t *testing.T) {
+	ds := testDataset(t)
+	train, test := ds.Split(10, 60)
+	rng := rand.New(rand.NewSource(10))
+	u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1)...)
+	mm := core.NewDefault()
+	Train(mm, u, sim.Stream(rng, train, len(train)))
+	before := mm.Counts()
+	r1 := Evaluate(mm, u, test)
+	r2 := Evaluate(mm, u, test)
+	if mm.Counts() != before {
+		t.Error("Evaluate mutated the profile")
+	}
+	if r1.NIAP != r2.NIAP || r1.ProfileSize != r2.ProfileSize {
+		t.Error("repeated evaluation differs")
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	ds := testDataset(t)
+	train, test := ds.Split(11, 60)
+	rng := rand.New(rand.NewSource(11))
+	u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1)...)
+	stream := sim.Stream(rng, train, 50)
+
+	pts := Curve(core.NewDefault(), u, stream, test, CurveConfig{Every: 10})
+	// Checkpoints: 0, 10, 20, 30, 40, 50.
+	if len(pts) != 6 {
+		t.Fatalf("curve has %d points: %+v", len(pts), pts)
+	}
+	if pts[0].Seen != 0 || pts[len(pts)-1].Seen != 50 {
+		t.Errorf("checkpoint boundaries: %+v", pts)
+	}
+	if pts[0].NIAP >= pts[len(pts)-1].NIAP {
+		t.Errorf("no learning visible: %v -> %v", pts[0].NIAP, pts[len(pts)-1].NIAP)
+	}
+}
+
+func TestCurveOnStepShift(t *testing.T) {
+	ds := testDataset(t)
+	train, test := ds.Split(12, 60)
+	rng := rand.New(rand.NewSource(12))
+	shift := sim.PartialShift(rng, ds)
+	u := sim.NewUser()
+	stream := sim.Stream(rng, train, 40)
+	var calls int
+	Curve(core.NewDefault(), u, stream, test, CurveConfig{
+		Every: 10,
+		OnStep: func(step int) {
+			calls++
+			shift.Apply(u, step, 20)
+		},
+	})
+	if calls != len(stream) {
+		t.Errorf("OnStep called %d times, want %d", calls, len(stream))
+	}
+	// After the run the user must hold the post-shift interests.
+	if u.Relevant(corpus.Category{Top: shift.Before[1].Top, Sub: 0}) {
+		t.Error("user interests not shifted")
+	}
+}
+
+func TestCurveRGNotFlushedAtCheckpoints(t *testing.T) {
+	ds := testDataset(t)
+	train, test := ds.Split(13, 60)
+	rng := rand.New(rand.NewSource(13))
+	u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1)...)
+	stream := sim.Stream(rng, train, 25)
+	rg := rocchio.NewRG(10)
+	Curve(rg, u, stream, test, CurveConfig{Every: 5})
+	// 25 docs, group 10 → exactly 2 updates; the 5 pending must remain.
+	if rg.Updates() != 2 {
+		t.Errorf("RG updates = %d, want 2 (checkpoints must not flush)", rg.Updates())
+	}
+	if rg.Pending() != 5 {
+		t.Errorf("RG pending = %d, want 5", rg.Pending())
+	}
+}
+
+func TestRecoveryTime(t *testing.T) {
+	curve := []CurvePoint{
+		{Seen: 0, NIAP: 0.1},
+		{Seen: 100, NIAP: 0.6},
+		{Seen: 200, NIAP: 0.6}, // shift happens at 200
+		{Seen: 300, NIAP: 0.3},
+		{Seen: 400, NIAP: 0.5},
+		{Seen: 500, NIAP: 0.62},
+	}
+	// Full recovery (tolerance 1.0) happens at 500 → 300 docs after shift.
+	if got := RecoveryTime(curve, 200, 1.0); got != 300 {
+		t.Errorf("RecoveryTime(1.0) = %d, want 300", got)
+	}
+	// 80% recovery (target 0.48) happens at 400 → 200 docs.
+	if got := RecoveryTime(curve, 200, 0.8); got != 200 {
+		t.Errorf("RecoveryTime(0.8) = %d, want 200", got)
+	}
+	// Never recovers within range.
+	if got := RecoveryTime(curve[:5], 200, 1.0); got != -1 {
+		t.Errorf("unrecovered = %d, want -1", got)
+	}
+	// Shift before the first checkpoint.
+	if got := RecoveryTime(curve, -10, 1.0); got != 0 {
+		t.Errorf("pre-range shift = %d, want 0", got)
+	}
+}
+
+func TestAverageCurves(t *testing.T) {
+	a := []CurvePoint{{Seen: 0, NIAP: 0.2, ProfileSize: 2}, {Seen: 10, NIAP: 0.4, ProfileSize: 4}}
+	b := []CurvePoint{{Seen: 0, NIAP: 0.4, ProfileSize: 4}, {Seen: 10, NIAP: 0.6, ProfileSize: 5}}
+	avg := AverageCurves([][]CurvePoint{a, b})
+	if len(avg) != 2 {
+		t.Fatalf("avg length %d", len(avg))
+	}
+	if !almostEqual(avg[0].NIAP, 0.3) || !almostEqual(avg[1].NIAP, 0.5) {
+		t.Errorf("avg niap: %+v", avg)
+	}
+	if avg[0].ProfileSize != 3 {
+		t.Errorf("avg size: %+v", avg)
+	}
+	if AverageCurves(nil) != nil {
+		t.Error("AverageCurves(nil) != nil")
+	}
+}
+
+func TestAverageCurvesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AverageCurves([][]CurvePoint{
+		{{Seen: 0}},
+		{{Seen: 0}, {Seen: 10}},
+	})
+}
+
+// TestLearnerComparisonSanity trains every registered learner on the same
+// single-category workload and checks they all beat an untrained profile —
+// an integration smoke test across core, rocchio, sim, and eval.
+func TestLearnerComparisonSanity(t *testing.T) {
+	ds := testDataset(t)
+	train, test := ds.Split(14, 70)
+	rng := rand.New(rand.NewSource(14))
+	u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1)...)
+	stream := sim.Stream(rng, train, len(train))
+
+	for _, name := range filter.Names() {
+		l, err := filter.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(l, u, stream, test)
+		if res.NIAP <= 0.25 {
+			t.Errorf("%s: niap = %.3f, expected real learning", name, res.NIAP)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary statistics and a paired significance test for the seeded-run
+// averages the harness reports (the paper averages "at least four runs";
+// the t-test quantifies when a gap between learners on paired workloads is
+// real rather than seed noise).
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator); 0 for
+// fewer than two values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// TTestResult reports a paired two-sided Student's t-test.
+type TTestResult struct {
+	// MeanDiff is mean(a−b).
+	MeanDiff float64
+	// T is the t statistic; positive when a tends to exceed b.
+	T float64
+	// DF is the degrees of freedom (n−1).
+	DF int
+	// P is the two-sided p-value.
+	P float64
+}
+
+// PairedTTest tests whether paired samples a and b (same length ≥ 2, same
+// workload per index) differ in mean. A zero-variance, zero-difference
+// pairing returns P = 1.
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, fmt.Errorf("eval: paired samples of different length (%d vs %d)", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return TTestResult{}, fmt.Errorf("eval: need at least 2 pairs, got %d", len(a))
+	}
+	diffs := make([]float64, len(a))
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	md := Mean(diffs)
+	sd := StdDev(diffs)
+	n := float64(len(diffs))
+	res := TTestResult{MeanDiff: md, DF: len(diffs) - 1}
+	if sd == 0 {
+		if md == 0 {
+			res.P = 1
+			return res, nil
+		}
+		res.T = math.Inf(sign(md))
+		res.P = 0
+		return res, nil
+	}
+	res.T = md / (sd / math.Sqrt(n))
+	res.P = studentTTwoSided(res.T, float64(res.DF))
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTTwoSided returns the two-sided p-value of a t statistic with df
+// degrees of freedom: P = I_{df/(df+t²)}(df/2, 1/2), the regularized
+// incomplete beta identity.
+func studentTTwoSided(t, df float64) float64 {
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via the standard continued-fraction expansion (Numerical Recipes betacf
+// form), accurate to ~1e-12 over the domain used here.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEqual(got, 2.5) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v", got)
+	}
+	// Known value: sample stddev of {2,4,4,4,5,5,7,9} is 2.138089935...
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.1380899353) > 1e-9 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestPairedTTestKnownValue(t *testing.T) {
+	// Classic worked example: differences {2,4,1,3,5} → mean 3,
+	// sd ≈ 1.5811, t = 3/(1.5811/√5) ≈ 4.2426, df = 4, p ≈ 0.0132.
+	a := []float64{12, 14, 11, 13, 15}
+	b := []float64{10, 10, 10, 10, 10}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T-4.242640687) > 1e-6 {
+		t.Errorf("T = %v", res.T)
+	}
+	if res.DF != 4 {
+		t.Errorf("DF = %d", res.DF)
+	}
+	if math.Abs(res.P-0.01324) > 5e-4 {
+		t.Errorf("P = %v, want ≈ 0.0132", res.P)
+	}
+	if !almostEqual(res.MeanDiff, 3) {
+		t.Errorf("MeanDiff = %v", res.MeanDiff)
+	}
+}
+
+func TestPairedTTestSymmetry(t *testing.T) {
+	a := []float64{0.7, 0.72, 0.69, 0.71}
+	b := []float64{0.6, 0.66, 0.58, 0.65}
+	ab, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ab.T, -ba.T) || !almostEqual(ab.P, ba.P) {
+		t.Errorf("not symmetric: %+v vs %+v", ab, ba)
+	}
+	if ab.T <= 0 {
+		t.Errorf("a > b but T = %v", ab.T)
+	}
+}
+
+func TestPairedTTestDegenerate(t *testing.T) {
+	// Identical samples: no difference, p = 1.
+	res, err := PairedTTest([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("identical samples: %+v", res)
+	}
+	// Constant non-zero difference: infinitely significant.
+	res, err = PairedTTest([]float64{2, 3, 4}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.T, 1) || res.P != 0 {
+		t.Errorf("constant difference: %+v", res)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair accepted")
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	// Boundary values.
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	for _, x := range []float64{0.2, 0.45, 0.8} {
+		l := regIncBeta(2.5, 4, x)
+		r := 1 - regIncBeta(4, 2.5, 1-x)
+		if math.Abs(l-r) > 1e-12 {
+			t.Errorf("symmetry at %v: %v vs %v", x, l, r)
+		}
+	}
+	// Monotone in x.
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.05 {
+		v := regIncBeta(3, 2, x)
+		if v < prev-1e-12 {
+			t.Fatalf("not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestStudentTTwoSidedKnownQuantiles(t *testing.T) {
+	// Standard t-table: with df=10, t=2.228 gives p=0.05; with df=1,
+	// t=12.706 gives p=0.05.
+	if got := studentTTwoSided(2.228, 10); math.Abs(got-0.05) > 1e-3 {
+		t.Errorf("p(2.228, 10) = %v", got)
+	}
+	if got := studentTTwoSided(12.706, 1); math.Abs(got-0.05) > 1e-3 {
+		t.Errorf("p(12.706, 1) = %v", got)
+	}
+	if got := studentTTwoSided(0, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p(0) = %v", got)
+	}
+}

@@ -1,0 +1,58 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+
+	"mmprofile/internal/vsm"
+)
+
+func TestFeedbackString(t *testing.T) {
+	if Relevant.String() != "relevant" || NotRelevant.String() != "not-relevant" {
+		t.Errorf("Feedback strings: %v %v", Relevant, NotRelevant)
+	}
+	if got := Feedback(7).String(); !strings.Contains(got, "7") {
+		t.Errorf("unknown feedback string: %q", got)
+	}
+}
+
+type stub struct{}
+
+func (stub) Name() string                 { return "stub" }
+func (stub) Observe(vsm.Vector, Feedback) {}
+func (stub) Score(vsm.Vector) float64     { return 0 }
+func (stub) ProfileSize() int             { return 0 }
+func (stub) Reset()                       {}
+
+func TestRegistry(t *testing.T) {
+	Register("stub-test", func() Learner { return stub{} })
+	l, err := New("stub-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "stub" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "stub-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() missing stub-test: %v", Names())
+	}
+	if _, err := New("never-registered"); err == nil {
+		t.Error("unknown learner did not error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register("dup-test", func() Learner { return stub{} })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("dup-test", func() Learner { return stub{} })
+}

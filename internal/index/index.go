@@ -1,0 +1,221 @@
+// Package index implements an inverted index over profile vectors, the
+// "well-known indexing technique" the paper appeals to (Section 4.3) for
+// making filtering cost sublinear in the number of profile vectors: instead
+// of comparing an incoming document against every vector of every user, the
+// index walks only the posting lists of the document's terms and
+// accumulates dot products for the vectors that share at least one term.
+//
+// Profile vectors and document vectors are unit-normalized throughout the
+// system, so the accumulated dot product IS the cosine similarity.
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"mmprofile/internal/vsm"
+)
+
+// entryID identifies one indexed profile vector internally.
+type entryID uint64
+
+// vectorKey addresses a profile vector from outside: a user and the
+// vector's slot within that user's profile.
+type vectorKey struct {
+	user string
+	vec  int
+}
+
+type entryInfo struct {
+	key   vectorKey
+	terms []string // for posting removal
+}
+
+// Match is one hit of a document against the index: the user's best-scoring
+// profile vector and its similarity.
+type Match struct {
+	User  string
+	Score float64
+	// Vector is the slot of the user's best-matching profile vector.
+	Vector int
+}
+
+// Index is a concurrent inverted index over profile vectors. Reads
+// (Match/TopK) take a shared lock; updates take an exclusive lock.
+type Index struct {
+	mu       sync.RWMutex
+	nextID   entryID
+	postings map[string]map[entryID]float64
+	entries  map[entryID]entryInfo
+	byKey    map[vectorKey]entryID
+	byUser   map[string]map[int]entryID
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string]map[entryID]float64),
+		entries:  make(map[entryID]entryInfo),
+		byKey:    make(map[vectorKey]entryID),
+		byUser:   make(map[string]map[int]entryID),
+	}
+}
+
+// Upsert installs (or replaces) profile vector slot vec of the given user.
+// A zero vector removes the slot.
+func (ix *Index) Upsert(user string, vec int, v vsm.Vector) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	key := vectorKey{user: user, vec: vec}
+	if id, ok := ix.byKey[key]; ok {
+		ix.dropEntry(id)
+	}
+	if v.IsZero() {
+		return
+	}
+	id := ix.nextID
+	ix.nextID++
+	terms := append([]string(nil), v.Terms...)
+	ix.entries[id] = entryInfo{key: key, terms: terms}
+	ix.byKey[key] = id
+	if ix.byUser[user] == nil {
+		ix.byUser[user] = make(map[int]entryID)
+	}
+	ix.byUser[user][vec] = id
+	for i, t := range v.Terms {
+		m := ix.postings[t]
+		if m == nil {
+			m = make(map[entryID]float64)
+			ix.postings[t] = m
+		}
+		m[id] = v.Weights[i]
+	}
+}
+
+// SetUser replaces every vector of the user with the given set, the common
+// operation after a feedback step reshapes a profile.
+func (ix *Index) SetUser(user string, vecs []vsm.Vector) {
+	ix.mu.Lock()
+	for _, id := range ix.byUser[user] {
+		ix.dropEntry(id)
+	}
+	ix.mu.Unlock()
+	for i, v := range vecs {
+		ix.Upsert(user, i, v)
+	}
+}
+
+// Remove deletes one profile vector slot.
+func (ix *Index) Remove(user string, vec int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id, ok := ix.byKey[vectorKey{user: user, vec: vec}]; ok {
+		ix.dropEntry(id)
+	}
+}
+
+// RemoveUser deletes every vector of the user (unsubscribe).
+func (ix *Index) RemoveUser(user string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, id := range ix.byUser[user] {
+		ix.dropEntry(id)
+	}
+	delete(ix.byUser, user)
+}
+
+// dropEntry removes an entry and its postings. Caller holds the write lock.
+func (ix *Index) dropEntry(id entryID) {
+	info, ok := ix.entries[id]
+	if !ok {
+		return
+	}
+	for _, t := range info.terms {
+		if m := ix.postings[t]; m != nil {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, t)
+			}
+		}
+	}
+	delete(ix.entries, id)
+	delete(ix.byKey, info.key)
+	if u := ix.byUser[info.key.user]; u != nil {
+		delete(u, info.key.vec)
+		if len(u) == 0 {
+			delete(ix.byUser, info.key.user)
+		}
+	}
+}
+
+// Match scores the document against every indexed profile vector that
+// shares a term with it and returns, per user, the best-scoring vector with
+// score ≥ threshold, sorted by descending score (ties by user for
+// determinism). doc must be unit-normalized, as all document vectors in
+// this system are.
+func (ix *Index) Match(doc vsm.Vector, threshold float64) []Match {
+	ix.mu.RLock()
+	acc := make(map[entryID]float64)
+	for i, t := range doc.Terms {
+		dw := doc.Weights[i]
+		for id, w := range ix.postings[t] {
+			acc[id] += w * dw
+		}
+	}
+	best := make(map[string]Match)
+	for id, score := range acc {
+		if score < threshold {
+			continue
+		}
+		info := ix.entries[id]
+		cur, ok := best[info.key.user]
+		if !ok || score > cur.Score {
+			best[info.key.user] = Match{User: info.key.user, Score: score, Vector: info.key.vec}
+		}
+	}
+	ix.mu.RUnlock()
+
+	out := make([]Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// TopK returns the k best matches above the threshold.
+func (ix *Index) TopK(doc vsm.Vector, threshold float64, k int) []Match {
+	all := ix.Match(doc, threshold)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Stats reports index size for monitoring.
+type Stats struct {
+	Users    int
+	Vectors  int
+	Terms    int
+	Postings int
+}
+
+// Size returns current index statistics.
+func (ix *Index) Size() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := Stats{
+		Users:   len(ix.byUser),
+		Vectors: len(ix.entries),
+		Terms:   len(ix.postings),
+	}
+	for _, m := range ix.postings {
+		s.Postings += len(m)
+	}
+	return s
+}

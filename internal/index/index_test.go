@@ -1,0 +1,246 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mmprofile/internal/vsm"
+)
+
+func vec(pairs ...any) vsm.Vector {
+	m := map[string]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return vsm.FromMap(m).Normalized()
+}
+
+func TestMatchBasic(t *testing.T) {
+	ix := New()
+	ix.Upsert("alice", 0, vec("cat", 1.0, "dog", 1.0))
+	ix.Upsert("bob", 0, vec("stock", 1.0, "bond", 1.0))
+
+	doc := vec("cat", 1.0)
+	ms := ix.Match(doc, 0)
+	if len(ms) != 1 || ms[0].User != "alice" {
+		t.Fatalf("Match = %+v", ms)
+	}
+	want := vsm.Cosine(vec("cat", 1.0, "dog", 1.0), doc)
+	if math.Abs(ms[0].Score-want) > 1e-9 {
+		t.Errorf("score = %v, want cosine %v", ms[0].Score, want)
+	}
+}
+
+func TestMatchPicksBestVectorPerUser(t *testing.T) {
+	ix := New()
+	ix.Upsert("alice", 0, vec("cat", 1.0))
+	ix.Upsert("alice", 1, vec("cat", 1.0, "dog", 1.0, "bird", 1.0))
+	doc := vec("cat", 1.0)
+	ms := ix.Match(doc, 0)
+	if len(ms) != 1 {
+		t.Fatalf("expected one match per user, got %+v", ms)
+	}
+	if ms[0].Vector != 0 {
+		t.Errorf("best vector = %d, want 0 (the exact match)", ms[0].Vector)
+	}
+	if math.Abs(ms[0].Score-1) > 1e-9 {
+		t.Errorf("score = %v, want 1", ms[0].Score)
+	}
+}
+
+func TestMatchThreshold(t *testing.T) {
+	ix := New()
+	ix.Upsert("alice", 0, vec("cat", 1.0, "dog", 1.0, "bird", 1.0, "fish", 1.0))
+	doc := vec("cat", 1.0) // cosine = 0.5
+	if got := ix.Match(doc, 0.6); len(got) != 0 {
+		t.Errorf("threshold not applied: %+v", got)
+	}
+	if got := ix.Match(doc, 0.4); len(got) != 1 {
+		t.Errorf("match below threshold lost: %+v", got)
+	}
+}
+
+func TestMatchOrdering(t *testing.T) {
+	ix := New()
+	ix.Upsert("low", 0, vec("cat", 1.0, "a", 1.0, "b", 1.0, "c", 1.0))
+	ix.Upsert("high", 0, vec("cat", 1.0))
+	ms := ix.Match(vec("cat", 1.0), 0)
+	if len(ms) != 2 || ms[0].User != "high" || ms[1].User != "low" {
+		t.Errorf("ordering wrong: %+v", ms)
+	}
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	ix := New()
+	ix.Upsert("alice", 0, vec("cat", 1.0))
+	ix.Upsert("alice", 0, vec("stock", 1.0))
+	if got := ix.Match(vec("cat", 1.0), 0); len(got) != 0 {
+		t.Errorf("stale postings: %+v", got)
+	}
+	if got := ix.Match(vec("stock", 1.0), 0); len(got) != 1 {
+		t.Errorf("replacement missing: %+v", got)
+	}
+	st := ix.Size()
+	if st.Vectors != 1 || st.Users != 1 {
+		t.Errorf("Size = %+v", st)
+	}
+}
+
+func TestUpsertZeroRemoves(t *testing.T) {
+	ix := New()
+	ix.Upsert("alice", 0, vec("cat", 1.0))
+	ix.Upsert("alice", 0, vsm.Vector{})
+	if st := ix.Size(); st.Vectors != 0 || st.Users != 0 || st.Terms != 0 {
+		t.Errorf("Size after zero upsert = %+v", st)
+	}
+}
+
+func TestRemoveAndRemoveUser(t *testing.T) {
+	ix := New()
+	ix.Upsert("alice", 0, vec("cat", 1.0))
+	ix.Upsert("alice", 1, vec("dog", 1.0))
+	ix.Upsert("bob", 0, vec("cat", 1.0))
+
+	ix.Remove("alice", 0)
+	ms := ix.Match(vec("cat", 1.0), 0)
+	if len(ms) != 1 || ms[0].User != "bob" {
+		t.Errorf("Remove left stale match: %+v", ms)
+	}
+	ix.RemoveUser("alice")
+	if got := ix.Match(vec("dog", 1.0), 0); len(got) != 0 {
+		t.Errorf("RemoveUser left matches: %+v", got)
+	}
+	if st := ix.Size(); st.Users != 1 || st.Vectors != 1 {
+		t.Errorf("Size = %+v", st)
+	}
+	// Removing the unknown is a no-op.
+	ix.Remove("nobody", 3)
+	ix.RemoveUser("nobody")
+}
+
+func TestSetUser(t *testing.T) {
+	ix := New()
+	ix.SetUser("alice", []vsm.Vector{vec("cat", 1.0), vec("dog", 1.0)})
+	if st := ix.Size(); st.Vectors != 2 {
+		t.Fatalf("Size = %+v", st)
+	}
+	ix.SetUser("alice", []vsm.Vector{vec("stock", 1.0)})
+	if got := ix.Match(vec("cat", 1.0), 0); len(got) != 0 {
+		t.Errorf("SetUser left stale vectors: %+v", got)
+	}
+	if got := ix.Match(vec("stock", 1.0), 0); len(got) != 1 {
+		t.Errorf("SetUser vectors missing: %+v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ix := New()
+	for i := 0; i < 10; i++ {
+		// Each user shares "cat" plus i distinct filler terms, so scores
+		// strictly decrease with i.
+		pairs := []any{"cat", 1.0}
+		for j := 0; j < i; j++ {
+			pairs = append(pairs, fmt.Sprintf("filler%d_%d", i, j), 1.0)
+		}
+		ix.Upsert(fmt.Sprintf("user%d", i), 0, vec(pairs...))
+	}
+	ms := ix.TopK(vec("cat", 1.0), 0, 3)
+	if len(ms) != 3 {
+		t.Fatalf("TopK returned %d", len(ms))
+	}
+	if ms[0].User != "user0" {
+		t.Errorf("TopK[0] = %+v", ms[0])
+	}
+}
+
+// TestMatchAgainstBruteForce cross-checks the index against direct cosine
+// computation on random data.
+func TestMatchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	terms := make([]string, 30)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("t%02d", i)
+	}
+	randVec := func() vsm.Vector {
+		m := map[string]float64{}
+		for _, tm := range terms {
+			if rng.Float64() < 0.3 {
+				m[tm] = rng.Float64() + 0.01
+			}
+		}
+		return vsm.FromMap(m).Normalized()
+	}
+	ix := New()
+	profiles := map[string][]vsm.Vector{}
+	for u := 0; u < 20; u++ {
+		user := fmt.Sprintf("u%02d", u)
+		n := 1 + rng.Intn(4)
+		for v := 0; v < n; v++ {
+			pv := randVec()
+			profiles[user] = append(profiles[user], pv)
+			ix.Upsert(user, v, pv)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		doc := randVec()
+		if doc.IsZero() {
+			continue
+		}
+		got := ix.Match(doc, 0.25)
+		want := map[string]float64{}
+		for user, vecs := range profiles {
+			best := 0.0
+			for _, pv := range vecs {
+				if s := vsm.Cosine(pv, doc); s > best {
+					best = s
+				}
+			}
+			if best >= 0.25 {
+				want[user] = best
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d matches, want %d", trial, len(got), len(want))
+		}
+		for _, m := range got {
+			if w, ok := want[m.User]; !ok || math.Abs(w-m.Score) > 1e-9 {
+				t.Fatalf("trial %d: user %s score %v, want %v", trial, m.User, m.Score, w)
+			}
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user%d", g)
+			for i := 0; i < 200; i++ {
+				ix.Upsert(user, i%3, vec("cat", 1.0, fmt.Sprintf("t%d", i%7), 0.5))
+				ix.Match(vec("cat", 1.0), 0.1)
+				if i%50 == 0 {
+					ix.Size()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := ix.Size(); st.Users != 8 {
+		t.Errorf("Size after concurrent writes = %+v", st)
+	}
+}
+
+func TestPostingCleanup(t *testing.T) {
+	ix := New()
+	ix.Upsert("a", 0, vec("unique", 1.0))
+	ix.Remove("a", 0)
+	if st := ix.Size(); st.Terms != 0 || st.Postings != 0 {
+		t.Errorf("postings leaked: %+v", st)
+	}
+}

@@ -1,0 +1,97 @@
+package lsi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+const modelCodecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler: the fitted basis (one
+// k-row per vocabulary term), so an LSI space trained once can be deployed
+// without refitting the SVD. Terms are written in sorted order for
+// deterministic output.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	terms := make([]string, 0, len(m.termIdx))
+	for t := range m.termIdx {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	buf := []byte{modelCodecVersion}
+	buf = binary.AppendUvarint(buf, uint64(m.k))
+	buf = binary.AppendUvarint(buf, uint64(len(terms)))
+	for _, t := range terms {
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		buf = append(buf, t...)
+		row := m.basis[m.termIdx[t]]
+		for _, w := range row {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 || data[0] != modelCodecVersion {
+		return fmt.Errorf("lsi: bad model version")
+	}
+	buf := data[1:]
+	readU := func() (uint64, error) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, fmt.Errorf("lsi: truncated model")
+		}
+		buf = buf[n:]
+		return v, nil
+	}
+	k64, err := readU()
+	if err != nil {
+		return err
+	}
+	n64, err := readU()
+	if err != nil {
+		return err
+	}
+	if k64 == 0 || k64 > 1<<16 || n64 > 1<<24 {
+		return fmt.Errorf("lsi: implausible model dimensions k=%d n=%d", k64, n64)
+	}
+	k := int(k64)
+	termIdx := make(map[string]int, n64)
+	basis := make([][]float64, 0, n64)
+	for i := uint64(0); i < n64; i++ {
+		l, err := readU()
+		if err != nil {
+			return err
+		}
+		if uint64(len(buf)) < l+uint64(k)*8 {
+			return fmt.Errorf("lsi: truncated model at term %d", i)
+		}
+		term := string(buf[:l])
+		buf = buf[l:]
+		if _, dup := termIdx[term]; dup {
+			return fmt.Errorf("lsi: duplicate term %q", term)
+		}
+		row := make([]float64, k)
+		for j := 0; j < k; j++ {
+			w := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+			buf = buf[8:]
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("lsi: non-finite basis weight")
+			}
+			row[j] = w
+		}
+		termIdx[term] = len(basis)
+		basis = append(basis, row)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("lsi: %d trailing bytes", len(buf))
+	}
+	m.k = k
+	m.termIdx = termIdx
+	m.basis = basis
+	return nil
+}

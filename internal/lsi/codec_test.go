@@ -1,0 +1,75 @@
+package lsi
+
+import (
+	"math"
+	"testing"
+
+	"mmprofile/internal/vsm"
+)
+
+func TestModelCodecRoundTrip(t *testing.T) {
+	orig, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Model{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rank() != orig.Rank() || restored.Vocabulary() != orig.Vocabulary() {
+		t.Fatalf("dimensions: %d/%d vs %d/%d",
+			restored.Rank(), restored.Vocabulary(), orig.Rank(), orig.Vocabulary())
+	}
+	probes := []vsm.Vector{
+		vec("cat", 1.0, "dog", 0.4),
+		vec("stock", 1.0, "market", 0.6),
+		vec("pet", 1.0, "bond", 1.0),
+	}
+	for i, p := range probes {
+		a, b := orig.Project(p), restored.Project(p)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-15 {
+				t.Fatalf("probe %d dim %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestModelCodecDeterministic(t *testing.T) {
+	m, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.MarshalBinary()
+	b, _ := m.MarshalBinary()
+	if string(a) != string(b) {
+		t.Error("marshal not deterministic")
+	}
+}
+
+func TestModelCodecRejectsCorruption(t *testing.T) {
+	m, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := m.MarshalBinary()
+	fresh := &Model{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("empty blob accepted")
+	}
+	if err := fresh.UnmarshalBinary([]byte{42}); err == nil {
+		t.Error("bad version accepted")
+	}
+	for cut := 1; cut < len(blob); cut += 17 {
+		if err := fresh.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if err := fresh.UnmarshalBinary(append(append([]byte{}, blob...), 1)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package lsi
+
+import (
+	"math"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+// denseCluster is one profile vector in LSI space.
+type denseCluster struct {
+	vec      []float64
+	strength float64
+}
+
+// MM is the Multi-Modal algorithm operating in a fitted LSI space — the
+// generalization the paper sketches in Section 6. The update rules are
+// exactly core.Profile's (incorporate / create / merge / strength-decay
+// delete), on dense unit vectors instead of sparse term vectors. It
+// implements filter.Learner; incoming keyword vectors are folded in via
+// the model.
+type MM struct {
+	model    *Model
+	opts     core.Options
+	clusters []*denseCluster
+}
+
+// NewMM builds an LSI-space MM learner with the given (paper) options;
+// MaxTerms is ignored — dense vectors have fixed dimension k.
+func NewMM(model *Model, opts core.Options) *MM {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	return &MM{model: model, opts: opts}
+}
+
+// Name implements filter.Learner.
+func (m *MM) Name() string {
+	if m.opts.DisableDecay {
+		return "LSI-MMND"
+	}
+	return "LSI-MM"
+}
+
+// ProfileSize implements filter.Learner.
+func (m *MM) ProfileSize() int { return len(m.clusters) }
+
+// Reset implements filter.Learner.
+func (m *MM) Reset() { m.clusters = nil }
+
+// Score implements filter.Learner: max cosine over clusters in LSI space.
+func (m *MM) Score(v vsm.Vector) float64 {
+	return m.ScoreDense(m.model.Project(v))
+}
+
+// ScoreDense scores an already-projected document.
+func (m *MM) ScoreDense(x []float64) float64 {
+	best := 0.0
+	for _, c := range m.clusters {
+		if s := CosineDense(c.vec, x); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Observe implements filter.Learner.
+func (m *MM) Observe(v vsm.Vector, fd filter.Feedback) {
+	m.ObserveDense(m.model.Project(v), fd)
+}
+
+// ObserveDense applies one judgment for an already-projected document.
+func (m *MM) ObserveDense(x []float64, fd filter.Feedback) {
+	if isZero(x) {
+		return
+	}
+	actIdx := -1
+	best := math.Inf(-1)
+	for i, c := range m.clusters {
+		if s := CosineDense(c.vec, x); s > best {
+			best, actIdx = s, i
+		}
+	}
+	if actIdx < 0 {
+		if fd == filter.Relevant {
+			m.create(x)
+		}
+		return
+	}
+	if best < m.opts.Theta {
+		if fd != filter.Relevant {
+			return
+		}
+		if m.opts.MaxVectors > 0 && len(m.clusters) >= m.opts.MaxVectors {
+			m.incorporate(actIdx, x, fd, best)
+			return
+		}
+		m.create(x)
+		return
+	}
+	m.incorporate(actIdx, x, fd, best)
+}
+
+func (m *MM) create(x []float64) {
+	vec := append([]float64(nil), x...)
+	m.clusters = append(m.clusters, &denseCluster{vec: vec, strength: m.opts.InitialStrength})
+}
+
+func (m *MM) incorporate(actIdx int, x []float64, fd filter.Feedback, sim float64) {
+	act := m.clusters[actIdx]
+	eta := m.opts.Eta
+	for i := range act.vec {
+		act.vec[i] = (1-eta)*act.vec[i] + eta*float64(fd)*x[i]
+	}
+	n := math.Sqrt(dot(act.vec, act.vec))
+	if n < 1e-12 {
+		m.remove(actIdx)
+		return
+	}
+	scale(1/n, act.vec)
+
+	if !m.opts.DisableDecay {
+		act.strength *= math.Exp(m.opts.DecayC * float64(fd) * sim)
+		if act.strength < m.opts.DeleteThreshold {
+			m.remove(actIdx)
+			return
+		}
+	}
+
+	if len(m.clusters) < 2 {
+		return
+	}
+	cIdx, best := -1, math.Inf(-1)
+	for i, c := range m.clusters {
+		if i == actIdx {
+			continue
+		}
+		if s := CosineDense(c.vec, act.vec); s > best {
+			best, cIdx = s, i
+		}
+	}
+	if cIdx < 0 || best < m.opts.Theta {
+		return
+	}
+	c := m.clusters[cIdx]
+	r := c.strength / (act.strength + c.strength)
+	for i := range act.vec {
+		act.vec[i] = (1-r)*act.vec[i] + r*c.vec[i]
+	}
+	if n := math.Sqrt(dot(act.vec, act.vec)); n > 1e-12 {
+		scale(1/n, act.vec)
+	}
+	act.strength += c.strength
+	m.remove(cIdx)
+}
+
+func (m *MM) remove(i int) {
+	m.clusters = append(m.clusters[:i], m.clusters[i+1:]...)
+}
+
+// NRN is the Foltz–Dumais learner in its original habitat: every relevant
+// document becomes a profile vector in the LSI space. Implements
+// filter.Learner.
+type NRN struct {
+	model   *Model
+	vectors [][]float64
+}
+
+// NewNRN builds an LSI-space NRN learner.
+func NewNRN(model *Model) *NRN { return &NRN{model: model} }
+
+// Name implements filter.Learner.
+func (n *NRN) Name() string { return "LSI-NRN" }
+
+// Observe implements filter.Learner.
+func (n *NRN) Observe(v vsm.Vector, fd filter.Feedback) {
+	if fd != filter.Relevant {
+		return
+	}
+	x := n.model.Project(v)
+	if isZero(x) {
+		return
+	}
+	n.vectors = append(n.vectors, x)
+}
+
+// Score implements filter.Learner.
+func (n *NRN) Score(v vsm.Vector) float64 {
+	x := n.model.Project(v)
+	best := 0.0
+	for _, p := range n.vectors {
+		if s := CosineDense(p, x); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ProfileSize implements filter.Learner.
+func (n *NRN) ProfileSize() int { return len(n.vectors) }
+
+// Reset implements filter.Learner.
+func (n *NRN) Reset() { n.vectors = nil }

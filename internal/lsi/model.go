@@ -1,0 +1,108 @@
+package lsi
+
+import (
+	"fmt"
+	"math"
+
+	"mmprofile/internal/vsm"
+)
+
+// Model is a fitted LSI space: the rank-k term basis derived from a
+// training collection, used to fold arbitrary keyword vectors into dense
+// k-dimensional vectors.
+type Model struct {
+	k       int
+	termIdx map[string]int
+	// basis[t][j] = U[t][j] / σ[j], so projection is a single sparse-dense
+	// product (folding-in: x = vᵀ·U·Σ⁻¹).
+	basis [][]float64
+}
+
+// Fit derives a rank-k LSI space from the documents' (already weighted,
+// normalized) keyword vectors. Deterministic for a given seed.
+func Fit(docs []vsm.Vector, k int, seed int64) (*Model, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("lsi: no documents")
+	}
+	termIdx := make(map[string]int)
+	for _, d := range docs {
+		for _, t := range d.Terms {
+			if _, ok := termIdx[t]; !ok {
+				termIdx[t] = len(termIdx)
+			}
+		}
+	}
+	a := &sparseMatrix{
+		rows:   len(termIdx),
+		cols:   len(docs),
+		colIdx: make([][]int32, len(docs)),
+		colVal: make([][]float64, len(docs)),
+	}
+	for j, d := range docs {
+		idx := make([]int32, len(d.Terms))
+		for p, t := range d.Terms {
+			idx[p] = int32(termIdx[t])
+		}
+		a.colIdx[j] = idx
+		a.colVal[j] = d.Weights
+	}
+	res, err := truncatedSVD(a, k, 15, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	basis := make([][]float64, a.rows)
+	for t := 0; t < a.rows; t++ {
+		row := make([]float64, k)
+		for j := 0; j < k; j++ {
+			if res.sigma[j] > 1e-12 {
+				row[j] = res.u[j][t] / res.sigma[j]
+			}
+		}
+		basis[t] = row
+	}
+	return &Model{k: k, termIdx: termIdx, basis: basis}, nil
+}
+
+// Rank returns the dimensionality of the space.
+func (m *Model) Rank() int { return m.k }
+
+// Vocabulary returns the number of terms the model knows.
+func (m *Model) Vocabulary() int { return len(m.termIdx) }
+
+// Project folds a keyword vector into the LSI space and normalizes it to
+// unit length (all scoring is cosine). Terms unseen at fit time are
+// ignored; a vector with no known terms projects to the zero vector.
+func (m *Model) Project(v vsm.Vector) []float64 {
+	x := make([]float64, m.k)
+	for i, t := range v.Terms {
+		ti, ok := m.termIdx[t]
+		if !ok {
+			continue
+		}
+		axpy(v.Weights[i], m.basis[ti], x)
+	}
+	n := math.Sqrt(dot(x, x))
+	if n > 0 {
+		scale(1/n, x)
+	}
+	return x
+}
+
+// CosineDense is cosine similarity for (unit or general) dense vectors.
+func CosineDense(a, b []float64) float64 {
+	na, nb := math.Sqrt(dot(a, a)), math.Sqrt(dot(b, b))
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot(a, b) / (na * nb)
+}
+
+func isZero(x []float64) bool {
+	for _, v := range x {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

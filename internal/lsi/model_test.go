@@ -1,0 +1,202 @@
+package lsi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/eval"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/sim"
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+func vec(pairs ...any) vsm.Vector {
+	m := map[string]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return vsm.FromMap(m).Normalized()
+}
+
+// toyDocs builds two topic groups with co-occurring vocabulary: {cat,dog,
+// pet} documents and {stock,bond,market} documents.
+func toyDocs() []vsm.Vector {
+	return []vsm.Vector{
+		vec("cat", 1.0, "dog", 0.8, "pet", 0.6),
+		vec("cat", 0.9, "pet", 0.7),
+		vec("dog", 1.0, "pet", 0.9),
+		vec("stock", 1.0, "bond", 0.8, "market", 0.6),
+		vec("stock", 0.9, "market", 0.7),
+		vec("bond", 1.0, "market", 0.9),
+	}
+}
+
+func TestFitAndProject(t *testing.T) {
+	model, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Rank() != 2 || model.Vocabulary() != 6 {
+		t.Fatalf("rank %d vocab %d", model.Rank(), model.Vocabulary())
+	}
+	// Projections are unit length.
+	x := model.Project(vec("cat", 1.0))
+	if math.Abs(math.Sqrt(dot(x, x))-1) > 1e-9 {
+		t.Errorf("projection not normalized: %v", x)
+	}
+	// Latent semantics: "cat" and "dog" never co-occur with the finance
+	// terms, so their projections must be far more similar to each other
+	// than to "stock".
+	catDog := CosineDense(model.Project(vec("cat", 1.0)), model.Project(vec("dog", 1.0)))
+	catStock := CosineDense(model.Project(vec("cat", 1.0)), model.Project(vec("stock", 1.0)))
+	if catDog < 0.9 {
+		t.Errorf("co-occurring terms not close in LSI space: %v", catDog)
+	}
+	if catStock > 0.5 {
+		t.Errorf("unrelated terms too close in LSI space: %v", catStock)
+	}
+}
+
+func TestProjectUnknownTerms(t *testing.T) {
+	model, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isZero(model.Project(vec("zebra", 1.0))) {
+		t.Error("unknown term projected to non-zero")
+	}
+	if !isZero(model.Project(vsm.Vector{})) {
+		t.Error("empty vector projected to non-zero")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 2, 1); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Fit(toyDocs(), 100, 1); err == nil {
+		t.Error("rank above dimensions accepted")
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	a, err := Fit(toyDocs(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(toyDocs(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := vec("cat", 1.0, "market", 0.5)
+	xa, xb := a.Project(probe), b.Project(probe)
+	for i := range xa {
+		if xa[i] != xb[i] {
+			t.Fatal("same seed, different projection")
+		}
+	}
+}
+
+func TestLSIMMLearnsToyTopics(t *testing.T) {
+	model, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	mm := NewMM(model, opts)
+	mm.Observe(vec("cat", 1.0, "pet", 0.5), filter.Relevant)
+	mm.Observe(vec("stock", 1.0, "bond", 0.5), filter.NotRelevant)
+	pet := mm.Score(vec("dog", 1.0)) // never seen, but same latent topic
+	fin := mm.Score(vec("market", 1.0))
+	if pet <= fin {
+		t.Errorf("LSI-MM did not generalize: pet=%v fin=%v", pet, fin)
+	}
+	if mm.Name() != "LSI-MM" {
+		t.Errorf("Name = %s", mm.Name())
+	}
+	mm.Reset()
+	if mm.ProfileSize() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestLSIMMClusterDynamics(t *testing.T) {
+	model, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Theta = 0.5
+	mm := NewMM(model, opts)
+	mm.Observe(vec("cat", 1.0), filter.Relevant)
+	mm.Observe(vec("stock", 1.0), filter.Relevant)
+	if mm.ProfileSize() != 2 {
+		t.Fatalf("distinct topics did not form two clusters: %d", mm.ProfileSize())
+	}
+	// Sustained negatives on the finance topic must delete its cluster.
+	for i := 0; i < 10 && mm.ProfileSize() > 1; i++ {
+		mm.Observe(vec("stock", 1.0, "bond", 0.8), filter.NotRelevant)
+	}
+	if mm.ProfileSize() != 1 {
+		t.Errorf("decay did not delete the rejected topic: %d clusters", mm.ProfileSize())
+	}
+	if mm.Score(vec("cat", 1.0)) < 0.5 {
+		t.Error("surviving cluster lost its topic")
+	}
+}
+
+func TestLSINRN(t *testing.T) {
+	model, err := Fit(toyDocs(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNRN(model)
+	n.Observe(vec("cat", 1.0), filter.Relevant)
+	n.Observe(vec("stock", 1.0), filter.NotRelevant) // ignored
+	if n.ProfileSize() != 1 {
+		t.Fatalf("size = %d", n.ProfileSize())
+	}
+	if n.Score(vec("dog", 1.0)) <= n.Score(vec("bond", 1.0)) {
+		t.Error("LSI-NRN did not generalize")
+	}
+	n.Reset()
+	if n.ProfileSize() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// TestLSIOnSyntheticCorpus is the integration test: fit the LSI space on
+// the training split of a small synthetic collection and verify that
+// LSI-MM filters effectively (and that the evaluation protocol accepts the
+// learner).
+func TestLSIOnSyntheticCorpus(t *testing.T) {
+	cfg := corpus.DefaultConfig()
+	cfg.TopCategories = 4
+	cfg.SubPerTop = 3
+	cfg.PagesPerSub = 6
+	cfg.MinWords = 80
+	cfg.MaxWords = 150
+	ds := corpus.Generate(cfg).Vectorize(text.NewPipeline())
+	train, test := ds.Split(3, 50)
+
+	trainVecs := make([]vsm.Vector, len(train))
+	for i, d := range train {
+		trainVecs[i] = d.Vec
+	}
+	model, err := Fit(trainVecs, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1)...)
+	stream := sim.Stream(rng, train, len(train))
+	res := eval.Run(NewMM(model, core.DefaultOptions()), u, stream, test)
+	if res.NIAP <= 0.35 {
+		t.Errorf("LSI-MM niap = %.3f, expected real filtering", res.NIAP)
+	}
+}

@@ -1,0 +1,267 @@
+// Package lsi implements Latent Semantic Indexing, the generalization the
+// paper points to in Section 6 (after Foltz & Dumais): documents and
+// profiles live in a reduced k-dimensional space derived from a truncated
+// SVD of the term-document matrix, where similarity captures co-occurrence
+// structure ("latent semantics") rather than exact term overlap.
+//
+// The package contains the numerical substrate — a sparse term-document
+// matrix and a truncated SVD computed by blocked subspace iteration with a
+// Rayleigh–Ritz projection and Jacobi eigendecomposition — plus dense-space
+// ports of the MM and NRN learners and a filter.Learner adapter.
+package lsi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// sparseMatrix is a term(row) × document(column) matrix in compressed
+// column form.
+type sparseMatrix struct {
+	rows   int
+	cols   int
+	colIdx [][]int32
+	colVal [][]float64
+}
+
+// mulVec computes y = A·x where x has len cols and y len rows.
+func (a *sparseMatrix) mulVec(x []float64, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < a.cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		idx := a.colIdx[j]
+		val := a.colVal[j]
+		for p, i := range idx {
+			y[i] += val[p] * xj
+		}
+	}
+}
+
+// mulTVec computes x = Aᵀ·y where y has len rows and x len cols.
+func (a *sparseMatrix) mulTVec(y []float64, x []float64) {
+	for j := 0; j < a.cols; j++ {
+		idx := a.colIdx[j]
+		val := a.colVal[j]
+		var s float64
+		for p, i := range idx {
+			s += val[p] * y[i]
+		}
+		x[j] = s
+	}
+}
+
+// svdResult holds the truncated decomposition A ≈ U·diag(σ)·Vᵀ.
+type svdResult struct {
+	k     int
+	sigma []float64   // descending
+	u     [][]float64 // k columns, each of len rows (terms)
+	v     [][]float64 // k columns, each of len cols (docs)
+}
+
+// truncatedSVD computes the k leading singular triplets of A using
+// subspace iteration on AᵀA: starting from a random n×k block Q, repeat
+// Q ← orth(Aᵀ(A·Q)), then solve the small Rayleigh–Ritz eigenproblem to
+// extract Ritz pairs. iters ≈ 15 is ample for the spectra of text
+// matrices; the seed makes the decomposition deterministic.
+func truncatedSVD(a *sparseMatrix, k, iters int, seed int64) (*svdResult, error) {
+	if k <= 0 || k > a.cols || k > a.rows {
+		return nil, fmt.Errorf("lsi: rank %d out of range for %d×%d matrix", k, a.rows, a.cols)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := a.cols
+
+	// Random start block, orthonormalized.
+	q := make([][]float64, k)
+	for j := range q {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+		q[j] = col
+	}
+	if !orthonormalize(q, rng) {
+		return nil, fmt.Errorf("lsi: could not build an orthonormal start block")
+	}
+
+	tmpM := make([]float64, a.rows)
+	for it := 0; it < iters; it++ {
+		for j := range q {
+			a.mulVec(q[j], tmpM)
+			a.mulTVec(tmpM, q[j])
+		}
+		if !orthonormalize(q, rng) {
+			return nil, fmt.Errorf("lsi: subspace collapsed at iteration %d (rank deficient?)", it)
+		}
+	}
+
+	// Rayleigh–Ritz: T = (AQ)ᵀ(AQ), a k×k symmetric matrix.
+	aq := make([][]float64, k)
+	for j := range q {
+		aq[j] = make([]float64, a.rows)
+		a.mulVec(q[j], aq[j])
+	}
+	t := make([][]float64, k)
+	for i := range t {
+		t[i] = make([]float64, k)
+		for j := 0; j <= i; j++ {
+			s := dot(aq[i], aq[j])
+			t[i][j] = s
+			t[j][i] = s
+		}
+	}
+	eigVals, eigVecs := jacobiEigen(t)
+
+	// Sort descending by eigenvalue (= σ²).
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if eigVals[order[j]] > eigVals[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+
+	res := &svdResult{k: k, sigma: make([]float64, k)}
+	res.v = make([][]float64, k)
+	res.u = make([][]float64, k)
+	for r, oi := range order {
+		lam := eigVals[oi]
+		if lam < 0 {
+			lam = 0
+		}
+		res.sigma[r] = math.Sqrt(lam)
+		// v_r = Q · w_oi
+		vcol := make([]float64, n)
+		for i := 0; i < k; i++ {
+			w := eigVecs[i][oi]
+			if w == 0 {
+				continue
+			}
+			axpy(w, q[i], vcol)
+		}
+		res.v[r] = vcol
+		// u_r = A·v_r / σ_r
+		ucol := make([]float64, a.rows)
+		a.mulVec(vcol, ucol)
+		if res.sigma[r] > 1e-12 {
+			scale(1/res.sigma[r], ucol)
+		}
+		res.u[r] = ucol
+	}
+	return res, nil
+}
+
+// orthonormalize runs modified Gram–Schmidt over the columns in place,
+// re-randomizing (rare) numerically-collapsed columns. Returns false if it
+// cannot produce a full-rank block.
+func orthonormalize(cols [][]float64, rng *rand.Rand) bool {
+	for j := range cols {
+		for attempt := 0; ; attempt++ {
+			for i := 0; i < j; i++ {
+				axpy(-dot(cols[i], cols[j]), cols[i], cols[j])
+			}
+			n := math.Sqrt(dot(cols[j], cols[j]))
+			if n > 1e-12 {
+				scale(1/n, cols[j])
+				break
+			}
+			if attempt >= 3 {
+				return false
+			}
+			for i := range cols[j] {
+				cols[j][i] = rng.NormFloat64()
+			}
+		}
+	}
+	return true
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with the cyclic Jacobi
+// method, returning eigenvalues and the matrix of eigenvectors (columns).
+// The input is consumed.
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	n := len(a)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 64; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(a, v, p, q, c, s)
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = a[i][i]
+	}
+	return vals, v
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to a (two-sided) and v
+// (one-sided).
+func rotate(a, v [][]float64, p, q int, c, s float64) {
+	n := len(a)
+	for i := 0; i < n; i++ {
+		aip, aiq := a[i][p], a[i][q]
+		a[i][p] = c*aip - s*aiq
+		a[i][q] = s*aip + c*aiq
+	}
+	for j := 0; j < n; j++ {
+		apj, aqj := a[p][j], a[q][j]
+		a[p][j] = c*apj - s*aqj
+		a[q][j] = s*apj + c*aqj
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = c*vip - s*viq
+		v[i][q] = s*vip + c*viq
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+func scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}

@@ -1,0 +1,165 @@
+package lsi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseToSparse builds the package's sparse form from a dense row-major
+// matrix.
+func denseToSparse(rows, cols int, m []float64) *sparseMatrix {
+	a := &sparseMatrix{rows: rows, cols: cols,
+		colIdx: make([][]int32, cols), colVal: make([][]float64, cols)}
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			if v := m[i*cols+j]; v != 0 {
+				a.colIdx[j] = append(a.colIdx[j], int32(i))
+				a.colVal[j] = append(a.colVal[j], v)
+			}
+		}
+	}
+	return a
+}
+
+func TestMulVec(t *testing.T) {
+	// A = [1 2; 3 4; 5 6]
+	a := denseToSparse(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 3)
+	a.mulVec([]float64{1, 1}, y)
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("mulVec = %v", y)
+		}
+	}
+	x := make([]float64, 2)
+	a.mulTVec([]float64{1, 0, 1}, x)
+	if math.Abs(x[0]-6) > 1e-12 || math.Abs(x[1]-8) > 1e-12 {
+		t.Fatalf("mulTVec = %v", x)
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// Symmetric [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs := jacobiEigen(a)
+	got := []float64{vals[0], vals[1]}
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Eigenvector columns are orthonormal.
+	for i := 0; i < 2; i++ {
+		var n float64
+		for r := 0; r < 2; r++ {
+			n += vecs[r][i] * vecs[r][i]
+		}
+		if math.Abs(n-1) > 1e-9 {
+			t.Errorf("eigenvector %d not unit: %v", i, n)
+		}
+	}
+}
+
+func TestTruncatedSVDKnownSingularValues(t *testing.T) {
+	// A diagonal-ish matrix with known singular values 5, 3, 1.
+	a := denseToSparse(4, 3, []float64{
+		5, 0, 0,
+		0, 3, 0,
+		0, 0, 1,
+		0, 0, 0,
+	})
+	res, err := truncatedSVD(a, 3, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if math.Abs(res.sigma[i]-want[i]) > 1e-6 {
+			t.Errorf("σ%d = %v, want %v", i, res.sigma[i], want[i])
+		}
+	}
+}
+
+func TestTruncatedSVDReconstruction(t *testing.T) {
+	// Full-rank truncation must reconstruct A: A = U Σ Vᵀ.
+	rng := rand.New(rand.NewSource(2))
+	rows, cols := 12, 8
+	dense := make([]float64, rows*cols)
+	for i := range dense {
+		if rng.Float64() < 0.5 {
+			dense[i] = rng.NormFloat64()
+		}
+	}
+	a := denseToSparse(rows, cols, dense)
+	res, err := truncatedSVD(a, cols, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			var rec float64
+			for r := 0; r < res.k; r++ {
+				rec += res.u[r][i] * res.sigma[r] * res.v[r][j]
+			}
+			if e := math.Abs(rec - dense[i*cols+j]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Errorf("reconstruction error %v", maxErr)
+	}
+	// Singular vectors orthonormal.
+	for i := 0; i < res.k; i++ {
+		for j := i; j < res.k; j++ {
+			got := dot(res.v[i], res.v[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("vᵢ·vⱼ(%d,%d) = %v", i, j, got)
+			}
+		}
+	}
+}
+
+func TestTruncatedSVDBestLowRank(t *testing.T) {
+	// The rank-1 truncation of a matrix dominated by one direction must
+	// capture most of its Frobenius norm.
+	rng := rand.New(rand.NewSource(4))
+	rows, cols := 20, 10
+	base := make([]float64, rows)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	dense := make([]float64, rows*cols)
+	for j := 0; j < cols; j++ {
+		c := 1 + rng.Float64()
+		for i := 0; i < rows; i++ {
+			dense[i*cols+j] = c*base[i] + 0.05*rng.NormFloat64()
+		}
+	}
+	a := denseToSparse(rows, cols, dense)
+	res, err := truncatedSVD(a, 2, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.sigma[0] < 10*res.sigma[1] {
+		t.Errorf("dominant direction not found: σ = %v", res.sigma[:2])
+	}
+}
+
+func TestTruncatedSVDErrors(t *testing.T) {
+	a := denseToSparse(3, 2, []float64{1, 0, 0, 1, 0, 0})
+	if _, err := truncatedSVD(a, 0, 10, 1); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := truncatedSVD(a, 5, 10, 1); err == nil {
+		t.Error("rank > min(m,n) accepted")
+	}
+}

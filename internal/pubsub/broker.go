@@ -1,0 +1,526 @@
+// Package pubsub implements the push-based data-delivery engine the paper's
+// profiles exist to serve (Section 1): a broker that accepts published web
+// pages, matches each one against every subscriber's profile through an
+// inverted profile index, delivers matches, and feeds subscriber relevance
+// judgments back into the profiles — which adapt online via the MM
+// algorithm (or any other filter.Learner).
+//
+// Collection statistics (document frequencies, average length) accumulate
+// incrementally as documents are published, exactly as the paper's footnote
+// 4 prescribes for a real filtering deployment.
+//
+// Concurrency: the broker uses fine-grained locking — collection
+// statistics, the document retention ring, the subscriber table, and each
+// subscriber's learner are guarded independently, and the inverted index
+// has its own read/write lock — so publishes from many goroutines proceed
+// in parallel. Document ids are assigned in a total order, but deliveries
+// to one subscriber from concurrent publishers may arrive slightly out of
+// id order.
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/index"
+	"mmprofile/internal/text"
+	"mmprofile/internal/vsm"
+)
+
+// Journal receives the broker's profile-mutating operations for durable
+// logging; *store.Store implements it. Subscribe and Feedback surface
+// journal failures to the caller (the mutation is not applied in memory
+// when journaling fails); Unsubscribe journaling is best-effort.
+type Journal interface {
+	AppendSubscribe(user, learner string, state []byte) error
+	AppendUnsubscribe(user string) error
+	AppendFeedback(user string, v vsm.Vector, fd filter.Feedback) error
+}
+
+// Options configures a Broker. The zero value gets sensible defaults from
+// New.
+type Options struct {
+	// Threshold is the minimum profile/document similarity for delivery.
+	Threshold float64
+	// QueueSize is each subscriber's delivery buffer; when it overflows the
+	// oldest undelivered item is dropped (and counted).
+	QueueSize int
+	// Retention is how many recent published documents are kept for
+	// feedback resolution — the paper notes document vectors are "typically
+	// only retained for a short duration" (Section 4.3).
+	Retention int
+	// Journal, when set, receives every subscribe/unsubscribe/feedback for
+	// durable logging.
+	Journal Journal
+	// RetainContent keeps each published page's raw content alongside its
+	// vector for the retention window, so subscribers can fetch what they
+	// were sent (DocumentContent / the wire "fetch" op). Off by default:
+	// raw pages dominate memory at scale.
+	RetainContent bool
+}
+
+// DefaultOptions returns the broker defaults: threshold 0.25, queues of
+// 128, retention of 4096 documents.
+func DefaultOptions() Options {
+	return Options{Threshold: 0.25, QueueSize: 128, Retention: 4096}
+}
+
+// Delivery is one pushed document: its id and the match score.
+type Delivery struct {
+	Doc   int64
+	Score float64
+}
+
+// Counters aggregates broker activity for monitoring.
+type Counters struct {
+	Published   int64
+	Deliveries  int64
+	Dropped     int64
+	Feedbacks   int64
+	Subscribers int
+}
+
+type docRecord struct {
+	id      int64
+	vec     vsm.Vector
+	content string // only when Options.RetainContent
+}
+
+type subscriber struct {
+	id string
+
+	mu      sync.Mutex // guards learner and closed
+	learner filter.Learner
+	closed  bool
+
+	indexed bool // learner implements filter.VectorSource
+	queue   chan Delivery
+}
+
+// Broker is the dissemination engine. All methods are safe for concurrent
+// use.
+type Broker struct {
+	opts Options
+	pipe *text.Pipeline
+	idx  *index.Index
+
+	statsMu sync.Mutex
+	stats   *vsm.Stats
+
+	docsMu  sync.Mutex
+	docs    map[int64]docRecord
+	docRing []int64
+	ringPos int
+	nextDoc int64
+
+	subsMu sync.RWMutex
+	subs   map[string]*subscriber
+
+	published  atomic.Int64
+	deliveries atomic.Int64
+	dropped    atomic.Int64
+	feedbacks  atomic.Int64
+}
+
+// New creates a broker; zero fields of opts take defaults.
+func New(opts Options) *Broker {
+	def := DefaultOptions()
+	if opts.Threshold == 0 {
+		opts.Threshold = def.Threshold
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = def.QueueSize
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = def.Retention
+	}
+	return &Broker{
+		opts:    opts,
+		pipe:    text.NewPipeline(),
+		stats:   vsm.NewStats(),
+		idx:     index.New(),
+		subs:    make(map[string]*subscriber),
+		docs:    make(map[int64]docRecord),
+		docRing: make([]int64, opts.Retention),
+	}
+}
+
+// Subscription is a subscriber's handle: a delivery stream plus feedback
+// and introspection methods.
+type Subscription struct {
+	b   *Broker
+	sub *subscriber
+}
+
+// Subscribe registers a learner-backed profile under the given id. The
+// learner is owned by the broker from here on: all further access must go
+// through the subscription (the broker serializes updates per subscriber).
+// When a journal is configured, the subscription (with the learner's
+// initial state, if serializable) is logged before being applied.
+func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
+	_, indexed := l.(filter.VectorSource)
+	s := &subscriber{
+		id:      id,
+		learner: l,
+		indexed: indexed,
+		queue:   make(chan Delivery, b.opts.QueueSize),
+	}
+	// The duplicate check, the journal record, and the insertion must be
+	// one atomic step: journaling a subscribe that then fails as a
+	// duplicate would clobber the existing user's profile on replay.
+	b.subsMu.Lock()
+	if _, dup := b.subs[id]; dup {
+		b.subsMu.Unlock()
+		return nil, fmt.Errorf("pubsub: duplicate subscriber %q", id)
+	}
+	if b.opts.Journal != nil {
+		var state []byte
+		if m, ok := l.(interface{ MarshalBinary() ([]byte, error) }); ok {
+			var err error
+			if state, err = m.MarshalBinary(); err != nil {
+				b.subsMu.Unlock()
+				return nil, fmt.Errorf("pubsub: snapshot %q: %w", id, err)
+			}
+		}
+		if err := b.opts.Journal.AppendSubscribe(id, l.Name(), state); err != nil {
+			b.subsMu.Unlock()
+			return nil, fmt.Errorf("pubsub: journal: %w", err)
+		}
+	}
+	b.subs[id] = s
+	b.subsMu.Unlock()
+	b.reindex(s)
+	return &Subscription{b: b, sub: s}, nil
+}
+
+// SubscribeKeywords registers a fresh MM profile seeded from an explicit
+// keyword list — the SIFT-style bootstrap of Section 6. The seed vector
+// carries uniform weights over the stemmed keywords; feedback then adapts
+// the profile automatically.
+func (b *Broker) SubscribeKeywords(id string, keywords []string) (*Subscription, error) {
+	l := core.NewDefault()
+	m := make(map[string]float64, len(keywords))
+	for _, k := range keywords {
+		for _, tok := range text.Tokenize(k) {
+			if text.IsWord(tok) && !text.IsStopWord(tok) {
+				m[text.Stem(tok)] = 1
+			}
+		}
+	}
+	if seed := vsm.FromMap(m).Normalized(); !seed.IsZero() {
+		l.Observe(seed, filter.Relevant)
+	}
+	return b.Subscribe(id, l)
+}
+
+// Unsubscribe removes a subscriber and closes its delivery channel.
+func (b *Broker) Unsubscribe(id string) {
+	b.subsMu.Lock()
+	s, ok := b.subs[id]
+	if ok {
+		delete(b.subs, id)
+	}
+	b.subsMu.Unlock()
+	if !ok {
+		return
+	}
+	if b.opts.Journal != nil {
+		// Best-effort: an unlogged unsubscribe only means the user would be
+		// restored after a crash, never data loss.
+		_ = b.opts.Journal.AppendUnsubscribe(id)
+	}
+	b.idx.RemoveUser(id)
+	s.mu.Lock()
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+}
+
+// Publish ingests one raw page: it is run through the processing pipeline,
+// added to the incremental collection statistics, vectorized with the
+// statistics as they stand, matched against all profiles, and delivered to
+// every subscriber whose best profile vector clears the threshold. It
+// returns the assigned document id and the number of deliveries.
+func (b *Broker) Publish(page string) (int64, int) {
+	terms := b.pipe.Terms(page)
+	b.statsMu.Lock()
+	b.stats.Add(terms)
+	vec := vsm.DocumentVector(terms, vsm.Bel{Stats: b.stats})
+	b.statsMu.Unlock()
+	content := ""
+	if b.opts.RetainContent {
+		content = page
+	}
+	return b.publishRecord(vec, content)
+}
+
+// PublishVector ingests a pre-vectorized document (it must be unit-
+// normalized); used when documents arrive already processed, and by the
+// benchmarks.
+func (b *Broker) PublishVector(vec vsm.Vector) (int64, int) {
+	return b.publishRecord(vec, "")
+}
+
+func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
+	// Retain the vector for feedback resolution, evicting the oldest.
+	b.docsMu.Lock()
+	id := b.nextDoc
+	b.nextDoc++
+	if old := b.docRing[b.ringPos]; old != 0 {
+		delete(b.docs, old)
+	}
+	b.docRing[b.ringPos] = id + 1 // +1 so the zero value means "empty slot"
+	b.ringPos = (b.ringPos + 1) % len(b.docRing)
+	b.docs[id+1] = docRecord{id: id, vec: vec, content: content}
+	b.docsMu.Unlock()
+	b.published.Add(1)
+
+	if vec.IsZero() {
+		return id, 0
+	}
+
+	matched := make(map[string]float64)
+	for _, m := range b.idx.Match(vec, b.opts.Threshold) {
+		matched[m.User] = m.Score
+	}
+
+	delivered := 0
+	b.subsMu.RLock()
+	targets := make([]*subscriber, 0, len(matched))
+	scores := make([]float64, 0, len(matched))
+	for _, s := range b.subs {
+		score, ok := matched[s.id]
+		if !ok && !s.indexed {
+			// Brute-force path for learners without indexable vectors.
+			s.mu.Lock()
+			sc := s.learner.Score(vec)
+			s.mu.Unlock()
+			if sc >= b.opts.Threshold {
+				score, ok = sc, true
+			}
+		}
+		if ok {
+			targets = append(targets, s)
+			scores = append(scores, score)
+		}
+	}
+	b.subsMu.RUnlock()
+
+	for i, s := range targets {
+		if b.deliver(s, Delivery{Doc: id, Score: scores[i]}) {
+			delivered++
+		}
+	}
+	return id, delivered
+}
+
+// deliver enqueues without blocking, dropping the oldest undelivered item
+// when the queue is full. It reports whether the delivery was enqueued
+// (false only when the subscriber is gone).
+func (b *Broker) deliver(s *subscriber, d Delivery) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	for {
+		select {
+		case s.queue <- d:
+			b.deliveries.Add(1)
+			return true
+		default:
+			select {
+			case <-s.queue:
+				b.dropped.Add(1)
+			default:
+			}
+		}
+	}
+}
+
+// Feedback applies a subscriber's relevance judgment for a delivered (or
+// at least still-retained) document and refreshes the subscriber's index
+// entries, since the judgment may have reshaped the profile.
+func (b *Broker) Feedback(user string, doc int64, fd filter.Feedback) error {
+	b.subsMu.RLock()
+	s, ok := b.subs[user]
+	b.subsMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("pubsub: unknown subscriber %q", user)
+	}
+	b.docsMu.Lock()
+	rec, ok := b.docs[doc+1]
+	b.docsMu.Unlock()
+	if !ok {
+		return fmt.Errorf("pubsub: document %d not retained (retention %d)", doc, b.opts.Retention)
+	}
+	if b.opts.Journal != nil {
+		if err := b.opts.Journal.AppendFeedback(user, rec.vec, fd); err != nil {
+			return fmt.Errorf("pubsub: journal: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.learner.Observe(rec.vec, fd)
+	var vecs []vsm.Vector
+	if s.indexed {
+		vecs = s.learner.(filter.VectorSource).ProfileVectors()
+	}
+	s.mu.Unlock()
+	b.feedbacks.Add(1)
+	if s.indexed {
+		b.idx.SetUser(s.id, vecs)
+	}
+	return nil
+}
+
+// reindex refreshes a subscriber's inverted-index entries.
+func (b *Broker) reindex(s *subscriber) {
+	if !s.indexed {
+		return
+	}
+	s.mu.Lock()
+	vecs := s.learner.(filter.VectorSource).ProfileVectors()
+	s.mu.Unlock()
+	b.idx.SetUser(s.id, vecs)
+}
+
+// ProfileSnapshot is one subscriber's serialized profile, for
+// checkpointing through the persistence layer.
+type ProfileSnapshot struct {
+	User    string
+	Learner string
+	Data    []byte
+}
+
+// ExportProfiles serializes every subscriber's learner for a checkpoint.
+// It fails if any learner does not support serialization — checkpoints
+// must be complete or not taken at all.
+func (b *Broker) ExportProfiles() ([]ProfileSnapshot, error) {
+	b.subsMu.RLock()
+	subs := make([]*subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subsMu.RUnlock()
+
+	out := make([]ProfileSnapshot, 0, len(subs))
+	for _, s := range subs {
+		s.mu.Lock()
+		m, ok := s.learner.(interface{ MarshalBinary() ([]byte, error) })
+		if !ok {
+			name := s.learner.Name()
+			s.mu.Unlock()
+			return nil, fmt.Errorf("pubsub: subscriber %q learner %q is not serializable", s.id, name)
+		}
+		blob, err := m.MarshalBinary()
+		s.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("pubsub: snapshot %q: %w", s.id, err)
+		}
+		out = append(out, ProfileSnapshot{User: s.id, Learner: s.learner.Name(), Data: blob})
+	}
+	return out, nil
+}
+
+// ExportProfile serializes one subscriber's learner (profile portability:
+// download a profile from one broker, import it into another).
+func (b *Broker) ExportProfile(user string) (ProfileSnapshot, error) {
+	b.subsMu.RLock()
+	s, ok := b.subs[user]
+	b.subsMu.RUnlock()
+	if !ok {
+		return ProfileSnapshot{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.learner.(interface{ MarshalBinary() ([]byte, error) })
+	if !ok {
+		return ProfileSnapshot{}, fmt.Errorf("pubsub: learner %q is not serializable", s.learner.Name())
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		return ProfileSnapshot{}, fmt.Errorf("pubsub: export %q: %w", user, err)
+	}
+	return ProfileSnapshot{User: user, Learner: s.learner.Name(), Data: blob}, nil
+}
+
+// DocumentVector returns the retained vector of a published document, for
+// subscribers that want to inspect what they were sent.
+func (b *Broker) DocumentVector(doc int64) (vsm.Vector, bool) {
+	b.docsMu.Lock()
+	rec, ok := b.docs[doc+1]
+	b.docsMu.Unlock()
+	if !ok {
+		return vsm.Vector{}, false
+	}
+	return rec.vec.Clone(), true
+}
+
+// DocumentContent returns the retained raw page of a published document;
+// it requires Options.RetainContent and a document still in the retention
+// window.
+func (b *Broker) DocumentContent(doc int64) (string, bool) {
+	b.docsMu.Lock()
+	rec, ok := b.docs[doc+1]
+	b.docsMu.Unlock()
+	if !ok || rec.content == "" {
+		return "", false
+	}
+	return rec.content, true
+}
+
+// Stats returns a snapshot of broker activity.
+func (b *Broker) Stats() Counters {
+	b.subsMu.RLock()
+	n := len(b.subs)
+	b.subsMu.RUnlock()
+	return Counters{
+		Published:   b.published.Load(),
+		Deliveries:  b.deliveries.Load(),
+		Dropped:     b.dropped.Load(),
+		Feedbacks:   b.feedbacks.Load(),
+		Subscribers: n,
+	}
+}
+
+// IndexStats returns the profile index's size.
+func (b *Broker) IndexStats() index.Stats { return b.idx.Size() }
+
+// Deliveries returns the subscription's stream. The channel is closed by
+// Unsubscribe.
+func (s *Subscription) Deliveries() <-chan Delivery { return s.sub.queue }
+
+// ID returns the subscriber id.
+func (s *Subscription) ID() string { return s.sub.id }
+
+// Feedback reports a judgment for a delivered document.
+func (s *Subscription) Feedback(doc int64, fd filter.Feedback) error {
+	return s.b.Feedback(s.sub.id, doc, fd)
+}
+
+// ProfileSize returns the subscriber profile's current vector count.
+func (s *Subscription) ProfileSize() int {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.learner.ProfileSize()
+}
+
+// WithLearner runs fn with the subscription's learner under the
+// subscriber's lock, for read-only introspection (the wire layer uses it
+// to describe profiles). fn must not retain the learner or call back into
+// the broker.
+func (s *Subscription) WithLearner(fn func(filter.Learner)) {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	fn(s.sub.learner)
+}
+
+// Score returns the profile's current score for a vector (diagnostics).
+func (s *Subscription) Score(v vsm.Vector) float64 {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.learner.Score(v)
+}

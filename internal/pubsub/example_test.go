@@ -1,0 +1,34 @@
+package pubsub_test
+
+import (
+	"fmt"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/pubsub"
+)
+
+// Example walks the full dissemination loop: subscribe with keywords,
+// publish pages, receive a delivery, send feedback.
+func Example() {
+	broker := pubsub.New(pubsub.Options{Threshold: 0.3})
+
+	sub, err := broker.SubscribeKeywords("alice", []string{"jazz", "saxophone"})
+	if err != nil {
+		panic(err)
+	}
+
+	_, n := broker.Publish("<html><body>a jazz saxophone concert downtown</body></html>")
+	fmt.Println("deliveries:", n)
+	_, n = broker.Publish("<html><body>quarterly bond market report</body></html>")
+	fmt.Println("deliveries:", n)
+
+	d := <-sub.Deliveries()
+	if err := sub.Feedback(d.Doc, filter.Relevant); err != nil {
+		panic(err)
+	}
+	fmt.Println("profile vectors:", sub.ProfileSize())
+	// Output:
+	// deliveries: 1
+	// deliveries: 0
+	// profile vectors: 1
+}

@@ -1,0 +1,112 @@
+package pubsub
+
+import (
+	"errors"
+	"testing"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/store"
+	"mmprofile/internal/vsm"
+)
+
+// TestJournalIntegration runs the broker against a real store and verifies
+// that a second broker restored from disk matches the first.
+func TestJournalIntegration(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Options{Threshold: 0.3, Journal: st})
+	sub, err := b.Subscribe("alice", trainedMM("cat", "dog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := b.PublishVector(vec("cat", 1.0, "dog", 1.0, "bird", 0.4))
+	if err := sub.Feedback(id, filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	b.Subscribe("bob", core.NewDefault())
+	b.Unsubscribe("bob")
+	st.Close()
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	profiles, events, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	learners, err := store.Restore(profiles, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(learners) != 1 {
+		t.Fatalf("restored %d learners, want 1 (bob unsubscribed)", len(learners))
+	}
+	restored := learners["alice"]
+	probe := vec("cat", 1.0, "bird", 0.5)
+	want := sub.Score(probe)
+	if got := restored.Score(probe); got != want {
+		t.Errorf("restored score %v, want %v", got, want)
+	}
+}
+
+// TestExportProfiles checks checkpoint export and its all-or-nothing rule.
+func TestExportProfiles(t *testing.T) {
+	b := New(Options{})
+	b.Subscribe("alice", trainedMM("cat"))
+	snaps, err := b.ExportProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].User != "alice" || snaps[0].Learner != "MM" || len(snaps[0].Data) == 0 {
+		t.Errorf("snaps = %+v", snaps)
+	}
+	// A non-serializable learner blocks the checkpoint.
+	b.Subscribe("eve", opaque{core.NewDefault()})
+	if _, err := b.ExportProfiles(); err == nil {
+		t.Error("export with non-serializable learner did not error")
+	}
+}
+
+// failingJournal simulates a full disk.
+type failingJournal struct{ failFeedback bool }
+
+func (f failingJournal) AppendSubscribe(string, string, []byte) error {
+	if !f.failFeedback {
+		return errors.New("disk full")
+	}
+	return nil
+}
+func (f failingJournal) AppendUnsubscribe(string) error { return nil }
+func (f failingJournal) AppendFeedback(string, vsm.Vector, filter.Feedback) error {
+	if f.failFeedback {
+		return errors.New("disk full")
+	}
+	return nil
+}
+
+func TestJournalFailuresSurface(t *testing.T) {
+	b := New(Options{Journal: failingJournal{}})
+	if _, err := b.Subscribe("alice", core.NewDefault()); err == nil {
+		t.Error("subscribe with failing journal did not error")
+	}
+
+	b2 := New(Options{Threshold: 0.3, Journal: failingJournal{failFeedback: true}})
+	sub, err := b2.Subscribe("alice", trainedMM("cat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := b2.PublishVector(vec("cat", 1.0))
+	before := sub.ProfileSize()
+	if err := sub.Feedback(id, filter.Relevant); err == nil {
+		t.Error("feedback with failing journal did not error")
+	}
+	if sub.ProfileSize() != before {
+		t.Error("unjournaled feedback was applied")
+	}
+}

@@ -1,0 +1,67 @@
+package rocchio
+
+import (
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+// NRN is the nearest-relevant-neighbour learner of Foltz and Dumais: every
+// relevant document becomes its own profile vector and a document is scored
+// by its similarity to the closest one. It is the θ = 1.0 degenerate case
+// of MM (paper Section 5.4) and is included as the fine-granularity extreme
+// of the quality/size trade-off. Negative feedback is ignored. Not safe
+// for concurrent use.
+type NRN struct {
+	vectors []vsm.Vector
+}
+
+// NewNRN returns an empty NRN learner.
+func NewNRN() *NRN { return &NRN{} }
+
+// Name implements filter.Learner.
+func (n *NRN) Name() string { return "NRN" }
+
+// Observe implements filter.Learner: relevant documents are stored
+// verbatim (duplicates of an already-stored vector are skipped, matching
+// the paper's "all (distinct) relevant documents" reading).
+func (n *NRN) Observe(v vsm.Vector, fd filter.Feedback) {
+	if fd != filter.Relevant || v.IsZero() {
+		return
+	}
+	for _, p := range n.vectors {
+		if vsm.Cosine(p, v) >= 1-1e-12 {
+			return
+		}
+	}
+	n.vectors = append(n.vectors, v.Clone())
+}
+
+// Score implements filter.Learner.
+func (n *NRN) Score(v vsm.Vector) float64 {
+	best := 0.0
+	for _, p := range n.vectors {
+		if s := vsm.Cosine(p, v); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ProfileSize implements filter.Learner: one vector per stored document.
+func (n *NRN) ProfileSize() int { return len(n.vectors) }
+
+// ProfileVectors implements filter.VectorSource.
+func (n *NRN) ProfileVectors() []vsm.Vector {
+	out := make([]vsm.Vector, len(n.vectors))
+	for i, v := range n.vectors {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// Reset implements filter.Learner.
+func (n *NRN) Reset() { n.vectors = nil }
+
+func init() {
+	filter.Register("NRN", func() filter.Learner { return NewNRN() })
+}

@@ -1,0 +1,205 @@
+package rocchio
+
+import (
+	"math"
+	"testing"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+func vec(pairs ...any) vsm.Vector {
+	m := map[string]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return vsm.FromMap(m)
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRIUpdateArithmetic(t *testing.T) {
+	r := NewRI()
+	r.Observe(vec("cat", 0.5, "dog", 0.5), filter.Relevant)
+	// w = 0 + 2·0.5 = 1.0 for both terms.
+	p := r.Profile()
+	if !almostEqual(p.Weight("cat"), 1.0) || !almostEqual(p.Weight("dog"), 1.0) {
+		t.Fatalf("profile after one relevant doc: %v", p.ToMap())
+	}
+	// Non-relevant doc sharing "cat": w(cat) = 1 − 0.5·0.8 = 0.6.
+	r.Observe(vec("cat", 0.8, "stock", 0.6), filter.NotRelevant)
+	p = r.Profile()
+	if !almostEqual(p.Weight("cat"), 0.6) {
+		t.Errorf("w(cat) = %v, want 0.6", p.Weight("cat"))
+	}
+	if p.Weight("stock") != 0 {
+		t.Errorf("negative-only term entered profile: %v", p.ToMap())
+	}
+	if p.Weight("dog") != 1.0 {
+		t.Errorf("untouched term changed: %v", p.Weight("dog"))
+	}
+}
+
+func TestRIClampsNegativeWeights(t *testing.T) {
+	r := NewRI()
+	r.Observe(vec("cat", 0.1), filter.Relevant) // w(cat) = 0.2
+	r.Observe(vec("cat", 1.0), filter.NotRelevant)
+	// w(cat) = 0.2 − 0.5 = −0.3 → clamped out.
+	if got := r.Profile().Weight("cat"); got != 0 {
+		t.Errorf("w(cat) = %v, want clamped to 0", got)
+	}
+}
+
+func TestRGBuffersUntilGroupFull(t *testing.T) {
+	r := NewRG(3)
+	r.Observe(vec("a", 1.0), filter.Relevant)
+	r.Observe(vec("b", 1.0), filter.Relevant)
+	if r.Updates() != 0 || r.ProfileSize() != 0 {
+		t.Fatal("RG applied an update before the group was full")
+	}
+	if r.Pending() != 2 {
+		t.Errorf("Pending = %d", r.Pending())
+	}
+	r.Observe(vec("c", 1.0), filter.NotRelevant)
+	if r.Updates() != 1 || r.Pending() != 0 {
+		t.Fatalf("RG did not apply the full group: updates=%d pending=%d", r.Updates(), r.Pending())
+	}
+	// w = 2·mean({a:1},{b:1}) = {a:1, b:1}; c only in NR → clamped.
+	p := r.Profile()
+	if !almostEqual(p.Weight("a"), 1.0) || !almostEqual(p.Weight("b"), 1.0) || p.Weight("c") != 0 {
+		t.Errorf("profile after group: %v", p.ToMap())
+	}
+}
+
+func TestRGGroupAveraging(t *testing.T) {
+	// Two relevant docs sharing a term: w_{t,R} is the mean, not the sum.
+	r := NewRG(2)
+	r.Observe(vec("cat", 0.4), filter.Relevant)
+	r.Observe(vec("cat", 0.8), filter.Relevant)
+	want := 2 * (0.4 + 0.8) / 2
+	if got := r.Profile().Weight("cat"); !almostEqual(got, want) {
+		t.Errorf("w(cat) = %v, want %v", got, want)
+	}
+}
+
+func TestBatchOnlyFlushManually(t *testing.T) {
+	b := NewBatch()
+	for i := 0; i < 50; i++ {
+		b.Observe(vec("cat", 1.0), filter.Relevant)
+	}
+	if b.Updates() != 0 {
+		t.Fatal("batch mode auto-flushed")
+	}
+	b.Flush()
+	if b.Updates() != 1 {
+		t.Fatal("Flush did not apply")
+	}
+	if got := b.Profile().Weight("cat"); !almostEqual(got, 2.0) {
+		t.Errorf("batch w(cat) = %v, want 2.0 (mean of identical docs × 2)", got)
+	}
+	b.Flush() // empty flush is a no-op
+	if b.Updates() != 1 {
+		t.Error("empty Flush counted as an update")
+	}
+}
+
+func TestRocchioScoreIsCosine(t *testing.T) {
+	r := NewRI()
+	r.Observe(vec("cat", 1.0, "dog", 1.0), filter.Relevant)
+	probe := vec("cat", 1.0)
+	want := vsm.Cosine(r.Profile(), probe)
+	if got := r.Score(probe); !almostEqual(got, want) {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+	if NewRI().Score(probe) != 0 {
+		t.Error("empty profile should score 0")
+	}
+}
+
+func TestRocchioTruncation(t *testing.T) {
+	r := NewRI()
+	m := map[string]float64{}
+	for i := 0; i < 150; i++ {
+		m["term"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))] = 1 + float64(i)/1000
+	}
+	r.Observe(vsm.FromMap(m), filter.Relevant)
+	if got := r.Profile().Len(); got > vsm.MaxDocumentTerms {
+		t.Errorf("profile has %d terms, cap %d", got, vsm.MaxDocumentTerms)
+	}
+}
+
+func TestRocchioIgnoresZeroVector(t *testing.T) {
+	r := NewRI()
+	r.Observe(vsm.Vector{}, filter.Relevant)
+	if r.ProfileSize() != 0 || r.Pending() != 0 {
+		t.Error("zero vector was buffered or applied")
+	}
+}
+
+func TestRocchioReset(t *testing.T) {
+	r := NewRG(5)
+	r.Observe(vec("a", 1.0), filter.Relevant)
+	r.Reset()
+	if r.Pending() != 0 || r.ProfileSize() != 0 || r.Updates() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestNewRGRejectsDegenerateSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRG(1) did not panic")
+		}
+	}()
+	NewRG(1)
+}
+
+func TestNRNStoresRelevantOnly(t *testing.T) {
+	n := NewNRN()
+	n.Observe(vec("cat", 1.0), filter.Relevant)
+	n.Observe(vec("dog", 1.0), filter.NotRelevant)
+	n.Observe(vec("fish", 1.0), filter.Relevant)
+	if n.ProfileSize() != 2 {
+		t.Errorf("ProfileSize = %d, want 2", n.ProfileSize())
+	}
+	// Duplicate relevant documents are not stored twice.
+	n.Observe(vec("cat", 1.0), filter.Relevant)
+	if n.ProfileSize() != 2 {
+		t.Errorf("duplicate stored: ProfileSize = %d", n.ProfileSize())
+	}
+}
+
+func TestNRNScoreIsNearestNeighbour(t *testing.T) {
+	n := NewNRN()
+	n.Observe(vec("cat", 1.0), filter.Relevant)
+	n.Observe(vec("stock", 1.0), filter.Relevant)
+	probe := vec("stock", 1.0, "bond", 1.0)
+	want := vsm.Cosine(vec("stock", 1.0), probe)
+	if got := n.Score(probe); !almostEqual(got, want) {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestNRNReset(t *testing.T) {
+	n := NewNRN()
+	n.Observe(vec("cat", 1.0), filter.Relevant)
+	n.Reset()
+	if n.ProfileSize() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestRegisteredBaselines(t *testing.T) {
+	for _, name := range []string{"RI", "RG10", "RG100", "Batch", "NRN"} {
+		l, err := filter.New(name)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if l.Name() != name {
+			t.Errorf("learner %s reports name %s", name, l.Name())
+		}
+	}
+	if _, err := filter.New("nope"); err == nil {
+		t.Error("unknown learner did not error")
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"math/rand"
+
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/filter"
+)
+
+// NoisyUser wraps a User, flipping each judgment independently with
+// probability FlipRate — careless clicks, accidental dismissals, shared
+// terminals. Ground-truth relevance (used by the evaluator to score the
+// frozen profile) is NOT corrupted, so effectiveness is still measured
+// against what the user actually wants.
+type NoisyUser struct {
+	*User
+	// FlipRate is the probability a judgment is inverted (0 ≤ p ≤ 1).
+	FlipRate float64
+
+	rng *rand.Rand
+}
+
+// NewNoisyUser wraps u with the given flip probability and noise source.
+func NewNoisyUser(u *User, flipRate float64, rng *rand.Rand) *NoisyUser {
+	return &NoisyUser{User: u, FlipRate: flipRate, rng: rng}
+}
+
+// Feedback implements Oracle with corrupted judgments.
+func (n *NoisyUser) Feedback(d corpus.Document) filter.Feedback {
+	fd := n.User.Feedback(d)
+	if n.rng.Float64() < n.FlipRate {
+		return -fd
+	}
+	return fd
+}

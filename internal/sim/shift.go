@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math/rand"
+
+	"mmprofile/internal/corpus"
+)
+
+// Shift is one interest-change scenario of Section 5.5: the synthetic
+// profile is Before until the shift point and After from then on.
+type Shift struct {
+	Name   string
+	Before []corpus.Category
+	After  []corpus.Category
+}
+
+// PartialShift builds the Figure-8 scenario: SP = {Ci, Cj} → {Ci, Ck} —
+// one of two top-level interests is replaced, the other kept.
+func PartialShift(rng *rand.Rand, ds *corpus.Dataset) Shift {
+	cats := RandomTopInterests(rng, ds, 3)
+	return Shift{
+		Name:   "partial",
+		Before: []corpus.Category{cats[0], cats[1]},
+		After:  []corpus.Category{cats[0], cats[2]},
+	}
+}
+
+// CompleteShift builds the Figure-9 scenario: SP = {Ci, Cj} → {Ck, Cl} —
+// every previous judgment becomes invalid.
+func CompleteShift(rng *rand.Rand, ds *corpus.Dataset) Shift {
+	cats := RandomTopInterests(rng, ds, 4)
+	return Shift{
+		Name:   "complete",
+		Before: []corpus.Category{cats[0], cats[1]},
+		After:  []corpus.Category{cats[2], cats[3]},
+	}
+}
+
+// AddInterest builds the Figure-10 scenario: SP = {Ci} → {Ci, Cj} — a new
+// interest appears, old judgments stay valid.
+func AddInterest(rng *rand.Rand, ds *corpus.Dataset) Shift {
+	cats := RandomTopInterests(rng, ds, 2)
+	return Shift{
+		Name:   "add",
+		Before: []corpus.Category{cats[0]},
+		After:  []corpus.Category{cats[0], cats[1]},
+	}
+}
+
+// DeleteInterest builds the Figure-11 scenario: SP = {Ci, Cj} → {Ci} — an
+// interest is dropped.
+func DeleteInterest(rng *rand.Rand, ds *corpus.Dataset) Shift {
+	cats := RandomTopInterests(rng, ds, 2)
+	return Shift{
+		Name:   "delete",
+		Before: []corpus.Category{cats[0], cats[1]},
+		After:  []corpus.Category{cats[0]},
+	}
+}
+
+// Apply installs the scenario's phase on the user: Before when step is
+// below shiftAt, After from shiftAt onward. It is idempotent per phase and
+// intended to be called from a learning curve's per-step hook.
+func (s Shift) Apply(u *User, step, shiftAt int) {
+	if step == 0 {
+		u.SetInterests(s.Before...)
+	}
+	if step == shiftAt {
+		u.SetInterests(s.After...)
+	}
+}

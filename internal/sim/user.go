@@ -1,0 +1,130 @@
+// Package sim simulates users for the paper's evaluation methodology
+// (Section 4.2): a simulated user holds a synthetic profile — a set of
+// Yahoo!-style categories — and judges a document relevant exactly when its
+// category (or its category's top-level ancestor) is in that set. The
+// package also provides the interest-shift scenarios of Section 5.5 and
+// training-stream construction.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/filter"
+)
+
+// Oracle is what the evaluator needs from a simulated user: judgments for
+// the training stream and ground-truth relevance for scoring the test set.
+// The two are separated so that noisy-feedback models can corrupt the
+// judgments while evaluation stays against the truth.
+type Oracle interface {
+	Feedback(d corpus.Document) filter.Feedback
+	Relevant(cat corpus.Category) bool
+}
+
+// User is a simulated user with a mutable synthetic profile. Not safe for
+// concurrent use.
+type User struct {
+	interests map[corpus.Category]bool
+}
+
+// NewUser creates a user interested in the given categories. Top-level
+// interests (Sub == −1) cover every second-level category beneath them.
+func NewUser(cats ...corpus.Category) *User {
+	u := &User{interests: map[corpus.Category]bool{}}
+	u.SetInterests(cats...)
+	return u
+}
+
+// SetInterests replaces the synthetic profile, the primitive behind every
+// interest-shift scenario.
+func (u *User) SetInterests(cats ...corpus.Category) {
+	u.interests = make(map[corpus.Category]bool, len(cats))
+	for _, c := range cats {
+		u.interests[c] = true
+	}
+}
+
+// Interests returns the synthetic profile in sorted order.
+func (u *User) Interests() []corpus.Category {
+	out := make([]corpus.Category, 0, len(u.interests))
+	for c := range u.interests {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Top != out[j].Top {
+			return out[i].Top < out[j].Top
+		}
+		return out[i].Sub < out[j].Sub
+	})
+	return out
+}
+
+// Relevant reports whether a document of the given (second-level) category
+// is relevant to the user: cat_d ∈ SP, directly or via its top-level
+// ancestor.
+func (u *User) Relevant(cat corpus.Category) bool {
+	return u.interests[cat] || u.interests[cat.TopLevel()]
+}
+
+// Feedback returns the user's judgment for a document: +1 if relevant,
+// −1 otherwise (the f_d of Section 4.2).
+func (u *User) Feedback(d corpus.Document) filter.Feedback {
+	if u.Relevant(d.Cat) {
+		return filter.Relevant
+	}
+	return filter.NotRelevant
+}
+
+// String renders the synthetic profile in the paper's notation.
+func (u *User) String() string {
+	return fmt.Sprintf("SP%v", u.Interests())
+}
+
+// RandomTopInterests draws n distinct top-level categories from those
+// present in ds, the paper's top-level workloads (n ∈ {1,2,3} covers
+// 10–30% of the collection).
+func RandomTopInterests(rng *rand.Rand, ds *corpus.Dataset, n int) []corpus.Category {
+	return sample(rng, ds.TopCategories(), n)
+}
+
+// RandomSubInterests draws n distinct second-level categories, the
+// paper's second-level workloads (n ∈ {10,20,30} covers 10–30%).
+func RandomSubInterests(rng *rand.Rand, ds *corpus.Dataset, n int) []corpus.Category {
+	return sample(rng, ds.SubCategories(), n)
+}
+
+func sample(rng *rand.Rand, pool []corpus.Category, n int) []corpus.Category {
+	if n > len(pool) {
+		panic(fmt.Sprintf("sim: sampling %d interests from %d categories", n, len(pool)))
+	}
+	pool = append([]corpus.Category(nil), pool...)
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].Top != pool[j].Top {
+			return pool[i].Top < pool[j].Top
+		}
+		return pool[i].Sub < pool[j].Sub
+	})
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:n]
+}
+
+// Stream returns a training stream of n documents drawn from the pool:
+// a random permutation when n ≤ len(pool), and sampling with replacement
+// beyond that (the shift experiments present more documents than the
+// training set holds; see DESIGN.md).
+func Stream(rng *rand.Rand, pool []corpus.Document, n int) []corpus.Document {
+	perm := append([]corpus.Document(nil), pool...)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	if n <= len(perm) {
+		return perm[:n]
+	}
+	out := make([]corpus.Document, 0, n)
+	out = append(out, perm...)
+	for len(out) < n {
+		out = append(out, pool[rng.Intn(len(pool))])
+	}
+	return out
+}

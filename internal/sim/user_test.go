@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmprofile/internal/corpus"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/text"
+)
+
+func testDataset(t *testing.T) *corpus.Dataset {
+	t.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.TopCategories = 5
+	cfg.SubPerTop = 4
+	cfg.PagesPerSub = 2
+	cfg.MinWords = 60
+	cfg.MaxWords = 100
+	return corpus.Generate(cfg).Vectorize(text.NewPipeline())
+}
+
+func TestUserRelevance(t *testing.T) {
+	top := corpus.Category{Top: 2, Sub: -1}
+	sub := corpus.Category{Top: 4, Sub: 1}
+	u := NewUser(top, sub)
+
+	// Top-level interest covers all its sub-categories.
+	if !u.Relevant(corpus.Category{Top: 2, Sub: 7}) {
+		t.Error("sub-category of a top-level interest not relevant")
+	}
+	// Second-level interest covers only itself.
+	if !u.Relevant(corpus.Category{Top: 4, Sub: 1}) {
+		t.Error("exact second-level interest not relevant")
+	}
+	if u.Relevant(corpus.Category{Top: 4, Sub: 2}) {
+		t.Error("sibling of a second-level interest should not be relevant")
+	}
+	if u.Relevant(corpus.Category{Top: 0, Sub: 0}) {
+		t.Error("unrelated category relevant")
+	}
+}
+
+func TestUserFeedback(t *testing.T) {
+	u := NewUser(corpus.Category{Top: 1, Sub: -1})
+	in := corpus.Document{Cat: corpus.Category{Top: 1, Sub: 3}}
+	out := corpus.Document{Cat: corpus.Category{Top: 2, Sub: 3}}
+	if u.Feedback(in) != filter.Relevant {
+		t.Error("relevant doc got negative feedback")
+	}
+	if u.Feedback(out) != filter.NotRelevant {
+		t.Error("irrelevant doc got positive feedback")
+	}
+}
+
+func TestSetInterestsReplaces(t *testing.T) {
+	u := NewUser(corpus.Category{Top: 0, Sub: -1})
+	u.SetInterests(corpus.Category{Top: 1, Sub: -1})
+	if u.Relevant(corpus.Category{Top: 0, Sub: 0}) {
+		t.Error("old interest survived SetInterests")
+	}
+	if !u.Relevant(corpus.Category{Top: 1, Sub: 0}) {
+		t.Error("new interest not installed")
+	}
+	if got := len(u.Interests()); got != 1 {
+		t.Errorf("Interests() length = %d", got)
+	}
+}
+
+func TestRandomInterests(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(1))
+	tops := RandomTopInterests(rng, ds, 3)
+	if len(tops) != 3 {
+		t.Fatalf("got %d top interests", len(tops))
+	}
+	seen := map[corpus.Category]bool{}
+	for _, c := range tops {
+		if c.Sub != -1 {
+			t.Errorf("top interest %v has Sub set", c)
+		}
+		if seen[c] {
+			t.Errorf("duplicate interest %v", c)
+		}
+		seen[c] = true
+	}
+	subs := RandomSubInterests(rng, ds, 5)
+	if len(subs) != 5 {
+		t.Fatalf("got %d sub interests", len(subs))
+	}
+	for _, c := range subs {
+		if c.Sub < 0 {
+			t.Errorf("sub interest %v is top-level", c)
+		}
+	}
+}
+
+func TestRandomInterestsDeterministic(t *testing.T) {
+	ds := testDataset(t)
+	a := RandomTopInterests(rand.New(rand.NewSource(9)), ds, 3)
+	b := RandomTopInterests(rand.New(rand.NewSource(9)), ds, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different interests")
+		}
+	}
+}
+
+func TestRandomInterestsPanicsWhenPoolTooSmall(t *testing.T) {
+	ds := testDataset(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RandomTopInterests(rand.New(rand.NewSource(1)), ds, 99)
+}
+
+func TestStreamPermutationAndReplacement(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(2))
+	short := Stream(rng, ds.Docs, 10)
+	if len(short) != 10 {
+		t.Fatalf("stream length %d", len(short))
+	}
+	ids := map[int]bool{}
+	for _, d := range short {
+		if ids[d.ID] {
+			t.Error("permutation stream repeated a document")
+		}
+		ids[d.ID] = true
+	}
+	long := Stream(rng, ds.Docs, len(ds.Docs)*3)
+	if len(long) != len(ds.Docs)*3 {
+		t.Fatalf("long stream length %d", len(long))
+	}
+	// The first len(pool) entries are still a permutation.
+	ids = map[int]bool{}
+	for _, d := range long[:len(ds.Docs)] {
+		if ids[d.ID] {
+			t.Error("long stream prefix repeated a document")
+		}
+		ids[d.ID] = true
+	}
+}
+
+func TestShiftScenarios(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(3))
+
+	p := PartialShift(rng, ds)
+	if len(p.Before) != 2 || len(p.After) != 2 {
+		t.Errorf("partial shift sizes: %v -> %v", p.Before, p.After)
+	}
+	if p.Before[0] != p.After[0] {
+		t.Error("partial shift did not keep the first interest")
+	}
+	if p.Before[1] == p.After[1] {
+		t.Error("partial shift did not change the second interest")
+	}
+
+	c := CompleteShift(rng, ds)
+	for _, b := range c.Before {
+		for _, a := range c.After {
+			if a == b {
+				t.Error("complete shift kept an interest")
+			}
+		}
+	}
+
+	a := AddInterest(rng, ds)
+	if len(a.Before) != 1 || len(a.After) != 2 || a.Before[0] != a.After[0] {
+		t.Errorf("add scenario: %v -> %v", a.Before, a.After)
+	}
+
+	d := DeleteInterest(rng, ds)
+	if len(d.Before) != 2 || len(d.After) != 1 || d.Before[0] != d.After[0] {
+		t.Errorf("delete scenario: %v -> %v", d.Before, d.After)
+	}
+}
+
+func TestNoisyUserFlipRate(t *testing.T) {
+	ds := testDataset(t)
+	u := NewUser(corpus.Category{Top: 0, Sub: -1})
+	rng := rand.New(rand.NewSource(5))
+	noisy := NewNoisyUser(u, 0.25, rng)
+	flips := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		d := ds.Docs[i%len(ds.Docs)]
+		if noisy.Feedback(d) != u.Feedback(d) {
+			flips++
+		}
+	}
+	rate := float64(flips) / trials
+	if rate < 0.21 || rate > 0.29 {
+		t.Errorf("empirical flip rate %.3f, want ≈ 0.25", rate)
+	}
+	// Ground truth is NOT corrupted.
+	if noisy.Relevant(corpus.Category{Top: 0, Sub: 1}) != u.Relevant(corpus.Category{Top: 0, Sub: 1}) {
+		t.Error("Relevant corrupted by noise wrapper")
+	}
+	// Zero noise is transparent.
+	clean := NewNoisyUser(u, 0, rng)
+	for i := 0; i < 50; i++ {
+		d := ds.Docs[i%len(ds.Docs)]
+		if clean.Feedback(d) != u.Feedback(d) {
+			t.Fatal("zero-noise wrapper flipped a judgment")
+		}
+	}
+}
+
+func TestShiftApply(t *testing.T) {
+	ds := testDataset(t)
+	s := PartialShift(rand.New(rand.NewSource(4)), ds)
+	u := NewUser()
+	s.Apply(u, 0, 200)
+	if !u.Relevant(corpus.Category{Top: s.Before[1].Top, Sub: 0}) {
+		t.Error("before-phase interests not installed at step 0")
+	}
+	s.Apply(u, 100, 200) // mid-stream: no change
+	if !u.Relevant(corpus.Category{Top: s.Before[1].Top, Sub: 0}) {
+		t.Error("interests changed before the shift point")
+	}
+	s.Apply(u, 200, 200)
+	if u.Relevant(corpus.Category{Top: s.Before[1].Top, Sub: 0}) {
+		t.Error("dropped interest still relevant after shift")
+	}
+	if !u.Relevant(corpus.Category{Top: s.After[1].Top, Sub: 0}) {
+		t.Error("new interest not installed after shift")
+	}
+}

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmprofile/internal/filter"
+)
+
+// FuzzLoadWAL feeds arbitrary bytes to the log reader: Load must never
+// panic, and whatever it accepts must be structurally sound events.
+func FuzzLoadWAL(f *testing.F) {
+	// Seed with a real log.
+	dir := f.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.AppendSubscribe("alice", "MM", nil)
+	s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant)
+	s.AppendUnsubscribe("alice")
+	s.Close()
+	real, err := os.ReadFile(filepath.Join(dir, "wal-00000000.log"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(real)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(real[:len(real)-3])
+	mutated := append([]byte(nil), real...)
+	mutated[10] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(fdir, "wal-00000000.log"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(fdir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		_, events, err := st.Load() // must not panic
+		if err != nil {
+			return
+		}
+		for _, ev := range events {
+			switch ev.Type {
+			case EventFeedback, EventSubscribe, EventUnsubscribe:
+			default:
+				t.Fatalf("accepted unknown event type %d", ev.Type)
+			}
+		}
+	})
+}

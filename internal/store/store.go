@@ -1,0 +1,532 @@
+// Package store persists user profiles, the long-lived state of a
+// filtering system ("profile vectors are stored and maintained for long
+// periods of time", paper Section 4.3). It uses the classic checkpoint +
+// write-ahead-log design:
+//
+//   - a snapshot file (snap-<seq>.db) holds a full binary dump of every
+//     profile, written atomically via temp-file + rename;
+//   - a write-ahead log (wal-<seq>.log) records each feedback event
+//     (user, judgment, document vector) applied since that snapshot.
+//
+// Recovery loads the newest snapshot and re-applies the matching log; the
+// learners' update rules are deterministic, so replay reconstructs the
+// exact pre-crash profiles. Every record is length-prefixed and CRC32-
+// guarded, and a torn tail (crash mid-append) is detected and discarded.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+// ProfileRecord is one user's serialized profile in a snapshot.
+type ProfileRecord struct {
+	User    string
+	Learner string // registry name, used to reconstruct the right type
+	Data    []byte // learner's MarshalBinary output
+}
+
+// EventType tags a log record.
+type EventType byte
+
+const (
+	// EventFeedback is a relevance judgment (user, fd, document vector).
+	EventFeedback EventType = iota
+	// EventSubscribe is a new subscription (user, learner name, and the
+	// learner's initial serialized state, e.g. a keyword seed).
+	EventSubscribe
+	// EventUnsubscribe removes a user.
+	EventUnsubscribe
+)
+
+// Event is one replayable log record.
+type Event struct {
+	Type EventType
+	User string
+	// Feedback fields.
+	Fd  filter.Feedback
+	Vec vsm.Vector
+	// Subscribe fields.
+	Learner string
+	State   []byte
+}
+
+// Options configures a Store.
+type Options struct {
+	// SyncEveryAppend fsyncs the log after each feedback record. Durable
+	// but slow; off by default (the log is still flushed by the OS and a
+	// torn tail is recovered from).
+	SyncEveryAppend bool
+}
+
+// Store is a directory-backed profile store. Safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu  sync.Mutex
+	dir string
+	seq uint64
+	wal *os.File
+}
+
+const (
+	snapPrefix = "snap-"
+	walPrefix  = "wal-"
+)
+
+// Open opens (or initializes) a store in dir, creating it if needed.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	seq, err := latestSeq(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, dir: dir, seq: seq}
+	if err := s.openWAL(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// latestSeq finds the newest complete snapshot's sequence number (0 when
+// the store is fresh; sequence 0 has no snapshot file).
+func latestSeq(dir string) (uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	var best uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, ".db") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), ".db"), 10, 64)
+		if err != nil {
+			continue // stray file
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+func (s *Store) snapPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d.db", snapPrefix, seq))
+}
+
+func (s *Store) walPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d.log", walPrefix, seq))
+}
+
+// openWAL opens the current sequence's log for appending. Caller holds the
+// lock (or is the constructor).
+func (s *Store) openWAL() error {
+	f, err := os.OpenFile(s.walPath(s.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = f
+	return nil
+}
+
+// Close closes the log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// AppendFeedback records one feedback event.
+func (s *Store) AppendFeedback(user string, v vsm.Vector, fd filter.Feedback) error {
+	payload := []byte{byte(EventFeedback)}
+	payload = appendLenBytes(payload, []byte(user))
+	b := byte(0)
+	if fd == filter.Relevant {
+		b = 1
+	}
+	payload = append(payload, b)
+	payload = vsm.AppendVector(payload, v)
+	return s.appendPayload(payload)
+}
+
+// AppendSubscribe records a new subscription together with the learner's
+// initial serialized state.
+func (s *Store) AppendSubscribe(user, learner string, state []byte) error {
+	payload := []byte{byte(EventSubscribe)}
+	payload = appendLenBytes(payload, []byte(user))
+	payload = appendLenBytes(payload, []byte(learner))
+	payload = appendLenBytes(payload, state)
+	return s.appendPayload(payload)
+}
+
+// AppendUnsubscribe records a user's removal.
+func (s *Store) AppendUnsubscribe(user string) error {
+	payload := []byte{byte(EventUnsubscribe)}
+	payload = appendLenBytes(payload, []byte(user))
+	return s.appendPayload(payload)
+}
+
+func (s *Store) appendPayload(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("store: closed")
+	}
+	if err := writeRecord(s.wal, payload); err != nil {
+		return err
+	}
+	if s.opts.SyncEveryAppend {
+		return s.wal.Sync()
+	}
+	return nil
+}
+
+func appendLenBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// Sync fsyncs the log.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("store: closed")
+	}
+	return s.wal.Sync()
+}
+
+// Snapshot atomically writes a new snapshot of every profile and starts a
+// fresh, empty log; older snapshot/log generations are removed
+// (best-effort) afterwards.
+func (s *Store) Snapshot(profiles []ProfileRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("store: closed")
+	}
+	next := s.seq + 1
+
+	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	for _, p := range profiles {
+		payload := binary.AppendUvarint(nil, uint64(len(p.User)))
+		payload = append(payload, p.User...)
+		payload = binary.AppendUvarint(payload, uint64(len(p.Learner)))
+		payload = append(payload, p.Learner...)
+		payload = binary.AppendUvarint(payload, uint64(len(p.Data)))
+		payload = append(payload, p.Data...)
+		if err := writeRecord(tmp, payload); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.snapPath(next)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	// The new snapshot is durable; switch to its (empty) log.
+	old := s.wal
+	s.seq = next
+	if err := s.openWAL(); err != nil {
+		// Revert to the old generation rather than losing the handle.
+		s.seq = next - 1
+		s.wal = old
+		return err
+	}
+	old.Close()
+
+	// Best-effort cleanup of older generations.
+	for seq := next - 1; ; seq-- {
+		snapGone := os.Remove(s.snapPath(seq)) != nil
+		walGone := os.Remove(s.walPath(seq)) != nil
+		if snapGone && walGone || seq == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Load reads the newest snapshot and its log. It is typically called once,
+// right after Open, to rebuild broker state. A torn final log record
+// (crash mid-append) is silently discarded; any earlier corruption is an
+// error.
+func (s *Store) Load() ([]ProfileRecord, []Event, error) {
+	s.mu.Lock()
+	seq := s.seq
+	s.mu.Unlock()
+
+	var profiles []ProfileRecord
+	if seq > 0 {
+		payloads, err := readRecords(s.snapPath(seq), false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: snapshot %d: %w", seq, err)
+		}
+		for i, payload := range payloads {
+			rec, err := decodeProfileRecord(payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("store: snapshot %d record %d: %w", seq, i, err)
+			}
+			profiles = append(profiles, rec)
+		}
+	}
+
+	payloads, err := readRecords(s.walPath(seq), true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: wal %d: %w", seq, err)
+	}
+	var events []Event
+	for i, payload := range payloads {
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: wal %d record %d: %w", seq, i, err)
+		}
+		events = append(events, ev)
+	}
+	return profiles, events, nil
+}
+
+func decodeProfileRecord(payload []byte) (ProfileRecord, error) {
+	user, rest, err := readLenBytes(payload)
+	if err != nil {
+		return ProfileRecord{}, err
+	}
+	learner, rest, err := readLenBytes(rest)
+	if err != nil {
+		return ProfileRecord{}, err
+	}
+	data, rest, err := readLenBytes(rest)
+	if err != nil {
+		return ProfileRecord{}, err
+	}
+	if len(rest) != 0 {
+		return ProfileRecord{}, fmt.Errorf("trailing bytes")
+	}
+	return ProfileRecord{User: string(user), Learner: string(learner), Data: data}, nil
+}
+
+func decodeEvent(payload []byte) (Event, error) {
+	if len(payload) < 1 {
+		return Event{}, fmt.Errorf("empty event")
+	}
+	typ := EventType(payload[0])
+	user, rest, err := readLenBytes(payload[1:])
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{Type: typ, User: string(user)}
+	switch typ {
+	case EventFeedback:
+		if len(rest) < 1 {
+			return Event{}, fmt.Errorf("missing feedback byte")
+		}
+		ev.Fd = filter.NotRelevant
+		if rest[0] == 1 {
+			ev.Fd = filter.Relevant
+		}
+		if ev.Vec, rest, err = vsm.DecodeVector(rest[1:]); err != nil {
+			return Event{}, err
+		}
+	case EventSubscribe:
+		var learner []byte
+		if learner, rest, err = readLenBytes(rest); err != nil {
+			return Event{}, err
+		}
+		ev.Learner = string(learner)
+		if ev.State, rest, err = readLenBytes(rest); err != nil {
+			return Event{}, err
+		}
+	case EventUnsubscribe:
+		// user only
+	default:
+		return Event{}, fmt.Errorf("unknown event type %d", typ)
+	}
+	if len(rest) != 0 {
+		return Event{}, fmt.Errorf("trailing bytes")
+	}
+	return ev, nil
+}
+
+func readLenBytes(buf []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || uint64(len(buf)-k) < n {
+		return nil, nil, fmt.Errorf("truncated field")
+	}
+	return buf[k : k+int(n)], buf[k+int(n):], nil
+}
+
+// Record framing: 4-byte little-endian payload length, 4-byte CRC32
+// (IEEE) of the payload, payload bytes.
+
+func writeRecord(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// readRecords reads every framed record in a file. With tolerateTail, an
+// incomplete or CRC-failing *final* record is treated as a torn append and
+// dropped; corruption elsewhere is always an error. A missing file yields
+// no records.
+func readRecords(path string, tolerateTail bool) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out [][]byte
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			if tolerateTail {
+				return out, nil
+			}
+			return nil, fmt.Errorf("truncated header at offset %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > 1<<28 {
+			return nil, fmt.Errorf("implausible record size %d at offset %d", n, off)
+		}
+		if len(data)-off-8 < n {
+			if tolerateTail {
+				return out, nil
+			}
+			return nil, fmt.Errorf("truncated record at offset %d", off)
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if tolerateTail && off+8+n == len(data) {
+				return out, nil // torn final record
+			}
+			return nil, fmt.Errorf("checksum mismatch at offset %d", off)
+		}
+		out = append(out, append([]byte(nil), payload...))
+		off += 8 + n
+	}
+	return out, nil
+}
+
+// restorable is the serialization contract learners must meet to be
+// persisted (core.Profile, rocchio.Rocchio, rocchio.NRN all do).
+type restorable interface {
+	UnmarshalBinary([]byte) error
+}
+
+// newRestored builds a learner of the named type and loads state into it.
+func newRestored(user, learner string, state []byte) (filter.Learner, error) {
+	l, err := filter.New(learner)
+	if err != nil {
+		return nil, fmt.Errorf("store: restore %q: %w", user, err)
+	}
+	if len(state) == 0 {
+		return l, nil
+	}
+	r, ok := l.(restorable)
+	if !ok {
+		return nil, fmt.Errorf("store: learner %q is not restorable", learner)
+	}
+	if err := r.UnmarshalBinary(state); err != nil {
+		return nil, fmt.Errorf("store: restore %q: %w", user, err)
+	}
+	return l, nil
+}
+
+// Restore reconstructs learners from a Load result: snapshot profiles are
+// instantiated via the filter registry and unmarshalled, then the event
+// log is replayed in order. Learner update rules are deterministic, so the
+// result is exactly the pre-crash state. Recovery is all-or-nothing: any
+// undecodable record or inconsistency (feedback for an unknown user) is an
+// error.
+func Restore(profiles []ProfileRecord, events []Event) (map[string]filter.Learner, error) {
+	out := make(map[string]filter.Learner, len(profiles))
+	for _, p := range profiles {
+		l, err := newRestored(p.User, p.Learner, p.Data)
+		if err != nil {
+			return nil, err
+		}
+		out[p.User] = l
+	}
+	for i, ev := range events {
+		switch ev.Type {
+		case EventSubscribe:
+			l, err := newRestored(ev.User, ev.Learner, ev.State)
+			if err != nil {
+				return nil, err
+			}
+			out[ev.User] = l
+		case EventUnsubscribe:
+			delete(out, ev.User)
+		case EventFeedback:
+			l, ok := out[ev.User]
+			if !ok {
+				return nil, fmt.Errorf("store: event %d: feedback for unknown user %q", i, ev.User)
+			}
+			l.Observe(ev.Vec, ev.Fd)
+		default:
+			return nil, fmt.Errorf("store: event %d: unknown type %d", i, ev.Type)
+		}
+	}
+	return out, nil
+}
+
+// Users lists the distinct users across a Load result, sorted.
+func Users(profiles []ProfileRecord, events []Event) []string {
+	seen := map[string]bool{}
+	for _, p := range profiles {
+		seen[p.User] = true
+	}
+	for _, ev := range events {
+		if ev.Type == EventUnsubscribe {
+			delete(seen, ev.User)
+		} else {
+			seen[ev.User] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,379 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+
+	_ "mmprofile/internal/rocchio" // registry entries for Restore
+)
+
+func vec(pairs ...any) vsm.Vector {
+	m := map[string]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return vsm.FromMap(m).Normalized()
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	profiles, events, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 0 || len(events) != 0 {
+		t.Errorf("fresh store not empty: %d/%d", len(profiles), len(events))
+	}
+}
+
+func TestAppendAndLoadEvents(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFeedback("alice", vec("stock", 1.0), filter.NotRelevant); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendUnsubscribe("bob"); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Type != EventSubscribe || events[0].User != "alice" || events[0].Learner != "MM" {
+		t.Errorf("event 0: %+v", events[0])
+	}
+	if events[1].Type != EventFeedback || events[1].Fd != filter.Relevant || events[1].Vec.Weight("cat") == 0 {
+		t.Errorf("event 1: %+v", events[1])
+	}
+	if events[2].Fd != filter.NotRelevant {
+		t.Errorf("event 2: %+v", events[2])
+	}
+	if events[3].Type != EventUnsubscribe || events[3].User != "bob" {
+		t.Errorf("event 3: %+v", events[3])
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir)
+	_, events, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events after reopen = %d", len(events))
+	}
+	// Appending continues the same log.
+	if err := s2.AppendFeedback("alice", vec("dog", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	_, events, _ = s2.Load()
+	if len(events) != 3 {
+		t.Fatalf("events after append = %d", len(events))
+	}
+}
+
+func TestSnapshotTruncatesLogAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	mm := core.NewDefault()
+	mm.Observe(vec("cat", 1.0), filter.Relevant)
+	blob, _ := mm.MarshalBinary()
+	if err := s.Snapshot([]ProfileRecord{{User: "alice", Learner: "MM", Data: blob}}); err != nil {
+		t.Fatal(err)
+	}
+	profiles, events, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 1 || profiles[0].User != "alice" {
+		t.Fatalf("profiles = %+v", profiles)
+	}
+	if len(events) != 0 {
+		t.Errorf("log not reset after snapshot: %d events", len(events))
+	}
+	// Old generation removed.
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Errorf("unexpected files after snapshot: %v", names)
+	}
+	// Second snapshot advances the generation again.
+	if err := s.Snapshot([]ProfileRecord{{User: "alice", Learner: "MM", Data: blob}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openStore(t, dir)
+	profiles, _, err = s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 1 {
+		t.Fatalf("profiles after second snapshot = %d", len(profiles))
+	}
+}
+
+func TestTornTailIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: chop bytes off the log tail.
+	walPath := filepath.Join(dir, "wal-00000000.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	_, events, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != EventSubscribe {
+		t.Fatalf("torn tail not discarded cleanly: %+v", events)
+	}
+}
+
+func TestCorruptionMidLogIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	walPath := filepath.Join(dir, "wal-00000000.log")
+	data, _ := os.ReadFile(walPath)
+	data[12] ^= 0xFF // flip a byte inside the first record's payload
+	os.WriteFile(walPath, data, 0o644)
+
+	s2 := openStore(t, dir)
+	if _, _, err := s2.Load(); err == nil {
+		t.Error("mid-log corruption not reported")
+	}
+}
+
+// TestRecoveryEquivalence is the headline guarantee: after snapshot + more
+// feedback + crash, Restore rebuilds learners that score identically to
+// the originals.
+func TestRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	rng := rand.New(rand.NewSource(3))
+	terms := []string{"a", "b", "c", "d", "e", "f"}
+	randVec := func() vsm.Vector {
+		m := map[string]float64{}
+		for _, tm := range terms {
+			if rng.Float64() < 0.5 {
+				m[tm] = rng.Float64() + 0.01
+			}
+		}
+		return vsm.FromMap(m).Normalized()
+	}
+
+	live := map[string]filter.Learner{}
+	subscribe := func(user, learner string) {
+		l, err := filter.New(learner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live[user] = l
+		if err := s.AppendSubscribe(user, learner, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feedback := func(user string, v vsm.Vector, fd filter.Feedback) {
+		live[user].Observe(v, fd)
+		if err := s.AppendFeedback(user, v, fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	subscribe("alice", "MM")
+	subscribe("bob", "RI")
+	for i := 0; i < 40; i++ {
+		fd := filter.Relevant
+		if i%3 == 0 {
+			fd = filter.NotRelevant
+		}
+		feedback("alice", randVec(), fd)
+		feedback("bob", randVec(), fd)
+	}
+
+	// Checkpoint, then keep going (these events land in the new log).
+	var records []ProfileRecord
+	for user, l := range live {
+		m := l.(interface{ MarshalBinary() ([]byte, error) })
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, ProfileRecord{User: user, Learner: l.Name(), Data: blob})
+	}
+	if err := s.Snapshot(records); err != nil {
+		t.Fatal(err)
+	}
+	subscribe("carol", "NRN")
+	for i := 0; i < 20; i++ {
+		feedback("alice", randVec(), filter.Relevant)
+		feedback("carol", randVec(), filter.Relevant)
+	}
+	s.Close() // "crash" after close; a real crash is the torn-tail test
+
+	s2 := openStore(t, dir)
+	profiles, events, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(profiles, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(live) {
+		t.Fatalf("restored %d users, want %d", len(restored), len(live))
+	}
+	for i := 0; i < 25; i++ {
+		probe := randVec()
+		for user, orig := range live {
+			got := restored[user].Score(probe)
+			want := orig.Score(probe)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("user %s probe %d: %v != %v", user, i, got, want)
+			}
+		}
+	}
+	for user, orig := range live {
+		if restored[user].ProfileSize() != orig.ProfileSize() {
+			t.Errorf("user %s size %d != %d", user, restored[user].ProfileSize(), orig.ProfileSize())
+		}
+		if restored[user].Name() != orig.Name() {
+			t.Errorf("user %s learner %s != %s", user, restored[user].Name(), orig.Name())
+		}
+	}
+}
+
+func TestRestoreUnsubscribe(t *testing.T) {
+	events := []Event{
+		{Type: EventSubscribe, User: "alice", Learner: "MM"},
+		{Type: EventSubscribe, User: "bob", Learner: "MM"},
+		{Type: EventUnsubscribe, User: "alice"},
+	}
+	restored, err := Restore(nil, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := restored["alice"]; ok {
+		t.Error("unsubscribed user restored")
+	}
+	if _, ok := restored["bob"]; !ok {
+		t.Error("bob missing")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	if _, err := Restore(nil, []Event{{Type: EventFeedback, User: "ghost"}}); err == nil {
+		t.Error("feedback for unknown user accepted")
+	}
+	if _, err := Restore([]ProfileRecord{{User: "x", Learner: "NoSuch"}}, nil); err == nil {
+		t.Error("unknown learner accepted")
+	}
+	if _, err := Restore([]ProfileRecord{{User: "x", Learner: "MM", Data: []byte{9, 9}}}, nil); err == nil {
+		t.Error("corrupt profile blob accepted")
+	}
+}
+
+func TestUsers(t *testing.T) {
+	profiles := []ProfileRecord{{User: "zed", Learner: "MM"}}
+	events := []Event{
+		{Type: EventSubscribe, User: "alice", Learner: "MM"},
+		{Type: EventUnsubscribe, User: "zed"},
+	}
+	got := Users(profiles, events)
+	if len(got) != 1 || got[0] != "alice" {
+		t.Errorf("Users = %v", got)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	s.Close()
+	if err := s.AppendFeedback("a", vec("x", 1.0), filter.Relevant); err == nil {
+		t.Error("append after close accepted")
+	}
+	if err := s.Snapshot(nil); err == nil {
+		t.Error("snapshot after close accepted")
+	}
+	if err := s.Sync(); err == nil {
+		t.Error("sync after close accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close errored")
+	}
+}
+
+func TestSyncEveryAppend(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendFeedback("a", vec("x", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func FuzzStripHTML(f *testing.F) {
+	seeds := []string{
+		"",
+		"plain text",
+		"<html><head><title>t</title></head><body>x</body></html>",
+		"<script>evil()</script>ok",
+		"<!-- comment -->tail",
+		"&amp;&lt;&gt;&#65;",
+		"<unclosed",
+		"a<b>c</b",
+		"<ScRiPt>X</sCrIpT>done",
+		strings.Repeat("<p>word</p>", 50),
+		"&amp",
+		"<><><>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		out := StripHTML(in) // must not panic or hang
+		// The output never grows beyond the input plus entity expansion
+		// slack (every entity is ≥ its replacement, so no growth at all).
+		if len(out) > len(in) {
+			t.Fatalf("output grew: %d > %d", len(out), len(in))
+		}
+		// Tokenizing the output must also be safe.
+		for _, tok := range Tokenize(out) {
+			for _, r := range tok {
+				if !unicode.IsLower(r) && !unicode.IsLetter(r) {
+					t.Fatalf("bad token %q", tok)
+				}
+			}
+		}
+	})
+}
+
+func FuzzStem(f *testing.F) {
+	for _, s := range []string{"", "a", "running", "caresses", "sky", "yyyy", "eeee", "lll", "bbbbbbb"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		// The stemmer's contract is lower-case ASCII words; filter the
+		// fuzz input down to that domain.
+		var b strings.Builder
+		for _, r := range in {
+			if r >= 'a' && r <= 'z' {
+				b.WriteRune(r)
+			}
+		}
+		w := b.String()
+		if len(w) > 50 {
+			w = w[:50]
+		}
+		out := Stem(w) // must not panic
+		if len(out) > len(w)+1 {
+			t.Fatalf("Stem(%q) grew to %q", w, out)
+		}
+	})
+}

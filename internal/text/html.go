@@ -1,0 +1,147 @@
+// Package text implements the web-page processing pipeline of the paper's
+// Figure 3: HTML tag removal, tokenization, non-word removal, stop-list
+// removal, and Porter stemming. The pipeline converts a raw page into the
+// list of terms that internal/vsm turns into a weighted document vector.
+package text
+
+import "strings"
+
+// htmlVoidContent lists elements whose textual content is not document text
+// and must be dropped entirely, not merely untagged.
+var htmlVoidContent = map[string]bool{
+	"script": true,
+	"style":  true,
+	"head":   true,
+}
+
+// StripHTML removes markup from an HTML page and returns the visible text.
+// Tags are replaced by spaces (so adjacent words never fuse), the contents
+// of <script>, <style> and <head> elements are dropped, comments are
+// removed, and a small set of common character entities is decoded. The
+// implementation is a single forward scan; it is deliberately tolerant of
+// the malformed markup that is typical of web pages.
+func StripHTML(page string) string {
+	var b strings.Builder
+	b.Grow(len(page))
+
+	i := 0
+	n := len(page)
+	skipUntil := "" // closing tag name whose content we are skipping
+
+	for i < n {
+		c := page[i]
+		if c == '<' {
+			// Comment?
+			if strings.HasPrefix(page[i:], "<!--") {
+				end := strings.Index(page[i+4:], "-->")
+				if end < 0 {
+					break // unterminated comment: drop the rest
+				}
+				i += 4 + end + 3
+				b.WriteByte(' ')
+				continue
+			}
+			// Find the end of the tag.
+			end := strings.IndexByte(page[i:], '>')
+			if end < 0 {
+				break // unterminated tag: drop the rest
+			}
+			tag := page[i+1 : i+end]
+			i += end + 1
+			b.WriteByte(' ')
+
+			name, closing := tagName(tag)
+			if skipUntil != "" {
+				if closing && name == skipUntil {
+					skipUntil = ""
+				}
+				continue
+			}
+			if !closing && htmlVoidContent[name] {
+				skipUntil = name
+			}
+			continue
+		}
+		if skipUntil != "" {
+			i++
+			continue
+		}
+		if c == '&' {
+			if rep, adv := decodeEntity(page[i:]); adv > 0 {
+				b.WriteString(rep)
+				i += adv
+				continue
+			}
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+// tagName extracts the lower-cased element name from the inside of a tag
+// and reports whether the tag is a closing tag.
+func tagName(tag string) (name string, closing bool) {
+	tag = strings.TrimSpace(tag)
+	if strings.HasPrefix(tag, "/") {
+		closing = true
+		tag = strings.TrimSpace(tag[1:])
+	}
+	end := 0
+	for end < len(tag) {
+		c := tag[end]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '/' || c == '>' {
+			break
+		}
+		end++
+	}
+	return strings.ToLower(tag[:end]), closing
+}
+
+// entities maps the character references that occur frequently enough on web
+// pages to matter for term extraction. Unknown references are left intact
+// and later discarded by the tokenizer as non-words.
+var entities = map[string]string{
+	"amp":    "&",
+	"lt":     "<",
+	"gt":     ">",
+	"quot":   `"`,
+	"apos":   "'",
+	"nbsp":   " ",
+	"mdash":  " ",
+	"ndash":  " ",
+	"hellip": " ",
+	"copy":   " ",
+	"reg":    " ",
+	"trade":  " ",
+}
+
+// decodeEntity decodes a character reference at the start of s. It returns
+// the replacement text and the number of input bytes consumed, or adv == 0
+// if s does not start with a recognizable reference.
+func decodeEntity(s string) (rep string, adv int) {
+	if len(s) < 3 || s[0] != '&' {
+		return "", 0
+	}
+	semi := strings.IndexByte(s[:min(len(s), 12)], ';')
+	if semi < 0 {
+		return "", 0
+	}
+	body := s[1:semi]
+	if len(body) > 1 && body[0] == '#' {
+		// Numeric references decode to a space: they are almost never part
+		// of an indexable term.
+		return " ", semi + 1
+	}
+	if rep, ok := entities[strings.ToLower(body)]; ok {
+		return rep, semi + 1
+	}
+	return "", 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

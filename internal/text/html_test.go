@@ -1,0 +1,156 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStripHTMLBasic(t *testing.T) {
+	in := `<html><head><title>ignored</title></head><body><h1>Data Delivery</h1><p>user profiles</p></body></html>`
+	out := StripHTML(in)
+	if strings.Contains(out, "ignored") {
+		t.Errorf("head content not removed: %q", out)
+	}
+	for _, want := range []string{"Data Delivery", "user profiles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	if strings.ContainsAny(out, "<>") {
+		t.Errorf("markup left in output: %q", out)
+	}
+}
+
+func TestStripHTMLScriptStyle(t *testing.T) {
+	in := `<p>keep</p><script type="text/javascript">var hidden = 1;</script><style>.x{color:red}</style><p>also keep</p>`
+	out := StripHTML(in)
+	for _, banned := range []string{"hidden", "color", "red"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("script/style content leaked: %q in %q", banned, out)
+		}
+	}
+	if !strings.Contains(out, "keep") || !strings.Contains(out, "also keep") {
+		t.Errorf("visible text lost: %q", out)
+	}
+}
+
+func TestStripHTMLComments(t *testing.T) {
+	out := StripHTML(`before<!-- secret comment -->after`)
+	if strings.Contains(out, "secret") {
+		t.Errorf("comment content leaked: %q", out)
+	}
+	if !strings.Contains(out, "before") || !strings.Contains(out, "after") {
+		t.Errorf("surrounding text lost: %q", out)
+	}
+}
+
+func TestStripHTMLEntities(t *testing.T) {
+	out := StripHTML(`fish &amp; chips &lt;tag&gt; caf&#233;`)
+	if !strings.Contains(out, "fish & chips") {
+		t.Errorf("&amp; not decoded: %q", out)
+	}
+	if !strings.Contains(out, "<tag>") {
+		t.Errorf("&lt;/&gt; not decoded: %q", out)
+	}
+}
+
+func TestStripHTMLWordBoundaries(t *testing.T) {
+	// Tags must not fuse adjacent words.
+	out := StripHTML(`<td>alpha</td><td>beta</td>`)
+	toks := Tokenize(out)
+	want := []string{"alpha", "beta"}
+	if len(toks) != 2 || toks[0] != want[0] || toks[1] != want[1] {
+		t.Errorf("Tokenize(StripHTML) = %v, want %v", toks, want)
+	}
+}
+
+func TestStripHTMLMalformed(t *testing.T) {
+	// Unterminated tags and comments must not panic or loop.
+	for _, in := range []string{"<unclosed", "text<!-- never closed", "<>", "a<b", "&amp"} {
+		_ = StripHTML(in) // must terminate
+	}
+	if got := StripHTML("tail<unclosed tag"); !strings.Contains(got, "tail") {
+		t.Errorf("text before unterminated tag lost: %q", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The user's 42 Pro-files, DELIVERED!")
+	want := []string{"the", "users", "pro", "files", "delivered"}
+	if len(toks) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestIsWord(t *testing.T) {
+	cases := map[string]bool{
+		"a":                     false,
+		"ab":                    true,
+		"information":           true,
+		strings.Repeat("x", 25): true,
+		strings.Repeat("x", 26): false,
+	}
+	for in, want := range cases {
+		if got := IsWord(in); got != want {
+			t.Errorf("IsWord(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "www"} {
+		if !IsStopWord(w) {
+			t.Errorf("expected %q to be a stop word", w)
+		}
+	}
+	for _, w := range []string{"profile", "delivery", "cluster"} {
+		if IsStopWord(w) {
+			t.Errorf("did not expect %q to be a stop word", w)
+		}
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p := NewPipeline()
+	page := `<html><head><title>x</title></head><body>
+	<h1>Adaptive Profiles</h1>
+	<p>The system adapts user profiles using relevance feedback.</p>
+	<script>ignore();</script></body></html>`
+	terms := p.Terms(page)
+	if len(terms) == 0 {
+		t.Fatal("pipeline produced no terms")
+	}
+	counts := map[string]int{}
+	for _, tm := range terms {
+		counts[tm]++
+	}
+	// "Profiles" and "profiles" stem to the same term and occur twice.
+	if counts[Stem("profiles")] != 2 {
+		t.Errorf("expected stemmed 'profiles' twice, got counts %v", counts)
+	}
+	if counts["the"] != 0 {
+		t.Errorf("stop word survived: %v", counts)
+	}
+	if counts["ignore"] != 0 {
+		t.Errorf("script content survived: %v", counts)
+	}
+}
+
+func TestPipelineStagesToggle(t *testing.T) {
+	p := &Pipeline{StripMarkup: false, RemoveStopWords: false, StemTerms: false}
+	terms := p.Terms("the running dogs")
+	want := []string{"the", "running", "dogs"}
+	if len(terms) != len(want) {
+		t.Fatalf("terms = %v, want %v", terms, want)
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Errorf("term %d = %q, want %q", i, terms[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package text
+
+// Pipeline converts raw pages into term lists following the paper's
+// Figure 3: remove HTML tags → tokenize plain text → remove non-words →
+// remove stop words → stem. Each step can be disabled for experimentation;
+// the zero value is not usable, construct with NewPipeline.
+type Pipeline struct {
+	// StripMarkup controls the HTML-tag-removal stage. Disable when the
+	// input is already plain text.
+	StripMarkup bool
+	// RemoveStopWords controls stop-list removal.
+	RemoveStopWords bool
+	// StemTerms controls Porter stemming.
+	StemTerms bool
+}
+
+// NewPipeline returns the full pipeline of Figure 3 with every stage
+// enabled.
+func NewPipeline() *Pipeline {
+	return &Pipeline{StripMarkup: true, RemoveStopWords: true, StemTerms: true}
+}
+
+// Terms runs the pipeline over one page and returns its terms in document
+// order (duplicates preserved; term frequencies are counted downstream by
+// the vector-space layer).
+func (p *Pipeline) Terms(page string) []string {
+	body := page
+	if p.StripMarkup {
+		body = StripHTML(page)
+	}
+	toks := Tokenize(body)
+	terms := toks[:0]
+	for _, tok := range toks {
+		if !IsWord(tok) {
+			continue
+		}
+		if p.RemoveStopWords && IsStopWord(tok) {
+			continue
+		}
+		if p.StemTerms {
+			tok = Stem(tok)
+		}
+		if tok == "" {
+			continue
+		}
+		terms = append(terms, tok)
+	}
+	return terms
+}

@@ -1,0 +1,183 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStemKnownVectors checks the stemmer against examples taken directly
+// from Porter's 1980 paper and from the reference implementation's
+// vocabulary.
+func TestStemKnownVectors(t *testing.T) {
+	cases := map[string]string{
+		// plurals / step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// step 5
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// whole-word sanity
+		"computers":    "comput",
+		"computation":  "comput",
+		"computing":    "comput",
+		"university":   "univers",
+		"universities": "univers",
+		"profiles":     "profil",
+		"profiling":    "profil",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestStemShortWords verifies that words shorter than three letters are
+// untouched.
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// TestStemIdempotent checks the practical property that re-stemming a stem
+// of common morphological families is stable. (Porter is not idempotent on
+// all of English, but conflation families used by the corpus must be.)
+func TestStemIdempotent(t *testing.T) {
+	words := []string{
+		"computers", "running", "nationalization", "adjustments",
+		"happiness", "libraries", "profiles", "delivering",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+// TestStemConflatesFamilies checks that morphological variants conflate to
+// a single stem — the property the vector space model relies on.
+func TestStemConflatesFamilies(t *testing.T) {
+	families := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"compute", "computing", "computation", "computer", "computers"},
+		{"adapt", "adapted", "adapting", "adaptation"},
+	}
+	for _, fam := range families {
+		want := Stem(fam[0])
+		for _, w := range fam[1:] {
+			if got := Stem(w); got != want {
+				t.Errorf("family %v: Stem(%q) = %q, want %q", fam, w, got, want)
+			}
+		}
+	}
+}
+
+// TestStemNeverGrows property-tests that stemming never lengthens a word by
+// more than one letter (the only growth case is restoring a final 'e') and
+// always returns lower-case letters when fed lower-case letters.
+func TestStemNeverGrows(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build a lower-case word from the fuzz input.
+		w := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, 'a'+b%26)
+		}
+		if len(w) > 30 {
+			w = w[:30]
+		}
+		out := Stem(string(w))
+		if len(out) > len(w)+1 {
+			return false
+		}
+		for i := 0; i < len(out); i++ {
+			if out[i] < 'a' || out[i] > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

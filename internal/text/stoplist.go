@@ -1,0 +1,62 @@
+package text
+
+// stopWords is a classic English stop list (van Rijsbergen's list with a few
+// web-era additions such as "www" and "http"). Stop-list removal happens
+// after tokenization and before stemming, per the paper's Figure 3.
+var stopWords = map[string]bool{}
+
+func init() {
+	for _, w := range stopWordList {
+		stopWords[w] = true
+	}
+}
+
+// IsStopWord reports whether tok appears on the stop list. The check is
+// case-sensitive and expects the lower-cased tokens produced by Tokenize.
+func IsStopWord(tok string) bool {
+	return stopWords[tok]
+}
+
+var stopWordList = []string{
+	"a", "about", "above", "across", "after", "afterwards", "again",
+	"against", "all", "almost", "alone", "along", "already", "also",
+	"although", "always", "am", "among", "amongst", "an", "and", "another",
+	"any", "anyhow", "anyone", "anything", "anyway", "anywhere", "are",
+	"around", "as", "at", "back", "be", "became", "because", "become",
+	"becomes", "becoming", "been", "before", "beforehand", "behind",
+	"being", "below", "beside", "besides", "between", "beyond", "both",
+	"but", "by", "can", "cannot", "could", "did", "do", "does", "doing",
+	"done", "down", "during", "each", "eg", "eight", "either", "else",
+	"elsewhere", "enough", "etc", "even", "ever", "every", "everyone",
+	"everything", "everywhere", "except", "few", "fifteen", "fifty",
+	"first", "five", "for", "former", "formerly", "forty", "four", "from",
+	"front", "full", "further", "get", "give", "go", "had", "has", "have",
+	"he", "hence", "her", "here", "hereafter", "hereby", "herein",
+	"hereupon", "hers", "herself", "him", "himself", "his", "how",
+	"however", "hundred", "ie", "if", "in", "inc", "indeed", "into", "is",
+	"it", "its", "itself", "last", "latter", "latterly", "least", "less",
+	"ltd", "made", "many", "may", "me", "meanwhile", "might", "mine",
+	"more", "moreover", "most", "mostly", "much", "must", "my", "myself",
+	"namely", "neither", "never", "nevertheless", "next", "nine", "no",
+	"nobody", "none", "noone", "nor", "not", "nothing", "now", "nowhere",
+	"of", "off", "often", "on", "once", "one", "only", "onto", "or",
+	"other", "others", "otherwise", "our", "ours", "ourselves", "out",
+	"over", "own", "per", "perhaps", "please", "put", "rather", "re",
+	"same", "seem", "seemed", "seeming", "seems", "several", "she",
+	"should", "since", "six", "sixty", "so", "some", "somehow", "someone",
+	"something", "sometime", "sometimes", "somewhere", "still", "such",
+	"ten", "than", "that", "the", "their", "theirs", "them", "themselves",
+	"then", "thence", "there", "thereafter", "thereby", "therefore",
+	"therein", "thereupon", "these", "they", "third", "this", "those",
+	"though", "three", "through", "throughout", "thru", "thus", "to",
+	"together", "too", "toward", "towards", "twelve", "twenty", "two",
+	"under", "until", "up", "upon", "us", "very", "via", "was", "we",
+	"well", "were", "what", "whatever", "when", "whence", "whenever",
+	"where", "whereafter", "whereas", "whereby", "wherein", "whereupon",
+	"wherever", "whether", "which", "while", "whither", "who", "whoever",
+	"whole", "whom", "whose", "why", "will", "with", "within", "without",
+	"would", "yet", "you", "your", "yours", "yourself", "yourselves",
+	// Web-era additions: navigation chrome that survives HTML stripping.
+	"www", "http", "https", "html", "htm", "com", "org", "net", "edu",
+	"click", "page", "home", "site", "web",
+}

@@ -1,0 +1,42 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits plain text into lower-cased word tokens. A token is a
+// maximal run of letters; digits and punctuation act as separators, which
+// implements the "remove non-words" step of the paper's pipeline. Embedded
+// apostrophes are dropped ("user's" tokenizes to "users") so that
+// possessives stem together with their noun.
+func Tokenize(s string) []string {
+	tokens := make([]string, 0, len(s)/6)
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r):
+			cur.WriteRune(unicode.ToLower(r))
+		case r == '\'':
+			// skip: joins the surrounding letters
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// IsWord reports whether a token passes the non-word filter: between 2 and
+// 25 letters. One-letter tokens are markup noise ("a" is a stop word
+// anyway) and very long tokens are almost always artifacts such as
+// concatenated URLs.
+func IsWord(tok string) bool {
+	return len(tok) >= 2 && len(tok) <= 25
+}

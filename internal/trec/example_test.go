@@ -1,0 +1,29 @@
+package trec_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mmprofile/internal/trec"
+)
+
+// Example evaluates a tiny run against qrels — the trec_eval workflow
+// in-process.
+func Example() {
+	run, err := trec.ReadRun(strings.NewReader(
+		"T1 Q0 doc2 1 0.9 demo\nT1 Q0 doc1 2 0.8 demo\nT1 Q0 doc3 3 0.1 demo\n"))
+	if err != nil {
+		panic(err)
+	}
+	qrels, err := trec.ReadQrels(strings.NewReader(
+		"T1 0 doc1 1\nT1 0 doc2 1\nT1 0 doc3 0\n"))
+	if err != nil {
+		panic(err)
+	}
+	results, mean := trec.Evaluate(run, qrels)
+	fmt.Printf("topics evaluated: %d\n", len(results))
+	fmt.Printf("mean niap: %.2f\n", mean.NIAP)
+	// Output:
+	// topics evaluated: 1
+	// mean niap: 1.00
+}

@@ -1,0 +1,210 @@
+// Package trec reads and writes the TREC exchange formats the paper's
+// evaluation methodology (Section 4.3) is modelled on: run files (ranked
+// results, one line per document: topic, docno, rank, score, tag) and
+// qrels (relevance judgments: topic, docno, relevance). They make this
+// repository's rankings interoperable with standard IR tooling
+// (trec_eval) and let external rankings be scored with our metrics.
+package trec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mmprofile/internal/eval"
+)
+
+// RunEntry is one line of a run file.
+type RunEntry struct {
+	Topic string
+	DocNo string
+	Rank  int
+	Score float64
+	Tag   string
+}
+
+// Run is a full run: entries grouped by topic, ranked best-first.
+type Run map[string][]RunEntry
+
+// Qrels maps topic → docno → relevant.
+type Qrels map[string]map[string]bool
+
+// WriteRun emits entries in the standard 6-column format
+// "topic Q0 docno rank score tag". Entries are sorted by topic, then rank.
+func WriteRun(w io.Writer, run Run) error {
+	topics := make([]string, 0, len(run))
+	for t := range run {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	for _, t := range topics {
+		entries := append([]RunEntry(nil), run[t]...)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Rank < entries[j].Rank })
+		for _, e := range entries {
+			tag := e.Tag
+			if tag == "" {
+				tag = "mmprofile"
+			}
+			if _, err := fmt.Fprintf(w, "%s Q0 %s %d %.6f %s\n", e.Topic, e.DocNo, e.Rank, e.Score, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadRun parses a run file; lines must have the 6-column layout. Ranks
+// are taken from the file (re-ranking by score is the consumer's choice).
+func ReadRun(r io.Reader) (Run, error) {
+	run := Run{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("trec: run line %d: %d fields, want 6", line, len(fields))
+		}
+		rank, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trec: run line %d: bad rank %q", line, fields[3])
+		}
+		score, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trec: run line %d: bad score %q", line, fields[4])
+		}
+		e := RunEntry{Topic: fields[0], DocNo: fields[2], Rank: rank, Score: score, Tag: fields[5]}
+		run[e.Topic] = append(run[e.Topic], e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trec: %w", err)
+	}
+	for t := range run {
+		es := run[t]
+		sort.Slice(es, func(i, j int) bool { return es[i].Rank < es[j].Rank })
+	}
+	return run, nil
+}
+
+// WriteQrels emits judgments in the standard 4-column format
+// "topic 0 docno rel".
+func WriteQrels(w io.Writer, q Qrels) error {
+	topics := make([]string, 0, len(q))
+	for t := range q {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	for _, t := range topics {
+		docs := make([]string, 0, len(q[t]))
+		for d := range q[t] {
+			docs = append(docs, d)
+		}
+		sort.Strings(docs)
+		for _, d := range docs {
+			rel := 0
+			if q[t][d] {
+				rel = 1
+			}
+			if _, err := fmt.Fprintf(w, "%s 0 %s %d\n", t, d, rel); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadQrels parses a qrels file; any positive relevance grade counts as
+// relevant (TREC's binary-collapse convention).
+func ReadQrels(r io.Reader) (Qrels, error) {
+	q := Qrels{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trec: qrels line %d: %d fields, want 4", line, len(fields))
+		}
+		rel, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trec: qrels line %d: bad relevance %q", line, fields[3])
+		}
+		if q[fields[0]] == nil {
+			q[fields[0]] = map[string]bool{}
+		}
+		q[fields[0]][fields[2]] = rel > 0
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trec: %w", err)
+	}
+	return q, nil
+}
+
+// TopicResult is one topic's evaluation.
+type TopicResult struct {
+	Topic   string
+	Metrics eval.RankedMetrics
+}
+
+// Evaluate scores a run against qrels, per topic plus the mean, exactly as
+// trec_eval's headline numbers do. Topics in the run with no qrels entry
+// are skipped; judged documents missing from the run simply never appear
+// in the ranking (hurting recall-sensitive metrics, as they should).
+func Evaluate(run Run, qrels Qrels) ([]TopicResult, eval.RankedMetrics) {
+	var results []TopicResult
+	topics := make([]string, 0, len(run))
+	for t := range run {
+		if _, ok := qrels[t]; ok {
+			topics = append(topics, t)
+		}
+	}
+	sort.Strings(topics)
+	var meanNIAP, meanRP float64
+	meanPAt := map[int]float64{}
+	for _, t := range topics {
+		flags := make([]bool, len(run[t]))
+		for i, e := range run[t] {
+			flags[i] = qrels[t][e.DocNo]
+		}
+		m := eval.Metrics(flags)
+		// The denominator for niap must count ALL relevant docs for the
+		// topic, including those the run missed.
+		totalRel := 0
+		for _, rel := range qrels[t] {
+			if rel {
+				totalRel++
+			}
+		}
+		if totalRel > m.Relevant && m.Relevant > 0 {
+			m.NIAP = m.NIAP * float64(m.Relevant) / float64(totalRel)
+		}
+		if totalRel > 0 && m.Relevant == 0 {
+			m.NIAP = 0
+		}
+		results = append(results, TopicResult{Topic: t, Metrics: m})
+		meanNIAP += m.NIAP
+		meanRP += m.RPrecision
+		for k, v := range m.PrecisionAt {
+			meanPAt[k] += v
+		}
+	}
+	mean := eval.RankedMetrics{PrecisionAt: map[int]float64{}}
+	if len(results) > 0 {
+		n := float64(len(results))
+		mean.NIAP = meanNIAP / n
+		mean.RPrecision = meanRP / n
+		for k, v := range meanPAt {
+			mean.PrecisionAt[k] = v / n
+		}
+	}
+	return results, mean
+}

@@ -1,0 +1,148 @@
+package trec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `T1 Q0 doc3 1 0.900000 tag
+T1 Q0 doc1 2 0.800000 tag
+T1 Q0 doc2 3 0.700000 tag
+T2 Q0 doc9 1 0.500000 tag
+`
+
+const sampleQrels = `T1 0 doc1 1
+T1 0 doc2 0
+T1 0 doc3 1
+T2 0 doc9 0
+T2 0 doc8 1
+`
+
+func TestReadRun(t *testing.T) {
+	run, err := ReadRun(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run) != 2 || len(run["T1"]) != 3 {
+		t.Fatalf("run = %+v", run)
+	}
+	if run["T1"][0].DocNo != "doc3" || run["T1"][0].Score != 0.9 {
+		t.Errorf("first entry = %+v", run["T1"][0])
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	run, err := ReadRun(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := WriteRun(&out, run); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadRun(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for topic, entries := range run {
+		if len(again[topic]) != len(entries) {
+			t.Fatalf("topic %s: %d vs %d entries", topic, len(again[topic]), len(entries))
+		}
+		for i := range entries {
+			if again[topic][i] != entries[i] {
+				t.Errorf("topic %s entry %d: %+v vs %+v", topic, i, again[topic][i], entries[i])
+			}
+		}
+	}
+}
+
+func TestReadRunErrors(t *testing.T) {
+	if _, err := ReadRun(strings.NewReader("too few fields\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := ReadRun(strings.NewReader("T1 Q0 d x 0.5 tag\n")); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := ReadRun(strings.NewReader("T1 Q0 d 1 zz tag\n")); err == nil {
+		t.Error("bad score accepted")
+	}
+	run, err := ReadRun(strings.NewReader("\n\n"))
+	if err != nil || len(run) != 0 {
+		t.Errorf("blank lines: %v %v", run, err)
+	}
+}
+
+func TestQrelsRoundTrip(t *testing.T) {
+	q, err := ReadQrels(strings.NewReader(sampleQrels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q["T1"]["doc1"] || q["T1"]["doc2"] || !q["T2"]["doc8"] {
+		t.Fatalf("qrels = %+v", q)
+	}
+	var out strings.Builder
+	if err := WriteQrels(&out, q); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadQrels(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for topic := range q {
+		for doc, rel := range q[topic] {
+			if again[topic][doc] != rel {
+				t.Errorf("%s/%s: %v vs %v", topic, doc, again[topic][doc], rel)
+			}
+		}
+	}
+}
+
+func TestReadQrelsErrors(t *testing.T) {
+	if _, err := ReadQrels(strings.NewReader("T1 0 doc\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := ReadQrels(strings.NewReader("T1 0 doc x\n")); err == nil {
+		t.Error("bad relevance accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	run, _ := ReadRun(strings.NewReader(sampleRun))
+	qrels, _ := ReadQrels(strings.NewReader(sampleQrels))
+	results, mean := Evaluate(run, qrels)
+	if len(results) != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	// T1: ranking doc3(rel), doc1(rel), doc2(not) → niap = 1.
+	if got := results[0].Metrics.NIAP; math.Abs(got-1) > 1e-9 {
+		t.Errorf("T1 niap = %v", got)
+	}
+	// T2: run has doc9 (not relevant); doc8 (relevant) missing → niap 0.
+	if got := results[1].Metrics.NIAP; got != 0 {
+		t.Errorf("T2 niap = %v", got)
+	}
+	if math.Abs(mean.NIAP-0.5) > 1e-9 {
+		t.Errorf("mean niap = %v", mean.NIAP)
+	}
+}
+
+func TestEvaluatePenalizesMissedRelevant(t *testing.T) {
+	// Run finds 1 of 2 relevant docs at rank 1: precision at that point is
+	// 1, but niap must be halved by the missed document.
+	run, _ := ReadRun(strings.NewReader("T1 Q0 a 1 0.9 x\n"))
+	qrels, _ := ReadQrels(strings.NewReader("T1 0 a 1\nT1 0 b 1\n"))
+	_, mean := Evaluate(run, qrels)
+	if math.Abs(mean.NIAP-0.5) > 1e-9 {
+		t.Errorf("niap = %v, want 0.5", mean.NIAP)
+	}
+}
+
+func TestEvaluateSkipsUnjudgedTopics(t *testing.T) {
+	run, _ := ReadRun(strings.NewReader("T9 Q0 a 1 0.9 x\n"))
+	qrels, _ := ReadQrels(strings.NewReader("T1 0 a 1\n"))
+	results, mean := Evaluate(run, qrels)
+	if len(results) != 0 || mean.NIAP != 0 {
+		t.Errorf("unjudged topic evaluated: %+v", results)
+	}
+}

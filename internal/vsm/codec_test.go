@@ -1,0 +1,91 @@
+package vsm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorCodecRoundTrip(t *testing.T) {
+	cases := []Vector{
+		{},
+		vec("a", 1.0),
+		vec("alpha", 0.25, "beta", 0.5, "gamma", 1.25),
+	}
+	for _, v := range cases {
+		buf := AppendVector(nil, v)
+		got, rest, err := DecodeVector(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode left %d bytes", len(rest))
+		}
+		if !reflect.DeepEqual(got.ToMap(), v.ToMap()) {
+			t.Errorf("round trip: got %v want %v", got.ToMap(), v.ToMap())
+		}
+	}
+}
+
+func TestVectorCodecConcatenation(t *testing.T) {
+	a := vec("x", 1.0)
+	b := vec("y", 2.0, "z", 3.0)
+	buf := AppendVector(AppendVector(nil, a), b)
+	gotA, rest, err := DecodeVector(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := DecodeVector(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+	if !reflect.DeepEqual(gotA.ToMap(), a.ToMap()) || !reflect.DeepEqual(gotB.ToMap(), b.ToMap()) {
+		t.Error("concatenated vectors corrupted")
+	}
+}
+
+func TestVectorCodecRejectsCorruption(t *testing.T) {
+	buf := AppendVector(nil, vec("alpha", 1.0, "beta", 2.0))
+	// Truncations at every length must error, never panic.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeVector(buf[:cut]); err == nil && cut < len(buf) {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Unsorted terms are rejected.
+	bad := AppendVector(nil, Vector{Terms: []string{"b", "a"}, Weights: []float64{1, 2}})
+	if _, _, err := DecodeVector(bad); err == nil {
+		t.Error("unsorted vector accepted")
+	}
+}
+
+func TestVectorCodecPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		m := map[string]float64{}
+		for i := 0; i < int(n%40); i++ {
+			m[randTerm(rng)] = rng.Float64()*10 + 0.001
+		}
+		v := FromMap(m)
+		got, rest, err := DecodeVector(AppendVector(nil, v))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return reflect.DeepEqual(got.ToMap(), v.ToMap())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randTerm(rng *rand.Rand) string {
+	b := make([]byte, 1+rng.Intn(10))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

@@ -1,0 +1,49 @@
+package vsm_test
+
+import (
+	"fmt"
+
+	"mmprofile/internal/vsm"
+)
+
+// Example shows the document-vectorization path: term list → collection
+// statistics → weighted, truncated, normalized vector → cosine scoring.
+func Example() {
+	stats := vsm.NewStats()
+	docs := [][]string{
+		{"cat", "cat", "dog"},
+		{"cat", "fish"},
+		{"stock", "bond"},
+	}
+	for _, terms := range docs {
+		stats.Add(terms)
+	}
+	w := vsm.Bel{Stats: stats}
+
+	a := vsm.DocumentVector(docs[0], w)
+	b := vsm.DocumentVector(docs[1], w)
+	c := vsm.DocumentVector(docs[2], w)
+
+	fmt.Printf("norm(a) = %.1f\n", a.Norm())
+	fmt.Printf("sim(a,b) > sim(a,c): %v\n", vsm.Cosine(a, b) > vsm.Cosine(a, c))
+	// Output:
+	// norm(a) = 1.0
+	// sim(a,b) > sim(a,c): true
+}
+
+// ExampleCombine demonstrates linear combination with non-negativity
+// clamping, the primitive behind every profile update in the module.
+func ExampleCombine() {
+	p := vsm.FromMap(map[string]float64{"cat": 0.8, "dog": 0.6})
+	d := vsm.FromMap(map[string]float64{"cat": 0.5, "bird": 0.5})
+	moved := vsm.Combine(p, 0.8, d, 0.2) // p ← 0.8·p + 0.2·d
+	fmt.Printf("cat=%.2f dog=%.2f bird=%.2f\n",
+		moved.Weight("cat"), moved.Weight("dog"), moved.Weight("bird"))
+
+	away := vsm.Combine(p, 1, d, -2) // push away hard: cat clamps to 0
+	fmt.Printf("after negative move, cat=%.2f dog=%.2f\n",
+		away.Weight("cat"), away.Weight("dog"))
+	// Output:
+	// cat=0.74 dog=0.48 bird=0.10
+	// after negative move, cat=0.00 dog=0.60
+}

@@ -1,0 +1,61 @@
+package vsm
+
+// Stats accumulates the collection statistics that weighting schemes need:
+// the number of documents N, per-term document frequencies df_t, and the
+// average document length. The paper computes these with a prior pass over
+// the collection (Section 5.1, footnote 4) but notes that a real filtering
+// system must gather them incrementally; Stats supports both uses — call
+// Add for every document as it arrives, or over the whole collection up
+// front.
+type Stats struct {
+	n        int
+	df       map[string]int
+	totalLen int
+}
+
+// NewStats returns empty collection statistics.
+func NewStats() *Stats {
+	return &Stats{df: make(map[string]int)}
+}
+
+// Add observes one document given as its (post-pipeline) term list,
+// updating N, document frequencies, and the running average length.
+func (s *Stats) Add(terms []string) {
+	s.n++
+	s.totalLen += len(terms)
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			s.df[t]++
+		}
+	}
+}
+
+// N returns the number of documents observed.
+func (s *Stats) N() int { return s.n }
+
+// DF returns the document frequency of term t.
+func (s *Stats) DF(t string) int { return s.df[t] }
+
+// VocabularySize returns the number of distinct terms observed.
+func (s *Stats) VocabularySize() int { return len(s.df) }
+
+// AvgLen returns the average document length in terms; it is 0 before any
+// document has been observed.
+func (s *Stats) AvgLen() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.totalLen) / float64(s.n)
+}
+
+// Clone returns an independent copy of the statistics, used to freeze a
+// snapshot for evaluation while the live copy keeps accumulating.
+func (s *Stats) Clone() *Stats {
+	df := make(map[string]int, len(s.df))
+	for t, c := range s.df {
+		df[t] = c
+	}
+	return &Stats{n: s.n, df: df, totalLen: s.totalLen}
+}

@@ -1,0 +1,268 @@
+// Package vsm implements the vector space model of the paper's Section 2.1:
+// sparse term-weight vectors, tf·idf and Allan-style bel weighting, cosine
+// similarity, length normalization, top-K truncation, and (incrementally
+// maintainable) collection statistics.
+package vsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse term-weight vector. Terms are kept sorted
+// lexicographically with parallel weights, which makes dot products and
+// linear combinations linear-time merges. The zero value is the empty
+// vector.
+type Vector struct {
+	Terms   []string
+	Weights []float64
+}
+
+// FromMap builds a Vector from a term→weight map, dropping non-positive
+// weights.
+func FromMap(m map[string]float64) Vector {
+	terms := make([]string, 0, len(m))
+	for t, w := range m {
+		if w > 0 {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+	weights := make([]float64, len(terms))
+	for i, t := range terms {
+		weights[i] = m[t]
+	}
+	return Vector{Terms: terms, Weights: weights}
+}
+
+// ToMap returns the vector's entries as a term→weight map.
+func (v Vector) ToMap() map[string]float64 {
+	m := make(map[string]float64, len(v.Terms))
+	for i, t := range v.Terms {
+		m[t] = v.Weights[i]
+	}
+	return m
+}
+
+// Len returns the number of non-zero terms.
+func (v Vector) Len() int { return len(v.Terms) }
+
+// IsZero reports whether the vector has no terms.
+func (v Vector) IsZero() bool { return len(v.Terms) == 0 }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	return Vector{
+		Terms:   append([]string(nil), v.Terms...),
+		Weights: append([]float64(nil), v.Weights...),
+	}
+}
+
+// Weight returns the weight of term t, or 0 when absent.
+func (v Vector) Weight(t string) float64 {
+	i := sort.SearchStrings(v.Terms, t)
+	if i < len(v.Terms) && v.Terms[i] == t {
+		return v.Weights[i]
+	}
+	return 0
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, w := range v.Weights {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Normalized returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vector) Normalized() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	out := v.Clone()
+	for i := range out.Weights {
+		out.Weights[i] /= n
+	}
+	return out
+}
+
+// Scaled returns c·v.
+func (v Vector) Scaled(c float64) Vector {
+	out := v.Clone()
+	for i := range out.Weights {
+		out.Weights[i] *= c
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Terms) && j < len(b.Terms) {
+		switch strings.Compare(a.Terms[i], b.Terms[j]) {
+		case 0:
+			s += a.Weights[i] * b.Weights[j]
+			i++
+			j++
+		case -1:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b in [−1, 1]; it is 0 when
+// either vector is zero. With the non-negative weights used throughout the
+// paper the result lies in [0, 1].
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Combine returns ca·a + cb·b. Entries whose combined weight is ≤ 0 are
+// dropped: negative weights arise only from negative relevance feedback and
+// are clamped per standard Rocchio practice (see DESIGN.md).
+func Combine(a Vector, ca float64, b Vector, cb float64) Vector {
+	terms := make([]string, 0, len(a.Terms)+len(b.Terms))
+	weights := make([]float64, 0, len(a.Terms)+len(b.Terms))
+	push := func(t string, w float64) {
+		if w > 1e-12 {
+			terms = append(terms, t)
+			weights = append(weights, w)
+		}
+	}
+	i, j := 0, 0
+	for i < len(a.Terms) && j < len(b.Terms) {
+		switch strings.Compare(a.Terms[i], b.Terms[j]) {
+		case 0:
+			push(a.Terms[i], ca*a.Weights[i]+cb*b.Weights[j])
+			i++
+			j++
+		case -1:
+			push(a.Terms[i], ca*a.Weights[i])
+			i++
+		default:
+			push(b.Terms[j], cb*b.Weights[j])
+			j++
+		}
+	}
+	for ; i < len(a.Terms); i++ {
+		push(a.Terms[i], ca*a.Weights[i])
+	}
+	for ; j < len(b.Terms); j++ {
+		push(b.Terms[j], cb*b.Weights[j])
+	}
+	return Vector{Terms: terms, Weights: weights}
+}
+
+// Truncated returns v restricted to its k highest-weighted terms (ties
+// broken lexicographically for determinism). The paper keeps at most 100
+// terms per document and profile vector.
+func (v Vector) Truncated(k int) Vector {
+	if v.Len() <= k {
+		return v
+	}
+	type entry struct {
+		term string
+		w    float64
+	}
+	entries := make([]entry, v.Len())
+	for i, t := range v.Terms {
+		entries[i] = entry{t, v.Weights[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].w != entries[j].w {
+			return entries[i].w > entries[j].w
+		}
+		return entries[i].term < entries[j].term
+	})
+	entries = entries[:k]
+	sort.Slice(entries, func(i, j int) bool { return entries[i].term < entries[j].term })
+	out := Vector{
+		Terms:   make([]string, k),
+		Weights: make([]float64, k),
+	}
+	for i, e := range entries {
+		out.Terms[i] = e.term
+		out.Weights[i] = e.w
+	}
+	return out
+}
+
+// TopTerms returns the k highest-weighted terms in descending weight order,
+// useful for inspecting what concept a profile vector represents.
+func (v Vector) TopTerms(k int) []string {
+	t := v.Truncated(min(k, v.Len()))
+	type entry struct {
+		term string
+		w    float64
+	}
+	entries := make([]entry, t.Len())
+	for i := range t.Terms {
+		entries[i] = entry{t.Terms[i], t.Weights[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].w != entries[j].w {
+			return entries[i].w > entries[j].w
+		}
+		return entries[i].term < entries[j].term
+	})
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.term
+	}
+	return out
+}
+
+// String renders the vector's leading terms for debugging.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range v.TopTerms(5) {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%.3f", t, v.Weight(t))
+	}
+	if v.Len() > 5 {
+		fmt.Fprintf(&b, ", …%d terms", v.Len())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// valid reports whether the vector invariants hold (sorted unique terms,
+// positive finite weights, equal lengths). Used by tests.
+func (v Vector) valid() bool {
+	if len(v.Terms) != len(v.Weights) {
+		return false
+	}
+	for i, t := range v.Terms {
+		if i > 0 && v.Terms[i-1] >= t {
+			return false
+		}
+		if !(v.Weights[i] > 0) || math.IsInf(v.Weights[i], 0) || math.IsNaN(v.Weights[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

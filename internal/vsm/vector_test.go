@@ -1,0 +1,207 @@
+package vsm
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func vec(pairs ...any) Vector {
+	m := map[string]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return FromMap(m)
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFromMapSortedAndPositive(t *testing.T) {
+	v := FromMap(map[string]float64{"b": 2, "a": 1, "c": 0, "d": -3})
+	if !reflect.DeepEqual(v.Terms, []string{"a", "b"}) {
+		t.Errorf("Terms = %v", v.Terms)
+	}
+	if !v.valid() {
+		t.Error("invariants violated")
+	}
+}
+
+func TestWeightLookup(t *testing.T) {
+	v := vec("alpha", 1.0, "beta", 2.0)
+	if got := v.Weight("beta"); !almostEqual(got, 2) {
+		t.Errorf("Weight(beta) = %v", got)
+	}
+	if got := v.Weight("gamma"); got != 0 {
+		t.Errorf("Weight(gamma) = %v", got)
+	}
+}
+
+func TestDotAndCosine(t *testing.T) {
+	a := vec("x", 1.0, "y", 2.0)
+	b := vec("y", 3.0, "z", 4.0)
+	if got := Dot(a, b); !almostEqual(got, 6) {
+		t.Errorf("Dot = %v, want 6", got)
+	}
+	wantCos := 6 / (math.Sqrt(5) * 5)
+	if got := Cosine(a, b); !almostEqual(got, wantCos) {
+		t.Errorf("Cosine = %v, want %v", got, wantCos)
+	}
+}
+
+func TestCosineIdentityAndOrthogonal(t *testing.T) {
+	a := vec("x", 3.0, "y", 4.0)
+	if got := Cosine(a, a); !almostEqual(got, 1) {
+		t.Errorf("Cosine(a,a) = %v", got)
+	}
+	b := vec("p", 1.0)
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("orthogonal Cosine = %v", got)
+	}
+	if got := Cosine(a, Vector{}); got != 0 {
+		t.Errorf("Cosine with zero vector = %v", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := vec("x", 3.0, "y", 4.0).Normalized()
+	if !almostEqual(v.Norm(), 1) {
+		t.Errorf("Norm after Normalized = %v", v.Norm())
+	}
+	z := Vector{}.Normalized()
+	if !z.IsZero() {
+		t.Error("normalizing zero vector changed it")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := vec("x", 1.0, "y", 2.0)
+	b := vec("y", 1.0, "z", 3.0)
+	got := Combine(a, 1, b, 1)
+	want := vec("x", 1.0, "y", 3.0, "z", 3.0)
+	if !reflect.DeepEqual(got.ToMap(), want.ToMap()) {
+		t.Errorf("Combine = %v, want %v", got.ToMap(), want.ToMap())
+	}
+}
+
+func TestCombineClampsNegatives(t *testing.T) {
+	a := vec("x", 1.0, "y", 2.0)
+	b := vec("x", 5.0, "z", 1.0)
+	got := Combine(a, 1, b, -1) // x: 1-5 = -4 → dropped; z: -1 → dropped
+	want := map[string]float64{"y": 2}
+	if !reflect.DeepEqual(got.ToMap(), want) {
+		t.Errorf("Combine = %v, want %v", got.ToMap(), want)
+	}
+	if !got.valid() {
+		t.Error("invariants violated")
+	}
+}
+
+func TestCombineAgainstMapReference(t *testing.T) {
+	// Property: Combine matches a naive map-based implementation on random
+	// vectors (modulo clamping).
+	rng := rand.New(rand.NewSource(7))
+	terms := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	randVec := func() Vector {
+		m := map[string]float64{}
+		for _, t := range terms {
+			if rng.Float64() < 0.5 {
+				m[t] = rng.Float64()*2 - 0.5 // may be negative; FromMap drops those
+			}
+		}
+		return FromMap(m)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := randVec(), randVec()
+		ca, cb := rng.Float64()*2-1, rng.Float64()*2-1
+		got := Combine(a, ca, b, cb)
+		wantM := map[string]float64{}
+		for tm, w := range a.ToMap() {
+			wantM[tm] += ca * w
+		}
+		for tm, w := range b.ToMap() {
+			wantM[tm] += cb * w
+		}
+		for tm, w := range wantM {
+			if w <= 1e-12 {
+				delete(wantM, tm)
+			}
+		}
+		gotM := got.ToMap()
+		if len(gotM) != len(wantM) {
+			t.Fatalf("trial %d: got %v want %v", trial, gotM, wantM)
+		}
+		for tm, w := range wantM {
+			if !almostEqual(gotM[tm], w) {
+				t.Fatalf("trial %d term %s: got %v want %v", trial, tm, gotM[tm], w)
+			}
+		}
+		if !got.valid() {
+			t.Fatalf("trial %d: invariants violated", trial)
+		}
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	v := vec("a", 1.0, "b", 5.0, "c", 3.0, "d", 4.0)
+	got := v.Truncated(2)
+	want := map[string]float64{"b": 5, "d": 4}
+	if !reflect.DeepEqual(got.ToMap(), want) {
+		t.Errorf("Truncated = %v, want %v", got.ToMap(), want)
+	}
+	if !got.valid() {
+		t.Error("invariants violated")
+	}
+	if got := v.Truncated(10); got.Len() != 4 {
+		t.Errorf("Truncated(10).Len = %d", got.Len())
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	v := vec("a", 1.0, "b", 5.0, "c", 3.0)
+	got := v.TopTerms(2)
+	if !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("TopTerms = %v", got)
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	// Property: cosine of vectors with non-negative weights is in [0,1] and
+	// symmetric.
+	type fuzzVec map[uint8]uint16
+	toVector := func(f fuzzVec) Vector {
+		m := map[string]float64{}
+		for k, w := range f {
+			if w > 0 {
+				m[string(rune('a'+k%16))] = float64(w)
+			}
+		}
+		return FromMap(m)
+	}
+	f := func(fa, fb fuzzVec) bool {
+		a, b := toVector(fa), toVector(fb)
+		c1, c2 := Cosine(a, b), Cosine(b, a)
+		if !almostEqual(c1, c2) {
+			return false
+		}
+		return c1 >= 0 && c1 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := vec("x", 1.0)
+	b := a.Clone()
+	b.Weights[0] = 99
+	if a.Weights[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	_ = Vector{}.String()
+	_ = vec("a", 1.0, "b", 2.0, "c", 3.0, "d", 4.0, "e", 5.0, "f", 6.0).String()
+}

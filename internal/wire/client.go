@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a typed connection to an mmserver. Methods are synchronous
+// request/response; the client is safe for sequential use only (wrap in a
+// mutex or pool connections to share).
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RemoteAddr returns the server address this client is connected to.
+func (c *Client) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
+// roundTrip sends one request and decodes the reply, surfacing protocol
+// errors as Go errors.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("wire: send %s: %w", req.Op, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("wire: recv %s: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("wire: %s: %s", req.Op, resp.Error)
+	}
+	return resp, nil
+}
+
+// Subscribe registers a profile under user. learner may be empty (MM) or a
+// registered learner name; keywords optionally seed the profile.
+func (c *Client) Subscribe(user, learner string, keywords []string) error {
+	_, err := c.roundTrip(Request{Op: OpSubscribe, User: user, Learner: learner, Keywords: keywords})
+	return err
+}
+
+// Unsubscribe removes the user's profile.
+func (c *Client) Unsubscribe(user string) error {
+	_, err := c.roundTrip(Request{Op: OpUnsubscribe, User: user})
+	return err
+}
+
+// Publish pushes one raw page into the system; it returns the assigned
+// document id and how many subscribers it was delivered to.
+func (c *Client) Publish(content string) (doc int64, delivered int, err error) {
+	resp, err := c.roundTrip(Request{Op: OpPublish, Content: content})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Doc, resp.Delivered, nil
+}
+
+// Feedback reports a relevance judgment for a document.
+func (c *Client) Feedback(user string, doc int64, relevant bool) error {
+	_, err := c.roundTrip(Request{Op: OpFeedback, User: user, Doc: doc, Relevant: relevant})
+	return err
+}
+
+// Poll drains up to max queued deliveries for user (max ≤ 0 means all).
+func (c *Client) Poll(user string, max int) ([]DeliveryMsg, error) {
+	resp, err := c.roundTrip(Request{Op: OpPoll, User: user, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Deliveries, nil
+}
+
+// Watch long-polls for deliveries: it blocks until at least one item is
+// available (then drains up to max; max ≤ 0 means all), or the server-side
+// timeout elapses (returning an empty slice).
+func (c *Client) Watch(user string, max int, timeout time.Duration) ([]DeliveryMsg, error) {
+	resp, err := c.roundTrip(Request{
+		Op:        OpWatch,
+		User:      user,
+		Max:       max,
+		TimeoutMS: int(timeout / time.Millisecond),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Deliveries, nil
+}
+
+// Fetch retrieves a retained document's raw content (server must run with
+// content retention enabled).
+func (c *Client) Fetch(doc int64) (string, error) {
+	resp, err := c.roundTrip(Request{Op: OpFetch, Doc: doc})
+	if err != nil {
+		return "", err
+	}
+	return resp.Content, nil
+}
+
+// Export downloads the user's serialized profile (learner name + state),
+// suitable for Import on another server.
+func (c *Client) Export(user string) (learner string, state []byte, err error) {
+	resp, err := c.roundTrip(Request{Op: OpExport, User: user})
+	if err != nil {
+		return "", nil, err
+	}
+	return resp.Learner, resp.State, nil
+}
+
+// Import subscribes user with a previously exported profile.
+func (c *Client) Import(user, learner string, state []byte) error {
+	_, err := c.roundTrip(Request{Op: OpImport, User: user, Learner: learner, State: state})
+	return err
+}
+
+// Stats fetches broker counters.
+func (c *Client) Stats() (StatsMsg, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return StatsMsg{}, err
+	}
+	return *resp.Stats, nil
+}
+
+// Profile fetches a description of the user's current profile.
+func (c *Client) Profile(user string) (ProfileMsg, error) {
+	resp, err := c.roundTrip(Request{Op: OpProfile, User: user})
+	if err != nil {
+		return ProfileMsg{}, err
+	}
+	return *resp.Profile, nil
+}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mmprofile/internal/pubsub"
+)
+
+// FuzzDispatch feeds arbitrary request JSON to the server's dispatcher: it
+// must never panic, and every reply must be a well-formed Response with an
+// error message whenever OK is false.
+func FuzzDispatch(f *testing.F) {
+	seeds := []string{
+		`{"op":"subscribe","user":"a"}`,
+		`{"op":"subscribe","user":"b","learner":"RI"}`,
+		`{"op":"publish","content":"<html><body>cats</body></html>"}`,
+		`{"op":"feedback","user":"a","doc":0,"relevant":true}`,
+		`{"op":"poll","user":"a","max":-5}`,
+		`{"op":"watch","user":"a","timeout_ms":1}`,
+		`{"op":"profile","user":"nope"}`,
+		`{"op":"stats"}`,
+		`{"op":"unsubscribe","user":"zz"}`,
+		`{"op":"???"}`,
+		`{}`,
+		`{"op":"subscribe","user":"","keywords":["x","y"]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	broker := pubsub.New(pubsub.Options{Threshold: 0.2, QueueSize: 4})
+	srv := NewServer(broker, func(string, ...any) {})
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req Request
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			return // the JSON decoder rejects it before dispatch in real use
+		}
+		if req.Op == OpWatch && req.TimeoutMS <= 0 {
+			req.TimeoutMS = 1 // keep the fuzzer from sleeping 30s
+		}
+		resp := srv.dispatch(req)
+		if !resp.OK && resp.Error == "" {
+			t.Fatalf("failed response without error: %+v (req %+v)", resp, req)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+
+	"mmprofile/internal/pubsub"
+)
+
+// NewStatusHandler serves broker observability over HTTP:
+//
+//	GET /healthz — liveness ("ok")
+//	GET /statsz  — broker + index counters as JSON
+//	GET /        — a minimal human-readable dashboard
+//
+// Mounted by mmserver's -http flag; handlers are read-only.
+func NewStatusHandler(b *pubsub.Broker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		c := b.Stats()
+		ix := b.IndexStats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"published":      c.Published,
+			"deliveries":     c.Deliveries,
+			"dropped":        c.Dropped,
+			"feedbacks":      c.Feedbacks,
+			"subscribers":    c.Subscribers,
+			"index_users":    ix.Users,
+			"index_vectors":  ix.Vectors,
+			"index_terms":    ix.Terms,
+			"index_postings": ix.Postings,
+		})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		c := b.Stats()
+		ix := b.IndexStats()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>mmserver</title></head><body>
+<h1>mmserver</h1>
+<table border="1" cellpadding="4">
+<tr><td>subscribers</td><td>%d</td></tr>
+<tr><td>published</td><td>%d</td></tr>
+<tr><td>deliveries</td><td>%d (dropped %d)</td></tr>
+<tr><td>feedbacks</td><td>%d</td></tr>
+<tr><td>index</td><td>%d vectors over %d terms (%d postings)</td></tr>
+</table>
+<p><a href="%s">/statsz</a> · <a href="%s">/healthz</a></p>
+</body></html>`,
+			c.Subscribers, c.Published, c.Deliveries, c.Dropped, c.Feedbacks,
+			ix.Vectors, ix.Terms, ix.Postings,
+			html.EscapeString("/statsz"), html.EscapeString("/healthz"))
+	})
+	return mux
+}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mmprofile/internal/pubsub"
+)
+
+func TestStatusHandler(t *testing.T) {
+	b := pubsub.New(pubsub.Options{Threshold: 0.2})
+	if _, err := b.SubscribeKeywords("alice", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("<html><body>cats cats cats</body></html>")
+	h := NewStatusHandler(b)
+
+	// /healthz
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// /statsz
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("statsz: %d", rec.Code)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["subscribers"].(float64) != 1 || stats["published"].(float64) != 1 {
+		t.Errorf("statsz = %v", stats)
+	}
+	if _, ok := stats["index_vectors"]; !ok {
+		t.Error("index stats missing")
+	}
+
+	// dashboard
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "mmserver") {
+		t.Errorf("dashboard: %d", rec.Code)
+	}
+
+	// unknown path
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown path: %d", rec.Code)
+	}
+}

@@ -1,0 +1,102 @@
+// Package wire exposes the dissemination broker over TCP with a
+// newline-delimited JSON protocol, so the engine can run as a standalone
+// daemon (cmd/mmserver) with remote publishers and subscribers
+// (cmd/mmclient). Deliveries are pulled with the "poll" operation, which
+// keeps the protocol strictly request/response and trivially testable.
+package wire
+
+import "fmt"
+
+// Op names the protocol operations.
+type Op string
+
+const (
+	OpSubscribe   Op = "subscribe"
+	OpUnsubscribe Op = "unsubscribe"
+	OpPublish     Op = "publish"
+	OpFeedback    Op = "feedback"
+	OpPoll        Op = "poll"
+	OpWatch       Op = "watch"
+	OpStats       Op = "stats"
+	OpProfile     Op = "profile"
+	// OpFetch retrieves a retained document's raw content (requires the
+	// server to run with content retention).
+	OpFetch Op = "fetch"
+	// OpExport downloads a subscriber's serialized profile; OpImport
+	// subscribes with a previously exported profile — together they make
+	// profiles portable across brokers.
+	OpExport Op = "export"
+	OpImport Op = "import"
+)
+
+// Request is one client request. Exactly the fields relevant to Op are set.
+type Request struct {
+	Op   Op     `json:"op"`
+	User string `json:"user,omitempty"`
+	// Learner selects the profile algorithm at subscribe time (a name from
+	// the filter registry, e.g. "MM"); empty means MM.
+	Learner string `json:"learner,omitempty"`
+	// Keywords optionally seed the profile at subscribe time.
+	Keywords []string `json:"keywords,omitempty"`
+	// Content is the raw page for publish.
+	Content string `json:"content,omitempty"`
+	// Doc and Relevant carry a feedback judgment.
+	Doc      int64 `json:"doc,omitempty"`
+	Relevant bool  `json:"relevant,omitempty"`
+	// Max bounds the number of deliveries returned by poll (0 = all queued).
+	Max int `json:"max,omitempty"`
+	// TimeoutMS bounds how long a watch blocks waiting for the first
+	// delivery (0 = server default of 30s).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// State carries a serialized profile for import (JSON base64-encodes
+	// byte slices automatically).
+	State []byte `json:"state,omitempty"`
+}
+
+// DeliveryMsg is one pushed document in a poll response.
+type DeliveryMsg struct {
+	Doc   int64   `json:"doc"`
+	Score float64 `json:"score"`
+}
+
+// StatsMsg mirrors pubsub.Counters plus index size.
+type StatsMsg struct {
+	Published    int64 `json:"published"`
+	Deliveries   int64 `json:"deliveries"`
+	Dropped      int64 `json:"dropped"`
+	Feedbacks    int64 `json:"feedbacks"`
+	Subscribers  int   `json:"subscribers"`
+	IndexVectors int   `json:"index_vectors"`
+	IndexTerms   int   `json:"index_terms"`
+}
+
+// ProfileMsg describes a subscriber's current profile.
+type ProfileMsg struct {
+	Learner string     `json:"learner"`
+	Size    int        `json:"size"`
+	Vectors [][]string `json:"vectors,omitempty"` // top terms per vector
+}
+
+// Response is the server's reply to one request.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Doc is the id assigned by publish.
+	Doc int64 `json:"doc,omitempty"`
+	// Delivered is the fan-out count of a publish.
+	Delivered int `json:"delivered,omitempty"`
+	// Deliveries answers poll.
+	Deliveries []DeliveryMsg `json:"deliveries,omitempty"`
+	Stats      *StatsMsg     `json:"stats,omitempty"`
+	Profile    *ProfileMsg   `json:"profile,omitempty"`
+	// Content answers fetch.
+	Content string `json:"content,omitempty"`
+	// Learner and State answer export.
+	Learner string `json:"learner,omitempty"`
+	State   []byte `json:"state,omitempty"`
+}
+
+// errResponse builds a failure reply.
+func errResponse(format string, args ...any) Response {
+	return Response{OK: false, Error: fmt.Sprintf(format, args...)}
+}

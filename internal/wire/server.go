@@ -1,0 +1,357 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/pubsub"
+	"mmprofile/internal/vsm"
+
+	// Register the baseline learners so wire subscribers can select them
+	// by name (MM and MMND are registered via pubsub's core import).
+	_ "mmprofile/internal/rocchio"
+)
+
+// Server serves the JSON protocol over a listener, one goroutine per
+// connection, all connections sharing one broker.
+type Server struct {
+	broker *pubsub.Broker
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	subs   map[string]*pubsub.Subscription
+	closed bool
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	done   chan struct{} // closed by Close; unblocks watch handlers
+}
+
+// NewServer wraps a broker. logf defaults to log.Printf; pass a no-op to
+// silence it.
+func NewServer(b *pubsub.Broker, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		broker: b,
+		logf:   logf,
+		subs:   make(map[string]*pubsub.Subscription),
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Serve accepts connections until the listener is closed. It always
+// returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		close(s.done)
+	}
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: decode from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			s.logf("wire: encode to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the broker.
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case OpSubscribe:
+		return s.subscribe(req)
+	case OpUnsubscribe:
+		s.mu.Lock()
+		delete(s.subs, req.User)
+		s.mu.Unlock()
+		s.broker.Unsubscribe(req.User)
+		return Response{OK: true}
+	case OpPublish:
+		doc, n := s.broker.Publish(req.Content)
+		return Response{OK: true, Doc: doc, Delivered: n}
+	case OpFeedback:
+		fd := filter.NotRelevant
+		if req.Relevant {
+			fd = filter.Relevant
+		}
+		if err := s.broker.Feedback(req.User, req.Doc, fd); err != nil {
+			return errResponse("%v", err)
+		}
+		return Response{OK: true}
+	case OpPoll:
+		return s.poll(req)
+	case OpWatch:
+		return s.watch(req)
+	case OpStats:
+		c := s.broker.Stats()
+		ix := s.broker.IndexStats()
+		return Response{OK: true, Stats: &StatsMsg{
+			Published:    c.Published,
+			Deliveries:   c.Deliveries,
+			Dropped:      c.Dropped,
+			Feedbacks:    c.Feedbacks,
+			Subscribers:  c.Subscribers,
+			IndexVectors: ix.Vectors,
+			IndexTerms:   ix.Terms,
+		}}
+	case OpProfile:
+		return s.profile(req)
+	case OpFetch:
+		content, ok := s.broker.DocumentContent(req.Doc)
+		if !ok {
+			return errResponse("wire: document %d not retained with content", req.Doc)
+		}
+		return Response{OK: true, Content: content}
+	case OpExport:
+		snap, err := s.broker.ExportProfile(req.User)
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		return Response{OK: true, Learner: snap.Learner, State: snap.Data}
+	case OpImport:
+		return s.importProfile(req)
+	default:
+		return errResponse("wire: unknown op %q", req.Op)
+	}
+}
+
+// importProfile subscribes req.User with a previously exported profile.
+func (s *Server) importProfile(req Request) Response {
+	if req.User == "" || req.Learner == "" {
+		return errResponse("wire: import requires user and learner")
+	}
+	l, err := filter.New(req.Learner)
+	if err != nil {
+		return errResponse("%v", err)
+	}
+	if len(req.State) > 0 {
+		u, ok := l.(interface{ UnmarshalBinary([]byte) error })
+		if !ok {
+			return errResponse("wire: learner %q is not restorable", req.Learner)
+		}
+		if err := u.UnmarshalBinary(req.State); err != nil {
+			return errResponse("wire: import %q: %v", req.User, err)
+		}
+	}
+	sub, err := s.broker.Subscribe(req.User, l)
+	if err != nil {
+		return errResponse("%v", err)
+	}
+	s.mu.Lock()
+	s.subs[req.User] = sub
+	s.mu.Unlock()
+	return Response{OK: true}
+}
+
+func (s *Server) subscribe(req Request) Response {
+	if req.User == "" {
+		return errResponse("wire: subscribe requires user")
+	}
+	var (
+		sub *pubsub.Subscription
+		err error
+	)
+	if len(req.Keywords) > 0 && (req.Learner == "" || req.Learner == "MM") {
+		sub, err = s.broker.SubscribeKeywords(req.User, req.Keywords)
+	} else {
+		name := req.Learner
+		if name == "" {
+			name = "MM"
+		}
+		var l filter.Learner
+		l, err = filter.New(name)
+		if err == nil {
+			sub, err = s.broker.Subscribe(req.User, l)
+		}
+	}
+	if err != nil {
+		return errResponse("%v", err)
+	}
+	s.mu.Lock()
+	s.subs[req.User] = sub
+	s.mu.Unlock()
+	return Response{OK: true}
+}
+
+func (s *Server) poll(req Request) Response {
+	s.mu.Lock()
+	sub := s.subs[req.User]
+	s.mu.Unlock()
+	if sub == nil {
+		return errResponse("wire: unknown subscriber %q", req.User)
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1 << 30
+	}
+	var out []DeliveryMsg
+	for len(out) < max {
+		select {
+		case d, ok := <-sub.Deliveries():
+			if !ok {
+				return errResponse("wire: subscriber %q closed", req.User)
+			}
+			out = append(out, DeliveryMsg{Doc: d.Doc, Score: d.Score})
+		default:
+			return Response{OK: true, Deliveries: out}
+		}
+	}
+	return Response{OK: true, Deliveries: out}
+}
+
+// watch is the long-poll variant of poll: it blocks until at least one
+// delivery is queued, the timeout elapses (returning an empty, successful
+// response), or the server shuts down.
+func (s *Server) watch(req Request) Response {
+	s.mu.Lock()
+	sub := s.subs[req.User]
+	s.mu.Unlock()
+	if sub == nil {
+		return errResponse("wire: unknown subscriber %q", req.User)
+	}
+	timeout := 30 * time.Second
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case d, ok := <-sub.Deliveries():
+		if !ok {
+			return errResponse("wire: subscriber %q closed", req.User)
+		}
+		// First delivery in hand; drain whatever else is queued via the
+		// non-blocking path, respecting Max (0 = unlimited).
+		out := []DeliveryMsg{{Doc: d.Doc, Score: d.Score}}
+		if req.Max != 1 {
+			rest := s.poll(Request{User: req.User, Max: req.Max - 1})
+			if rest.OK {
+				out = append(out, rest.Deliveries...)
+			}
+		}
+		return Response{OK: true, Deliveries: out}
+	case <-timer.C:
+		return Response{OK: true}
+	case <-s.done:
+		return errResponse("wire: server shutting down")
+	}
+}
+
+func (s *Server) profile(req Request) Response {
+	s.mu.Lock()
+	sub := s.subs[req.User]
+	s.mu.Unlock()
+	if sub == nil {
+		return errResponse("wire: unknown subscriber %q", req.User)
+	}
+	msg := &ProfileMsg{Size: sub.ProfileSize()}
+	// Learner details go through the subscription to stay serialized.
+	msg.Learner, msg.Vectors = s.describe(sub)
+	return Response{OK: true, Profile: msg}
+}
+
+// describe snapshots a subscription's learner name and per-vector top terms.
+func (s *Server) describe(sub *pubsub.Subscription) (string, [][]string) {
+	type vectorSource interface {
+		ProfileVectors() []vsm.Vector
+	}
+	name := ""
+	var tops [][]string
+	sub.WithLearner(func(l filter.Learner) {
+		name = l.Name()
+		if vs, ok := l.(vectorSource); ok {
+			for _, v := range vs.ProfileVectors() {
+				tops = append(tops, v.TopTerms(5))
+			}
+		}
+	})
+	return name, tops
+}
+
+// Adopt registers an existing subscription (e.g. one restored from the
+// persistence layer at boot) so poll/profile requests can address it.
+func (s *Server) Adopt(user string, sub *pubsub.Subscription) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs[user] = sub
+}
+
+// Addr returns the bound address once serving (for tests/examples that
+// listen on :0).
+func (s *Server) Addr() (net.Addr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil, fmt.Errorf("wire: server not serving")
+	}
+	return s.lis.Addr(), nil
+}

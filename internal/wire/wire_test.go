@@ -1,0 +1,396 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mmprofile/internal/pubsub"
+)
+
+// startServer runs a server on a loopback listener and returns a connected
+// client plus a cleanup-registered shutdown.
+func startServer(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	b := pubsub.New(pubsub.Options{Threshold: 0.2, QueueSize: 64})
+	srv := NewServer(b, func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, srv
+}
+
+// catPage is a page whose stemmed terms overlap the "cats" keyword seed.
+const catPage = "<html><body>cats and cat toys for every cat lover</body></html>"
+
+func TestEndToEndSubscribePublishPollFeedback(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	doc, delivered, err := c.Publish(catPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	ds, err := c.Poll("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Doc != doc {
+		t.Fatalf("poll = %+v", ds)
+	}
+	if err := c.Feedback("alice", doc, true); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Published != 1 || st.Feedbacks != 1 || st.Subscribers != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	p, err := c.Profile("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Learner != "MM" || p.Size < 1 || len(p.Vectors) != p.Size {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestSubscribeLearnerSelection(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Subscribe("bob", "RI", nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Profile("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Learner != "RI" {
+		t.Errorf("learner = %q", p.Learner)
+	}
+	if err := c.Subscribe("eve", "NoSuchAlgorithm", nil); err == nil {
+		t.Error("unknown learner accepted")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Feedback("ghost", 0, true); err == nil || !strings.Contains(err.Error(), "unknown subscriber") {
+		t.Errorf("feedback for unknown user: %v", err)
+	}
+	if _, err := c.Poll("ghost", 0); err == nil {
+		t.Error("poll for unknown user accepted")
+	}
+	if _, err := c.Profile("ghost"); err == nil {
+		t.Error("profile for unknown user accepted")
+	}
+	if err := c.Subscribe("", "", nil); err == nil {
+		t.Error("empty user accepted")
+	}
+	// Duplicate subscription.
+	if err := c.Subscribe("dup", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe("dup", "", nil); err == nil {
+		t.Error("duplicate user accepted")
+	}
+}
+
+func TestUnsubscribeOverWire(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Publish(catPage); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Stats()
+	if st.Subscribers != 0 || st.Deliveries != 0 {
+		t.Errorf("stats after unsubscribe = %+v", st)
+	}
+}
+
+func TestPollMax(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Publish(catPage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := c.Poll("alice", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("poll(max=2) = %d items", len(ds))
+	}
+	rest, err := c.Poll("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 3 {
+		t.Fatalf("remaining = %d items", len(rest))
+	}
+}
+
+func TestWatchReturnsQueuedImmediately(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Publish(catPage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := c.Watch("alice", 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("watch(max=2) = %d items", len(ds))
+	}
+	rest, err := c.Watch("alice", 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 {
+		t.Fatalf("second watch = %d items", len(rest))
+	}
+}
+
+func TestWatchBlocksUntilPublish(t *testing.T) {
+	c, srv := startServer(t)
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Addr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish from a second connection after a short delay, while the
+	// first connection blocks in watch.
+	go func() {
+		pub, err := Dial(addr.String())
+		if err != nil {
+			return
+		}
+		defer pub.Close()
+		time.Sleep(100 * time.Millisecond)
+		pub.Publish(catPage)
+	}()
+	start := time.Now()
+	ds, err := c.Watch("alice", 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("watch = %d items", len(ds))
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("watch did not block")
+	}
+}
+
+func TestWatchTimesOutEmpty(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Subscribe("alice", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ds, err := c.Watch("alice", 0, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("timed-out watch returned %d items", len(ds))
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("watch returned after %v, before the timeout", elapsed)
+	}
+}
+
+func TestWatchUnknownUser(t *testing.T) {
+	c, _ := startServer(t)
+	if _, err := c.Watch("ghost", 0, time.Second); err == nil {
+		t.Error("watch for unknown user accepted")
+	}
+}
+
+func TestFetchContent(t *testing.T) {
+	// startServer's broker does not retain content; build one that does.
+	b := pubsub.New(pubsub.Options{Threshold: 0.2, RetainContent: true})
+	srv := NewServer(b, func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	doc, _, err := c.Publish(catPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Fetch(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != catPage {
+		t.Errorf("fetched %q", got)
+	}
+	if _, err := c.Fetch(999); err == nil {
+		t.Error("fetch of unknown doc accepted")
+	}
+}
+
+func TestExportImportPortability(t *testing.T) {
+	// Train a profile on server A, export it, import it on server B, and
+	// check B delivers to it immediately.
+	cA, _ := startServer(t)
+	if err := cA.Subscribe("alice", "", []string{"cats", "kittens"}); err != nil {
+		t.Fatal(err)
+	}
+	doc, _, err := cA.Publish(catPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cA.Feedback("alice", doc, true); err != nil {
+		t.Fatal(err)
+	}
+	learner, state, err := cA.Export("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learner != "MM" || len(state) == 0 {
+		t.Fatalf("export = %q, %d bytes", learner, len(state))
+	}
+
+	cB, _ := startServer(t)
+	if err := cB.Import("alice", learner, state); err != nil {
+		t.Fatal(err)
+	}
+	if _, delivered, err := cB.Publish(catPage); err != nil || delivered != 1 {
+		t.Fatalf("imported profile did not match: delivered=%d err=%v", delivered, err)
+	}
+	p, err := cB.Profile("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Learner != "MM" || p.Size < 1 {
+		t.Errorf("imported profile = %+v", p)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Import("", "MM", nil); err == nil {
+		t.Error("import without user accepted")
+	}
+	if err := c.Import("x", "", nil); err == nil {
+		t.Error("import without learner accepted")
+	}
+	if err := c.Import("x", "NoSuch", nil); err == nil {
+		t.Error("import with unknown learner accepted")
+	}
+	if err := c.Import("x", "MM", []byte{9, 9, 9}); err == nil {
+		t.Error("import with corrupt state accepted")
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	c, _ := startServer(t)
+	_, err := c.roundTrip(Request{Op: "dance"})
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("unknown op: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c0, srv := startServer(t)
+	addr, err := srv.Addr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Subscribe("watcher", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				if _, _, err := c.Publish(fmt.Sprintf("<html><body>cat story %d from writer %d</body></html>", i, g)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := c0.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Published != 160 {
+		t.Errorf("published = %d, want 160", st.Published)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	c, srv := startServer(t)
+	if err := c.Subscribe("alice", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Further requests must fail, not hang.
+	if _, _, err := c.Publish("x"); err == nil {
+		t.Error("publish after server close succeeded")
+	}
+}
