@@ -13,6 +13,7 @@ import (
 	"mmprofile/internal/bench"
 	"mmprofile/internal/core"
 	"mmprofile/internal/corpus"
+	"mmprofile/internal/filter"
 	"mmprofile/internal/index"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/sim"
@@ -290,19 +291,27 @@ func BenchmarkMMScore(b *testing.B) {
 	}
 }
 
-// BenchmarkIndexMatch measures matching one document against 1000 indexed
+// BenchmarkIndexMatch measures matching one document against n indexed
 // profile vectors via the inverted index — the paper's argument that
 // "filtering cost is not linearly proportional to the number of vectors".
+// The 10k and 100k sizes are the dissemination hot path at scale; their
+// before/after numbers are recorded in BENCH_index.json.
 func BenchmarkIndexMatch(b *testing.B) {
 	ds := harness.Dataset()
-	ix := index.New()
-	for i := 0; i < 1000; i++ {
-		d := ds.Docs[i%len(ds.Docs)]
-		ix.Upsert(fmt.Sprintf("user%03d", i%100), i/100, d.Vec)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = ix.Match(ds.Docs[i%len(ds.Docs)].Vec, 0.25)
+	for _, n := range []int{1000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("vectors=%d", n), func(b *testing.B) {
+			ix := index.New()
+			users := n / 5
+			for i := 0; i < n; i++ {
+				d := ds.Docs[i%len(ds.Docs)]
+				ix.Upsert(fmt.Sprintf("user%05d", i%users), i/users, d.Vec)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ix.Match(ds.Docs[i%len(ds.Docs)].Vec, 0.25)
+			}
+		})
 	}
 }
 
@@ -344,24 +353,49 @@ func BenchmarkIndexVsBruteForce(b *testing.B) {
 	}
 }
 
-// BenchmarkBrokerPublish measures the full dissemination path: publish a
-// pre-vectorized page to a broker with 100 adaptive subscribers.
-func BenchmarkBrokerPublish(b *testing.B) {
+// brokerWithVectors builds a broker whose subscriber population carries
+// roughly n indexed profile vectors (two seeded MM vectors per subscriber).
+func brokerWithVectors(b *testing.B, n int) *pubsub.Broker {
+	b.Helper()
 	ds := harness.Dataset()
 	broker := pubsub.New(pubsub.Options{Threshold: 0.25, QueueSize: 16})
-	for i := 0; i < 100; i++ {
-		u := sim.NewUser(sim.RandomTopInterests(rand.New(rand.NewSource(int64(i))), ds, 1)...)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n/2; i++ {
+		u := sim.NewUser(sim.RandomTopInterests(rng, ds, 2)...)
 		mm := core.NewDefault()
-		for _, d := range ds.Docs[:60] {
-			mm.Observe(d.Vec, u.Feedback(d))
+		// Two judged documents from distinct interests give ~2 vectors
+		// without the cost of a full training stream per subscriber.
+		seen := 0
+		for _, d := range ds.Docs[rng.Intn(len(ds.Docs)):] {
+			if u.Feedback(d) == filter.Relevant {
+				mm.Observe(d.Vec, filter.Relevant)
+				if seen++; seen == 2 {
+					break
+				}
+			}
 		}
-		if _, err := broker.Subscribe(fmt.Sprintf("user%03d", i), mm); err != nil {
+		if _, err := broker.Subscribe(fmt.Sprintf("user%06d", i), mm); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		broker.PublishVector(ds.Docs[i%len(ds.Docs)].Vec)
+	return broker
+}
+
+// BenchmarkBrokerPublish measures the full dissemination path: publish a
+// pre-vectorized page to a broker whose population holds ~n indexed profile
+// vectors. The 10k and 100k sizes back BENCH_index.json.
+func BenchmarkBrokerPublish(b *testing.B) {
+	ds := harness.Dataset()
+	for _, n := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("vectors=%d", n), func(b *testing.B) {
+			broker := brokerWithVectors(b, n)
+			b.ReportMetric(float64(broker.IndexStats().Vectors), "indexed-vectors")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				broker.PublishVector(ds.Docs[i%len(ds.Docs)].Vec)
+			}
+		})
 	}
 }
 

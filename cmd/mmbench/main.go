@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,8 +33,21 @@ func main() {
 		svgDir  = flag.String("svg", "", "also write <fig>.svg charts into this directory")
 		seed    = flag.Int64("seed", 0, "base seed (0 = config default)")
 		list    = flag.Bool("list", false, "print the experiment index and exit")
+		pops    = flag.String("populations", "", "comma-separated subscriber counts for -fig scale (empty = defaults)")
 	)
 	flag.Parse()
+
+	var populations []int
+	if *pops != "" {
+		for _, p := range strings.Split(*pops, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "mmbench: bad -populations entry %q\n", p)
+				os.Exit(2)
+			}
+			populations = append(populations, n)
+		}
+	}
 
 	if *list {
 		printIndex()
@@ -82,7 +96,7 @@ func main() {
 			return []bench.Figure{p, s}
 		}},
 		{"lsi", func() []bench.Figure { return []bench.Figure{h.LSIFigure()} }},
-		{"scale", func() []bench.Figure { return []bench.Figure{h.ScaleFigure(nil)} }},
+		{"scale", func() []bench.Figure { return []bench.Figure{h.ScaleFigure(populations)} }},
 	}
 
 	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true}

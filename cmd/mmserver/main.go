@@ -42,14 +42,16 @@ func main() {
 		stateDir   = flag.String("state", "", "directory for durable profiles (empty = in-memory only)")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "snapshot interval when -state is set")
 		fsync      = flag.Bool("fsync", false, "fsync the journal on every feedback")
+		pubWorkers = flag.Int("publish-workers", 0, "goroutines for batch publishes (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	opts := pubsub.Options{
-		Threshold:     *threshold,
-		QueueSize:     *queue,
-		Retention:     *retention,
-		RetainContent: *retainBody,
+		Threshold:      *threshold,
+		QueueSize:      *queue,
+		Retention:      *retention,
+		RetainContent:  *retainBody,
+		PublishWorkers: *pubWorkers,
 	}
 
 	var st *store.Store

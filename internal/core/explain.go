@@ -38,7 +38,8 @@ func (p *Profile) Explain(v vsm.Vector, maxTerms int) Explanation {
 		return ex
 	}
 	for i, pv := range p.vectors {
-		if s := vsm.Cosine(pv.Vec, v); s > ex.Score {
+		// DotUnit keeps Explain's score identical to Score's.
+		if s := vsm.DotUnit(pv.Vec, v); s > ex.Score {
 			ex.Score = s
 			ex.Cluster = i
 		}

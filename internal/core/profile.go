@@ -114,11 +114,13 @@ func (p *Profile) Reset() {
 // Score implements filter.Learner: the relevance of a document to a
 // multi-modal profile is its cosine similarity to the closest profile
 // vector (the Foltz–Dumais convention the paper adopts). An empty profile
-// scores everything 0.
+// scores everything 0. Profile vectors are unit-normalized by
+// construction and v must be too (all document vectors in this system
+// are), so the similarity is a plain dot product (vsm.DotUnit).
 func (p *Profile) Score(v vsm.Vector) float64 {
 	best := 0.0
 	for _, pv := range p.vectors {
-		if s := vsm.Cosine(pv.Vec, v); s > best {
+		if s := vsm.DotUnit(pv.Vec, v); s > best {
 			best = s
 		}
 	}
@@ -146,7 +148,7 @@ func (p *Profile) Observe(v vsm.Vector, fd filter.Feedback) {
 	}
 
 	act := p.vectors[actIdx]
-	sim := vsm.Cosine(act.Vec, v)
+	sim := vsm.DotUnit(act.Vec, v)
 	// Incorporation requires sim ≥ θ (so θ = 0 always incorporates and the
 	// profile stays a single vector, and θ = 1 creates a vector per distinct
 	// relevant document — the paper's two extremes in §3.5).
@@ -224,7 +226,7 @@ func (p *Profile) incorporate(actIdx int, v vsm.Vector, fd filter.Feedback, sim 
 		return
 	}
 	c := p.vectors[cIdx]
-	if vsm.Cosine(act.Vec, c.Vec) < p.opts.Theta {
+	if vsm.DotUnit(act.Vec, c.Vec) < p.opts.Theta {
 		return
 	}
 	// Mixing ratio is the strength share of the removed vector (§3.3).
@@ -246,7 +248,7 @@ func (p *Profile) closestTo(v vsm.Vector, skip int) int {
 		if i == skip {
 			continue
 		}
-		if s := vsm.Cosine(pv.Vec, v); s > best {
+		if s := vsm.DotUnit(pv.Vec, v); s > best {
 			best, bestIdx = s, i
 		}
 	}

@@ -7,28 +7,84 @@
 //
 // Profile vectors and document vectors are unit-normalized throughout the
 // system, so the accumulated dot product IS the cosine similarity.
+//
+// Hot-path architecture (see DESIGN.md §7):
+//
+//   - Terms are interned to uint32 ids through a sharded dictionary
+//     (internal/intern), so matching compares integers, never strings.
+//   - Postings are sharded by term-id hash across independently locked
+//     shards; each posting list is a compact []posting slice. Removal
+//     tombstones postings lazily (per-shard dead-slot sets) and each shard
+//     compacts itself once tombstones exceed a fraction of its postings.
+//   - Posting weights are stored as float32: profile weights are already
+//     quantized by term truncation and unit normalization, and half-width
+//     postings double the number that fit a cache line. Scores therefore
+//     match a float64 recomputation only to ~1e-7 relative.
+//   - Per-call score accumulators are dense slices indexed by entry slot,
+//     drawn from a sync.Pool; a touched-list makes reset O(candidates).
+//   - TopK selects through a bounded min-heap instead of sorting every hit.
 package index
 
 import (
 	"sort"
 	"sync"
 
+	"mmprofile/internal/intern"
 	"mmprofile/internal/vsm"
 )
 
-// entryID identifies one indexed profile vector internally.
-type entryID uint64
+const (
+	// numShards is the posting-shard count; a power of two so shardOf is a
+	// multiply and a shift. 16 shards keep writer collisions rare without
+	// bloating the per-index footprint.
+	numShards = 16
 
-// vectorKey addresses a profile vector from outside: a user and the
-// vector's slot within that user's profile.
-type vectorKey struct {
-	user string
-	vec  int
+	// compactMinStale and compactFraction gate shard compaction: a shard
+	// rebuilds its lists once it holds more than compactMinStale tombstoned
+	// postings and they exceed 1/compactFraction of its total.
+	compactMinStale = 64
+	compactFraction = 4
+)
+
+// shardOf maps a term id to its posting shard (Fibonacci hashing, so the
+// dictionary's own shard bits in the low end of the id do not bias the
+// distribution).
+func shardOf(term uint32) uint32 {
+	return (term * 0x9E3779B1) >> (32 - 4) // log2(numShards) == 4
 }
 
-type entryInfo struct {
-	key   vectorKey
-	terms []string // for posting removal
+// posting credits one profile vector (by entry slot) with a term weight.
+type posting struct {
+	id uint32
+	w  float32
+}
+
+// shard is one independently locked slice of the posting space.
+type shard struct {
+	mu       sync.RWMutex
+	postings map[uint32][]posting // term id → posting list
+	live     int                  // postings referencing live entries
+	stale    int                  // tombstoned postings awaiting compaction
+	dead     map[uint32]bool      // entry slots whose postings here are stale
+}
+
+// entrySlot is one indexed profile vector. Slots are recycled, but only
+// after every shard holding the dead slot's stale postings has compacted
+// them away — until then a stale posting can still accumulate score onto
+// the slot, which harvest discards via the alive flag.
+type entrySlot struct {
+	user    string
+	vec     int
+	uid     uint32
+	termIDs []uint32
+	alive   bool
+}
+
+// userInfo tracks one user's slots and dense user id (uids index the
+// pooled best-per-user arrays during harvest).
+type userInfo struct {
+	uid   uint32
+	slots map[int]uint32 // vector slot number → entry slot
 }
 
 // Match is one hit of a document against the index: the user's best-scoring
@@ -40,112 +96,413 @@ type Match struct {
 	Vector int
 }
 
-// Index is a concurrent inverted index over profile vectors. Reads
-// (Match/TopK) take a shared lock; updates take an exclusive lock.
+// Index is a concurrent inverted index over profile vectors. Matching
+// walks posting shards under per-shard read locks and consults the entry
+// registry once per call; updates stage postings first and then flip entry
+// liveness under the registry lock, so a concurrent Match observes a
+// user's old vector set or the new one — never an empty in-between.
 type Index struct {
-	mu       sync.RWMutex
-	nextID   entryID
-	postings map[string]map[entryID]float64
-	entries  map[entryID]entryInfo
-	byKey    map[vectorKey]entryID
-	byUser   map[string]map[int]entryID
+	dict   *intern.Dict
+	shards [numShards]shard
+
+	mu       sync.RWMutex // registry: everything below
+	entries  []entrySlot
+	freeEnt  []uint32
+	dying    map[uint32]int // dead slot → shards still holding stale postings
+	byUser   map[string]*userInfo
+	nextUID  uint32
+	freeUID  []uint32
+	liveVecs int
+
+	pool sync.Pool // *matcher
 }
 
-// New returns an empty index.
+// New returns an empty index with its own term dictionary.
 func New() *Index {
-	return &Index{
-		postings: make(map[string]map[entryID]float64),
-		entries:  make(map[entryID]entryInfo),
-		byKey:    make(map[vectorKey]entryID),
-		byUser:   make(map[string]map[int]entryID),
+	ix := &Index{
+		dying:  make(map[uint32]int),
+		byUser: make(map[string]*userInfo),
+		dict:   intern.NewDict(),
 	}
+	for i := range ix.shards {
+		ix.shards[i].postings = make(map[uint32][]posting)
+		ix.shards[i].dead = make(map[uint32]bool)
+	}
+	ix.pool.New = func() any { return new(matcher) }
+	return ix
+}
+
+// Dict exposes the index's term dictionary (shared with callers that want
+// to pre-intern document vectors via NewDoc).
+func (ix *Index) Dict() *intern.Dict { return ix.dict }
+
+// ---------------------------------------------------------------------------
+// Updates
+
+// stagedVec is one profile vector prepared for insertion: interned terms,
+// float32 weights, and the entry slot assigned during staging.
+type stagedVec struct {
+	vec     int
+	termIDs []uint32
+	ws      []float32
+	slot    uint32
+}
+
+func (ix *Index) prepare(vec int, v vsm.Vector) stagedVec {
+	sv := stagedVec{
+		vec:     vec,
+		termIDs: make([]uint32, len(v.Terms)),
+		ws:      make([]float32, len(v.Terms)),
+	}
+	for i, t := range v.Terms {
+		sv.termIDs[i] = ix.dict.Intern(t)
+		sv.ws[i] = float32(v.Weights[i])
+	}
+	return sv
 }
 
 // Upsert installs (or replaces) profile vector slot vec of the given user.
 // A zero vector removes the slot.
 func (ix *Index) Upsert(user string, vec int, v vsm.Vector) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	key := vectorKey{user: user, vec: vec}
-	if id, ok := ix.byKey[key]; ok {
-		ix.dropEntry(id)
-	}
 	if v.IsZero() {
+		ix.Remove(user, vec)
 		return
 	}
-	id := ix.nextID
-	ix.nextID++
-	terms := append([]string(nil), v.Terms...)
-	ix.entries[id] = entryInfo{key: key, terms: terms}
-	ix.byKey[key] = id
-	if ix.byUser[user] == nil {
-		ix.byUser[user] = make(map[int]entryID)
-	}
-	ix.byUser[user][vec] = id
-	for i, t := range v.Terms {
-		m := ix.postings[t]
-		if m == nil {
-			m = make(map[entryID]float64)
-			ix.postings[t] = m
-		}
-		m[id] = v.Weights[i]
-	}
+	svs := []stagedVec{ix.prepare(vec, v)}
+	ix.stage(user, svs)
+	ix.insertPostings(svs)
+	ix.commit(user, svs, false)
 }
 
 // SetUser replaces every vector of the user with the given set, the common
-// operation after a feedback step reshapes a profile.
+// operation after a feedback step reshapes a profile. The replacement is
+// atomic with respect to Match: the new vectors' postings are staged
+// first, then one registry commit retires the old entries and activates
+// the new ones, so no concurrent Match can observe the user with zero
+// vectors mid-update.
 func (ix *Index) SetUser(user string, vecs []vsm.Vector) {
+	svs := make([]stagedVec, 0, len(vecs))
+	for i, v := range vecs {
+		if v.IsZero() {
+			continue
+		}
+		svs = append(svs, ix.prepare(i, v))
+	}
+	ix.stage(user, svs)
+	ix.insertPostings(svs)
+	ix.commit(user, svs, true)
+}
+
+// stage allocates not-yet-alive entry slots for the vectors.
+func (ix *Index) stage(user string, svs []stagedVec) {
+	if len(svs) == 0 {
+		return
+	}
 	ix.mu.Lock()
-	for _, id := range ix.byUser[user] {
-		ix.dropEntry(id)
+	for i := range svs {
+		var slot uint32
+		if n := len(ix.freeEnt); n > 0 {
+			slot = ix.freeEnt[n-1]
+			ix.freeEnt = ix.freeEnt[:n-1]
+		} else {
+			slot = uint32(len(ix.entries))
+			ix.entries = append(ix.entries, entrySlot{})
+		}
+		ix.entries[slot] = entrySlot{user: user, vec: svs[i].vec, termIDs: svs[i].termIDs}
+		svs[i].slot = slot
 	}
 	ix.mu.Unlock()
-	for i, v := range vecs {
-		ix.Upsert(user, i, v)
+}
+
+// insertPostings appends the staged vectors' postings, one lock
+// acquisition per affected shard.
+func (ix *Index) insertPostings(svs []stagedVec) {
+	type ins struct {
+		term uint32
+		p    posting
 	}
+	var work [numShards][]ins
+	for _, sv := range svs {
+		for i, t := range sv.termIDs {
+			si := shardOf(t)
+			work[si] = append(work[si], ins{term: t, p: posting{id: sv.slot, w: sv.ws[i]}})
+		}
+	}
+	for si := range work {
+		if len(work[si]) == 0 {
+			continue
+		}
+		s := &ix.shards[si]
+		s.mu.Lock()
+		for _, w := range work[si] {
+			s.postings[w.term] = append(s.postings[w.term], w.p)
+		}
+		s.live += len(work[si])
+		s.mu.Unlock()
+	}
+}
+
+// tombShard is the per-shard share of a retirement: which slots died and
+// how many of their postings live in the shard.
+type tombShard struct {
+	slots []uint32
+	count int
+}
+
+// commit activates the staged vectors and retires the slots they replace
+// (every previous slot of the user when replaceAll is set, otherwise only
+// same-numbered ones) in a single registry critical section.
+func (ix *Index) commit(user string, svs []stagedVec, replaceAll bool) {
+	ix.mu.Lock()
+	ui := ix.byUser[user]
+	if ui == nil {
+		if len(svs) == 0 {
+			ix.mu.Unlock()
+			return
+		}
+		ui = &userInfo{uid: ix.allocUID(), slots: make(map[int]uint32, len(svs))}
+		ix.byUser[user] = ui
+	}
+	var old []uint32
+	if replaceAll {
+		for _, slot := range ui.slots {
+			old = append(old, slot)
+		}
+		ui.slots = make(map[int]uint32, len(svs))
+	}
+	for _, sv := range svs {
+		if prev, ok := ui.slots[sv.vec]; ok {
+			old = append(old, prev)
+		}
+		ui.slots[sv.vec] = sv.slot
+		e := &ix.entries[sv.slot]
+		e.uid = ui.uid
+		e.alive = true
+		ix.liveVecs++
+	}
+	tomb := ix.killLocked(old)
+	if len(ui.slots) == 0 {
+		ix.freeUID = append(ix.freeUID, ui.uid)
+		delete(ix.byUser, user)
+	}
+	ix.mu.Unlock()
+	ix.tombstone(tomb)
 }
 
 // Remove deletes one profile vector slot.
 func (ix *Index) Remove(user string, vec int) {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if id, ok := ix.byKey[vectorKey{user: user, vec: vec}]; ok {
-		ix.dropEntry(id)
+	ui := ix.byUser[user]
+	var tomb *[numShards]tombShard
+	if ui != nil {
+		if slot, ok := ui.slots[vec]; ok {
+			delete(ui.slots, vec)
+			tomb = ix.killLocked([]uint32{slot})
+			if len(ui.slots) == 0 {
+				ix.freeUID = append(ix.freeUID, ui.uid)
+				delete(ix.byUser, user)
+			}
+		}
 	}
+	ix.mu.Unlock()
+	ix.tombstone(tomb)
 }
 
 // RemoveUser deletes every vector of the user (unsubscribe).
 func (ix *Index) RemoveUser(user string) {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, id := range ix.byUser[user] {
-		ix.dropEntry(id)
+	ui := ix.byUser[user]
+	var tomb *[numShards]tombShard
+	if ui != nil {
+		slots := make([]uint32, 0, len(ui.slots))
+		for _, slot := range ui.slots {
+			slots = append(slots, slot)
+		}
+		tomb = ix.killLocked(slots)
+		ix.freeUID = append(ix.freeUID, ui.uid)
+		delete(ix.byUser, user)
 	}
-	delete(ix.byUser, user)
+	ix.mu.Unlock()
+	ix.tombstone(tomb)
 }
 
-// dropEntry removes an entry and its postings. Caller holds the write lock.
-func (ix *Index) dropEntry(id entryID) {
-	info, ok := ix.entries[id]
-	if !ok {
+func (ix *Index) allocUID() uint32 {
+	if n := len(ix.freeUID); n > 0 {
+		uid := ix.freeUID[n-1]
+		ix.freeUID = ix.freeUID[:n-1]
+		return uid
+	}
+	uid := ix.nextUID
+	ix.nextUID++
+	return uid
+}
+
+// killLocked marks slots dead and plans their tombstoning. Caller holds
+// the registry write lock; the returned work is applied by tombstone()
+// after the lock is released.
+func (ix *Index) killLocked(slots []uint32) *[numShards]tombShard {
+	if len(slots) == 0 {
+		return nil
+	}
+	tomb := new([numShards]tombShard)
+	for _, slot := range slots {
+		e := &ix.entries[slot]
+		seen := 0
+		var touched [numShards]bool
+		for _, t := range e.termIDs {
+			si := shardOf(t)
+			if !touched[si] {
+				touched[si] = true
+				seen++
+				tomb[si].slots = append(tomb[si].slots, slot)
+			}
+			tomb[si].count++
+		}
+		if seen == 0 { // no postings to tombstone: reusable immediately
+			ix.freeEnt = append(ix.freeEnt, slot)
+		} else {
+			ix.dying[slot] = seen
+		}
+		ix.liveVecs--
+		ix.entries[slot] = entrySlot{} // drop term ids and user string
+	}
+	return tomb
+}
+
+// tombstone applies planned retirement to the posting shards, compacting
+// any shard whose stale share crossed the threshold, and releases entry
+// slots whose postings are fully gone.
+func (ix *Index) tombstone(tomb *[numShards]tombShard) {
+	if tomb == nil {
 		return
 	}
-	for _, t := range info.terms {
-		if m := ix.postings[t]; m != nil {
-			delete(m, id)
-			if len(m) == 0 {
-				delete(ix.postings, t)
+	var freed []uint32
+	for si := range tomb {
+		if len(tomb[si].slots) == 0 {
+			continue
+		}
+		s := &ix.shards[si]
+		s.mu.Lock()
+		for _, slot := range tomb[si].slots {
+			s.dead[slot] = true
+		}
+		s.stale += tomb[si].count
+		s.live -= tomb[si].count
+		if s.stale > compactMinStale && s.stale*compactFraction > s.stale+s.live {
+			freed = append(freed, s.compactLocked()...)
+		}
+		s.mu.Unlock()
+	}
+	ix.release(freed)
+}
+
+// compactLocked rebuilds every posting list in the shard, dropping stale
+// postings, and returns the slots whose postings are now gone from this
+// shard. Caller holds the shard write lock.
+func (s *shard) compactLocked() []uint32 {
+	if len(s.dead) == 0 {
+		return nil
+	}
+	for t, list := range s.postings {
+		keep := list[:0]
+		for _, p := range list {
+			if !s.dead[p.id] {
+				keep = append(keep, p)
 			}
 		}
-	}
-	delete(ix.entries, id)
-	delete(ix.byKey, info.key)
-	if u := ix.byUser[info.key.user]; u != nil {
-		delete(u, info.key.vec)
-		if len(u) == 0 {
-			delete(ix.byUser, info.key.user)
+		if len(keep) == 0 {
+			delete(s.postings, t)
+		} else {
+			s.postings[t] = keep
 		}
 	}
+	freed := make([]uint32, 0, len(s.dead))
+	for slot := range s.dead {
+		freed = append(freed, slot)
+	}
+	s.dead = make(map[uint32]bool)
+	s.stale = 0
+	return freed
+}
+
+// release returns fully compacted dead slots to the free list.
+func (ix *Index) release(freed []uint32) {
+	if len(freed) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	for _, slot := range freed {
+		if ix.dying[slot]--; ix.dying[slot] <= 0 {
+			delete(ix.dying, slot)
+			ix.freeEnt = append(ix.freeEnt, slot)
+		}
+	}
+	ix.mu.Unlock()
+}
+
+// Compact eagerly rebuilds every shard's posting lists, dropping all
+// tombstones. Updates trigger compaction automatically; Compact exists for
+// callers that want exact statistics or minimal memory right now.
+func (ix *Index) Compact() {
+	var freed []uint32
+	for si := range ix.shards {
+		s := &ix.shards[si]
+		s.mu.Lock()
+		freed = append(freed, s.compactLocked()...)
+		s.mu.Unlock()
+	}
+	ix.release(freed)
+}
+
+// ---------------------------------------------------------------------------
+// Matching
+
+// Doc is a document vector resolved against the index's term dictionary:
+// terms the index has never seen are dropped (they cannot match), the rest
+// carry their interned ids. Build one with NewDoc to score the same
+// document several times without re-resolving terms.
+type Doc struct {
+	ids []uint32
+	ws  []float64
+}
+
+// Len returns the number of document terms known to the index.
+func (d Doc) Len() int { return len(d.ids) }
+
+// NewDoc resolves a unit-normalized document vector against the term
+// dictionary once.
+func (ix *Index) NewDoc(v vsm.Vector) Doc {
+	d := Doc{
+		ids: make([]uint32, 0, len(v.Terms)),
+		ws:  make([]float64, 0, len(v.Terms)),
+	}
+	for i, t := range v.Terms {
+		if id, ok := ix.dict.Lookup(t); ok {
+			d.ids = append(d.ids, id)
+			d.ws = append(d.ws, v.Weights[i])
+		}
+	}
+	return d
+}
+
+// matcher is the pooled per-call scoring state: a dense accumulator over
+// entry slots, a dense best-per-user table over uids, and the touched
+// lists that make resetting them O(candidates) instead of O(capacity).
+type matcher struct {
+	docIDs  []uint32
+	docWs   []float64
+	scores  []float64
+	touched []uint32
+	best    []float64
+	bestAt  []uint32
+	uids    []uint32
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return append(make([]T, 0, n), make([]T, n)...)
+	}
+	return s[:n]
 }
 
 // Match scores the document against every indexed profile vector that
@@ -154,48 +511,166 @@ func (ix *Index) dropEntry(id entryID) {
 // determinism). doc must be unit-normalized, as all document vectors in
 // this system are.
 func (ix *Index) Match(doc vsm.Vector, threshold float64) []Match {
-	ix.mu.RLock()
-	acc := make(map[entryID]float64)
-	for i, t := range doc.Terms {
-		dw := doc.Weights[i]
-		for id, w := range ix.postings[t] {
-			acc[id] += w * dw
-		}
-	}
-	best := make(map[string]Match)
-	for id, score := range acc {
-		if score < threshold {
-			continue
-		}
-		info := ix.entries[id]
-		cur, ok := best[info.key.user]
-		if !ok || score > cur.Score {
-			best[info.key.user] = Match{User: info.key.user, Score: score, Vector: info.key.vec}
-		}
-	}
-	ix.mu.RUnlock()
-
-	out := make([]Match, 0, len(best))
-	for _, m := range best {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].User < out[j].User
-	})
+	m := ix.pool.Get().(*matcher)
+	m.resolve(ix, doc)
+	out := ix.matchInto(m, m.docIDs, m.docWs, threshold)
+	ix.pool.Put(m)
+	sortMatches(out)
 	return out
 }
 
-// TopK returns the k best matches above the threshold.
-func (ix *Index) TopK(doc vsm.Vector, threshold float64, k int) []Match {
-	all := ix.Match(doc, threshold)
-	if len(all) > k {
-		all = all[:k]
-	}
-	return all
+// MatchDoc is Match for a pre-resolved document.
+func (ix *Index) MatchDoc(d Doc, threshold float64) []Match {
+	m := ix.pool.Get().(*matcher)
+	out := ix.matchInto(m, d.ids, d.ws, threshold)
+	ix.pool.Put(m)
+	sortMatches(out)
+	return out
 }
+
+// resolve looks every document term up in the dictionary, into the
+// matcher's scratch slices.
+func (m *matcher) resolve(ix *Index, doc vsm.Vector) {
+	m.docIDs = m.docIDs[:0]
+	m.docWs = m.docWs[:0]
+	for i, t := range doc.Terms {
+		if id, ok := ix.dict.Lookup(t); ok {
+			m.docIDs = append(m.docIDs, id)
+			m.docWs = append(m.docWs, doc.Weights[i])
+		}
+	}
+}
+
+// matchInto accumulates scores and harvests the per-user best matches,
+// unsorted. The registry read lock is held for the whole call — freezing
+// slot liveness across both phases — with per-shard read locks nested
+// inside (registry→shard is the global lock order; no writer acquires the
+// registry while holding a shard). Commits therefore appear atomic to a
+// match: it scores either a user's old vector set or the new one, never a
+// half-replaced mix or a vanished user. Postings inserted concurrently for
+// staged slots are harmless: staged slots are not alive, and harvest
+// discards them along with stale postings on dead slots.
+func (ix *Index) matchInto(m *matcher, ids []uint32, ws []float64, threshold float64) []Match {
+	ix.mu.RLock()
+	nSlots := len(ix.entries)
+	m.scores = grow(m.scores, nSlots)
+	m.touched = m.touched[:0]
+
+	for i, t := range ids {
+		dw := ws[i]
+		s := &ix.shards[shardOf(t)]
+		s.mu.RLock()
+		for _, p := range s.postings[t] {
+			if int(p.id) >= nSlots {
+				continue // slot staged after this match began
+			}
+			if m.scores[p.id] == 0 {
+				m.touched = append(m.touched, p.id)
+			}
+			m.scores[p.id] += float64(p.w) * dw
+		}
+		s.mu.RUnlock()
+	}
+
+	m.best = grow(m.best, int(ix.nextUID))
+	m.bestAt = grow(m.bestAt, int(ix.nextUID))
+	m.uids = m.uids[:0]
+	for _, slot := range m.touched {
+		sc := m.scores[slot]
+		m.scores[slot] = 0
+		if sc < threshold {
+			continue
+		}
+		e := &ix.entries[slot]
+		if !e.alive {
+			continue
+		}
+		uid := e.uid
+		cur := m.best[uid]
+		switch {
+		case cur == 0:
+			m.uids = append(m.uids, uid)
+			fallthrough
+		case sc > cur,
+			sc == cur && e.vec < ix.entries[m.bestAt[uid]].vec:
+			m.best[uid] = sc
+			m.bestAt[uid] = slot
+		}
+	}
+	out := make([]Match, 0, len(m.uids))
+	for _, uid := range m.uids {
+		e := &ix.entries[m.bestAt[uid]]
+		out = append(out, Match{User: e.user, Score: m.best[uid], Vector: e.vec})
+		m.best[uid] = 0
+	}
+	ix.mu.RUnlock()
+	return out
+}
+
+// matchLess is the result order: descending score, ties by user.
+func matchLess(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.User < b.User
+}
+
+func sortMatches(out []Match) {
+	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+}
+
+// TopK returns the k best matches above the threshold, selected through a
+// bounded min-heap so only k of the candidate users are ever sorted.
+func (ix *Index) TopK(doc vsm.Vector, threshold float64, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	m := ix.pool.Get().(*matcher)
+	m.resolve(ix, doc)
+	all := ix.matchInto(m, m.docIDs, m.docWs, threshold)
+	ix.pool.Put(m)
+	if len(all) <= k {
+		sortMatches(all)
+		return all
+	}
+	// Min-heap of the k best seen so far; the root is the weakest keeper.
+	heap := all[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
+	}
+	for _, cand := range all[k:] {
+		if matchLess(cand, heap[0]) {
+			heap[0] = cand
+			siftDown(heap, 0)
+		}
+	}
+	out := heap[:k:k]
+	sortMatches(out)
+	return out
+}
+
+// siftDown restores the heap property at i, ordering by "weakest first"
+// (the inverse of matchLess).
+func siftDown(h []Match, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		weakest := i
+		if l < len(h) && matchLess(h[weakest], h[l]) {
+			weakest = l
+		}
+		if r < len(h) && matchLess(h[weakest], h[r]) {
+			weakest = r
+		}
+		if weakest == i {
+			return
+		}
+		h[i], h[weakest] = h[weakest], h[i]
+		i = weakest
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
 
 // Stats reports index size for monitoring.
 type Stats struct {
@@ -205,17 +680,19 @@ type Stats struct {
 	Postings int
 }
 
-// Size returns current index statistics.
+// Size returns current index statistics. It compacts first so the term and
+// posting counts reflect only live entries.
 func (ix *Index) Size() Stats {
+	ix.Compact()
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	s := Stats{
-		Users:   len(ix.byUser),
-		Vectors: len(ix.entries),
-		Terms:   len(ix.postings),
-	}
-	for _, m := range ix.postings {
-		s.Postings += len(m)
+	s := Stats{Users: len(ix.byUser), Vectors: ix.liveVecs}
+	ix.mu.RUnlock()
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		s.Terms += len(sh.postings)
+		s.Postings += sh.live
+		sh.mu.RUnlock()
 	}
 	return s
 }

@@ -18,6 +18,17 @@ func vec(pairs ...any) vsm.Vector {
 	return vsm.FromMap(m).Normalized()
 }
 
+// quantize rounds a vector's weights through float32, mirroring what the
+// index stores in its postings; reference scores for exact comparisons
+// must apply the same rounding.
+func quantize(v vsm.Vector) vsm.Vector {
+	out := v.Clone()
+	for i, w := range out.Weights {
+		out.Weights[i] = float64(float32(w))
+	}
+	return out
+}
+
 func TestMatchBasic(t *testing.T) {
 	ix := New()
 	ix.Upsert("alice", 0, vec("cat", 1.0, "dog", 1.0))
@@ -28,7 +39,7 @@ func TestMatchBasic(t *testing.T) {
 	if len(ms) != 1 || ms[0].User != "alice" {
 		t.Fatalf("Match = %+v", ms)
 	}
-	want := vsm.Cosine(vec("cat", 1.0, "dog", 1.0), doc)
+	want := vsm.Dot(quantize(vec("cat", 1.0, "dog", 1.0)), doc)
 	if math.Abs(ms[0].Score-want) > 1e-9 {
 		t.Errorf("score = %v, want cosine %v", ms[0].Score, want)
 	}
@@ -194,7 +205,7 @@ func TestMatchAgainstBruteForce(t *testing.T) {
 		for user, vecs := range profiles {
 			best := 0.0
 			for _, pv := range vecs {
-				if s := vsm.Cosine(pv, doc); s > best {
+				if s := vsm.Dot(quantize(pv), doc); s > best {
 					best = s
 				}
 			}

@@ -1,0 +1,115 @@
+// Package intern provides a concurrent, sharded string↔uint32 term
+// dictionary. The dissemination hot path compares terms millions of times
+// per published document; interning every term once lets the inverted
+// index store and compare compact integer ids instead of hashing and
+// comparing strings on every posting.
+//
+// Ids are dense per shard and never recycled: an id, once handed out, maps
+// to the same string for the lifetime of the dictionary. The vocabulary of
+// a text collection is effectively bounded (stemmed word forms), so the
+// dictionary only ever grows to corpus-vocabulary size.
+package intern
+
+import "sync"
+
+const (
+	shardBits = 6
+	numShards = 1 << shardBits // 64 independently locked shards
+	shardMask = numShards - 1
+
+	// maxPerShard caps ids so that local<<shardBits never overflows uint32:
+	// 2^26 terms per shard, ~4.3 billion total — far beyond any vocabulary.
+	maxPerShard = 1 << (32 - shardBits)
+)
+
+// Dict is a concurrent string↔uint32 dictionary sharded by string hash.
+// The zero value is not usable; call NewDict.
+type Dict struct {
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{}
+	for i := range d.shards {
+		d.shards[i].ids = make(map[string]uint32)
+	}
+	return d
+}
+
+// fnv32 is the 32-bit FNV-1a hash, inlined to keep Intern/Lookup
+// allocation-free.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Intern returns the id of s, assigning a fresh one on first sight.
+// The common already-interned case takes only a shard read lock.
+func (d *Dict) Intern(s string) uint32 {
+	si := fnv32(s) & shardMask
+	sh := &d.shards[si]
+	sh.mu.RLock()
+	id, ok := sh.ids[s]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.ids[s]; ok { // lost the race to another writer
+		return id
+	}
+	local := uint32(len(sh.strs))
+	if local >= maxPerShard {
+		panic("intern: dictionary shard overflow")
+	}
+	id = local<<shardBits | si
+	sh.ids[s] = id
+	sh.strs = append(sh.strs, s)
+	return id
+}
+
+// Lookup returns the id of s without interning it; ok is false when s has
+// never been interned. Document-side code uses Lookup so that vocabulary
+// seen only in published pages never grows the dictionary.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	sh := &d.shards[fnv32(s)&shardMask]
+	sh.mu.RLock()
+	id, ok := sh.ids[s]
+	sh.mu.RUnlock()
+	return id, ok
+}
+
+// String returns the term for an id, or "" for an id never handed out.
+func (d *Dict) String(id uint32) string {
+	sh := &d.shards[id&shardMask]
+	local := int(id >> shardBits)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if local >= len(sh.strs) {
+		return ""
+	}
+	return sh.strs[local]
+}
+
+// Len returns the number of distinct interned terms.
+func (d *Dict) Len() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		n += len(sh.strs)
+		sh.mu.RUnlock()
+	}
+	return n
+}

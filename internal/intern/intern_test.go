@@ -1,0 +1,91 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	id1 := d.Intern("cat")
+	id2 := d.Intern("dog")
+	if id1 == id2 {
+		t.Fatalf("distinct terms got the same id %d", id1)
+	}
+	if got := d.Intern("cat"); got != id1 {
+		t.Errorf("re-interning changed the id: %d != %d", got, id1)
+	}
+	if got := d.String(id1); got != "cat" {
+		t.Errorf("String(%d) = %q, want cat", id1, got)
+	}
+	if got := d.String(id2); got != "dog" {
+		t.Errorf("String(%d) = %q, want dog", id2, got)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestLookupDoesNotIntern(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("ghost"); ok {
+		t.Error("Lookup found a term that was never interned")
+	}
+	if d.Len() != 0 {
+		t.Errorf("Lookup grew the dictionary to %d entries", d.Len())
+	}
+	id := d.Intern("ghost")
+	got, ok := d.Lookup("ghost")
+	if !ok || got != id {
+		t.Errorf("Lookup(ghost) = %d,%v; want %d,true", got, ok, id)
+	}
+}
+
+func TestStringUnknownID(t *testing.T) {
+	d := NewDict()
+	if got := d.String(12345); got != "" {
+		t.Errorf("String of unknown id = %q, want empty", got)
+	}
+}
+
+// TestConcurrentIntern hammers the dictionary from many goroutines over a
+// shared vocabulary and checks that every term ends up with exactly one id.
+// Meaningful under -race.
+func TestConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	const goroutines = 8
+	const vocab = 500
+	ids := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]uint32, vocab)
+			for i := 0; i < vocab; i++ {
+				// Interleave interning with read-side traffic.
+				ids[g][i] = d.Intern(fmt.Sprintf("term%03d", i))
+				d.Lookup(fmt.Sprintf("term%03d", (i+7)%vocab))
+				d.String(ids[g][i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != vocab {
+		t.Fatalf("Len = %d, want %d", d.Len(), vocab)
+	}
+	for i := 0; i < vocab; i++ {
+		for g := 1; g < goroutines; g++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("term%03d interned to both %d and %d", i, ids[0][i], ids[g][i])
+			}
+		}
+	}
+	for i := 0; i < vocab; i++ {
+		want := fmt.Sprintf("term%03d", i)
+		if got := d.String(ids[0][i]); got != want {
+			t.Errorf("String(%d) = %q, want %q", ids[0][i], got, want)
+		}
+	}
+}

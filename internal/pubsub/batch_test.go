@@ -1,0 +1,155 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+func TestPublishVectorBatch(t *testing.T) {
+	b := New(Options{Threshold: 0.3, QueueSize: 64, PublishWorkers: 2})
+	catSub, err := b.Subscribe("cat-fan", trainedMM("cat", "dog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("trader", trainedMM("stock", "bond")); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []vsm.Vector{
+		vec("cat", 1.0, "dog", 1.0),      // → cat-fan
+		vec("stock", 1.0, "bond", 1.0),   // → trader
+		vec("weather", 1.0, "rain", 1.0), // → nobody
+	}
+	results := b.PublishVectorBatch(batch)
+	if len(results) != len(batch) {
+		t.Fatalf("got %d results for %d documents", len(results), len(batch))
+	}
+	wantDeliveries := []int{1, 1, 0}
+	seen := map[int64]bool{}
+	for i, r := range results {
+		if r.Deliveries != wantDeliveries[i] {
+			t.Errorf("doc %d delivered to %d subscribers, want %d", i, r.Deliveries, wantDeliveries[i])
+		}
+		if seen[r.Doc] {
+			t.Errorf("duplicate document id %d in batch results", r.Doc)
+		}
+		seen[r.Doc] = true
+	}
+	// Results are positional: results[0] must be the cat document's id.
+	select {
+	case d := <-catSub.Deliveries():
+		if d.Doc != results[0].Doc {
+			t.Errorf("cat-fan received doc %d, want %d", d.Doc, results[0].Doc)
+		}
+	default:
+		t.Fatal("cat-fan got no delivery")
+	}
+
+	if got := b.Stats(); got.Published != int64(len(batch)) {
+		t.Errorf("Published = %d, want %d", got.Published, len(batch))
+	}
+	if results2 := b.PublishVectorBatch(nil); len(results2) != 0 {
+		t.Errorf("empty batch returned %d results", len(results2))
+	}
+}
+
+func TestPublishBatchPages(t *testing.T) {
+	b := New(Options{Threshold: 0.05, QueueSize: 64})
+	pages := []string{
+		"the cat and the dog played in the garden",
+		"stock markets rallied as bond yields fell",
+		"cat videos dominate the internet",
+	}
+	results := b.PublishBatch(pages)
+	if len(results) != len(pages) {
+		t.Fatalf("got %d results for %d pages", len(results), len(pages))
+	}
+	for i, r := range results {
+		if v, ok := b.DocumentVector(r.Doc); !ok || v.IsZero() {
+			t.Errorf("page %d: document vector missing for id %d", i, r.Doc)
+		}
+		if c, ok := b.DocumentContent(r.Doc); b.opts.RetainContent && (!ok || c != pages[i]) {
+			t.Errorf("page %d: content mismatch for id %d: %q", i, r.Doc, c)
+		}
+	}
+}
+
+// TestBatchMatchesSequentialPublish checks that a batch delivers exactly
+// what the same documents published one at a time would.
+func TestBatchMatchesSequentialPublish(t *testing.T) {
+	mk := func(workers int) (*Broker, []BatchResult) {
+		b := New(Options{Threshold: 0.3, QueueSize: 256, PublishWorkers: workers})
+		for i := 0; i < 10; i++ {
+			if _, err := b.Subscribe(fmt.Sprintf("u%d", i), trainedMM(fmt.Sprintf("topic%d", i%4))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var docs []vsm.Vector
+		for i := 0; i < 20; i++ {
+			docs = append(docs, vec(fmt.Sprintf("topic%d", i%4), 1.0, "common", 0.2))
+		}
+		return b, b.PublishVectorBatch(docs)
+	}
+	_, batched := mk(4)
+	_, oneByOne := mk(1)
+	for i := range batched {
+		if batched[i].Deliveries != oneByOne[i].Deliveries {
+			t.Errorf("doc %d: %d deliveries with 4 workers, %d with 1",
+				i, batched[i].Deliveries, oneByOne[i].Deliveries)
+		}
+	}
+}
+
+// TestBrokerConcurrentStress mixes batch publishes with subscribe/feedback/
+// unsubscribe churn; meaningful under -race.
+func TestBrokerConcurrentStress(t *testing.T) {
+	b := New(Options{Threshold: 0.2, QueueSize: 16, PublishWorkers: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				var batch []vsm.Vector
+				for j := 0; j < 4; j++ {
+					batch = append(batch, vec(fmt.Sprintf("topic%d", (i+j)%5), 1.0))
+				}
+				b.PublishVectorBatch(batch)
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := fmt.Sprintf("churn%d-%d", g, i)
+				sub, err := b.Subscribe(id, trainedMM(fmt.Sprintf("topic%d", i%5)))
+				if err != nil {
+					t.Errorf("Subscribe(%s): %v", id, err)
+					continue
+				}
+				select {
+				case d := <-sub.Deliveries():
+					_ = sub.Feedback(d.Doc, filter.Relevant)
+				default:
+				}
+				if i%2 == 0 {
+					b.Unsubscribe(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Published != 360 { // 3 publishers × 30 batches × 4 docs
+		t.Errorf("Published = %d, want 360", st.Published)
+	}
+	if st.Subscribers != 30 {
+		t.Errorf("Subscribers = %d, want 30", st.Subscribers)
+	}
+}

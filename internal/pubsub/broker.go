@@ -20,6 +20,7 @@ package pubsub
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -60,6 +61,9 @@ type Options struct {
 	// were sent (DocumentContent / the wire "fetch" op). Off by default:
 	// raw pages dominate memory at scale.
 	RetainContent bool
+	// PublishWorkers bounds the worker pool PublishBatch fans a document
+	// batch out over; 0 means one worker per CPU.
+	PublishWorkers int
 }
 
 // DefaultOptions returns the broker defaults: threshold 0.25, queues of
@@ -118,6 +122,10 @@ type Broker struct {
 
 	subsMu sync.RWMutex
 	subs   map[string]*subscriber
+	// brute holds the subscribers whose learners expose no profile vectors
+	// and therefore cannot be matched through the index; only these pay a
+	// per-publish Score call. Guarded by subsMu.
+	brute map[string]*subscriber
 
 	published  atomic.Int64
 	deliveries atomic.Int64
@@ -143,6 +151,7 @@ func New(opts Options) *Broker {
 		stats:   vsm.NewStats(),
 		idx:     index.New(),
 		subs:    make(map[string]*subscriber),
+		brute:   make(map[string]*subscriber),
 		docs:    make(map[int64]docRecord),
 		docRing: make([]int64, opts.Retention),
 	}
@@ -191,6 +200,9 @@ func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
 		}
 	}
 	b.subs[id] = s
+	if !s.indexed {
+		b.brute[id] = s
+	}
 	b.subsMu.Unlock()
 	b.reindex(s)
 	return &Subscription{b: b, sub: s}, nil
@@ -222,6 +234,7 @@ func (b *Broker) Unsubscribe(id string) {
 	s, ok := b.subs[id]
 	if ok {
 		delete(b.subs, id)
+		delete(b.brute, id)
 	}
 	b.subsMu.Unlock()
 	if !ok {
@@ -264,6 +277,70 @@ func (b *Broker) PublishVector(vec vsm.Vector) (int64, int) {
 	return b.publishRecord(vec, "")
 }
 
+// BatchResult is one document's outcome within a PublishBatch call.
+type BatchResult struct {
+	Doc        int64
+	Deliveries int
+}
+
+// PublishBatch ingests a batch of raw pages through a bounded worker pool
+// (Options.PublishWorkers, default one per CPU). Results are returned in
+// input order; document ids are still assigned in a total order but, with
+// multiple workers, not necessarily in input order. Collection statistics
+// accumulate under their own lock exactly as with sequential Publish.
+func (b *Broker) PublishBatch(pages []string) []BatchResult {
+	out := make([]BatchResult, len(pages))
+	b.fanOut(len(pages), func(i int) {
+		doc, n := b.Publish(pages[i])
+		out[i] = BatchResult{Doc: doc, Deliveries: n}
+	})
+	return out
+}
+
+// PublishVectorBatch is PublishBatch for pre-vectorized (unit-normalized)
+// documents.
+func (b *Broker) PublishVectorBatch(vecs []vsm.Vector) []BatchResult {
+	out := make([]BatchResult, len(vecs))
+	b.fanOut(len(vecs), func(i int) {
+		doc, n := b.PublishVector(vecs[i])
+		out[i] = BatchResult{Doc: doc, Deliveries: n}
+	})
+	return out
+}
+
+// fanOut runs fn(0..n-1) over the publish worker pool.
+func (b *Broker) fanOut(n int, fn func(int)) {
+	workers := b.opts.PublishWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
 	// Retain the vector for feedback resolution, evicting the oldest.
 	b.docsMu.Lock()
@@ -282,29 +359,31 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
 		return id, 0
 	}
 
-	matched := make(map[string]float64)
-	for _, m := range b.idx.Match(vec, b.opts.Threshold) {
-		matched[m.User] = m.Score
-	}
+	// Resolve the document against the index's term dictionary once; the
+	// whole tokenize→weight→match path then never re-hashes a term string.
+	doc := b.idx.NewDoc(vec)
+	matches := b.idx.MatchDoc(doc, b.opts.Threshold)
 
+	// Fan-out cost is O(matches + brute-force subscribers), not
+	// O(all subscribers): indexed profiles are reached only through their
+	// match, and only learners without indexable vectors are scored here.
 	delivered := 0
 	b.subsMu.RLock()
-	targets := make([]*subscriber, 0, len(matched))
-	scores := make([]float64, 0, len(matched))
-	for _, s := range b.subs {
-		score, ok := matched[s.id]
-		if !ok && !s.indexed {
-			// Brute-force path for learners without indexable vectors.
-			s.mu.Lock()
-			sc := s.learner.Score(vec)
-			s.mu.Unlock()
-			if sc >= b.opts.Threshold {
-				score, ok = sc, true
-			}
-		}
-		if ok {
+	targets := make([]*subscriber, 0, len(matches))
+	scores := make([]float64, 0, len(matches))
+	for _, m := range matches {
+		if s, ok := b.subs[m.User]; ok {
 			targets = append(targets, s)
-			scores = append(scores, score)
+			scores = append(scores, m.Score)
+		}
+	}
+	for _, s := range b.brute {
+		s.mu.Lock()
+		sc := s.learner.Score(vec)
+		s.mu.Unlock()
+		if sc >= b.opts.Threshold {
+			targets = append(targets, s)
+			scores = append(scores, sc)
 		}
 	}
 	b.subsMu.RUnlock()

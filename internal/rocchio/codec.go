@@ -109,6 +109,7 @@ func (r *Rocchio) UnmarshalBinary(data []byte) error {
 	r.maxTerms = int(maxTerms)
 	r.updates = int(updates)
 	r.profile = profile
+	r.norm = profile.Norm()
 	r.rel = rel
 	r.nonRel = nonRel
 	return nil

@@ -22,25 +22,29 @@ func NewNRN() *NRN { return &NRN{} }
 func (n *NRN) Name() string { return "NRN" }
 
 // Observe implements filter.Learner: relevant documents are stored
-// verbatim (duplicates of an already-stored vector are skipped, matching
-// the paper's "all (distinct) relevant documents" reading).
+// unit-normalized (duplicates of an already-stored vector are skipped,
+// matching the paper's "all (distinct) relevant documents" reading).
+// Documents arrive unit-normalized anyway; normalizing on store makes the
+// invariant local so Score can use the vsm.DotUnit fast path.
 func (n *NRN) Observe(v vsm.Vector, fd filter.Feedback) {
 	if fd != filter.Relevant || v.IsZero() {
 		return
 	}
+	v = v.Normalized()
 	for _, p := range n.vectors {
-		if vsm.Cosine(p, v) >= 1-1e-12 {
+		if vsm.DotUnit(p, v) >= 1-1e-12 {
 			return
 		}
 	}
-	n.vectors = append(n.vectors, v.Clone())
+	n.vectors = append(n.vectors, v)
 }
 
-// Score implements filter.Learner.
+// Score implements filter.Learner; v must be unit-normalized, as all
+// document vectors in this system are.
 func (n *NRN) Score(v vsm.Vector) float64 {
 	best := 0.0
 	for _, p := range n.vectors {
-		if s := vsm.Cosine(p, v); s > best {
+		if s := vsm.DotUnit(p, v); s > best {
 			best = s
 		}
 	}

@@ -29,6 +29,7 @@ type Rocchio struct {
 	maxTerms  int
 
 	profile vsm.Vector
+	norm    float64 // cached ‖profile‖, maintained by Flush/Reset/restore
 	rel     []vsm.Vector
 	nonRel  []vsm.Vector
 	updates int
@@ -91,6 +92,7 @@ func (r *Rocchio) ProfileVectors() []vsm.Vector {
 // Reset implements filter.Learner.
 func (r *Rocchio) Reset() {
 	r.profile = vsm.Vector{}
+	r.norm = 0
 	r.rel = nil
 	r.nonRel = nil
 	r.updates = 0
@@ -129,14 +131,22 @@ func (r *Rocchio) Flush() {
 		m[t] -= gammaNonRelevant * w
 	}
 	r.profile = vsm.FromMap(m).Truncated(r.maxTerms)
+	r.norm = r.profile.Norm()
 	r.rel = nil
 	r.nonRel = nil
 	r.updates++
 }
 
-// Score implements filter.Learner.
+// Score implements filter.Learner. The profile vector is not kept
+// unit-length (Rocchio updates accumulate raw weights), but its norm only
+// changes on Flush, so Score divides by the cached norm instead of
+// recomputing it per call; v is unit-normalized as all document vectors in
+// this system are.
 func (r *Rocchio) Score(v vsm.Vector) float64 {
-	return vsm.Cosine(r.profile, v)
+	if r.norm == 0 {
+		return 0
+	}
+	return vsm.Dot(r.profile, v) / r.norm
 }
 
 // centroid returns the mean of the vectors (the w_{t,R} / w_{t,NR} terms of

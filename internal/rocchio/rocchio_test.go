@@ -173,7 +173,9 @@ func TestNRNScoreIsNearestNeighbour(t *testing.T) {
 	n := NewNRN()
 	n.Observe(vec("cat", 1.0), filter.Relevant)
 	n.Observe(vec("stock", 1.0), filter.Relevant)
-	probe := vec("stock", 1.0, "bond", 1.0)
+	// Score's contract (like every learner's) assumes unit-normalized
+	// documents.
+	probe := vec("stock", 1.0, "bond", 1.0).Normalized()
 	want := vsm.Cosine(vec("stock", 1.0), probe)
 	if got := n.Score(probe); !almostEqual(got, want) {
 		t.Errorf("Score = %v, want %v", got, want)

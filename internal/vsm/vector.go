@@ -131,6 +131,15 @@ func Cosine(a, b Vector) float64 {
 	return Dot(a, b) / (na * nb)
 }
 
+// DotUnit returns the cosine similarity of a and b under the precondition
+// that both are unit-normalized — which every document and profile vector
+// in this system is. It is the dot product alone, skipping the two O(n)
+// norm recomputations Cosine pays on every call; the hot paths
+// (core.Profile scoring, NRN, the inverted index) use it.
+func DotUnit(a, b Vector) float64 {
+	return Dot(a, b)
+}
+
 // Combine returns ca·a + cb·b. Entries whose combined weight is ≤ 0 are
 // dropped: negative weights arise only from negative relevance feedback and
 // are clamped per standard Rocchio practice (see DESIGN.md).
@@ -167,6 +176,24 @@ func Combine(a Vector, ca float64, b Vector, cb float64) Vector {
 	return Vector{Terms: terms, Weights: weights}
 }
 
+// topIndices returns the indices of v's k highest-weighted entries in
+// descending weight order, ties broken lexicographically by term for
+// determinism. It is the selection step shared by Truncated and TopTerms.
+func (v Vector) topIndices(k int) []int {
+	idx := make([]int, v.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if v.Weights[i] != v.Weights[j] {
+			return v.Weights[i] > v.Weights[j]
+		}
+		return v.Terms[i] < v.Terms[j]
+	})
+	return idx[:min(k, len(idx))]
+}
+
 // Truncated returns v restricted to its k highest-weighted terms (ties
 // broken lexicographically for determinism). The paper keeps at most 100
 // terms per document and profile vector.
@@ -174,29 +201,15 @@ func (v Vector) Truncated(k int) Vector {
 	if v.Len() <= k {
 		return v
 	}
-	type entry struct {
-		term string
-		w    float64
-	}
-	entries := make([]entry, v.Len())
-	for i, t := range v.Terms {
-		entries[i] = entry{t, v.Weights[i]}
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].w != entries[j].w {
-			return entries[i].w > entries[j].w
-		}
-		return entries[i].term < entries[j].term
-	})
-	entries = entries[:k]
-	sort.Slice(entries, func(i, j int) bool { return entries[i].term < entries[j].term })
+	idx := v.topIndices(k)
+	sort.Ints(idx) // terms are sorted, so index order is term order
 	out := Vector{
 		Terms:   make([]string, k),
 		Weights: make([]float64, k),
 	}
-	for i, e := range entries {
-		out.Terms[i] = e.term
-		out.Weights[i] = e.w
+	for i, j := range idx {
+		out.Terms[i] = v.Terms[j]
+		out.Weights[i] = v.Weights[j]
 	}
 	return out
 }
@@ -204,24 +217,10 @@ func (v Vector) Truncated(k int) Vector {
 // TopTerms returns the k highest-weighted terms in descending weight order,
 // useful for inspecting what concept a profile vector represents.
 func (v Vector) TopTerms(k int) []string {
-	t := v.Truncated(min(k, v.Len()))
-	type entry struct {
-		term string
-		w    float64
-	}
-	entries := make([]entry, t.Len())
-	for i := range t.Terms {
-		entries[i] = entry{t.Terms[i], t.Weights[i]}
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].w != entries[j].w {
-			return entries[i].w > entries[j].w
-		}
-		return entries[i].term < entries[j].term
-	})
-	out := make([]string, len(entries))
-	for i, e := range entries {
-		out[i] = e.term
+	idx := v.topIndices(k)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = v.Terms[j]
 	}
 	return out
 }
@@ -258,11 +257,4 @@ func (v Vector) valid() bool {
 		}
 	}
 	return true
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
