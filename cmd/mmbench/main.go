@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mmprofile/internal/bench"
+	"mmprofile/internal/metrics"
 )
 
 func main() {
@@ -64,6 +65,8 @@ func main() {
 	if *seed != 0 {
 		cfg.BaseSeed = *seed
 	}
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
 	h := bench.NewHarness(cfg)
 
 	type runner struct {
@@ -186,6 +189,29 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "mmbench: no figure matches -fig=%s\n", *figFlag)
 		os.Exit(2)
+	}
+	printMetrics(reg)
+}
+
+// printMetrics writes the run's final instrumentation snapshot: one line
+// per instrument, histograms as count plus p50/p95/p99. Empty when no
+// selected experiment exercised an instrumented subsystem.
+func printMetrics(reg *metrics.Registry) {
+	exports := reg.Exports()
+	if len(exports) == 0 {
+		return
+	}
+	fmt.Println("metrics:")
+	for _, e := range exports {
+		switch v := e.Value.(type) {
+		case metrics.HistogramSnapshot:
+			fmt.Printf("  %-32s count=%d p50=%.3gms p95=%.3gms p99=%.3gms\n",
+				e.Name, v.Count, v.P50*1e3, v.P95*1e3, v.P99*1e3)
+		case int64:
+			fmt.Printf("  %-32s %d\n", e.Name, v)
+		case float64:
+			fmt.Printf("  %-32s %g\n", e.Name, v)
+		}
 	}
 }
 

@@ -12,15 +12,20 @@
 //	mmclient fetch -doc 12                  (server must run -retain-content)
 //	mmclient export -user alice -out alice.profile
 //	mmclient import -user alice -in alice.profile
-//	mmclient stats
+//	mmclient stats                          (wire-protocol counters)
+//	mmclient stats -http localhost:8080     (full /statsz + /metrics dump)
 //	mmclient unsubscribe -user alice
 package main
 
 import (
 	"encoding/base64"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,6 +40,19 @@ func main() {
 		usage()
 	}
 	cmd, rest := args[0], args[1:]
+
+	if cmd == "stats" {
+		// stats has an HTTP mode that reads the status listener rather
+		// than the wire protocol, so handle it before dialing.
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		httpAddr := fs.String("http", "", "status-listener address (uses /statsz + /metrics instead of the wire protocol)")
+		prom := fs.Bool("prom", false, "with -http: also dump the raw Prometheus exposition")
+		parse(fs, rest)
+		if *httpAddr != "" {
+			check(httpStats(*httpAddr, *prom))
+			return
+		}
+	}
 
 	c, err := wire.Dial(*addr)
 	if err != nil {
@@ -185,6 +203,87 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// httpStats fetches /statsz from a status listener and pretty-prints it:
+// scalars as aligned sorted key/value lines, histogram snapshots as
+// count/p50/p95/p99. With prom, the raw /metrics exposition follows.
+func httpStats(addr string, prom bool) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	body, err := httpGet(addr + "/statsz")
+	if err != nil {
+		return err
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return fmt.Errorf("statsz: %w", err)
+	}
+	metricsObj, _ := stats["metrics"].(map[string]any)
+	delete(stats, "metrics")
+	printKV(stats, "")
+	if len(metricsObj) > 0 {
+		fmt.Println("\nmetrics:")
+		printKV(metricsObj, "  ")
+	}
+	if prom {
+		raw, err := httpGet(addr + "/metrics")
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		os.Stdout.Write(raw)
+	}
+	return nil
+}
+
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// printKV writes one aligned "key  value" line per entry, sorted by key.
+// Histogram snapshots (maps) render as count/p50/p95/p99.
+func printKV(m map[string]any, indent string) {
+	keys := make([]string, 0, len(m))
+	width := 0
+	for k := range m {
+		keys = append(keys, k)
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case map[string]any:
+			fmt.Printf("%s%-*s  count=%s p50=%s p95=%s p99=%s\n", indent, width, k,
+				num(v["count"]), num(v["p50"]), num(v["p95"]), num(v["p99"]))
+		default:
+			fmt.Printf("%s%-*s  %s\n", indent, width, k, num(v))
+		}
+	}
+}
+
+// num formats a JSON-decoded number compactly (integers without a
+// trailing .0, latencies with enough precision to be useful).
+func num(v any) string {
+	f, ok := v.(float64)
+	if !ok {
+		return fmt.Sprint(v)
+	}
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.6g", f)
 }
 
 func parse(fs *flag.FlagSet, args []string) {

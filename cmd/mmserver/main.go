@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/store"
 	"mmprofile/internal/wire"
@@ -46,18 +47,26 @@ func main() {
 	)
 	flag.Parse()
 
+	// One registry for the whole process: the broker, the index, and the
+	// store all record into it, and the HTTP endpoints expose it. The
+	// mm_store_* family is registered up front so /metrics carries every
+	// family even when the server runs without -state.
+	reg := metrics.NewRegistry()
+	store.RegisterMetrics(reg)
+
 	opts := pubsub.Options{
 		Threshold:      *threshold,
 		QueueSize:      *queue,
 		Retention:      *retention,
 		RetainContent:  *retainBody,
 		PublishWorkers: *pubWorkers,
+		Metrics:        reg,
 	}
 
 	var st *store.Store
 	if *stateDir != "" {
 		var err error
-		st, err = store.Open(*stateDir, store.Options{SyncEveryAppend: *fsync})
+		st, err = store.Open(*stateDir, store.Options{SyncEveryAppend: *fsync, Metrics: reg})
 		if err != nil {
 			fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"mmprofile/internal/corpus"
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/text"
 )
 
@@ -29,6 +30,10 @@ type Config struct {
 	ShiftAt     int
 	// BaseSeed decorrelates repetitions; run r uses BaseSeed + r.
 	BaseSeed int64
+	// Metrics, when non-nil, receives instrumentation from the experiments
+	// that exercise instrumented subsystems (currently ScaleFigure's
+	// inverted index). mmbench prints its snapshot after the run.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's experimental setup.

@@ -104,6 +104,17 @@ func (p *Profile) ProfileVectors() []vsm.Vector {
 	return out
 }
 
+// ForEachStrength calls fn with each profile vector's current strength,
+// in internal order. It allocates nothing, so callers (the broker's
+// adaptation telemetry) can sample the strength distribution on every
+// feedback step. The caller must serialize access as with every other
+// method.
+func (p *Profile) ForEachStrength(fn func(float64)) {
+	for _, pv := range p.vectors {
+		fn(pv.Strength)
+	}
+}
+
 // Reset implements filter.Learner.
 func (p *Profile) Reset() {
 	p.vectors = nil

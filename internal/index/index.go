@@ -28,8 +28,10 @@ package index
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"mmprofile/internal/intern"
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/vsm"
 )
 
@@ -115,6 +117,59 @@ type Index struct {
 	liveVecs int
 
 	pool sync.Pool // *matcher
+
+	// inst is nil until Instrument is called; instrumented paths check it
+	// once and fall through at zero cost when monitoring is off.
+	inst *instruments
+}
+
+// instruments holds the index's metrics (DESIGN.md §8). All fields are
+// nil-safe no-ops until Instrument wires them to a registry.
+type instruments struct {
+	matchLat    *metrics.Histogram
+	compactions *metrics.Counter
+	compactLat  *metrics.Histogram
+}
+
+// Instrument registers the index's metrics with reg and starts recording.
+// Call it before the index is shared across goroutines (the broker does so
+// at construction). Self-timing covers Match and TopK; MatchDoc is left to
+// its caller — the broker's publish path already brackets MatchDoc with
+// its own clock reads and re-uses them, keeping the hot path at three
+// time.Now calls total.
+func (ix *Index) Instrument(reg *metrics.Registry) {
+	ix.inst = &instruments{
+		matchLat: reg.Histogram("mm_index_match_seconds",
+			"Latency of matching one document through the inverted profile index (Match/TopK entry points)."),
+		compactions: reg.Counter("mm_index_compactions_total",
+			"Posting-shard compactions performed (tombstone garbage collection)."),
+		compactLat: reg.Histogram("mm_index_compaction_seconds",
+			"Duration of individual posting-shard compactions."),
+	}
+	reg.GaugeFunc("mm_index_live_vectors",
+		"Profile vectors currently live in the inverted index.",
+		func() float64 {
+			ix.mu.RLock()
+			n := ix.liveVecs
+			ix.mu.RUnlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("mm_index_tombstone_ratio",
+		"Fraction of postings that are tombstoned and awaiting compaction (0 = fully compact).",
+		func() float64 {
+			var live, stale int
+			for i := range ix.shards {
+				s := &ix.shards[i]
+				s.mu.RLock()
+				live += s.live
+				stale += s.stale
+				s.mu.RUnlock()
+			}
+			if live+stale == 0 {
+				return 0
+			}
+			return float64(stale) / float64(live+stale)
+		})
 }
 
 // New returns an empty index with its own term dictionary.
@@ -389,7 +444,7 @@ func (ix *Index) tombstone(tomb *[numShards]tombShard) {
 		s.stale += tomb[si].count
 		s.live -= tomb[si].count
 		if s.stale > compactMinStale && s.stale*compactFraction > s.stale+s.live {
-			freed = append(freed, s.compactLocked()...)
+			freed = append(freed, ix.compactShard(s)...)
 		}
 		s.mu.Unlock()
 	}
@@ -448,10 +503,29 @@ func (ix *Index) Compact() {
 	for si := range ix.shards {
 		s := &ix.shards[si]
 		s.mu.Lock()
-		freed = append(freed, s.compactLocked()...)
+		freed = append(freed, ix.compactShard(s)...)
 		s.mu.Unlock()
 	}
 	ix.release(freed)
+}
+
+// compactShard runs one shard's compaction under its (already held) write
+// lock, recording the compaction count and duration when instrumented.
+// No-op shards (no tombstones) are not counted.
+func (ix *Index) compactShard(s *shard) []uint32 {
+	if len(s.dead) == 0 {
+		return nil
+	}
+	var t0 time.Time
+	if ix.inst != nil {
+		t0 = time.Now()
+	}
+	freed := s.compactLocked()
+	if ix.inst != nil {
+		ix.inst.compactions.Inc()
+		ix.inst.compactLat.ObserveSince(t0)
+	}
+	return freed
 }
 
 // ---------------------------------------------------------------------------
@@ -511,11 +585,18 @@ func grow[T any](s []T, n int) []T {
 // determinism). doc must be unit-normalized, as all document vectors in
 // this system are.
 func (ix *Index) Match(doc vsm.Vector, threshold float64) []Match {
+	var t0 time.Time
+	if ix.inst != nil {
+		t0 = time.Now()
+	}
 	m := ix.pool.Get().(*matcher)
 	m.resolve(ix, doc)
 	out := ix.matchInto(m, m.docIDs, m.docWs, threshold)
 	ix.pool.Put(m)
 	sortMatches(out)
+	if ix.inst != nil {
+		ix.inst.matchLat.ObserveSince(t0)
+	}
 	return out
 }
 
@@ -624,6 +705,11 @@ func sortMatches(out []Match) {
 func (ix *Index) TopK(doc vsm.Vector, threshold float64, k int) []Match {
 	if k <= 0 {
 		return nil
+	}
+	var t0 time.Time
+	if ix.inst != nil {
+		t0 = time.Now()
+		defer func() { ix.inst.matchLat.ObserveSince(t0) }()
 	}
 	m := ix.pool.Get().(*matcher)
 	m.resolve(ix, doc)

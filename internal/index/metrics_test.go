@@ -1,0 +1,66 @@
+package index
+
+import (
+	"testing"
+
+	"mmprofile/internal/metrics"
+	"mmprofile/internal/vsm"
+)
+
+func TestInstrument(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ix := New()
+	ix.Instrument(reg)
+
+	ix.SetUser("alice", []vsm.Vector{vec("cat", 1.0)})
+	ix.SetUser("bob", []vsm.Vector{vec("dog", 1.0)})
+	if m := ix.Match(vec("cat", 1.0), 0.3); len(m) != 1 {
+		t.Fatalf("matches = %v", m)
+	}
+	ix.TopK(vec("dog", 1.0), 0.3, 1)
+
+	snap := reg.Snapshot()
+	if h := snap["mm_index_match_seconds"].(metrics.HistogramSnapshot); h.Count != 2 {
+		t.Errorf("match observations = %d, want 2 (Match + TopK)", h.Count)
+	}
+	if got := snap["mm_index_live_vectors"].(float64); got != 2 {
+		t.Errorf("live vectors = %v, want 2", got)
+	}
+	if got := snap["mm_index_tombstone_ratio"].(float64); got != 0 {
+		t.Errorf("tombstone ratio = %v, want 0 before any removal", got)
+	}
+
+	// Removing a user tombstones its postings; the ratio must reflect that
+	// until Compact sweeps them and records the compaction.
+	ix.RemoveUser("alice")
+	if got := reg.Snapshot()["mm_index_tombstone_ratio"].(float64); got <= 0 {
+		t.Errorf("tombstone ratio = %v, want > 0 after RemoveUser", got)
+	}
+	ix.Compact()
+	snap = reg.Snapshot()
+	if got := snap["mm_index_tombstone_ratio"].(float64); got != 0 {
+		t.Errorf("tombstone ratio = %v, want 0 after Compact", got)
+	}
+	if got := snap["mm_index_compactions_total"].(int64); got == 0 {
+		t.Error("Compact did not record any shard compactions")
+	}
+	if h := snap["mm_index_compaction_seconds"].(metrics.HistogramSnapshot); h.Count == 0 {
+		t.Error("compaction duration histogram empty")
+	}
+	if got := snap["mm_index_live_vectors"].(float64); got != 1 {
+		t.Errorf("live vectors = %v, want 1 after RemoveUser", got)
+	}
+}
+
+// TestUninstrumentedIndexRecordsNothing pins the zero-cost default: an
+// index never handed a registry works identically (broker benchmarks rely
+// on the nil check being the only overhead).
+func TestUninstrumentedIndexRecordsNothing(t *testing.T) {
+	ix := New()
+	ix.SetUser("alice", []vsm.Vector{vec("cat", 1.0)})
+	if m := ix.Match(vec("cat", 1.0), 0.3); len(m) != 1 {
+		t.Fatalf("matches = %v", m)
+	}
+	ix.RemoveUser("alice")
+	ix.Compact()
+}

@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, perG = 16, 10_000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterHotPathDoesNotAllocate(t *testing.T) {
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Add(2) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v times per op", n)
+	}
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.001) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v times per op", n)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	g.Add(1.25)
+	g.Add(-0.75)
+	if got := g.Value(); got != 4.0 {
+		t.Fatalf("Value = %v, want 4", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		f *FuncGauge
+		h *Histogram
+	)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments returned non-zero values")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot non-empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	// Exact powers of two land in their own ≤-bucket.
+	if got, want := bucketOf(1.0), -histMinExp; got != want {
+		t.Errorf("bucketOf(1) = %d, want %d", got, want)
+	}
+	if upperBound(bucketOf(1.0)) != 1.0 {
+		t.Errorf("upper bound of bucketOf(1) = %v, want 1", upperBound(bucketOf(1.0)))
+	}
+	// Values just above a power of two move to the next bucket.
+	if bucketOf(1.0001) != bucketOf(1.0)+1 {
+		t.Error("1.0001 should fall in the bucket above 1.0")
+	}
+	// Non-positive and subnormal-tiny values land in the first bucket.
+	if bucketOf(0) != 0 || bucketOf(-3) != 0 || bucketOf(1e-300) != 0 {
+		t.Error("tiny/non-positive values must land in bucket 0")
+	}
+	// Huge values overflow.
+	if bucketOf(math.Ldexp(1, histMaxExp+3)) != histBuckets {
+		t.Error("huge value must land in the overflow bucket")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations uniform over (0, 1]: quantiles should be within a
+	// bucket width (≤ 2× relative) of the true values.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.Sum < 499 || s.Sum > 502 {
+		t.Errorf("Sum = %v, want ≈ 500.5", s.Sum)
+	}
+	checks := []struct {
+		got, want float64
+	}{{s.P50, 0.5}, {s.P95, 0.95}, {s.P99, 0.99}}
+	for _, c := range checks {
+		if c.got < c.want/2 || c.got > c.want*2 {
+			t.Errorf("quantile = %v, want within 2x of %v", c.got, c.want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(float64(g+1) * 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 40000 {
+		t.Fatalf("Count = %d, want 40000", s.Count)
+	}
+}
+
+func TestRegistryIdempotentAndKindClash(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs_total", "requests")
+	c2 := r.Counter("reqs_total", "ignored duplicate help")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	h1 := r.Histogram("lat_seconds", "latency")
+	if h2 := r.Histogram("lat_seconds", ""); h1 != h2 {
+		t.Fatal("re-registering a histogram must return the same instance")
+	}
+	// GaugeFunc re-registration replaces the callback (last writer wins).
+	r.GaugeFunc("depth", "", func() float64 { return 1 })
+	g := r.GaugeFunc("depth", "", func() float64 { return 2 })
+	if g.Value() != 2 {
+		t.Fatal("GaugeFunc re-registration must replace the callback")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash must panic")
+		}
+	}()
+	r.Gauge("reqs_total", "")
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must be rejected", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mm_test_ops_total", "ops so far").Add(7)
+	r.Gauge("mm_test_depth", "queue depth").Set(2.5)
+	r.GaugeFunc("mm_test_live", "live items", func() float64 { return 3 })
+	h := r.Histogram("mm_test_lat_seconds", "latency")
+	h.Observe(0.001)
+	h.Observe(0.002)
+	h.Observe(0.004)
+	r.Histogram("mm_test_empty_seconds", "no observations yet")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP mm_test_ops_total ops so far",
+		"# TYPE mm_test_ops_total counter",
+		"mm_test_ops_total 7",
+		"# TYPE mm_test_depth gauge",
+		"mm_test_depth 2.5",
+		"mm_test_live 3",
+		"# TYPE mm_test_lat_seconds histogram",
+		`mm_test_lat_seconds_bucket{le="+Inf"} 3`,
+		"mm_test_lat_seconds_count 3",
+		// Empty histograms still expose their series.
+		`mm_test_empty_seconds_bucket{le="+Inf"} 0`,
+		"mm_test_empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Bucket lines must be cumulative and monotone.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "mm_test_lat_seconds_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscanSuffix(line, &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("non-monotone cumulative buckets:\n%s", out)
+		}
+		last = n
+	}
+}
+
+// fmtSscanSuffix parses the trailing integer of an exposition line.
+func fmtSscanSuffix(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := json.Number(line[i+1:]).Int64()
+	*n = v
+	return 1, err
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(4)
+	r.Gauge("g", "").Set(1.5)
+	r.Histogram("h_seconds", "").Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["c_total"].(float64) != 4 || decoded["g"].(float64) != 1.5 {
+		t.Fatalf("snapshot = %v", decoded)
+	}
+	hist := decoded["h_seconds"].(map[string]any)
+	if hist["count"].(float64) != 1 {
+		t.Fatalf("histogram snapshot = %v", hist)
+	}
+}
+
+func TestExportsOrdered(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	r.Gauge("a", "")
+	ex := r.Exports()
+	if len(ex) != 2 || ex[0].Name != "z_total" || ex[1].Name != "a" {
+		t.Fatalf("Exports = %+v, want registration order", ex)
+	}
+	if ex[0].Kind != "counter" || ex[1].Kind != "gauge" {
+		t.Fatalf("kinds = %s/%s", ex[0].Kind, ex[1].Kind)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.000123)
+		}
+	})
+}

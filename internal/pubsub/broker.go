@@ -23,10 +23,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mmprofile/internal/core"
 	"mmprofile/internal/filter"
 	"mmprofile/internal/index"
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/text"
 	"mmprofile/internal/vsm"
 )
@@ -64,6 +66,14 @@ type Options struct {
 	// PublishWorkers bounds the worker pool PublishBatch fans a document
 	// batch out over; 0 means one worker per CPU.
 	PublishWorkers int
+	// Metrics is the registry the broker's instrumentation registers into,
+	// shared with the profile store and exposition endpoints in mmserver.
+	// When nil the broker creates a private registry, reachable via
+	// Broker.Metrics() — instrumentation is always on (its hot-path cost
+	// is three clock reads and a few atomic adds per publish). One broker
+	// per registry: sharing a registry between brokers would silently
+	// merge their series.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns the broker defaults: threshold 0.25, queues of
@@ -96,12 +106,18 @@ type docRecord struct {
 type subscriber struct {
 	id string
 
-	mu      sync.Mutex // guards learner and closed
+	mu      sync.Mutex // guards learner, closed, lastOps, lastSize
 	learner filter.Learner
 	closed  bool
 
 	indexed bool // learner implements filter.VectorSource
 	queue   chan Delivery
+
+	// lastOps/lastSize are the adaptation-telemetry baselines: the
+	// learner's operation tallies and vector count as of the last
+	// recordAdaptation (initialized at Subscribe).
+	lastOps  core.OpCounts
+	lastSize int
 }
 
 // Broker is the dissemination engine. All methods are safe for concurrent
@@ -127,10 +143,9 @@ type Broker struct {
 	// per-publish Score call. Guarded by subsMu.
 	brute map[string]*subscriber
 
-	published  atomic.Int64
-	deliveries atomic.Int64
-	dropped    atomic.Int64
-	feedbacks  atomic.Int64
+	// m holds every instrument the broker records into; the dissemination
+	// counters inside it also back Stats().
+	m brokerMetrics
 }
 
 // New creates a broker; zero fields of opts take defaults.
@@ -145,7 +160,11 @@ func New(opts Options) *Broker {
 	if opts.Retention <= 0 {
 		opts.Retention = def.Retention
 	}
-	return &Broker{
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	b := &Broker{
 		opts:    opts,
 		pipe:    text.NewPipeline(),
 		stats:   vsm.NewStats(),
@@ -154,7 +173,18 @@ func New(opts Options) *Broker {
 		brute:   make(map[string]*subscriber),
 		docs:    make(map[int64]docRecord),
 		docRing: make([]int64, opts.Retention),
+		m:       newBrokerMetrics(reg),
 	}
+	b.idx.Instrument(reg)
+	reg.GaugeFunc("mm_pubsub_subscribers",
+		"Currently registered subscribers.",
+		func() float64 {
+			b.subsMu.RLock()
+			n := len(b.subs)
+			b.subsMu.RUnlock()
+			return float64(n)
+		})
+	return b
 }
 
 // Subscription is a subscriber's handle: a delivery stream plus feedback
@@ -177,6 +207,14 @@ func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
 		indexed: indexed,
 		queue:   make(chan Delivery, b.opts.QueueSize),
 	}
+	// Telemetry baselines: adaptation counters report only operations
+	// performed under this broker, not the learner's prior history
+	// (keyword seeding, journal replay). The learner is not yet shared,
+	// so no lock is needed.
+	if oc, ok := l.(opCounter); ok {
+		s.lastOps = oc.Counts()
+	}
+	s.lastSize = l.ProfileSize()
 	// The duplicate check, the journal record, and the insertion must be
 	// one atomic step: journaling a subscribe that then fails as a
 	// duplicate would clobber the existing user's profile on replay.
@@ -204,6 +242,7 @@ func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
 		b.brute[id] = s
 	}
 	b.subsMu.Unlock()
+	b.m.profileVectors.Add(float64(s.lastSize))
 	b.reindex(s)
 	return &Subscription{b: b, sub: s}, nil
 }
@@ -249,7 +288,10 @@ func (b *Broker) Unsubscribe(id string) {
 	s.mu.Lock()
 	s.closed = true
 	close(s.queue)
+	gone := s.lastSize
+	s.lastSize = 0
 	s.mu.Unlock()
+	b.m.profileVectors.Add(float64(-gone))
 }
 
 // Publish ingests one raw page: it is run through the processing pipeline,
@@ -289,22 +331,26 @@ type BatchResult struct {
 // multiple workers, not necessarily in input order. Collection statistics
 // accumulate under their own lock exactly as with sequential Publish.
 func (b *Broker) PublishBatch(pages []string) []BatchResult {
+	t0 := time.Now()
 	out := make([]BatchResult, len(pages))
 	b.fanOut(len(pages), func(i int) {
 		doc, n := b.Publish(pages[i])
 		out[i] = BatchResult{Doc: doc, Deliveries: n}
 	})
+	b.m.batchLat.ObserveSince(t0)
 	return out
 }
 
 // PublishVectorBatch is PublishBatch for pre-vectorized (unit-normalized)
 // documents.
 func (b *Broker) PublishVectorBatch(vecs []vsm.Vector) []BatchResult {
+	t0 := time.Now()
 	out := make([]BatchResult, len(vecs))
 	b.fanOut(len(vecs), func(i int) {
 		doc, n := b.PublishVector(vecs[i])
 		out[i] = BatchResult{Doc: doc, Deliveries: n}
 	})
+	b.m.batchLat.ObserveSince(t0)
 	return out
 }
 
@@ -341,21 +387,37 @@ func (b *Broker) fanOut(n int, fn func(int)) {
 	wg.Wait()
 }
 
+// docKey maps a document id to its key in the b.docs map and the b.docRing
+// eviction ring. Document ids start at 0, but the ring uses the zero value
+// to mean "empty slot", so keys are offset by one: document id d is stored
+// and looked up under key d+1, never under d. Every b.docs access and every
+// ring entry must go through this helper — a raw b.docs[doc] lookup would
+// silently return the *previous* document. The invariant is pinned by
+// TestDocKeyOffsetInvariant.
+func docKey(id int64) int64 { return id + 1 }
+
 func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
+	t0 := time.Now()
 	// Retain the vector for feedback resolution, evicting the oldest.
 	b.docsMu.Lock()
 	id := b.nextDoc
 	b.nextDoc++
+	evicted := false
 	if old := b.docRing[b.ringPos]; old != 0 {
 		delete(b.docs, old)
+		evicted = true
 	}
-	b.docRing[b.ringPos] = id + 1 // +1 so the zero value means "empty slot"
+	b.docRing[b.ringPos] = docKey(id)
 	b.ringPos = (b.ringPos + 1) % len(b.docRing)
-	b.docs[id+1] = docRecord{id: id, vec: vec, content: content}
+	b.docs[docKey(id)] = docRecord{id: id, vec: vec, content: content}
 	b.docsMu.Unlock()
-	b.published.Add(1)
+	b.m.published.Inc()
+	if evicted {
+		b.m.evictions.Inc()
+	}
 
 	if vec.IsZero() {
+		b.m.publishLat.ObserveSince(t0)
 		return id, 0
 	}
 
@@ -387,12 +449,19 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
 		}
 	}
 	b.subsMu.RUnlock()
+	// One clock read separates matching from fan-out; together with t0 and
+	// the final read it yields all three hot-path histograms.
+	t1 := time.Now()
+	b.m.matchLat.Observe(t1.Sub(t0).Seconds())
 
 	for i, s := range targets {
 		if b.deliver(s, Delivery{Doc: id, Score: scores[i]}) {
 			delivered++
 		}
 	}
+	t2 := time.Now()
+	b.m.deliverLat.Observe(t2.Sub(t1).Seconds())
+	b.m.publishLat.Observe(t2.Sub(t0).Seconds())
 	return id, delivered
 }
 
@@ -408,12 +477,12 @@ func (b *Broker) deliver(s *subscriber, d Delivery) bool {
 	for {
 		select {
 		case s.queue <- d:
-			b.deliveries.Add(1)
+			b.m.deliveries.Inc()
 			return true
 		default:
 			select {
 			case <-s.queue:
-				b.dropped.Add(1)
+				b.m.dropped.Inc()
 			default:
 			}
 		}
@@ -424,6 +493,7 @@ func (b *Broker) deliver(s *subscriber, d Delivery) bool {
 // at least still-retained) document and refreshes the subscriber's index
 // entries, since the judgment may have reshaped the profile.
 func (b *Broker) Feedback(user string, doc int64, fd filter.Feedback) error {
+	t0 := time.Now()
 	b.subsMu.RLock()
 	s, ok := b.subs[user]
 	b.subsMu.RUnlock()
@@ -431,7 +501,7 @@ func (b *Broker) Feedback(user string, doc int64, fd filter.Feedback) error {
 		return fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
 	b.docsMu.Lock()
-	rec, ok := b.docs[doc+1]
+	rec, ok := b.docs[docKey(doc)]
 	b.docsMu.Unlock()
 	if !ok {
 		return fmt.Errorf("pubsub: document %d not retained (retention %d)", doc, b.opts.Retention)
@@ -443,15 +513,17 @@ func (b *Broker) Feedback(user string, doc int64, fd filter.Feedback) error {
 	}
 	s.mu.Lock()
 	s.learner.Observe(rec.vec, fd)
+	b.recordAdaptation(s)
 	var vecs []vsm.Vector
 	if s.indexed {
 		vecs = s.learner.(filter.VectorSource).ProfileVectors()
 	}
 	s.mu.Unlock()
-	b.feedbacks.Add(1)
+	b.m.feedbacks.Inc()
 	if s.indexed {
 		b.idx.SetUser(s.id, vecs)
 	}
+	b.m.feedbackLat.ObserveSince(t0)
 	return nil
 }
 
@@ -530,7 +602,7 @@ func (b *Broker) ExportProfile(user string) (ProfileSnapshot, error) {
 // subscribers that want to inspect what they were sent.
 func (b *Broker) DocumentVector(doc int64) (vsm.Vector, bool) {
 	b.docsMu.Lock()
-	rec, ok := b.docs[doc+1]
+	rec, ok := b.docs[docKey(doc)]
 	b.docsMu.Unlock()
 	if !ok {
 		return vsm.Vector{}, false
@@ -543,7 +615,7 @@ func (b *Broker) DocumentVector(doc int64) (vsm.Vector, bool) {
 // window.
 func (b *Broker) DocumentContent(doc int64) (string, bool) {
 	b.docsMu.Lock()
-	rec, ok := b.docs[doc+1]
+	rec, ok := b.docs[docKey(doc)]
 	b.docsMu.Unlock()
 	if !ok || rec.content == "" {
 		return "", false
@@ -557,10 +629,10 @@ func (b *Broker) Stats() Counters {
 	n := len(b.subs)
 	b.subsMu.RUnlock()
 	return Counters{
-		Published:   b.published.Load(),
-		Deliveries:  b.deliveries.Load(),
-		Dropped:     b.dropped.Load(),
-		Feedbacks:   b.feedbacks.Load(),
+		Published:   b.m.published.Value(),
+		Deliveries:  b.m.deliveries.Value(),
+		Dropped:     b.m.dropped.Value(),
+		Feedbacks:   b.m.feedbacks.Value(),
 		Subscribers: n,
 	}
 }

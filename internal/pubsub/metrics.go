@@ -1,0 +1,130 @@
+package pubsub
+
+import (
+	"mmprofile/internal/core"
+	"mmprofile/internal/metrics"
+)
+
+// brokerMetrics bundles every instrument the broker records into
+// (DESIGN.md §8). The dissemination counters double as the backing store
+// for Stats(), so the legacy Counters snapshot and the exposition
+// endpoints can never disagree.
+type brokerMetrics struct {
+	reg *metrics.Registry
+
+	// Dissemination counters.
+	published  *metrics.Counter
+	deliveries *metrics.Counter
+	dropped    *metrics.Counter
+	feedbacks  *metrics.Counter
+	evictions  *metrics.Counter
+
+	// Hot-path latencies. publishLat covers the whole publishRecord,
+	// matchLat the vectorized-document → matches interval, deliverLat the
+	// fan-out loop; all three come from the same three clock reads.
+	publishLat  *metrics.Histogram
+	matchLat    *metrics.Histogram
+	deliverLat  *metrics.Histogram
+	feedbackLat *metrics.Histogram
+	batchLat    *metrics.Histogram
+
+	// Adaptation-event telemetry: the paper's §3.3 profile dynamics
+	// (create / incorporate / merge / strength-decay delete) aggregated
+	// across all subscribers, so an operator can watch interest shift
+	// happening on a live broker.
+	vecCreated      *metrics.Counter
+	vecIncorporated *metrics.Counter
+	vecMerged       *metrics.Counter
+	vecDeleted      *metrics.Counter
+	vecAnnihilated  *metrics.Counter
+	fbIgnored       *metrics.Counter
+	strength        *metrics.Histogram
+	profileVectors  *metrics.Gauge
+}
+
+func newBrokerMetrics(reg *metrics.Registry) brokerMetrics {
+	return brokerMetrics{
+		reg: reg,
+		published: reg.Counter("mm_pubsub_published_total",
+			"Documents published into the broker."),
+		deliveries: reg.Counter("mm_pubsub_deliveries_total",
+			"Deliveries enqueued to subscriber queues."),
+		dropped: reg.Counter("mm_pubsub_dropped_total",
+			"Deliveries dropped because a subscriber queue overflowed (oldest-first)."),
+		feedbacks: reg.Counter("mm_pubsub_feedbacks_total",
+			"Relevance judgments applied to subscriber profiles."),
+		evictions: reg.Counter("mm_pubsub_retention_evictions_total",
+			"Documents evicted from the retention ring to admit newer ones."),
+		publishLat: reg.Histogram("mm_pubsub_publish_seconds",
+			"End-to-end latency of one publish: retention bookkeeping, index match, and delivery fan-out."),
+		matchLat: reg.Histogram("mm_pubsub_match_seconds",
+			"Latency of matching one published document against all subscriber profiles."),
+		deliverLat: reg.Histogram("mm_pubsub_deliver_seconds",
+			"Latency of fanning one document's matches out to subscriber queues."),
+		feedbackLat: reg.Histogram("mm_pubsub_feedback_seconds",
+			"Latency of one feedback step: journaling, profile update, and reindexing."),
+		batchLat: reg.Histogram("mm_pubsub_batch_seconds",
+			"Wall-clock duration of one PublishBatch/PublishVectorBatch fan-out across the worker pool."),
+		vecCreated: reg.Counter("mm_vectors_created_total",
+			"Profile vectors created by relevant feedback outside every similarity circle (paper 3.2)."),
+		vecIncorporated: reg.Counter("mm_vectors_incorporated_total",
+			"Documents folded into an existing profile vector (paper 3.2)."),
+		vecMerged: reg.Counter("mm_vectors_merged_total",
+			"Profile-vector merge operations (paper 3.3)."),
+		vecDeleted: reg.Counter("mm_vectors_deleted_total",
+			"Profile vectors removed by strength decay (paper 3.4)."),
+		vecAnnihilated: reg.Counter("mm_vectors_annihilated_total",
+			"Profile vectors removed because negative feedback zeroed them."),
+		fbIgnored: reg.Counter("mm_feedback_ignored_total",
+			"Judgments that had no structural effect on a profile."),
+		strength: reg.Histogram("mm_vector_strength",
+			"Distribution of profile-vector strengths, sampled from the judged profile after every feedback step."),
+		profileVectors: reg.Gauge("mm_profile_vectors",
+			"Profile vectors currently held across all subscribers (learner view, including non-indexable learners)."),
+	}
+}
+
+// opCounter is the slice of core.Profile the broker needs for adaptation
+// telemetry; any learner exposing MM-style operation tallies qualifies.
+type opCounter interface {
+	Counts() core.OpCounts
+}
+
+// strengthSource is implemented by learners whose vectors carry the
+// paper's strength statistic (core.Profile).
+type strengthSource interface {
+	ForEachStrength(func(float64))
+}
+
+// recordAdaptation diffs a learner's operation tallies against the last
+// ones seen for the subscriber and publishes the deltas, then samples the
+// current strength distribution. Caller holds the subscriber lock. The
+// baseline is captured at Subscribe, so only adaptation performed under
+// this broker is counted (a profile's pre-subscribe history — keyword
+// seeds, journal replay — is not).
+func (b *Broker) recordAdaptation(s *subscriber) {
+	if oc, ok := s.learner.(opCounter); ok {
+		c := oc.Counts()
+		last := s.lastOps
+		s.lastOps = c
+		b.m.vecCreated.Add(int64(c.Created - last.Created))
+		b.m.vecIncorporated.Add(int64(c.Incorporated - last.Incorporated))
+		b.m.vecMerged.Add(int64(c.Merged - last.Merged))
+		b.m.vecDeleted.Add(int64(c.Deleted - last.Deleted))
+		b.m.vecAnnihilated.Add(int64(c.Annihilated - last.Annihilated))
+		b.m.fbIgnored.Add(int64(c.Ignored - last.Ignored))
+	}
+	if ss, ok := s.learner.(strengthSource); ok {
+		ss.ForEachStrength(b.m.strength.Observe)
+	}
+	size := s.learner.ProfileSize()
+	if d := size - s.lastSize; d != 0 {
+		s.lastSize = size
+		b.m.profileVectors.Add(float64(d))
+	}
+}
+
+// Metrics returns the broker's registry: the one passed via
+// Options.Metrics, or the private registry the broker created. Embedding
+// users can expose it (wire.NewStatusHandler does) or read it directly.
+func (b *Broker) Metrics() *metrics.Registry { return b.m.reg }

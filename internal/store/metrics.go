@@ -1,0 +1,43 @@
+package store
+
+import "mmprofile/internal/metrics"
+
+// storeMetrics bundles the persistence instruments (DESIGN.md §8). All
+// fields are nil-safe no-ops when the store was opened without a
+// registry, so the hot append path pays nothing beyond a nil check.
+type storeMetrics struct {
+	appends     *metrics.Counter
+	fsyncs      *metrics.Counter
+	checkpoints *metrics.Counter
+
+	appendLat     *metrics.Histogram
+	fsyncLat      *metrics.Histogram
+	checkpointLat *metrics.Histogram
+
+	checkpointBytes *metrics.Gauge
+}
+
+// RegisterMetrics registers the store's instrument family on reg and
+// returns the handles. Registration is idempotent (the registry returns
+// existing instruments for repeated names), so a server can pre-register
+// the family at startup — making the mm_store_* series visible on
+// /metrics even before any store exists — and a later Open with the same
+// registry picks up the very same instruments.
+func RegisterMetrics(reg *metrics.Registry) storeMetrics {
+	return storeMetrics{
+		appends: reg.Counter("mm_store_appends_total",
+			"Records appended to the write-ahead log."),
+		fsyncs: reg.Counter("mm_store_fsyncs_total",
+			"fsync calls issued against the write-ahead log."),
+		checkpoints: reg.Counter("mm_store_checkpoints_total",
+			"Snapshot checkpoints written."),
+		appendLat: reg.Histogram("mm_store_append_seconds",
+			"Latency of one WAL append (framing, write, and fsync when SyncEveryAppend)."),
+		fsyncLat: reg.Histogram("mm_store_fsync_seconds",
+			"Latency of one WAL fsync."),
+		checkpointLat: reg.Histogram("mm_store_checkpoint_seconds",
+			"Wall-clock duration of writing one snapshot checkpoint."),
+		checkpointBytes: reg.Gauge("mm_store_checkpoint_bytes",
+			"Payload size of the most recent snapshot checkpoint."),
+	}
+}

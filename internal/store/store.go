@@ -26,8 +26,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mmprofile/internal/filter"
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/vsm"
 )
 
@@ -69,11 +71,16 @@ type Options struct {
 	// but slow; off by default (the log is still flushed by the OS and a
 	// torn tail is recovered from).
 	SyncEveryAppend bool
+	// Metrics, when non-nil, receives the mm_store_* instrument family
+	// (append/fsync/checkpoint latencies and counts). Nil disables
+	// instrumentation entirely.
+	Metrics *metrics.Registry
 }
 
 // Store is a directory-backed profile store. Safe for concurrent use.
 type Store struct {
 	opts Options
+	m    storeMetrics // all-nil (no-op) when opts.Metrics is nil
 
 	mu  sync.Mutex
 	dir string
@@ -96,6 +103,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{opts: opts, dir: dir, seq: seq}
+	if opts.Metrics != nil {
+		s.m = RegisterMetrics(opts.Metrics)
+	}
 	if err := s.openWAL(); err != nil {
 		return nil, err
 	}
@@ -188,6 +198,7 @@ func (s *Store) AppendUnsubscribe(user string) error {
 }
 
 func (s *Store) appendPayload(payload []byte) error {
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
@@ -197,8 +208,12 @@ func (s *Store) appendPayload(payload []byte) error {
 		return err
 	}
 	if s.opts.SyncEveryAppend {
-		return s.wal.Sync()
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
 	}
+	s.m.appends.Inc()
+	s.m.appendLat.ObserveSince(t0)
 	return nil
 }
 
@@ -214,13 +229,25 @@ func (s *Store) Sync() error {
 	if s.wal == nil {
 		return errors.New("store: closed")
 	}
-	return s.wal.Sync()
+	return s.syncLocked()
+}
+
+// syncLocked fsyncs the log with timing; caller holds the lock.
+func (s *Store) syncLocked() error {
+	t0 := time.Now()
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.m.fsyncs.Inc()
+	s.m.fsyncLat.ObserveSince(t0)
+	return nil
 }
 
 // Snapshot atomically writes a new snapshot of every profile and starts a
 // fresh, empty log; older snapshot/log generations are removed
 // (best-effort) afterwards.
 func (s *Store) Snapshot(profiles []ProfileRecord) error {
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
@@ -233,6 +260,7 @@ func (s *Store) Snapshot(profiles []ProfileRecord) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
+	var bytes int64
 	for _, p := range profiles {
 		payload := binary.AppendUvarint(nil, uint64(len(p.User)))
 		payload = append(payload, p.User...)
@@ -244,6 +272,7 @@ func (s *Store) Snapshot(profiles []ProfileRecord) error {
 			tmp.Close()
 			return err
 		}
+		bytes += int64(len(payload)) + 8 // record framing header
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -275,6 +304,9 @@ func (s *Store) Snapshot(profiles []ProfileRecord) error {
 			break
 		}
 	}
+	s.m.checkpoints.Inc()
+	s.m.checkpointBytes.Set(float64(bytes))
+	s.m.checkpointLat.ObserveSince(t0)
 	return nil
 }
 

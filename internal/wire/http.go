@@ -2,21 +2,55 @@ package wire
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"html"
 	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
 
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/pubsub"
 )
 
+// expvar's namespace is process-global, so the "mmprofile" var can only
+// be published once regardless of how many handlers (or test brokers)
+// exist. The var reads whichever registry was installed most recently —
+// in practice the one serving mmserver's -http listener.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[metrics.Registry]
+)
+
+func publishExpvar(reg *metrics.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("mmprofile", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
 // NewStatusHandler serves broker observability over HTTP:
 //
-//	GET /healthz — liveness ("ok")
-//	GET /statsz  — broker + index counters as JSON
-//	GET /        — a minimal human-readable dashboard
+//	GET /healthz      — liveness ("ok")
+//	GET /statsz       — broker + index counters as JSON, plus a "metrics"
+//	                    object with the full registry snapshot
+//	GET /metrics      — Prometheus text exposition (format 0.0.4)
+//	GET /varz         — Go expvar JSON (memstats, cmdline, "mmprofile")
+//	GET /debug/pprof/ — runtime profiling endpoints
+//	GET /             — a minimal human-readable dashboard
 //
-// Mounted by mmserver's -http flag; handlers are read-only.
+// Mounted by mmserver's -http flag; handlers are read-only (pprof's
+// profile/trace endpoints start collections but mutate nothing).
 func NewStatusHandler(b *pubsub.Broker) http.Handler {
+	reg := b.Metrics()
+	publishExpvar(reg)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -36,8 +70,19 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 			"index_vectors":  ix.Vectors,
 			"index_terms":    ix.Terms,
 			"index_postings": ix.Postings,
+			"metrics":        reg.Snapshot(),
 		})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/varz", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -55,11 +100,13 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 <tr><td>feedbacks</td><td>%d</td></tr>
 <tr><td>index</td><td>%d vectors over %d terms (%d postings)</td></tr>
 </table>
-<p><a href="%s">/statsz</a> · <a href="%s">/healthz</a></p>
+<p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a></p>
 </body></html>`,
 			c.Subscribers, c.Published, c.Deliveries, c.Dropped, c.Feedbacks,
 			ix.Vectors, ix.Terms, ix.Postings,
-			html.EscapeString("/statsz"), html.EscapeString("/healthz"))
+			html.EscapeString("/statsz"), html.EscapeString("/metrics"),
+			html.EscapeString("/varz"), html.EscapeString("/debug/pprof/"),
+			html.EscapeString("/healthz"))
 	})
 	return mux
 }

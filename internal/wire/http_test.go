@@ -6,7 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"mmprofile/internal/filter"
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/pubsub"
+	"mmprofile/internal/store"
 )
 
 func TestStatusHandler(t *testing.T) {
@@ -53,5 +56,99 @@ func TestStatusHandler(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
 	if rec.Code != 404 {
 		t.Errorf("unknown path: %d", rec.Code)
+	}
+}
+
+// TestStatusHandlerMetrics exercises the full exposition surface against
+// a broker wired the way mmserver wires it: one registry shared by the
+// broker, the index, and the profile store. /metrics must carry at least
+// one counter, one gauge, and one histogram from each instrument family.
+func TestStatusHandlerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st, err := store.Open(t.TempDir(), store.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := pubsub.New(pubsub.Options{Threshold: 0.2, Metrics: reg, Journal: st})
+	if _, err := b.SubscribeKeywords("alice", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := b.Publish("<html><body>cats cats cats</body></html>")
+	if err := b.Feedback("alice", doc, filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	h := NewStatusHandler(b)
+
+	// /metrics: Prometheus text with every family present.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		// pubsub: counter, gauge, histogram.
+		"# TYPE mm_pubsub_published_total counter",
+		"mm_pubsub_published_total 1",
+		"# TYPE mm_pubsub_subscribers gauge",
+		"# TYPE mm_pubsub_publish_seconds histogram",
+		"mm_pubsub_publish_seconds_count 1",
+		// index: counter, gauge, histogram.
+		"# TYPE mm_index_compactions_total counter",
+		"# TYPE mm_index_live_vectors gauge",
+		"# TYPE mm_index_match_seconds histogram",
+		// store: counter, gauge, histogram (journaled subscribe + feedback).
+		"# TYPE mm_store_appends_total counter",
+		"mm_store_appends_total 2",
+		"# TYPE mm_store_checkpoint_bytes gauge",
+		"# TYPE mm_store_append_seconds histogram",
+		// adaptation telemetry: counter, gauge, histogram.
+		"# TYPE mm_vectors_created_total counter",
+		"# TYPE mm_profile_vectors gauge",
+		"# TYPE mm_vector_strength histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// /statsz remains a superset of the legacy keys, plus the registry
+	// snapshot under "metrics".
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statsz", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"published", "deliveries", "dropped", "feedbacks",
+		"subscribers", "index_users", "index_vectors", "index_terms", "index_postings"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("statsz lost legacy key %q", key)
+		}
+	}
+	inner, ok := stats["metrics"].(map[string]any)
+	if !ok {
+		t.Fatal("statsz has no metrics object")
+	}
+	if inner["mm_pubsub_published_total"].(float64) != 1 {
+		t.Errorf("statsz metrics = %v", inner["mm_pubsub_published_total"])
+	}
+
+	// /varz: expvar JSON including the published registry.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/varz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "\"mmprofile\"") {
+		t.Errorf("varz: %d, mmprofile var missing", rec.Code)
+	}
+
+	// /debug/pprof/: index page is served.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index: %d", rec.Code)
 	}
 }
