@@ -425,6 +425,52 @@ func BenchmarkBrokerPublishParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkBrokerPublishBatch measures concurrent batch-publish throughput
+// of pre-vectorized documents at several worker-pool widths — the broker's
+// internal sharding at work (a single-lock broker flattens as workers grow;
+// a sharded one should hold or improve). Before/after numbers are recorded
+// in BENCH_pubsub.json.
+func BenchmarkBrokerPublishBatch(b *testing.B) {
+	ds := harness.Dataset()
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			broker := pubsub.New(pubsub.Options{
+				Threshold:      0.25,
+				QueueSize:      16,
+				PublishWorkers: workers,
+			})
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 500; i++ {
+				u := sim.NewUser(sim.RandomTopInterests(rng, ds, 2)...)
+				mm := core.NewDefault()
+				seen := 0
+				for _, d := range ds.Docs[rng.Intn(len(ds.Docs)):] {
+					if u.Feedback(d) == filter.Relevant {
+						mm.Observe(d.Vec, filter.Relevant)
+						if seen++; seen == 2 {
+							break
+						}
+					}
+				}
+				if _, err := broker.Subscribe(fmt.Sprintf("user%04d", i), mm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch := make([]vsm.Vector, 512)
+			for i := range batch {
+				batch[i] = ds.Docs[i%len(ds.Docs)].Vec
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				broker.PublishVectorBatch(batch)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
+	}
+}
+
 // BenchmarkBrokerFeedback measures the feedback path including reindexing.
 func BenchmarkBrokerFeedback(b *testing.B) {
 	ds := harness.Dataset()

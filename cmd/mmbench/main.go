@@ -35,6 +35,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "base seed (0 = config default)")
 		list    = flag.Bool("list", false, "print the experiment index and exit")
 		pops    = flag.String("populations", "", "comma-separated subscriber counts for -fig scale (empty = defaults)")
+		pshards = flag.Int("pubsub-shards", 0, "broker shard suggestion for -fig pubsub (0 = GOMAXPROCS default)")
 	)
 	flag.Parse()
 
@@ -100,9 +101,10 @@ func main() {
 		}},
 		{"lsi", func() []bench.Figure { return []bench.Figure{h.LSIFigure()} }},
 		{"scale", func() []bench.Figure { return []bench.Figure{h.ScaleFigure(populations)} }},
+		{"pubsub", func() []bench.Figure { return []bench.Figure{h.PubsubFigure(nil, *pshards, 0)} }},
 	}
 
-	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true}
+	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true, "pubsub": true}
 	want := strings.Split(*figFlag, ",")
 
 	// -fig ttest prints paired significance tests instead of a figure.
@@ -235,6 +237,7 @@ func printIndex() {
 		{"kmeans", "A7 — single-pass vs batch clustering"},
 		{"lsi", "A5 — keyword vs LSI space"},
 		{"scale", "matching cost vs subscriber count (index vs brute force)"},
+		{"pubsub", "broker publish throughput vs workers (sharded vs 1-shard)"},
 		{"ttest", "paired significance tests (MM vs RG10, MM vs RI)"},
 	}
 	fmt.Println("experiments (-fig KEY; groups: all, ablations, everything):")

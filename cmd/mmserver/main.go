@@ -11,7 +11,7 @@
 // Usage:
 //
 //	mmserver [-addr :7070] [-threshold 0.25] [-queue 128] [-retention 4096]
-//	         [-state DIR] [-checkpoint 5m] [-fsync]
+//	         [-state DIR] [-checkpoint 5m] [-fsync] [-pubsub-shards N]
 package main
 
 import (
@@ -44,6 +44,7 @@ func main() {
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "snapshot interval when -state is set")
 		fsync      = flag.Bool("fsync", false, "fsync the journal on every feedback")
 		pubWorkers = flag.Int("publish-workers", 0, "goroutines for batch publishes (0 = GOMAXPROCS)")
+		shards     = flag.Int("pubsub-shards", 0, "suggested shard count for the broker's registry/docstore layers (0 = GOMAXPROCS, rounded to a power of two)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		Retention:      *retention,
 		RetainContent:  *retainBody,
 		PublishWorkers: *pubWorkers,
+		Shards:         *shards,
 		Metrics:        reg,
 	}
 
@@ -87,7 +89,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("mmserver: listening on %s (threshold %.2f, state %q)", lis.Addr(), *threshold, *stateDir)
+	lay := broker.Layout()
+	log.Printf("mmserver: listening on %s (threshold %.2f, state %q, shards registry=%d docs=%d stats=%d index=%d)",
+		lis.Addr(), *threshold, *stateDir, lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards)
 
 	if *httpAddr != "" {
 		httpLis, err := net.Listen("tcp", *httpAddr)

@@ -197,6 +197,21 @@ func TestScaleFigureShape(t *testing.T) {
 	}
 }
 
+func TestPubsubFigureShape(t *testing.T) {
+	fig := quickHarness.PubsubFigure([]int{1, 2}, 0, 40)
+	sharded, single := fig.SeriesByLabel("sharded"), fig.SeriesByLabel("1-shard")
+	if sharded == nil || single == nil || len(sharded.Y) != 2 || len(single.Y) != 2 {
+		t.Fatalf("series: %+v", fig.Series)
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s point %d non-positive throughput: %v", s.Label, i, y)
+			}
+		}
+	}
+}
+
 func TestLSIFigureShape(t *testing.T) {
 	fig := quickHarness.LSIFigure()
 	for _, label := range []string{"MM", "LSI-MM", "LSI-NRN"} {

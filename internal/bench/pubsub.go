@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/eval"
+	"mmprofile/internal/pubsub"
+	"mmprofile/internal/sim"
+	"mmprofile/internal/vsm"
+)
+
+// PubsubFigure measures end-to-end publish throughput through the broker's
+// vectorized batch path as the publish worker count grows, for the sharded
+// registry/docstore layout versus the same engine clamped to one shard.
+// y is documents per second (higher is better). Subscribers are MM profiles
+// trained on real feedback so the inverted-index match work per document is
+// realistic; delivery queues are deliberately small so the figure measures
+// the publish pipeline (vector weighting, statistics, matching, store
+// insert), not subscriber consumption.
+//
+// On a single-core host the two series coincide within noise: the layers
+// remove lock contention, which only shows once GOMAXPROCS > 1.
+func (h *Harness) PubsubFigure(workers []int, shards, population int) Figure {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8, 16}
+	}
+	if population <= 0 {
+		population = 300
+	}
+	ds := h.Dataset()
+	fig := Figure{
+		ID:     "pubsub",
+		Title:  "Broker publish throughput vs workers (docs/s, batch path)",
+		XLabel: "publish workers",
+		YLabel: "docs-per-sec",
+	}
+
+	rng := rand.New(rand.NewSource(h.Cfg.BaseSeed))
+	train, probe := ds.Split(rng.Int63(), h.Cfg.TrainDocs)
+	if len(probe) == 0 {
+		probe = train
+	}
+	batch := make([]vsm.Vector, 0, 256)
+	for len(batch) < cap(batch) {
+		batch = append(batch, probe[len(batch)%len(probe)].Vec)
+	}
+
+	type profile struct {
+		user    string
+		learner *core.Profile
+	}
+	profiles := make([]profile, population)
+	for i := range profiles {
+		u := sim.NewUser(sim.RandomTopInterests(rng, ds, 1+rng.Intn(2))...)
+		mm := core.NewDefault()
+		eval.Train(mm, u, sim.Stream(rng, train, 60))
+		profiles[i] = profile{user: fmt.Sprintf("u%05d", i), learner: mm}
+	}
+
+	for _, layout := range []struct {
+		label  string
+		shards int
+	}{
+		{"sharded", shards}, // 0 = GOMAXPROCS-derived default
+		{"1-shard", 1},
+	} {
+		s := Series{Label: layout.label}
+		for _, w := range workers {
+			b := pubsub.New(pubsub.Options{
+				Threshold:      h.Cfg.Theta,
+				QueueSize:      8,
+				PublishWorkers: w,
+				Shards:         layout.shards,
+			})
+			for _, p := range profiles {
+				if _, err := b.Subscribe(p.user, p.learner); err != nil {
+					panic(err) // duplicate ids are a programming error here
+				}
+			}
+			b.PublishVectorBatch(batch) // warm up interning and statistics
+			const rounds = 8
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				b.PublishVectorBatch(batch)
+			}
+			elapsed := time.Since(start).Seconds()
+			s.X = append(s.X, float64(w))
+			s.Y = append(s.Y, float64(rounds*len(batch))/elapsed)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,145 @@
+// Package docstore holds the broker's short-lived document retention
+// window: the paper notes document vectors are "typically only retained
+// for a short duration" (Section 4.3), just long enough for subscribers to
+// judge what they were sent. The store is a fixed-capacity FIFO — admitting
+// document N evicts document N-retention — implemented as a ring of ids
+// over a record map.
+//
+// Concurrency: ids come from one global atomic allocator, so document ids
+// remain totally ordered across concurrent publishers, but the ring and
+// map are sharded by id with one mutex per shard. Sequential ids
+// round-robin across shards, so concurrent Put calls almost always land on
+// different shards and never serialize behind a single store-wide lock.
+//
+// Sharding preserves the exact FIFO retention window: shard count is
+// clamped to a power of two that divides the retention capacity, so the
+// slot a document overwrites in its shard's ring is occupied by exactly
+// the document `retention` ids older.
+package docstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mmprofile/internal/vsm"
+)
+
+// Record is one retained document.
+type Record struct {
+	ID      int64
+	Vec     vsm.Vector
+	Content string // only when the caller retains raw content
+}
+
+// Store is a sharded fixed-capacity document window. Safe for concurrent
+// use. The zero value is not usable; call New.
+type Store struct {
+	retention int
+	mask      int64 // len(shards)-1; shard of id is id & mask
+	next      atomic.Int64
+	shards    []shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	// docs and ring are keyed/filled with docKey(id), never the raw id:
+	// the ring's zero value means "empty slot", so keys are offset by one.
+	docs map[int64]Record
+	ring []int64
+	pos  int
+}
+
+// docKey maps a document id to its key in a shard's docs map and eviction
+// ring. Document ids start at 0, but the ring uses the zero value to mean
+// "empty slot", so keys are offset by one: document id d is stored and
+// looked up under key d+1, never under d. Every docs access and every ring
+// entry must go through this helper — a raw docs[id] lookup would silently
+// return the *previous* document. The invariant is pinned by
+// TestDocKeyOffsetInvariant.
+func docKey(id int64) int64 { return id + 1 }
+
+// New creates a store retaining the most recent `retention` documents
+// (min 1), sharded `shards` ways. The shard count is rounded down to the
+// largest power of two that divides retention — the clamp that keeps
+// per-shard ring eviction identical to a single global FIFO — so callers
+// can pass any suggestion (GOMAXPROCS, a flag) without thinking about
+// divisibility; shards <= 0 means 1.
+func New(retention, shards int) *Store {
+	if retention < 1 {
+		retention = 1
+	}
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
+	for retention%n != 0 {
+		n /= 2
+	}
+	s := &Store{retention: retention, mask: int64(n - 1), shards: make([]shard, n)}
+	per := retention / n
+	for i := range s.shards {
+		s.shards[i].docs = make(map[int64]Record, per)
+		s.shards[i].ring = make([]int64, per)
+	}
+	return s
+}
+
+// Retention returns the store's capacity in documents.
+func (s *Store) Retention() int { return s.retention }
+
+// Shards returns the number of independently locked shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Put admits a document, assigning it the next id in the global total
+// order, and reports whether an older document was evicted to make room.
+func (s *Store) Put(vec vsm.Vector, content string) (id int64, evicted bool) {
+	id = s.next.Add(1) - 1
+	sh := &s.shards[id&s.mask]
+	sh.mu.Lock()
+	if old := sh.ring[sh.pos]; old != 0 {
+		delete(sh.docs, old)
+		evicted = true
+	}
+	sh.ring[sh.pos] = docKey(id)
+	sh.pos = (sh.pos + 1) % len(sh.ring)
+	sh.docs[docKey(id)] = Record{ID: id, Vec: vec, Content: content}
+	sh.mu.Unlock()
+	return id, evicted
+}
+
+// Get returns the retained record of a document id.
+func (s *Store) Get(id int64) (Record, bool) {
+	if id < 0 {
+		return Record{}, false
+	}
+	sh := &s.shards[id&s.mask]
+	sh.mu.Lock()
+	rec, ok := sh.docs[docKey(id)]
+	sh.mu.Unlock()
+	return rec, ok
+}
+
+// Len returns the number of currently retained documents.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.docs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Range calls fn for every retained record, shard by shard (diagnostics
+// and tests; order is unspecified). fn must not call back into the store.
+func (s *Store) Range(fn func(Record)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.docs {
+			fn(rec)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -35,6 +35,10 @@ import (
 	"mmprofile/internal/vsm"
 )
 
+// NumShards is the posting-shard count, exported for layout introspection
+// (pubsub.Broker.Layout).
+const NumShards = numShards
+
 const (
 	// numShards is the posting-shard count; a power of two so shardOf is a
 	// multiply and a shift. 16 shards keep writer collisions rare without

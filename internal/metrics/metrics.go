@@ -297,8 +297,8 @@ type entry struct {
 
 // instrument is the exposition contract each metric kind implements.
 type instrument interface {
-	kind() string        // "counter" | "gauge" | "histogram"
-	snapshotValue() any  // JSON-marshalable value
+	kind() string       // "counter" | "gauge" | "histogram"
+	snapshotValue() any // JSON-marshalable value
 }
 
 func (c *Counter) kind() string       { return "counter" }

@@ -9,16 +9,26 @@
 // incrementally as documents are published, exactly as the paper's footnote
 // 4 prescribes for a real filtering deployment.
 //
-// Concurrency: the broker uses fine-grained locking — collection
-// statistics, the document retention ring, the subscriber table, and each
-// subscriber's learner are guarded independently, and the inverted index
-// has its own read/write lock — so publishes from many goroutines proceed
-// in parallel. Document ids are assigned in a total order, but deliveries
-// to one subscriber from concurrent publishers may arrive slightly out of
-// id order.
+// Architecture: the Broker is a thin orchestrator over four independently
+// sharded layers (DESIGN.md §9) —
+//
+//   - a sharded subscriber registry (registry.go) holding the subscriber
+//     and brute-force tables;
+//   - the document retention window (internal/docstore), a sharded FIFO
+//     ring with a global atomic id allocator;
+//   - concurrent collection statistics (vsm.ConcurrentStats), striped DF
+//     counters publishes update and read without a statistics mutex;
+//   - the inverted profile index (internal/index), sharded by term.
+//
+// No broker-wide lock exists: publishes from many goroutines proceed in
+// parallel end to end, serializing only per subscriber (each subscriber's
+// learner and queue are guarded by that subscriber's own mutex). Document
+// ids are assigned in a total order, but deliveries to one subscriber from
+// concurrent publishers may arrive slightly out of id order.
 package pubsub
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,6 +36,7 @@ import (
 	"time"
 
 	"mmprofile/internal/core"
+	"mmprofile/internal/docstore"
 	"mmprofile/internal/filter"
 	"mmprofile/internal/index"
 	"mmprofile/internal/metrics"
@@ -42,6 +53,10 @@ type Journal interface {
 	AppendUnsubscribe(user string) error
 	AppendFeedback(user string, v vsm.Vector, fd filter.Feedback) error
 }
+
+// errDuplicate signals an id collision inside the registry; Subscribe
+// wraps it with the offending id.
+var errDuplicate = errors.New("duplicate subscriber")
 
 // Options configures a Broker. The zero value gets sensible defaults from
 // New.
@@ -66,6 +81,12 @@ type Options struct {
 	// PublishWorkers bounds the worker pool PublishBatch fans a document
 	// batch out over; 0 means one worker per CPU.
 	PublishWorkers int
+	// Shards suggests how many ways the subscriber registry and the
+	// document retention window are sharded (mmserver -pubsub-shards);
+	// 0 means GOMAXPROCS. The registry rounds up to a power of two; the
+	// docstore additionally clamps to a divisor of Retention so the FIFO
+	// window stays exact.
+	Shards int
 	// Metrics is the registry the broker's instrumentation registers into,
 	// shared with the profile store and exposition endpoints in mmserver.
 	// When nil the broker creates a private registry, reachable via
@@ -97,16 +118,23 @@ type Counters struct {
 	Subscribers int
 }
 
-type docRecord struct {
-	id      int64
-	vec     vsm.Vector
-	content string // only when Options.RetainContent
+// Layout describes how the broker's layers are sharded, for introspection
+// (the wire /statsz endpoint reports it).
+type Layout struct {
+	RegistryShards int // subscriber-table shards
+	DocShards      int // document retention-ring shards
+	StatsStripes   int // collection-statistics DF stripes
+	IndexShards    int // inverted-index posting shards
 }
 
 type subscriber struct {
 	id string
 
-	mu      sync.Mutex // guards learner, closed, lastOps, lastSize
+	// mu guards learner, closed, lastOps, lastSize — and serializes each
+	// profile mutation with its journal append and its index refresh, so
+	// the WAL order, the learner state, and the index entries for one
+	// subscriber can never disagree (see Feedback and Unsubscribe).
+	mu      sync.Mutex
 	learner filter.Learner
 	closed  bool
 
@@ -120,28 +148,17 @@ type subscriber struct {
 	lastSize int
 }
 
-// Broker is the dissemination engine. All methods are safe for concurrent
-// use.
+// Broker is the dissemination engine: an orchestrator composing the
+// sharded registry, docstore, termstats, and index layers. All methods are
+// safe for concurrent use.
 type Broker struct {
 	opts Options
 	pipe *text.Pipeline
 	idx  *index.Index
 
-	statsMu sync.Mutex
-	stats   *vsm.Stats
-
-	docsMu  sync.Mutex
-	docs    map[int64]docRecord
-	docRing []int64
-	ringPos int
-	nextDoc int64
-
-	subsMu sync.RWMutex
-	subs   map[string]*subscriber
-	// brute holds the subscribers whose learners expose no profile vectors
-	// and therefore cannot be matched through the index; only these pay a
-	// per-publish Score call. Guarded by subsMu.
-	brute map[string]*subscriber
+	stats *vsm.ConcurrentStats
+	docs  *docstore.Store
+	reg   *registry
 
 	// m holds every instrument the broker records into; the dissemination
 	// counters inside it also back Stats().
@@ -160,30 +177,26 @@ func New(opts Options) *Broker {
 	if opts.Retention <= 0 {
 		opts.Retention = def.Retention
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	b := &Broker{
-		opts:    opts,
-		pipe:    text.NewPipeline(),
-		stats:   vsm.NewStats(),
-		idx:     index.New(),
-		subs:    make(map[string]*subscriber),
-		brute:   make(map[string]*subscriber),
-		docs:    make(map[int64]docRecord),
-		docRing: make([]int64, opts.Retention),
-		m:       newBrokerMetrics(reg),
+		opts:  opts,
+		pipe:  text.NewPipeline(),
+		stats: vsm.NewConcurrentStats(),
+		idx:   index.New(),
+		reg:   newRegistry(opts.Shards),
+		docs:  docstore.New(opts.Retention, opts.Shards),
+		m:     newBrokerMetrics(reg),
 	}
 	b.idx.Instrument(reg)
 	reg.GaugeFunc("mm_pubsub_subscribers",
 		"Currently registered subscribers.",
-		func() float64 {
-			b.subsMu.RLock()
-			n := len(b.subs)
-			b.subsMu.RUnlock()
-			return float64(n)
-		})
+		func() float64 { return float64(b.reg.len()) })
 	return b
 }
 
@@ -215,33 +228,32 @@ func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
 		s.lastOps = oc.Counts()
 	}
 	s.lastSize = l.ProfileSize()
-	// The duplicate check, the journal record, and the insertion must be
-	// one atomic step: journaling a subscribe that then fails as a
-	// duplicate would clobber the existing user's profile on replay.
-	b.subsMu.Lock()
-	if _, dup := b.subs[id]; dup {
-		b.subsMu.Unlock()
-		return nil, fmt.Errorf("pubsub: duplicate subscriber %q", id)
-	}
+	// The duplicate check, the journal record, and the insertion are one
+	// atomic step under the id's registry-shard lock (see registry.insert):
+	// journaling a subscribe that then fails as a duplicate would clobber
+	// the existing user's profile on replay.
+	var journal func() error
 	if b.opts.Journal != nil {
-		var state []byte
-		if m, ok := l.(interface{ MarshalBinary() ([]byte, error) }); ok {
-			var err error
-			if state, err = m.MarshalBinary(); err != nil {
-				b.subsMu.Unlock()
-				return nil, fmt.Errorf("pubsub: snapshot %q: %w", id, err)
+		journal = func() error {
+			var state []byte
+			if m, ok := l.(interface{ MarshalBinary() ([]byte, error) }); ok {
+				var err error
+				if state, err = m.MarshalBinary(); err != nil {
+					return fmt.Errorf("pubsub: snapshot %q: %w", id, err)
+				}
 			}
-		}
-		if err := b.opts.Journal.AppendSubscribe(id, l.Name(), state); err != nil {
-			b.subsMu.Unlock()
-			return nil, fmt.Errorf("pubsub: journal: %w", err)
+			if err := b.opts.Journal.AppendSubscribe(id, l.Name(), state); err != nil {
+				return fmt.Errorf("pubsub: journal: %w", err)
+			}
+			return nil
 		}
 	}
-	b.subs[id] = s
-	if !s.indexed {
-		b.brute[id] = s
+	if err := b.reg.insert(id, s, journal); err != nil {
+		if errors.Is(err, errDuplicate) {
+			return nil, fmt.Errorf("pubsub: duplicate subscriber %q", id)
+		}
+		return nil, err
 	}
-	b.subsMu.Unlock()
 	b.m.profileVectors.Add(float64(s.lastSize))
 	b.reindex(s)
 	return &Subscription{b: b, sub: s}, nil
@@ -267,27 +279,26 @@ func (b *Broker) SubscribeKeywords(id string, keywords []string) (*Subscription,
 	return b.Subscribe(id, l)
 }
 
-// Unsubscribe removes a subscriber and closes its delivery channel.
+// Unsubscribe removes a subscriber and closes its delivery channel. The
+// journal append, the close, and the index removal all happen under the
+// subscriber's lock: a Feedback racing this call either completes fully
+// before it (its journal record precedes the unsubscribe record, and its
+// index entries are removed here) or observes closed and does nothing —
+// it can never re-insert ghost index entries for the removed user.
 func (b *Broker) Unsubscribe(id string) {
-	b.subsMu.Lock()
-	s, ok := b.subs[id]
-	if ok {
-		delete(b.subs, id)
-		delete(b.brute, id)
-	}
-	b.subsMu.Unlock()
+	s, ok := b.reg.remove(id)
 	if !ok {
 		return
 	}
+	s.mu.Lock()
 	if b.opts.Journal != nil {
 		// Best-effort: an unlogged unsubscribe only means the user would be
 		// restored after a crash, never data loss.
 		_ = b.opts.Journal.AppendUnsubscribe(id)
 	}
-	b.idx.RemoveUser(id)
-	s.mu.Lock()
 	s.closed = true
 	close(s.queue)
+	b.idx.RemoveUser(id)
 	gone := s.lastSize
 	s.lastSize = 0
 	s.mu.Unlock()
@@ -301,10 +312,11 @@ func (b *Broker) Unsubscribe(id string) {
 // returns the assigned document id and the number of deliveries.
 func (b *Broker) Publish(page string) (int64, int) {
 	terms := b.pipe.Terms(page)
-	b.statsMu.Lock()
+	// The striped statistics admit concurrent updates and reads, so the
+	// expensive vectorization runs outside any statistics critical section;
+	// each term weight sees the statistics as they stand at that instant.
 	b.stats.Add(terms)
 	vec := vsm.DocumentVector(terms, vsm.Bel{Stats: b.stats})
-	b.statsMu.Unlock()
 	content := ""
 	if b.opts.RetainContent {
 		content = page
@@ -329,7 +341,8 @@ type BatchResult struct {
 // (Options.PublishWorkers, default one per CPU). Results are returned in
 // input order; document ids are still assigned in a total order but, with
 // multiple workers, not necessarily in input order. Collection statistics
-// accumulate under their own lock exactly as with sequential Publish.
+// accumulate concurrently in the striped termstats layer exactly as with
+// sequential Publish.
 func (b *Broker) PublishBatch(pages []string) []BatchResult {
 	t0 := time.Now()
 	out := make([]BatchResult, len(pages))
@@ -387,30 +400,11 @@ func (b *Broker) fanOut(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// docKey maps a document id to its key in the b.docs map and the b.docRing
-// eviction ring. Document ids start at 0, but the ring uses the zero value
-// to mean "empty slot", so keys are offset by one: document id d is stored
-// and looked up under key d+1, never under d. Every b.docs access and every
-// ring entry must go through this helper — a raw b.docs[doc] lookup would
-// silently return the *previous* document. The invariant is pinned by
-// TestDocKeyOffsetInvariant.
-func docKey(id int64) int64 { return id + 1 }
-
 func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
 	t0 := time.Now()
-	// Retain the vector for feedback resolution, evicting the oldest.
-	b.docsMu.Lock()
-	id := b.nextDoc
-	b.nextDoc++
-	evicted := false
-	if old := b.docRing[b.ringPos]; old != 0 {
-		delete(b.docs, old)
-		evicted = true
-	}
-	b.docRing[b.ringPos] = docKey(id)
-	b.ringPos = (b.ringPos + 1) % len(b.docRing)
-	b.docs[docKey(id)] = docRecord{id: id, vec: vec, content: content}
-	b.docsMu.Unlock()
+	// Retain the vector for feedback resolution; the docstore assigns the
+	// id and evicts the oldest document under its shard's lock.
+	id, evicted := b.docs.Put(vec, content)
 	b.m.published.Inc()
 	if evicted {
 		b.m.evictions.Inc()
@@ -428,27 +422,36 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
 
 	// Fan-out cost is O(matches + brute-force subscribers), not
 	// O(all subscribers): indexed profiles are reached only through their
-	// match, and only learners without indexable vectors are scored here.
+	// match, and only learners without indexable vectors are scored at all.
+	// Each match resolves through its registry shard's read lock; no
+	// registry-wide lock is held at any point.
 	delivered := 0
-	b.subsMu.RLock()
 	targets := make([]*subscriber, 0, len(matches))
 	scores := make([]float64, 0, len(matches))
 	for _, m := range matches {
-		if s, ok := b.subs[m.User]; ok {
+		if s, ok := b.reg.get(m.User); ok {
 			targets = append(targets, s)
 			scores = append(scores, m.Score)
 		}
 	}
-	for _, s := range b.brute {
-		s.mu.Lock()
-		sc := s.learner.Score(vec)
-		s.mu.Unlock()
-		if sc >= b.opts.Threshold {
-			targets = append(targets, s)
-			scores = append(scores, sc)
+	// Brute-force learners are scored from a snapshot taken under the
+	// shard locks and scored after they are released: a slow Score can
+	// never stall subscribes, unsubscribes, or other publishes. The
+	// lock-free count check keeps the all-indexed common case at zero cost.
+	if b.reg.bruteCount() > 0 {
+		for _, s := range b.reg.bruteSnapshot(nil) {
+			s.mu.Lock()
+			sc := 0.0
+			if !s.closed {
+				sc = s.learner.Score(vec)
+			}
+			s.mu.Unlock()
+			if sc >= b.opts.Threshold {
+				targets = append(targets, s)
+				scores = append(scores, sc)
+			}
 		}
 	}
-	b.subsMu.RUnlock()
 	// One clock read separates matching from fan-out; together with t0 and
 	// the final read it yields all three hot-path histograms.
 	t1 := time.Now()
@@ -492,50 +495,57 @@ func (b *Broker) deliver(s *subscriber, d Delivery) bool {
 // Feedback applies a subscriber's relevance judgment for a delivered (or
 // at least still-retained) document and refreshes the subscriber's index
 // entries, since the judgment may have reshaped the profile.
+//
+// The whole mutation — journal append, learner update, index refresh —
+// runs under the subscriber's lock, with a closed re-check first: a
+// concurrent Unsubscribe either happens entirely after (and removes what
+// this call indexed) or entirely before (and this call reports an unknown
+// subscriber without journaling), so the index can never be left with
+// ghost entries and the WAL never records feedback after an unsubscribe
+// for the same user.
 func (b *Broker) Feedback(user string, doc int64, fd filter.Feedback) error {
 	t0 := time.Now()
-	b.subsMu.RLock()
-	s, ok := b.subs[user]
-	b.subsMu.RUnlock()
+	s, ok := b.reg.get(user)
 	if !ok {
 		return fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
-	b.docsMu.Lock()
-	rec, ok := b.docs[docKey(doc)]
-	b.docsMu.Unlock()
+	rec, ok := b.docs.Get(doc)
 	if !ok {
 		return fmt.Errorf("pubsub: document %d not retained (retention %d)", doc, b.opts.Retention)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("pubsub: unknown subscriber %q", user)
+	}
 	if b.opts.Journal != nil {
-		if err := b.opts.Journal.AppendFeedback(user, rec.vec, fd); err != nil {
+		if err := b.opts.Journal.AppendFeedback(user, rec.Vec, fd); err != nil {
 			return fmt.Errorf("pubsub: journal: %w", err)
 		}
 	}
-	s.mu.Lock()
-	s.learner.Observe(rec.vec, fd)
+	s.learner.Observe(rec.Vec, fd)
 	b.recordAdaptation(s)
-	var vecs []vsm.Vector
 	if s.indexed {
-		vecs = s.learner.(filter.VectorSource).ProfileVectors()
+		b.idx.SetUser(s.id, s.learner.(filter.VectorSource).ProfileVectors())
 	}
-	s.mu.Unlock()
 	b.m.feedbacks.Inc()
-	if s.indexed {
-		b.idx.SetUser(s.id, vecs)
-	}
 	b.m.feedbackLat.ObserveSince(t0)
 	return nil
 }
 
-// reindex refreshes a subscriber's inverted-index entries.
+// reindex refreshes a subscriber's inverted-index entries. The closed
+// check and the SetUser share the subscriber's lock so a racing
+// Unsubscribe cannot interleave between them (see Unsubscribe).
 func (b *Broker) reindex(s *subscriber) {
 	if !s.indexed {
 		return
 	}
 	s.mu.Lock()
-	vecs := s.learner.(filter.VectorSource).ProfileVectors()
-	s.mu.Unlock()
-	b.idx.SetUser(s.id, vecs)
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	b.idx.SetUser(s.id, s.learner.(filter.VectorSource).ProfileVectors())
 }
 
 // ProfileSnapshot is one subscriber's serialized profile, for
@@ -550,13 +560,7 @@ type ProfileSnapshot struct {
 // It fails if any learner does not support serialization — checkpoints
 // must be complete or not taken at all.
 func (b *Broker) ExportProfiles() ([]ProfileSnapshot, error) {
-	b.subsMu.RLock()
-	subs := make([]*subscriber, 0, len(b.subs))
-	for _, s := range b.subs {
-		subs = append(subs, s)
-	}
-	b.subsMu.RUnlock()
-
+	subs := b.reg.snapshot()
 	out := make([]ProfileSnapshot, 0, len(subs))
 	for _, s := range subs {
 		s.mu.Lock()
@@ -579,9 +583,7 @@ func (b *Broker) ExportProfiles() ([]ProfileSnapshot, error) {
 // ExportProfile serializes one subscriber's learner (profile portability:
 // download a profile from one broker, import it into another).
 func (b *Broker) ExportProfile(user string) (ProfileSnapshot, error) {
-	b.subsMu.RLock()
-	s, ok := b.subs[user]
-	b.subsMu.RUnlock()
+	s, ok := b.reg.get(user)
 	if !ok {
 		return ProfileSnapshot{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
@@ -601,44 +603,47 @@ func (b *Broker) ExportProfile(user string) (ProfileSnapshot, error) {
 // DocumentVector returns the retained vector of a published document, for
 // subscribers that want to inspect what they were sent.
 func (b *Broker) DocumentVector(doc int64) (vsm.Vector, bool) {
-	b.docsMu.Lock()
-	rec, ok := b.docs[docKey(doc)]
-	b.docsMu.Unlock()
+	rec, ok := b.docs.Get(doc)
 	if !ok {
 		return vsm.Vector{}, false
 	}
-	return rec.vec.Clone(), true
+	return rec.Vec.Clone(), true
 }
 
 // DocumentContent returns the retained raw page of a published document;
 // it requires Options.RetainContent and a document still in the retention
 // window.
 func (b *Broker) DocumentContent(doc int64) (string, bool) {
-	b.docsMu.Lock()
-	rec, ok := b.docs[docKey(doc)]
-	b.docsMu.Unlock()
-	if !ok || rec.content == "" {
+	rec, ok := b.docs.Get(doc)
+	if !ok || rec.Content == "" {
 		return "", false
 	}
-	return rec.content, true
+	return rec.Content, true
 }
 
 // Stats returns a snapshot of broker activity.
 func (b *Broker) Stats() Counters {
-	b.subsMu.RLock()
-	n := len(b.subs)
-	b.subsMu.RUnlock()
 	return Counters{
 		Published:   b.m.published.Value(),
 		Deliveries:  b.m.deliveries.Value(),
 		Dropped:     b.m.dropped.Value(),
 		Feedbacks:   b.m.feedbacks.Value(),
-		Subscribers: n,
+		Subscribers: b.reg.len(),
 	}
 }
 
 // IndexStats returns the profile index's size.
 func (b *Broker) IndexStats() index.Stats { return b.idx.Size() }
+
+// Layout reports how the broker's layers are sharded.
+func (b *Broker) Layout() Layout {
+	return Layout{
+		RegistryShards: len(b.reg.shards),
+		DocShards:      b.docs.Shards(),
+		StatsStripes:   b.stats.Stripes(),
+		IndexShards:    index.NumShards,
+	}
+}
 
 // Deliveries returns the subscription's stream. The channel is closed by
 // Unsubscribe.

@@ -1,0 +1,88 @@
+package vsm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStatsMatchesSerial feeds the same documents to a *Stats and
+// a *ConcurrentStats and checks every exposed statistic agrees, including
+// through the StatsView interface both satisfy.
+func TestConcurrentStatsMatchesSerial(t *testing.T) {
+	docs := [][]string{
+		{"cat", "dog", "cat"},
+		{"stock", "bond", "market", "stock"},
+		{"cat", "market"},
+		{},
+	}
+	serial := NewStats()
+	conc := NewConcurrentStats()
+	for _, d := range docs {
+		serial.Add(d)
+		conc.Add(d)
+	}
+	var _ StatsView = serial
+	var _ StatsView = conc
+	if serial.N() != conc.N() {
+		t.Errorf("N: serial %d, concurrent %d", serial.N(), conc.N())
+	}
+	if serial.AvgLen() != conc.AvgLen() {
+		t.Errorf("AvgLen: serial %v, concurrent %v", serial.AvgLen(), conc.AvgLen())
+	}
+	if serial.VocabularySize() != conc.VocabularySize() {
+		t.Errorf("VocabularySize: serial %d, concurrent %d",
+			serial.VocabularySize(), conc.VocabularySize())
+	}
+	for _, term := range []string{"cat", "dog", "stock", "bond", "market", "absent"} {
+		if serial.DF(term) != conc.DF(term) {
+			t.Errorf("DF(%q): serial %d, concurrent %d", term, serial.DF(term), conc.DF(term))
+		}
+	}
+	snap := conc.Snapshot()
+	if snap.N() != serial.N() || snap.DF("cat") != serial.DF("cat") || snap.AvgLen() != serial.AvgLen() {
+		t.Errorf("Snapshot disagrees with serial stats: N=%d DF(cat)=%d avg=%v",
+			snap.N(), snap.DF("cat"), snap.AvgLen())
+	}
+}
+
+// TestConcurrentStatsParallelAdds hammers Add/DF/AvgLen from many
+// goroutines (meaningful under -race) and checks the final totals.
+func TestConcurrentStatsParallelAdds(t *testing.T) {
+	s := NewConcurrentStats()
+	const (
+		writers = 8
+		perG    = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Add([]string{"shared", fmt.Sprintf("term%d-%d", g, i%17)})
+				_ = s.DF("shared")
+				_ = s.AvgLen()
+				_ = s.N()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.N(); got != writers*perG {
+		t.Errorf("N = %d, want %d", got, writers*perG)
+	}
+	if got := s.DF("shared"); got != writers*perG {
+		t.Errorf("DF(shared) = %d, want %d", got, writers*perG)
+	}
+	if got, want := s.AvgLen(), 2.0; got != want {
+		t.Errorf("AvgLen = %v, want %v", got, want)
+	}
+	if got, want := s.VocabularySize(), 1+writers*17; got != want {
+		t.Errorf("VocabularySize = %d, want %d", got, want)
+	}
+	// Weighting schemes accept the concurrent implementation directly.
+	w := Bel{Stats: s}
+	if wt := w.Weight("shared", 1, 2); wt <= 0 {
+		t.Errorf("Bel weight over ConcurrentStats = %v, want > 0", wt)
+	}
+}

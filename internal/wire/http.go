@@ -59,6 +59,7 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		c := b.Stats()
 		ix := b.IndexStats()
+		lay := b.Layout()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
 			"published":      c.Published,
@@ -70,7 +71,13 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 			"index_vectors":  ix.Vectors,
 			"index_terms":    ix.Terms,
 			"index_postings": ix.Postings,
-			"metrics":        reg.Snapshot(),
+			"layout": map[string]int{
+				"registry_shards": lay.RegistryShards,
+				"doc_shards":      lay.DocShards,
+				"stats_stripes":   lay.StatsStripes,
+				"index_shards":    lay.IndexShards,
+			},
+			"metrics": reg.Snapshot(),
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +97,7 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 		}
 		c := b.Stats()
 		ix := b.IndexStats()
+		lay := b.Layout()
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>mmserver</title></head><body>
 <h1>mmserver</h1>
@@ -99,11 +107,13 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 <tr><td>deliveries</td><td>%d (dropped %d)</td></tr>
 <tr><td>feedbacks</td><td>%d</td></tr>
 <tr><td>index</td><td>%d vectors over %d terms (%d postings)</td></tr>
+<tr><td>sharding</td><td>registry ×%d · docstore ×%d · termstats ×%d · index ×%d</td></tr>
 </table>
 <p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a></p>
 </body></html>`,
 			c.Subscribers, c.Published, c.Deliveries, c.Dropped, c.Feedbacks,
 			ix.Vectors, ix.Terms, ix.Postings,
+			lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards,
 			html.EscapeString("/statsz"), html.EscapeString("/metrics"),
 			html.EscapeString("/varz"), html.EscapeString("/debug/pprof/"),
 			html.EscapeString("/healthz"))

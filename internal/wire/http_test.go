@@ -43,6 +43,15 @@ func TestStatusHandler(t *testing.T) {
 	if _, ok := stats["index_vectors"]; !ok {
 		t.Error("index stats missing")
 	}
+	layout, ok := stats["layout"].(map[string]any)
+	if !ok {
+		t.Fatal("statsz has no layout object")
+	}
+	for _, key := range []string{"registry_shards", "doc_shards", "stats_stripes", "index_shards"} {
+		if v, ok := layout[key].(float64); !ok || v < 1 {
+			t.Errorf("layout[%q] = %v, want >= 1", key, layout[key])
+		}
+	}
 
 	// dashboard
 	rec = httptest.NewRecorder()
@@ -125,7 +134,8 @@ func TestStatusHandlerMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"published", "deliveries", "dropped", "feedbacks",
-		"subscribers", "index_users", "index_vectors", "index_terms", "index_postings"} {
+		"subscribers", "index_users", "index_vectors", "index_terms", "index_postings",
+		"layout"} {
 		if _, ok := stats[key]; !ok {
 			t.Errorf("statsz lost legacy key %q", key)
 		}
