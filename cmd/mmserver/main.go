@@ -11,7 +11,8 @@
 // Usage:
 //
 //	mmserver [-addr :7070] [-threshold 0.25] [-queue 128] [-retention 4096]
-//	         [-state DIR] [-checkpoint 5m] [-fsync] [-pubsub-shards N]
+//	         [-state DIR] [-checkpoint 5m] [-fsync] [-sync-interval 2s]
+//	         [-pubsub-shards N]
 package main
 
 import (
@@ -42,7 +43,8 @@ func main() {
 		httpAddr   = flag.String("http", "", "optional HTTP status address (e.g. :8080)")
 		stateDir   = flag.String("state", "", "directory for durable profiles (empty = in-memory only)")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "snapshot interval when -state is set")
-		fsync      = flag.Bool("fsync", false, "fsync the journal on every feedback")
+		fsync      = flag.Bool("fsync", false, "durable journal: feedback is acked only once fsynced (group-committed)")
+		syncEvery  = flag.Duration("sync-interval", 0, "without -fsync: background journal fsync interval (0 = OS-flushed only)")
 		pubWorkers = flag.Int("publish-workers", 0, "goroutines for batch publishes (0 = GOMAXPROCS)")
 		shards     = flag.Int("pubsub-shards", 0, "suggested shard count for the broker's registry/docstore layers (0 = GOMAXPROCS, rounded to a power of two)")
 	)
@@ -68,7 +70,7 @@ func main() {
 	var st *store.Store
 	if *stateDir != "" {
 		var err error
-		st, err = store.Open(*stateDir, store.Options{SyncEveryAppend: *fsync, Metrics: reg})
+		st, err = store.Open(*stateDir, store.Options{Durable: *fsync, SyncInterval: *syncEvery, Metrics: reg})
 		if err != nil {
 			fatal(err)
 		}
@@ -131,6 +133,12 @@ func main() {
 		log.Printf("mmserver: shutting down")
 		close(stopCheckpoints)
 		if st != nil {
+			// Barrier first: anything journaled but not yet fsynced (the
+			// -sync-interval window) becomes durable even if the final
+			// checkpoint below fails.
+			if err := broker.SyncJournal(); err != nil {
+				log.Printf("mmserver: journal sync: %v", err)
+			}
 			if err := snapshot(st, broker); err != nil {
 				log.Printf("mmserver: final checkpoint: %v", err)
 			}

@@ -1,6 +1,8 @@
 // Command mmstore inspects an mmserver state directory (see
-// internal/store): the current snapshot, the journal, and the profiles
-// that recovery would reconstruct.
+// internal/store): the current snapshot, the journal (including crash
+// damage: torn tails and committed extent), and the profiles that
+// recovery would reconstruct. The directory is opened read-only, so it
+// is safe to point at a live server's state.
 //
 // Usage:
 //
@@ -32,18 +34,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	st, err := store.Open(*stateDir, store.Options{})
+	// Read-only: an inspector must never mutate the state directory (the
+	// writing open repairs torn tails in place and bumps no-op fsyncs), and
+	// it must still work on a log a live server has open or one too
+	// corrupt for a writer to accept.
+	st, err := store.Open(*stateDir, store.Options{ReadOnly: true})
 	if err != nil {
 		fail(err)
 	}
 	defer st.Close()
+	info, infoErr := st.WALInfo()
 	profiles, events, err := st.Load()
 	if err != nil {
+		// Surface the journal damage before giving up on the replay.
+		if infoErr != nil {
+			fmt.Fprintf(os.Stderr, "mmstore: journal generation %d: %v (%d record(s) readable, %d committed byte(s))\n",
+				info.Seq, infoErr, info.Records, info.Committed)
+		}
 		fail(err)
 	}
 
 	if *user == "" {
-		summarize(profiles, events)
+		summarize(profiles, events, info)
 		return
 	}
 	learners, err := store.Restore(profiles, events)
@@ -57,7 +69,8 @@ func main() {
 	describe(*user, l)
 }
 
-func summarize(profiles []store.ProfileRecord, events []store.Event) {
+func summarize(profiles []store.ProfileRecord, events []store.Event, info store.WALInfo) {
+	fmt.Printf("generation:       %d\n", info.Seq)
 	fmt.Printf("snapshot records: %d\n", len(profiles))
 	var snapBytes int
 	for _, p := range profiles {
@@ -70,6 +83,13 @@ func summarize(profiles []store.ProfileRecord, events []store.Event) {
 	}
 	fmt.Printf("journal events:   %d (%d feedback, %d subscribe, %d unsubscribe)\n",
 		len(events), counts[store.EventFeedback], counts[store.EventSubscribe], counts[store.EventUnsubscribe])
+	fmt.Printf("journal bytes:    %d committed", info.Committed)
+	if info.Torn > 0 {
+		// A torn tail is a crash artifact, not corruption: the next writing
+		// open will truncate it away.
+		fmt.Printf(" + %d torn (crash artifact; repaired on next server start)", info.Torn)
+	}
+	fmt.Println()
 	users := store.Users(profiles, events)
 	fmt.Printf("users after replay: %d\n", len(users))
 	for _, u := range users {

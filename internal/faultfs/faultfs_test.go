@@ -1,0 +1,229 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func mustMkdir(t *testing.T, s *Sim, dir string) {
+	t.Helper()
+	if err := s.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeAll(t *testing.T, f File, b []byte) {
+	t.Helper()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurabilityModel pins the core semantics: bytes survive a crash only
+// after File.Sync, and directory entries only after SyncDir.
+func TestDurabilityModel(t *testing.T) {
+	s := NewSim()
+	mustMkdir(t, s, "/d")
+
+	f, err := s.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Content synced, entry not: the file vanishes at crash.
+	s.Reboot()
+	if _, err := s.ReadFile("/d/a"); err == nil {
+		t.Fatal("entry survived crash without SyncDir")
+	}
+
+	f, _ = s.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	writeAll(t, f, []byte("hello"))
+	if err := s.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Entry synced, content not: the file survives empty.
+	s.Reboot()
+	if data, err := s.ReadFile("/d/a"); err != nil || len(data) != 0 {
+		t.Fatalf("want empty durable file, got %q, %v", data, err)
+	}
+
+	f, _ = s.OpenFile("/d/a", os.O_WRONLY|os.O_APPEND, 0o644)
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte(" world")) // unsynced tail
+	s.Reboot()
+	if data, _ := s.ReadFile("/d/a"); string(data) != "hello" {
+		t.Fatalf("durable image = %q, want %q", data, "hello")
+	}
+}
+
+func TestRenameNeedsDirSync(t *testing.T) {
+	s := NewSim()
+	mustMkdir(t, s, "/d")
+	f, _ := s.OpenFile("/d/tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+	writeAll(t, f, []byte("x"))
+	f.Sync()
+	s.SyncDir("/d")
+
+	if err := s.Rename("/d/tmp", "/d/final"); err != nil {
+		t.Fatal(err)
+	}
+	s.Reboot() // no SyncDir: rename rolls back
+	if _, err := s.ReadFile("/d/final"); err == nil {
+		t.Fatal("rename survived crash without SyncDir")
+	}
+	if data, err := s.ReadFile("/d/tmp"); err != nil || string(data) != "x" {
+		t.Fatalf("original entry lost: %q, %v", data, err)
+	}
+
+	s.Rename("/d/tmp", "/d/final")
+	if err := s.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	s.Reboot()
+	if data, err := s.ReadFile("/d/final"); err != nil || string(data) != "x" {
+		t.Fatalf("synced rename lost: %q, %v", data, err)
+	}
+}
+
+func TestTornWriteCrash(t *testing.T) {
+	s := NewSim()
+	mustMkdir(t, s, "/d")
+	f, _ := s.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	writeAll(t, f, []byte("head"))
+	f.Sync()
+	s.SyncDir("/d")
+
+	// Crash at the next write: half the bytes land in the page cache,
+	// none of them are durable.
+	crashOp := s.Ops() + 1
+	s.SetHook(CrashAt(crashOp))
+	n, err := f.Write([]byte("12345678"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write applied %d bytes, want 4", n)
+	}
+	if !s.Crashed() {
+		t.Fatal("sim not crashed")
+	}
+	// Everything fails until reboot.
+	if _, err := s.ReadFile("/d/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	s.SetHook(nil)
+	s.Reboot()
+	if data, _ := s.ReadFile("/d/a"); string(data) != "head" {
+		t.Fatalf("durable image = %q, want %q", data, "head")
+	}
+	// Pre-reboot handle is dead.
+	if _, err := f.Write([]byte("z")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write: %v", err)
+	}
+}
+
+func TestInjectedErrorKeepsRunning(t *testing.T) {
+	s := NewSim()
+	mustMkdir(t, s, "/d")
+	f, _ := s.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	op := s.Ops() + 1
+	s.SetHook(ErrAt(op, ErrNoSpace, 2))
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrNoSpace) || n != 2 {
+		t.Fatalf("want short write 2 + ErrNoSpace, got %d, %v", n, err)
+	}
+	s.SetHook(nil)
+	writeAll(t, f, []byte("gh")) // machine still alive; tail is torn
+	if data, _ := s.ReadFile("/d/a"); string(data) != "abgh" {
+		t.Fatalf("volatile image = %q, want %q", data, "abgh")
+	}
+}
+
+func TestLyingSync(t *testing.T) {
+	s := NewSim()
+	mustMkdir(t, s, "/d")
+	f, _ := s.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	s.SyncDir("/d")
+	writeAll(t, f, []byte("data"))
+	s.SetHook(func(op Op) Fault {
+		if op.Kind == OpSync {
+			return Fault{LieSync: true}
+		}
+		return Fault{}
+	})
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync must report success: %v", err)
+	}
+	s.SetHook(nil)
+	s.Reboot()
+	if data, _ := s.ReadFile("/d/a"); len(data) != 0 {
+		t.Fatalf("lied-about sync persisted %q", data)
+	}
+}
+
+func TestTruncateAndReadDir(t *testing.T) {
+	s := NewSim()
+	mustMkdir(t, s, "/d")
+	f, _ := s.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	writeAll(t, f, []byte("0123456789"))
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("x")) // append lands at the new end
+	if data, _ := s.ReadFile("/d/a"); string(data) != "0123x" {
+		t.Fatalf("after truncate+append: %q", data)
+	}
+	s.CreateTemp("/d", "snap-*.tmp")
+	entries, err := s.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name() != "a" {
+		t.Fatalf("ReadDir: %v", entries)
+	}
+}
+
+// TestOSRoundTrip exercises the production implementation against a real
+// temp dir so both FS implementations stay behaviorally aligned.
+func TestOSRoundTrip(t *testing.T) {
+	fsys := OS()
+	dir := t.TempDir()
+	f, err := fsys.OpenFile(dir+"/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(dir+"/a", dir+"/b"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(dir + "/b")
+	if err != nil || string(data) != "he" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ReadDir: %v %v", entries, err)
+	}
+	if err := fsys.Remove(dir + "/b"); err != nil {
+		t.Fatal(err)
+	}
+}

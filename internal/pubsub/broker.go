@@ -54,6 +54,13 @@ type Journal interface {
 	AppendFeedback(user string, v vsm.Vector, fd filter.Feedback) error
 }
 
+// journalSyncer is the optional durability barrier a Journal may
+// implement (*store.Store does): Sync returns once every record appended
+// before the call is on stable storage.
+type journalSyncer interface {
+	Sync() error
+}
+
 // errDuplicate signals an id collision inside the registry; Subscribe
 // wraps it with the offending id.
 var errDuplicate = errors.New("duplicate subscriber")
@@ -546,6 +553,19 @@ func (b *Broker) reindex(s *subscriber) {
 		return
 	}
 	b.idx.SetUser(s.id, s.learner.(filter.VectorSource).ProfileVectors())
+}
+
+// SyncJournal forces the journal's durability barrier, when the journal
+// supports one: every subscribe/unsubscribe/feedback journaled before the
+// call is durable when it returns. A no-op (nil) without a journal or
+// with one that has no barrier. Servers call it at shutdown and before
+// checkpoints so the relaxed SyncInterval window never spans a clean
+// exit.
+func (b *Broker) SyncJournal() error {
+	if js, ok := b.opts.Journal.(journalSyncer); ok {
+		return js.Sync()
+	}
+	return nil
 }
 
 // ProfileSnapshot is one subscriber's serialized profile, for

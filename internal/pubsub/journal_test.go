@@ -110,3 +110,62 @@ func TestJournalFailuresSurface(t *testing.T) {
 		t.Error("unjournaled feedback was applied")
 	}
 }
+
+// syncCountingJournal records SyncJournal passthrough.
+type syncCountingJournal struct {
+	failingJournal
+	syncs int
+}
+
+func (j *syncCountingJournal) Sync() error {
+	j.syncs++
+	return nil
+}
+
+// TestSyncJournal pins the broker's explicit durability barrier: it
+// reaches the journal's Sync when one is available, and is a safe no-op
+// for journals without one (or no journal at all).
+func TestSyncJournal(t *testing.T) {
+	// No journal: nothing to sync, no error.
+	if err := New(Options{}).SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// A journal without Sync: still a no-op.
+	b := New(Options{Journal: failingJournal{failFeedback: true}})
+	if err := b.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// A syncable journal: the barrier goes through.
+	j := &syncCountingJournal{failingJournal: failingJournal{failFeedback: true}}
+	b2 := New(Options{Journal: j})
+	if err := b2.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if j.syncs != 1 {
+		t.Fatalf("syncs = %d, want 1", j.syncs)
+	}
+}
+
+// TestSyncJournalAgainstStore runs the barrier against the real store in
+// relaxed (non-durable) mode: after SyncJournal returns, every journaled
+// event must be fsynced.
+func TestSyncJournalAgainstStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Options{Threshold: 0.3, Journal: st})
+	sub, err := b.Subscribe("alice", trainedMM("cat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := b.PublishVector(vec("cat", 1.0))
+	if err := sub.Feedback(id, filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+}

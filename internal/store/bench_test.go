@@ -1,0 +1,59 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/metrics"
+)
+
+// benchDurableAppend measures the durable append path and reports the
+// real fsync amplification from the metrics registry. The serial case is
+// the old SyncEveryAppend behavior by construction (every append leads
+// its own batch: 1 fsync per append); the parallel cases show group
+// commit coalescing concurrent appenders onto shared fsyncs.
+func benchDurableAppend(b *testing.B, workers int) {
+	reg := metrics.NewRegistry()
+	s, err := Open(b.TempDir(), Options{Durable: true, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	doc := vec("cat", 1.0, "dog", 0.5)
+
+	var id atomic.Int64
+	b.ResetTimer()
+	if workers <= 1 {
+		for i := 0; i < b.N; i++ {
+			if err := s.AppendFeedback("u0", doc, filter.Relevant); err != nil {
+				b.Fatal(err)
+			}
+		}
+	} else {
+		b.SetParallelism(workers)
+		b.RunParallel(func(pb *testing.PB) {
+			user := fmt.Sprintf("u%d", id.Add(1))
+			for pb.Next() {
+				if err := s.AppendFeedback(user, doc, filter.Relevant); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.StopTimer()
+
+	snap := reg.Snapshot()
+	fsyncs := snap["mm_store_fsyncs_total"].(int64)
+	appends := snap["mm_store_appends_total"].(int64)
+	if appends > 0 {
+		b.ReportMetric(float64(fsyncs)/float64(appends), "fsyncs/append")
+	}
+}
+
+func BenchmarkDurableAppend(b *testing.B) {
+	for _, w := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchDurableAppend(b, w) })
+	}
+}

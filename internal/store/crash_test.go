@@ -1,0 +1,404 @@
+package store
+
+// The crash matrix: run a fixed Subscribe/Feedback/Snapshot/Sync workload
+// against a store on the simulated filesystem, kill the machine at every
+// single syscall boundary (faultfs.CrashAt tears the in-flight write),
+// reboot, reopen, and require that Load+Restore succeeds and yields
+// exactly a prefix of the workload — never shorter than what durability
+// was acknowledged for, never a panic, never an error, and always
+// appendable afterwards. This is the test that proves the torn-tail
+// repair, the directory-fsync ordering in Snapshot, and the group-commit
+// ack semantics all at once; before this PR it failed at many points.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/faultfs"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/vsm"
+)
+
+// matrixOp is one scripted workload step.
+type matrixOp struct {
+	kind  string // "sub", "unsub", "fb", "snap", "sync"
+	user  string
+	fbIdx int // unique feedback index ("fb" only)
+}
+
+// matrixScript mixes every record type with checkpoints and explicit
+// barriers; feedback indices are globally unique so the recovered state
+// reveals exactly which ops survived.
+var matrixScript = []matrixOp{
+	{kind: "sub", user: "u"},
+	{kind: "fb", user: "u", fbIdx: 0},
+	{kind: "fb", user: "u", fbIdx: 1},
+	{kind: "fb", user: "u", fbIdx: 2},
+	{kind: "snap"},
+	{kind: "sub", user: "w"},
+	{kind: "fb", user: "w", fbIdx: 3},
+	{kind: "fb", user: "u", fbIdx: 4},
+	{kind: "fb", user: "w", fbIdx: 5},
+	{kind: "unsub", user: "w"},
+	{kind: "fb", user: "u", fbIdx: 6},
+	{kind: "sync"},
+	{kind: "fb", user: "u", fbIdx: 7},
+	{kind: "fb", user: "u", fbIdx: 8},
+}
+
+// fbVec is feedback i's document vector: a unit vector on a term only
+// feedback i uses, so profile probing recovers the applied-op set.
+func fbVec(i int) vsm.Vector {
+	return vec(fmt.Sprintf("t%04d", i), 1.0)
+}
+
+// matrixState is the observable profile state: which users exist and
+// which feedback indices each has absorbed.
+type matrixState map[string]map[int]bool
+
+func (st matrixState) equal(other matrixState) bool {
+	if len(st) != len(other) {
+		return false
+	}
+	for u, fbs := range st {
+		o, ok := other[u]
+		if !ok || len(fbs) != len(o) {
+			return false
+		}
+		for i := range fbs {
+			if !o[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// expectedState replays the first n script ops into the observable state.
+func expectedState(n int) matrixState {
+	st := matrixState{}
+	for _, op := range matrixScript[:n] {
+		switch op.kind {
+		case "sub":
+			st[op.user] = map[int]bool{}
+		case "unsub":
+			delete(st, op.user)
+		case "fb":
+			st[op.user][op.fbIdx] = true
+		}
+	}
+	return st
+}
+
+// probeState extracts the observable state from restored learners: a
+// feedback was applied iff its private term scores positive.
+func probeState(learners map[string]filter.Learner, maxFb int) matrixState {
+	st := matrixState{}
+	for u, l := range learners {
+		fbs := map[int]bool{}
+		for i := 0; i < maxFb; i++ {
+			if l.Score(fbVec(i)) > 1e-9 {
+				fbs[i] = true
+			}
+		}
+		st[u] = fbs
+	}
+	return st
+}
+
+// TestProbeStateSanity pins the probing trick itself: MM absorbs each
+// relevant judgment's term with positive weight, so probing recovers the
+// exact applied set.
+func TestProbeStateSanity(t *testing.T) {
+	l := core.NewDefault()
+	for i := 0; i < 5; i++ {
+		l.Observe(fbVec(i), filter.Relevant)
+	}
+	st := probeState(map[string]filter.Learner{"u": l}, 9)
+	want := matrixState{"u": {0: true, 1: true, 2: true, 3: true, 4: true}}
+	if !st.equal(want) {
+		t.Fatalf("probe = %v, want %v", st, want)
+	}
+}
+
+// runMatrixWorkload drives the script until completion or the first
+// error. It returns how many ops were applied, how many of those are
+// durability-guaranteed, and the first error.
+func runMatrixWorkload(s *Store, durablePerAppend bool) (applied, guaranteed int, err error) {
+	shadows := map[string]filter.Learner{}
+	for _, op := range matrixScript {
+		switch op.kind {
+		case "sub":
+			err = s.AppendSubscribe(op.user, "MM", nil)
+		case "unsub":
+			err = s.AppendUnsubscribe(op.user)
+		case "fb":
+			err = s.AppendFeedback(op.user, fbVec(op.fbIdx), filter.Relevant)
+		case "sync":
+			err = s.Sync()
+		case "snap":
+			var records []ProfileRecord
+			for u, l := range shadows {
+				blob, merr := l.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+				if merr != nil {
+					return applied, guaranteed, merr
+				}
+				records = append(records, ProfileRecord{User: u, Learner: "MM", Data: blob})
+			}
+			err = s.Snapshot(records)
+		}
+		if err != nil {
+			return applied, guaranteed, err
+		}
+		switch op.kind {
+		case "sub":
+			shadows[op.user] = core.NewDefault()
+		case "unsub":
+			delete(shadows, op.user)
+		case "fb":
+			shadows[op.user].Observe(fbVec(op.fbIdx), filter.Relevant)
+		}
+		applied++
+		// Durability acknowledgments: a durable-mode append, an explicit
+		// barrier, or a checkpoint guarantees everything applied so far.
+		if durablePerAppend || op.kind == "sync" || op.kind == "snap" {
+			guaranteed = applied
+		}
+	}
+	return applied, guaranteed, nil
+}
+
+func TestCrashMatrixDurable(t *testing.T) { crashMatrix(t, true) }
+func TestCrashMatrixRelaxed(t *testing.T) { crashMatrix(t, false) }
+
+func crashMatrix(t *testing.T, durable bool) {
+	// Calibration pass: count the workload's total syscall footprint.
+	calib := faultfs.NewSim()
+	s, err := Open("/state", Options{FS: calib, Durable: durable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runMatrixWorkload(s, durable); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	total := calib.Ops()
+	if total < 20 {
+		t.Fatalf("implausibly small op count %d", total)
+	}
+
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash_at_%03d", k), func(t *testing.T) {
+			sim := faultfs.NewSim()
+			sim.SetHook(faultfs.CrashAt(k))
+
+			applied, guaranteed := 0, 0
+			s, err := Open("/state", Options{FS: sim, Durable: durable})
+			if err == nil {
+				applied, guaranteed, err = runMatrixWorkload(s, durable)
+				s.Close() // post-crash close errors are expected
+			}
+			if err != nil && !errors.Is(err, faultfs.ErrCrashed) {
+				t.Fatalf("workload failed with a non-crash error: %v", err)
+			}
+			if err == nil && sim.Crashed() {
+				// The crash landed inside Close, after the workload: every
+				// op was applied, the durability guarantees are unchanged.
+				applied = len(matrixScript)
+			}
+
+			// Power-cycle: volatile state is gone, the machine is back.
+			sim.SetHook(nil)
+			sim.Reboot()
+
+			// Recovery must never error and never lose an acknowledged
+			// record, at every single crash point.
+			s2, err := Open("/state", Options{FS: sim, Durable: durable})
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			profiles, events, err := s2.Load()
+			if err != nil {
+				t.Fatalf("load after crash: %v", err)
+			}
+			learners, err := Restore(profiles, events)
+			if err != nil {
+				t.Fatalf("restore after crash: %v", err)
+			}
+			got := probeState(learners, len(matrixScript))
+			match := -1
+			for m := guaranteed; m <= applied+1 && m <= len(matrixScript); m++ {
+				if got.equal(expectedState(m)) {
+					match = m
+					break
+				}
+			}
+			if match < 0 {
+				t.Fatalf("recovered state %v is no prefix ≥ %d of the workload (applied %d)",
+					got, guaranteed, applied)
+			}
+
+			// The reopened store must be fully usable: the torn-tail
+			// repair has to leave the log appendable (this is the exact
+			// reopen-append-reload sequence that corrupted the store
+			// before the fix).
+			if err := s2.AppendSubscribe("z", "MM", nil); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := s2.AppendFeedback("z", fbVec(9), filter.Relevant); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatalf("close after recovery: %v", err)
+			}
+			s3, err := Open("/state", Options{FS: sim, Durable: durable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s3.Close()
+			p3, e3, err := s3.Load()
+			if err != nil {
+				t.Fatalf("reload after post-recovery appends: %v", err)
+			}
+			l3, err := Restore(p3, e3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l3["z"] == nil || l3["z"].Score(fbVec(9)) <= 1e-9 {
+				t.Fatalf("post-recovery appends lost")
+			}
+		})
+	}
+}
+
+// TestSnapshotDurableAcrossCrash pins the directory-fsync fix in
+// isolation: once Snapshot returns, a crash must not roll recovery back a
+// generation (the rename and the new log's creation are both fsynced).
+func TestSnapshotDurableAcrossCrash(t *testing.T) {
+	sim := faultfs.NewSim()
+	s, err := Open("/state", Options{FS: sim, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubscribe("u", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	shadow := core.NewDefault()
+	shadow.Observe(fbVec(0), filter.Relevant)
+	if err := s.AppendFeedback("u", fbVec(0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := shadow.MarshalBinary()
+	if err := s.Snapshot([]ProfileRecord{{User: "u", Learner: "MM", Data: blob}}); err != nil {
+		t.Fatal(err)
+	}
+	// Hard power cut with no further syscalls: the checkpoint must hold.
+	sim.Reboot()
+	s2, err := Open("/state", Options{FS: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	profiles, events, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 1 || len(events) != 0 {
+		t.Fatalf("snapshot not durable: %d profiles, %d events", len(profiles), len(events))
+	}
+	learners, err := Restore(profiles, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learners["u"].Score(fbVec(0)) <= 1e-9 {
+		t.Fatal("checkpointed profile lost feedback 0")
+	}
+}
+
+// TestLyingFsyncIsOutOfScope documents the fault model's boundary: a
+// drive that acknowledges fsyncs without persisting defeats any WAL; the
+// store's guarantee is conditional on honest fsyncs, and recovery must
+// still come up empty-but-consistent rather than corrupt.
+func TestLyingFsyncIsOutOfScope(t *testing.T) {
+	sim := faultfs.NewSim()
+	sim.SetHook(func(op faultfs.Op) faultfs.Fault {
+		if op.Kind == faultfs.OpSync || op.Kind == faultfs.OpSyncDir {
+			return faultfs.Fault{LieSync: true}
+		}
+		return faultfs.Fault{}
+	})
+	s, err := Open("/state", Options{FS: sim, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubscribe("u", "MM", nil); err != nil {
+		t.Fatal(err) // the lie: this ack is worthless
+	}
+	sim.SetHook(nil)
+	sim.Reboot()
+	// MkdirAll recreates the (volatile-lost) directory; recovery must be
+	// clean and empty, not corrupt.
+	s2, err := Open("/state", Options{FS: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	profiles, events, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 0 || len(events) != 0 {
+		t.Fatalf("impossible durability under lying fsyncs: %d/%d", len(profiles), len(events))
+	}
+}
+
+// TestWriteErrorPoisonsStore pins the short-write policy: after a failed
+// append the write path refuses further appends (the file tail is of
+// unknown extent), Load still serves the committed prefix, and reopening
+// repairs.
+func TestWriteErrorPoisonsStore(t *testing.T) {
+	sim := faultfs.NewSim()
+	s, err := Open("/state", Options{FS: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubscribe("u", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next write mid-record: ENOSPC with a torn tail.
+	sim.SetHook(func(op faultfs.Op) faultfs.Fault {
+		if op.Kind == faultfs.OpWrite {
+			return faultfs.Fault{Err: faultfs.ErrNoSpace, Partial: op.Len / 2}
+		}
+		return faultfs.Fault{}
+	})
+	if err := s.AppendFeedback("u", fbVec(0), filter.Relevant); !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	sim.SetHook(nil)
+	if err := s.AppendFeedback("u", fbVec(1), filter.Relevant); err == nil {
+		t.Fatal("append accepted after a torn write — would corrupt the log")
+	}
+	// The committed prefix is still readable around the poison.
+	_, events, err := s.Load()
+	if err != nil || len(events) != 1 {
+		t.Fatalf("load on poisoned store: %d events, %v", len(events), err)
+	}
+	s.Close()
+	// Reopen repairs the torn tail and appends flow again.
+	s2, err := Open("/state", Options{FS: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.AppendFeedback("u", fbVec(2), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err = s2.Load()
+	if err != nil || len(events) != 2 {
+		t.Fatalf("after repair: %d events, %v", len(events), err)
+	}
+}

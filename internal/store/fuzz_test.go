@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,23 +10,30 @@ import (
 	"mmprofile/internal/filter"
 )
 
-// FuzzLoadWAL feeds arbitrary bytes to the log reader: Load must never
-// panic, and whatever it accepts must be structurally sound events.
-func FuzzLoadWAL(f *testing.F) {
-	// Seed with a real log.
-	dir := f.TempDir()
+// sampleWAL builds a real three-event log and returns its raw bytes.
+func sampleWAL(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
 	s, err := Open(dir, Options{})
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	s.AppendSubscribe("alice", "MM", nil)
 	s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant)
 	s.AppendUnsubscribe("alice")
 	s.Close()
-	real, err := os.ReadFile(filepath.Join(dir, "wal-00000000.log"))
+	data, err := os.ReadFile(filepath.Join(dir, "wal-00000000.log"))
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
+	return data
+}
+
+// FuzzLoadWAL feeds arbitrary bytes to the log reader: Open and Load must
+// never panic. Open may refuse mid-log corruption; whatever a successful
+// Load accepts must be structurally sound events.
+func FuzzLoadWAL(f *testing.F) {
+	real := sampleWAL(f)
 	f.Add(real)
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
@@ -32,6 +41,11 @@ func FuzzLoadWAL(f *testing.F) {
 	mutated := append([]byte(nil), real...)
 	mutated[10] ^= 0xFF
 	f.Add(mutated)
+	// A header claiming an implausibly large record (32-bit int overflow
+	// bait for the length conversion).
+	huge := make([]byte, 16)
+	binary.LittleEndian.PutUint32(huge, 0xF0000000)
+	f.Add(huge)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fdir := t.TempDir()
@@ -40,7 +54,16 @@ func FuzzLoadWAL(f *testing.F) {
 		}
 		st, err := Open(fdir, Options{})
 		if err != nil {
-			t.Fatal(err)
+			// Mid-log corruption refused at open; the read-only path must
+			// still be able to inspect it without panicking.
+			ro, rerr := Open(fdir, Options{ReadOnly: true})
+			if rerr != nil {
+				t.Fatalf("read-only open failed: %v", rerr)
+			}
+			defer ro.Close()
+			ro.WALInfo()
+			ro.Load()
+			return
 		}
 		defer st.Close()
 		_, events, err := st.Load() // must not panic
@@ -55,4 +78,84 @@ func FuzzLoadWAL(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDecodeEvent hits the event decoder with raw payloads (no framing):
+// it must error or decode, never panic or read out of bounds.
+func FuzzDecodeEvent(f *testing.F) {
+	real := sampleWAL(f)
+	payloads, _, err := scanRecords(real)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range payloads {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // huge varint length
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			return
+		}
+		switch ev.Type {
+		case EventFeedback, EventSubscribe, EventUnsubscribe:
+		default:
+			t.Fatalf("accepted unknown event type %d", ev.Type)
+		}
+	})
+}
+
+// TestBitFlipEveryOffset is the exhaustive corruption sweep: flipping any
+// single bit anywhere in a valid log must leave the scanner with exactly
+// three outcomes — an explicit error, the full record list (flip in torn-
+// away slack can't happen here), or a clean prefix with the damaged
+// record dropped only at the tail. Never a panic, never a mis-decoded
+// record (CRC32 catches all single-bit errors).
+func TestBitFlipEveryOffset(t *testing.T) {
+	data := sampleWAL(t)
+	want, committed, err := scanRecords(data)
+	if err != nil || committed != len(data) {
+		t.Fatalf("sample log unclean: %d/%d, %v", committed, len(data), err)
+	}
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			payloads, _, err := scanRecords(mut)
+			if err != nil {
+				continue // detected and reported: fine
+			}
+			if len(payloads) > len(want) {
+				t.Fatalf("offset %d bit %d: gained records (%d > %d)", off, bit, len(payloads), len(want))
+			}
+			for i, p := range payloads {
+				if !bytes.Equal(p, want[i]) {
+					t.Fatalf("offset %d bit %d: record %d mis-decoded", off, bit, i)
+				}
+			}
+			// Whatever survived must still decode without panicking.
+			for _, p := range payloads {
+				decodeEvent(p)
+			}
+		}
+	}
+}
+
+// TestImplausibleLengthIs32BitSafe pins the bounds check on the framing
+// length: a header claiming 0xF0000000 bytes would turn negative in a
+// naive int() conversion on 32-bit platforms and panic the slice; it must
+// be reported as corruption instead.
+func TestImplausibleLengthIs32BitSafe(t *testing.T) {
+	data := make([]byte, 64)
+	binary.LittleEndian.PutUint32(data[0:4], 0xF0000000)
+	if _, _, err := scanRecords(data); err == nil {
+		t.Fatal("implausible length accepted")
+	}
+	// Same for the varint field lengths inside a payload.
+	payload := []byte{byte(EventSubscribe), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	if _, err := decodeEvent(payload); err == nil {
+		t.Fatal("huge varint field accepted")
+	}
 }

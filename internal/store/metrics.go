@@ -9,12 +9,22 @@ type storeMetrics struct {
 	appends     *metrics.Counter
 	fsyncs      *metrics.Counter
 	checkpoints *metrics.Counter
+	tornTails   *metrics.Counter
 
 	appendLat     *metrics.Histogram
 	fsyncLat      *metrics.Histogram
 	checkpointLat *metrics.Histogram
 
 	checkpointBytes *metrics.Gauge
+
+	// Group-commit instruments (DESIGN.md §10): how many records each
+	// coalesced fsync acknowledged, and how long durable appenders waited
+	// for their covering fsync. records_total / fsyncs_total ≈ the batch
+	// factor; the whole point of group commit is keeping it well above 1.
+	groupBatches   *metrics.Counter
+	groupRecords   *metrics.Counter
+	groupBatchRecs *metrics.Histogram
+	groupWaitLat   *metrics.Histogram
 }
 
 // RegisterMetrics registers the store's instrument family on reg and
@@ -32,12 +42,22 @@ func RegisterMetrics(reg *metrics.Registry) storeMetrics {
 		checkpoints: reg.Counter("mm_store_checkpoints_total",
 			"Snapshot checkpoints written."),
 		appendLat: reg.Histogram("mm_store_append_seconds",
-			"Latency of one WAL append (framing, write, and fsync when SyncEveryAppend)."),
+			"Latency of one WAL append (framing, write, and the covering group-commit fsync when Durable)."),
 		fsyncLat: reg.Histogram("mm_store_fsync_seconds",
 			"Latency of one WAL fsync."),
 		checkpointLat: reg.Histogram("mm_store_checkpoint_seconds",
 			"Wall-clock duration of writing one snapshot checkpoint."),
 		checkpointBytes: reg.Gauge("mm_store_checkpoint_bytes",
 			"Payload size of the most recent snapshot checkpoint."),
+		tornTails: reg.Counter("mm_store_torn_tails_total",
+			"Torn WAL tails truncated during open (crash residue repaired)."),
+		groupBatches: reg.Counter("mm_store_group_commit_batches_total",
+			"Group-commit fsync batches acknowledged."),
+		groupRecords: reg.Counter("mm_store_group_commit_records_total",
+			"WAL records made durable through group-commit batches."),
+		groupBatchRecs: reg.Histogram("mm_store_group_commit_batch_records",
+			"Records acknowledged per group-commit fsync batch."),
+		groupWaitLat: reg.Histogram("mm_store_group_commit_wait_seconds",
+			"Time a durable append waited for its covering fsync."),
 	}
 }

@@ -9,7 +9,7 @@ import (
 
 func TestStoreMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
-	s, err := Open(t.TempDir(), Options{SyncEveryAppend: true, Metrics: reg})
+	s, err := Open(t.TempDir(), Options{Durable: true, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,9 +32,17 @@ func TestStoreMetrics(t *testing.T) {
 	if got := snap["mm_store_appends_total"].(int64); got != 2 {
 		t.Errorf("appends = %d, want 2", got)
 	}
-	// SyncEveryAppend fsyncs on both appends, plus the explicit Sync.
+	// Each sequential durable append leads its own group-commit batch (2
+	// fsyncs); the explicit Sync finds everything durable and issues none;
+	// Snapshot fsyncs the outgoing log once more.
 	if got := snap["mm_store_fsyncs_total"].(int64); got != 3 {
 		t.Errorf("fsyncs = %d, want 3", got)
+	}
+	if got := snap["mm_store_group_commit_batches_total"].(int64); got != 2 {
+		t.Errorf("group-commit batches = %d, want 2", got)
+	}
+	if got := snap["mm_store_group_commit_records_total"].(int64); got != 2 {
+		t.Errorf("group-commit records = %d, want 2", got)
 	}
 	if got := snap["mm_store_checkpoints_total"].(int64); got != 1 {
 		t.Errorf("checkpoints = %d, want 1", got)

@@ -4,14 +4,25 @@
 // write-ahead-log design:
 //
 //   - a snapshot file (snap-<seq>.db) holds a full binary dump of every
-//     profile, written atomically via temp-file + rename;
+//     profile, written atomically via temp-file + rename + directory fsync;
 //   - a write-ahead log (wal-<seq>.log) records each feedback event
 //     (user, judgment, document vector) applied since that snapshot.
 //
 // Recovery loads the newest snapshot and re-applies the matching log; the
 // learners' update rules are deterministic, so replay reconstructs the
 // exact pre-crash profiles. Every record is length-prefixed and CRC32-
-// guarded, and a torn tail (crash mid-append) is detected and discarded.
+// guarded. A torn tail (crash mid-append) is detected at Open and
+// truncated away before any new append can land behind it; corruption
+// anywhere before the tail is refused, never silently skipped.
+//
+// Durability is group-committed (DESIGN.md §10): with Options.Durable,
+// each Append* returns only after an fsync covers its record, but
+// concurrent appenders coalesce onto a single leader fsync, so durable
+// mode costs far less than one fsync per event. Options.SyncInterval
+// instead bounds the loss window with a background flusher, and Sync() is
+// always available as an explicit barrier. All filesystem access goes
+// through internal/faultfs, so the crash-matrix test can kill the store
+// at every syscall boundary; production runs on bare *os.File handles.
 package store
 
 import (
@@ -20,6 +31,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"mmprofile/internal/faultfs"
 	"mmprofile/internal/filter"
 	"mmprofile/internal/metrics"
 	"mmprofile/internal/vsm"
@@ -67,73 +80,133 @@ type Event struct {
 
 // Options configures a Store.
 type Options struct {
-	// SyncEveryAppend fsyncs the log after each feedback record. Durable
-	// but slow; off by default (the log is still flushed by the OS and a
-	// torn tail is recovered from).
-	SyncEveryAppend bool
+	// Durable makes every Append* return only once an fsync covers its
+	// record. Appenders arriving while a sync is in flight coalesce onto
+	// the next one (group commit), so the cost under concurrency is far
+	// below one fsync per append.
+	Durable bool
+	// SyncInterval, when > 0 and Durable is off, bounds the loss window
+	// instead: appends return immediately and a background flusher fsyncs
+	// the log every interval. Sync() remains an explicit barrier.
+	SyncInterval time.Duration
+	// ReadOnly opens the store for inspection: no torn-tail repair, no
+	// log handle, and Load tolerates a torn tail the way recovery would.
+	// Appends, Snapshot, and Sync fail. mmstore uses this so inspecting a
+	// crashed state directory never mutates it.
+	ReadOnly bool
+	// FS overrides the filesystem — fault injection in tests
+	// (faultfs.Sim). Nil means the real OS filesystem.
+	FS faultfs.FS
 	// Metrics, when non-nil, receives the mm_store_* instrument family
-	// (append/fsync/checkpoint latencies and counts). Nil disables
-	// instrumentation entirely.
+	// (append/fsync/checkpoint/group-commit latencies and counts). Nil
+	// disables instrumentation entirely.
 	Metrics *metrics.Registry
 }
 
 // Store is a directory-backed profile store. Safe for concurrent use.
 type Store struct {
 	opts Options
+	fsys faultfs.FS
 	m    storeMetrics // all-nil (no-op) when opts.Metrics is nil
 
-	mu  sync.Mutex
-	dir string
-	seq uint64
-	wal *os.File
+	// mu guards the write path: the log handle, the committed byte
+	// length, the written-record count, and the generation number.
+	mu     sync.Mutex
+	dir    string
+	seq    uint64
+	wal    faultfs.File
+	walLen int64  // committed bytes in the current log (resets per generation)
+	recs   uint64 // records ever written (monotone across generations)
+	failed error  // sticky write-path failure; reopen repairs
+
+	// cmu guards the group-commit state. Lock discipline: no goroutine
+	// ever waits for cmu while holding mu (appenders release mu before
+	// joining a commit), so the sync leader may take mu briefly while the
+	// sync token is claimed.
+	cmu     sync.Mutex
+	cond    *sync.Cond
+	syncing bool   // sync token: one leader fsync (or one WAL swap) at a time
+	durable uint64 // records covered by the last acknowledged fsync
+	syncErr error  // sticky fsync failure: durability is unknowable past it
+	closed  bool
+
+	stopFlush chan struct{} // interval flusher; nil unless SyncInterval armed
+	flushDone chan struct{}
 }
 
 const (
 	snapPrefix = "snap-"
 	walPrefix  = "wal-"
+	// maxRecordLen bounds a record's claimed payload size. Records are
+	// written in one Write call, so any readable length field was fully
+	// written; a length beyond this bound is therefore corruption, never
+	// a torn append.
+	maxRecordLen = 1 << 28
 )
 
-// Open opens (or initializes) a store in dir, creating it if needed.
+var errClosed = errors.New("store: closed")
+
+// Open opens (or initializes) a store in dir, creating it if needed. A
+// torn log tail left by a crash mid-append is truncated here, before any
+// append can land behind it; mid-log corruption makes Open fail rather
+// than risk silently dropping everything after the damage.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	seq, err := latestSeq(dir)
+	seq, err := latestSeq(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{opts: opts, dir: dir, seq: seq}
+	s := &Store{opts: opts, fsys: fsys, dir: dir, seq: seq}
+	s.cond = sync.NewCond(&s.cmu)
 	if opts.Metrics != nil {
 		s.m = RegisterMetrics(opts.Metrics)
 	}
-	if err := s.openWAL(); err != nil {
-		return nil, err
+	if !opts.ReadOnly {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+		if opts.SyncInterval > 0 && !opts.Durable {
+			s.stopFlush = make(chan struct{})
+			s.flushDone = make(chan struct{})
+			go s.flushLoop(opts.SyncInterval)
+		}
 	}
 	return s, nil
 }
 
 // latestSeq finds the newest complete snapshot's sequence number (0 when
 // the store is fresh; sequence 0 has no snapshot file).
-func latestSeq(dir string) (uint64, error) {
-	entries, err := os.ReadDir(dir)
+func latestSeq(fsys faultfs.FS, dir string) (uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}
 	var best uint64
 	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, ".db") {
-			continue
-		}
-		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), ".db"), 10, 64)
-		if err != nil {
-			continue // stray file
-		}
-		if n > best {
+		if n, ok := genSeq(e.Name(), snapPrefix, ".db"); ok && n > best {
 			best = n
 		}
 	}
 	return best, nil
+}
+
+// genSeq parses a generation file name (prefix + zero-padded seq +
+// suffix); ok is false for anything else, including stray files.
+func genSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *Store) snapPath(seq uint64) string {
@@ -144,26 +217,109 @@ func (s *Store) walPath(seq uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s%08d.log", walPrefix, seq))
 }
 
-// openWAL opens the current sequence's log for appending. Caller holds the
-// lock (or is the constructor).
+// openWAL opens the current sequence's log for appending, truncating any
+// torn tail first and durably linking the file. Caller holds the lock (or
+// is the constructor).
 func (s *Store) openWAL() error {
-	f, err := os.OpenFile(s.walPath(s.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := s.walPath(s.seq)
+	data, err := s.fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, committed, err := scanRecords(data)
+	if err != nil {
+		// Valid records exist beyond the damage: this is not a torn
+		// append, and truncating would destroy them. Refuse to open.
+		return fmt.Errorf("store: wal %d: %w", s.seq, err)
+	}
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	if committed < len(data) {
+		// Torn tail from a crash mid-append: chop it so the next append
+		// starts at a record boundary — appending after garbage is what
+		// used to turn one torn record into a whole-log loss on the
+		// following reload.
+		if err := f.Truncate(int64(committed)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		s.m.tornTails.Inc()
+	}
+	// Persist the directory entry (file creation, and the truncate's
+	// metadata on filesystems that require it).
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
 	s.wal = f
+	s.walLen = int64(committed)
 	return nil
 }
 
-// Close closes the log.
+// flushLoop is the SyncInterval background flusher.
+func (s *Store) flushLoop(d time.Duration) {
+	defer close(s.flushDone)
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Best-effort: a failure is sticky in syncErr and surfaces on
+			// the next explicit barrier or durable operation.
+			_ = s.Sync()
+		case <-s.stopFlush:
+			return
+		}
+	}
+}
+
+// Close drains any in-flight group commit, flushes the log, and closes
+// it. Safe to call twice.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil
+	stop := s.stopFlush
+	s.stopFlush = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-s.flushDone
 	}
-	err := s.wal.Close()
-	s.wal = nil
+
+	s.cmu.Lock()
+	for s.syncing {
+		s.cond.Wait()
+	}
+	s.syncing = true
+	s.cmu.Unlock()
+
+	s.mu.Lock()
+	var err error
+	recs := s.recs
+	if s.wal != nil {
+		if s.failed == nil {
+			err = s.wal.Sync()
+		}
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+		s.wal = nil
+	}
+	s.mu.Unlock()
+
+	s.cmu.Lock()
+	s.syncing = false
+	s.closed = true
+	if err == nil && recs > s.durable {
+		s.durable = recs
+	}
+	s.cond.Broadcast()
+	s.cmu.Unlock()
 	return err
 }
 
@@ -200,19 +356,37 @@ func (s *Store) AppendUnsubscribe(user string) error {
 func (s *Store) appendPayload(payload []byte) error {
 	t0 := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.wal == nil {
-		return errors.New("store: closed")
+		s.mu.Unlock()
+		if s.opts.ReadOnly {
+			return errors.New("store: read-only")
+		}
+		return errClosed
 	}
-	if err := writeRecord(s.wal, payload); err != nil {
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
 		return err
 	}
-	if s.opts.SyncEveryAppend {
-		if err := s.syncLocked(); err != nil {
+	if err := writeRecord(s.wal, payload); err != nil {
+		// A failed or short write leaves bytes of unknown extent in the
+		// file; any later append would land behind garbage. Poison the
+		// write path — reopening repairs via the torn-tail scan.
+		s.failed = err
+		s.mu.Unlock()
+		return err
+	}
+	s.walLen += int64(len(payload)) + 8
+	s.recs++
+	pos := s.recs
+	s.mu.Unlock()
+
+	s.m.appends.Inc()
+	if s.opts.Durable {
+		if err := s.waitDurable(pos); err != nil {
 			return err
 		}
 	}
-	s.m.appends.Inc()
 	s.m.appendLat.ObserveSince(t0)
 	return nil
 }
@@ -222,44 +396,157 @@ func appendLenBytes(buf, b []byte) []byte {
 	return append(buf, b...)
 }
 
-// Sync fsyncs the log.
+// Sync is the durability barrier: it returns once every record appended
+// before the call is fsynced, issuing at most one fsync itself (and none
+// when a group commit already covered them).
 func (s *Store) Sync() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.wal == nil {
-		return errors.New("store: closed")
+		s.mu.Unlock()
+		if s.opts.ReadOnly {
+			return errors.New("store: read-only")
+		}
+		return errClosed
 	}
-	return s.syncLocked()
+	pos := s.recs
+	s.mu.Unlock()
+	return s.waitDurable(pos)
 }
 
-// syncLocked fsyncs the log with timing; caller holds the lock.
-func (s *Store) syncLocked() error {
+// waitDurable blocks until records 1..pos are covered by an acknowledged
+// fsync. The first waiter to find no sync in flight claims the token and
+// leads one fsync for everything written so far; waiters that arrive
+// mid-flight coalesce onto the next one. This is the group commit: under
+// N concurrent durable appenders, each fsync acknowledges a whole batch.
+func (s *Store) waitDurable(pos uint64) error {
 	t0 := time.Now()
-	if err := s.wal.Sync(); err != nil {
-		return err
+	s.cmu.Lock()
+	for {
+		if s.durable >= pos {
+			s.cmu.Unlock()
+			s.m.groupWaitLat.ObserveSince(t0)
+			return nil
+		}
+		if s.syncErr != nil {
+			err := s.syncErr
+			s.cmu.Unlock()
+			return err
+		}
+		if s.closed {
+			s.cmu.Unlock()
+			return errClosed
+		}
+		if !s.syncing {
+			s.syncing = true
+			s.cmu.Unlock()
+			s.leadSync()
+			s.cmu.Lock()
+			continue
+		}
+		s.cond.Wait()
 	}
-	s.m.fsyncs.Inc()
-	s.m.fsyncLat.ObserveSince(t0)
-	return nil
+}
+
+// leadSync performs one group-commit fsync. Caller holds the sync token
+// (not cmu); the token keeps the log handle stable — Snapshot and Close
+// wait for it before swapping or closing the WAL.
+func (s *Store) leadSync() {
+	s.mu.Lock()
+	f, target := s.wal, s.recs
+	s.mu.Unlock()
+
+	var err error
+	if f == nil {
+		err = errClosed
+	} else {
+		t0 := time.Now()
+		if err = f.Sync(); err == nil {
+			s.m.fsyncs.Inc()
+			s.m.fsyncLat.ObserveSince(t0)
+		}
+	}
+
+	s.cmu.Lock()
+	s.syncing = false
+	if err != nil {
+		s.syncErr = err
+	} else if target > s.durable {
+		batch := target - s.durable
+		s.durable = target
+		s.m.groupBatches.Inc()
+		s.m.groupRecords.Add(int64(batch))
+		s.m.groupBatchRecs.Observe(float64(batch))
+	}
+	s.cond.Broadcast()
+	s.cmu.Unlock()
 }
 
 // Snapshot atomically writes a new snapshot of every profile and starts a
-// fresh, empty log; older snapshot/log generations are removed
-// (best-effort) afterwards.
+// fresh, empty log. The durability order is strict: outgoing log fsync →
+// snapshot contents fsync → rename → directory fsync → new log creation →
+// directory fsync → old-generation removal. A crash at any point leaves
+// either the old generation or the new one fully recoverable.
 func (s *Store) Snapshot(profiles []ProfileRecord) error {
 	t0 := time.Now()
+
+	// Claim the sync token: no group-commit fsync may race the WAL swap
+	// (it would fsync a closed handle).
+	s.cmu.Lock()
+	for s.syncing {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.cmu.Unlock()
+		return errClosed
+	}
+	if err := s.syncErr; err != nil {
+		s.cmu.Unlock()
+		return err
+	}
+	s.syncing = true
+	s.cmu.Unlock()
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	durableTo := uint64(0) // set once the outgoing log is fsynced
+	defer func() {
+		s.mu.Unlock()
+		s.cmu.Lock()
+		s.syncing = false
+		if durableTo > s.durable {
+			s.durable = durableTo
+		}
+		s.cond.Broadcast()
+		s.cmu.Unlock()
+	}()
+
 	if s.wal == nil {
-		return errors.New("store: closed")
+		if s.opts.ReadOnly {
+			return errors.New("store: read-only")
+		}
+		return errClosed
+	}
+	if s.failed != nil {
+		return s.failed
 	}
 	next := s.seq + 1
 
-	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
+	// Fsync the outgoing log before the checkpoint that supersedes it:
+	// until the new generation is durably in place, that log is still the
+	// only durable copy of every event since the previous snapshot.
+	ts := time.Now()
+	if err := s.wal.Sync(); err != nil {
+		s.failed = err
+		return fmt.Errorf("store: %w", err)
+	}
+	s.m.fsyncs.Inc()
+	s.m.fsyncLat.ObserveSince(ts)
+	durableTo = s.recs // everything written so far is now durable
+
+	tmp, err := s.fsys.CreateTemp(s.dir, "snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer s.fsys.Remove(tmp.Name()) // no-op after successful rename
 	var bytes int64
 	for _, p := range profiles {
 		payload := binary.AppendUvarint(nil, uint64(len(p.User)))
@@ -281,11 +568,18 @@ func (s *Store) Snapshot(profiles []ProfileRecord) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.snapPath(next)); err != nil {
+	if err := s.fsys.Rename(tmp.Name(), s.snapPath(next)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// The rename is not durable until the directory is: without this, a
+	// crash could silently fall recovery back a whole generation even
+	// though Snapshot had reported success.
+	if err := s.fsys.SyncDir(s.dir); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 
-	// The new snapshot is durable; switch to its (empty) log.
+	// The new snapshot is durable; switch to its (empty) log. openWAL
+	// fsyncs the directory again for the new log's entry.
 	old := s.wal
 	s.seq = next
 	if err := s.openWAL(); err != nil {
@@ -296,12 +590,28 @@ func (s *Store) Snapshot(profiles []ProfileRecord) error {
 	}
 	old.Close()
 
-	// Best-effort cleanup of older generations.
-	for seq := next - 1; ; seq-- {
-		snapGone := os.Remove(s.snapPath(seq)) != nil
-		walGone := os.Remove(s.walPath(seq)) != nil
-		if snapGone && walGone || seq == 0 {
-			break
+	// Remove every older generation by enumerating what is actually
+	// there — probing downward from next-1 used to stop at the first gap
+	// and strand anything older (e.g. after an interrupted cleanup).
+	// Stray snapshot temp files from crashed checkpoints go too.
+	if entries, err := s.fsys.ReadDir(s.dir); err == nil {
+		removed := false
+		for _, e := range entries {
+			name := e.Name()
+			stale := false
+			if n, ok := genSeq(name, snapPrefix, ".db"); ok && n < next {
+				stale = true
+			} else if n, ok := genSeq(name, walPrefix, ".log"); ok && n < next {
+				stale = true
+			} else if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".tmp") && name != filepath.Base(tmp.Name()) {
+				stale = true
+			}
+			if stale && s.fsys.Remove(filepath.Join(s.dir, name)) == nil {
+				removed = true
+			}
+		}
+		if removed {
+			_ = s.fsys.SyncDir(s.dir) // best-effort: stray files are harmless
 		}
 	}
 	s.m.checkpoints.Inc()
@@ -310,18 +620,26 @@ func (s *Store) Snapshot(profiles []ProfileRecord) error {
 	return nil
 }
 
-// Load reads the newest snapshot and its log. It is typically called once,
-// right after Open, to rebuild broker state. A torn final log record
-// (crash mid-append) is silently discarded; any earlier corruption is an
-// error.
+// Load reads the newest snapshot and its log under the store lock, so a
+// concurrent append can never be misread as a torn tail and silently
+// dropped. In ReadOnly mode a genuinely torn tail is tolerated exactly as
+// recovery would tolerate it; in read-write mode the tail was already
+// truncated at Open, so any trailing garbage is an error.
 func (s *Store) Load() ([]ProfileRecord, []Event, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	seq := s.seq
-	s.mu.Unlock()
 
 	var profiles []ProfileRecord
 	if seq > 0 {
-		payloads, err := readRecords(s.snapPath(seq), false)
+		data, err := s.readFileOrEmpty(s.snapPath(seq))
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: snapshot %d: %w", seq, err)
+		}
+		payloads, committed, err := scanRecords(data)
+		if err == nil && committed != len(data) {
+			err = fmt.Errorf("truncated record at offset %d", committed)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("store: snapshot %d: %w", seq, err)
 		}
@@ -334,7 +652,19 @@ func (s *Store) Load() ([]ProfileRecord, []Event, error) {
 		}
 	}
 
-	payloads, err := readRecords(s.walPath(seq), true)
+	data, err := s.readFileOrEmpty(s.walPath(seq))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: wal %d: %w", seq, err)
+	}
+	if !s.opts.ReadOnly && int64(len(data)) > s.walLen {
+		// Bytes past the committed length can only be a poisoned write's
+		// remnants; the committed prefix is intact by construction.
+		data = data[:s.walLen]
+	}
+	payloads, committed, err := scanRecords(data)
+	if err == nil && !s.opts.ReadOnly && committed != len(data) {
+		err = fmt.Errorf("truncated record at offset %d", committed)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: wal %d: %w", seq, err)
 	}
@@ -347,6 +677,48 @@ func (s *Store) Load() ([]ProfileRecord, []Event, error) {
 		events = append(events, ev)
 	}
 	return profiles, events, nil
+}
+
+// readFileOrEmpty reads a file, mapping absence to emptiness.
+func (s *Store) readFileOrEmpty(path string) ([]byte, error) {
+	data, err := s.fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// WALInfo describes the current log's on-disk integrity, for inspection
+// tooling (mmstore).
+type WALInfo struct {
+	Seq       uint64 // active generation
+	Records   int    // complete, checksummed records
+	Committed int64  // byte length of the valid prefix
+	Torn      int64  // trailing bytes past the valid prefix (crash residue)
+}
+
+// WALInfo scans the active log and reports its integrity. A non-nil
+// error means corruption before the tail; the returned info still
+// describes the valid prefix.
+func (s *Store) WALInfo() (WALInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := WALInfo{Seq: s.seq}
+	data, err := s.readFileOrEmpty(s.walPath(s.seq))
+	if err != nil {
+		return info, fmt.Errorf("store: %w", err)
+	}
+	payloads, committed, err := scanRecords(data)
+	info.Records = len(payloads)
+	info.Committed = int64(committed)
+	info.Torn = int64(len(data) - committed)
+	if err != nil {
+		return info, fmt.Errorf("store: wal %d: %w", s.seq, err)
+	}
+	return info, nil
 }
 
 func decodeProfileRecord(payload []byte) (ProfileRecord, error) {
@@ -412,71 +784,66 @@ func decodeEvent(payload []byte) (Event, error) {
 
 func readLenBytes(buf []byte) ([]byte, []byte, error) {
 	n, k := binary.Uvarint(buf)
-	if k <= 0 || uint64(len(buf)-k) < n {
+	if k <= 0 || n > uint64(len(buf)-k) {
 		return nil, nil, fmt.Errorf("truncated field")
 	}
-	return buf[k : k+int(n)], buf[k+int(n):], nil
+	// n ≤ len(buf)-k ≤ MaxInt here, so int(n) cannot overflow — on
+	// 32-bit platforms included, where a blind int(n) of an attacker-
+	// controlled varint would go negative and panic the slice below.
+	end := k + int(n)
+	return buf[k:end], buf[end:], nil
 }
 
 // Record framing: 4-byte little-endian payload length, 4-byte CRC32
-// (IEEE) of the payload, payload bytes.
+// (IEEE) of the payload, payload bytes — written in a single Write call
+// so a torn append is always a contiguous prefix of one record.
 
 func writeRecord(w io.Writer, payload []byte) error {
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
 }
 
-// readRecords reads every framed record in a file. With tolerateTail, an
-// incomplete or CRC-failing *final* record is treated as a torn append and
-// dropped; corruption elsewhere is always an error. A missing file yields
-// no records.
-func readRecords(path string, tolerateTail bool) ([][]byte, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, err
-	}
-	var out [][]byte
+// scanRecords parses framed records from data, returning the records of
+// the valid prefix and that prefix's byte length. A remainder that looks
+// like one torn append — a truncated header, a record extending past EOF,
+// or a checksum failure on the final record — is not an error: committed
+// simply stops before it. Anything else (a bad checksum or implausible
+// length with valid data beyond it) is corruption and returns an error,
+// because records are written in a single call: any fully readable length
+// field was fully written, so mid-file damage is never a torn append.
+func scanRecords(data []byte) (payloads [][]byte, committed int, err error) {
 	off := 0
 	for off < len(data) {
 		if len(data)-off < 8 {
-			if tolerateTail {
-				return out, nil
-			}
-			return nil, fmt.Errorf("truncated header at offset %d", off)
+			return payloads, off, nil // torn header at tail
 		}
-		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
 		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if n > 1<<28 {
-			return nil, fmt.Errorf("implausible record size %d at offset %d", n, off)
+		if n > maxRecordLen {
+			return payloads, off, fmt.Errorf("implausible record size %d at offset %d", n, off)
 		}
-		if len(data)-off-8 < n {
-			if tolerateTail {
-				return out, nil
-			}
-			return nil, fmt.Errorf("truncated record at offset %d", off)
+		// n ≤ maxRecordLen < MaxInt32: the int conversions below are safe
+		// on 32-bit platforms.
+		if int64(len(data)-off-8) < n {
+			return payloads, off, nil // torn record at tail
 		}
-		payload := data[off+8 : off+8+n]
+		payload := data[off+8 : off+8+int(n)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			if tolerateTail && off+8+n == len(data) {
-				return out, nil // torn final record
+			if off+8+int(n) == len(data) {
+				return payloads, off, nil // torn final record
 			}
-			return nil, fmt.Errorf("checksum mismatch at offset %d", off)
+			return payloads, off, fmt.Errorf("checksum mismatch at offset %d", off)
 		}
-		out = append(out, append([]byte(nil), payload...))
-		off += 8 + n
+		payloads = append(payloads, append([]byte(nil), payload...))
+		off += 8 + int(n)
 	}
-	return out, nil
+	return payloads, off, nil
 }
 
 // restorable is the serialization contract learners must meet to be
