@@ -14,6 +14,8 @@
 //	mmclient import -user alice -in alice.profile
 //	mmclient stats                          (wire-protocol counters)
 //	mmclient stats -http localhost:8080     (full /statsz + /metrics dump)
+//	mmclient trace -http localhost:8080 [-slow] [-n 10] [-id TRACE]
+//	mmclient explain -http localhost:8080 -user alice [-doc 12]
 //	mmclient unsubscribe -user alice
 package main
 
@@ -29,6 +31,8 @@ import (
 	"strings"
 	"time"
 
+	"mmprofile/internal/core"
+	"mmprofile/internal/trace"
 	"mmprofile/internal/wire"
 )
 
@@ -52,6 +56,35 @@ func main() {
 			check(httpStats(*httpAddr, *prom))
 			return
 		}
+	}
+
+	if cmd == "trace" {
+		// trace is HTTP-only: it reads the server's /tracez rings.
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		httpAddr := fs.String("http", "", "status-listener address (required)")
+		slow := fs.Bool("slow", false, "show the slow-trace ring instead of the recent ring")
+		n := fs.Int("n", 10, "traces to list (0 = all)")
+		id := fs.String("id", "", "print one trace's span tree by id")
+		parse(fs, rest)
+		if *httpAddr == "" {
+			fail(fmt.Errorf("trace needs -http (the mmserver -http address)"))
+		}
+		check(httpTrace(*httpAddr, *slow, *n, *id))
+		return
+	}
+
+	if cmd == "explain" {
+		// explain is HTTP-only: it reads the server's /explainz endpoint.
+		fs := flag.NewFlagSet("explain", flag.ExitOnError)
+		httpAddr := fs.String("http", "", "status-listener address (required)")
+		user := fs.String("user", "", "subscriber id")
+		doc := fs.Int64("doc", -1, "also explain this retained document's score")
+		parse(fs, rest)
+		if *httpAddr == "" || *user == "" {
+			fail(fmt.Errorf("explain needs -http and -user"))
+		}
+		check(httpExplain(*httpAddr, *user, *doc))
+		return
 	}
 
 	c, err := wire.Dial(*addr)
@@ -99,9 +132,12 @@ func main() {
 		if content == "" {
 			fail(fmt.Errorf("publish needs -file or -text"))
 		}
-		doc, delivered, err := c.Publish(content)
+		doc, delivered, traceID, err := c.PublishTrace(content, "")
 		check(err)
 		fmt.Printf("doc %d delivered to %d subscriber(s)\n", doc, delivered)
+		if traceID != "" {
+			fmt.Printf("trace %s (mmclient trace -http ... -id %s)\n", traceID, traceID)
+		}
 
 	case "poll":
 		fs := flag.NewFlagSet("poll", flag.ExitOnError)
@@ -140,8 +176,12 @@ func main() {
 		doc := fs.Int64("doc", -1, "document id")
 		relevant := fs.Bool("relevant", true, "judgment")
 		parse(fs, rest)
-		check(c.Feedback(*user, *doc, *relevant))
+		traceID, err := c.FeedbackTrace(*user, *doc, *relevant, "")
+		check(err)
 		fmt.Printf("feedback recorded for doc %d\n", *doc)
+		if traceID != "" {
+			fmt.Printf("trace %s\n", traceID)
+		}
 
 	case "profile":
 		fs := flag.NewFlagSet("profile", flag.ExitOnError)
@@ -238,6 +278,175 @@ func httpStats(addr string, prom bool) error {
 	return nil
 }
 
+// httpTrace reads /tracez and renders traces: one summary line each, or,
+// with id, the full span tree (children indented under parents, attributes
+// inline) — the drill-down for "why was this one request slow?".
+func httpTrace(addr string, slow bool, n int, id string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if id != "" {
+		body, err := httpGet(addr + "/tracez?trace=" + id)
+		if err != nil {
+			return err
+		}
+		var ts trace.TraceSnapshot
+		if err := json.Unmarshal(body, &ts); err != nil {
+			return fmt.Errorf("tracez: %w", err)
+		}
+		printTrace(ts)
+		return nil
+	}
+	body, err := httpGet(addr + "/tracez")
+	if err != nil {
+		return err
+	}
+	var out struct {
+		Enabled  bool           `json:"enabled"`
+		Snapshot trace.Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("tracez: %w", err)
+	}
+	if !out.Enabled {
+		fmt.Println("tracing disabled (start mmserver with -trace-sample or -trace-slow)")
+		return nil
+	}
+	ring, label := out.Snapshot.Recent, "recent"
+	if slow {
+		ring, label = out.Snapshot.Slow, "slow"
+	}
+	fmt.Printf("%s traces: %d shown (sampled %d, slow-captured %d; sample 1-in-%d, slow threshold %.3gms)\n",
+		label, len(ring), out.Snapshot.Sampled, out.Snapshot.SlowCaptured,
+		out.Snapshot.SampleEvery, out.Snapshot.SlowThresholdMS)
+	if n > 0 && len(ring) > n {
+		ring = ring[:n]
+	}
+	for _, ts := range ring {
+		marks := ""
+		if ts.Slow {
+			marks += " SLOW"
+		}
+		if ts.Synthetic {
+			marks += " synthetic"
+		}
+		fmt.Printf("  %s  %-22s %9.3fms  %d span(s)%s\n",
+			ts.Trace, ts.Root, ts.DurationMS, len(ts.Spans), marks)
+	}
+	return nil
+}
+
+// printTrace renders one trace's spans as a tree.
+func printTrace(ts trace.TraceSnapshot) {
+	fmt.Printf("trace %s  root %s  %.3fms", ts.Trace, ts.Root, ts.DurationMS)
+	if ts.RemoteParent != "" {
+		fmt.Printf("  (joined remote parent %s)", ts.RemoteParent)
+	}
+	fmt.Println()
+	children := map[string][]trace.SpanSnapshot{}
+	byID := map[string]bool{}
+	for _, s := range ts.Spans {
+		byID[s.ID] = true
+	}
+	var roots []trace.SpanSnapshot
+	for _, s := range ts.Spans {
+		// A span whose parent is outside the capture (remote, or the root
+		// itself) prints at the top level.
+		if s.Parent != "" && byID[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var walk func(s trace.SpanSnapshot, depth int)
+	walk = func(s trace.SpanSnapshot, depth int) {
+		attrs := ""
+		for _, a := range s.Attrs {
+			attrs += fmt.Sprintf(" %s=%v", a.Key, a.Value())
+		}
+		fmt.Printf("  %*s%-*s %11.1fµs%s\n", 2*depth, "", 28-2*depth, s.Name, s.DurationUS, attrs)
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range roots {
+		walk(s, 0)
+	}
+}
+
+// httpExplain reads /explainz and renders the adaptation story: current
+// vectors with their stable ids, then the audit journal — one line per
+// structural operation with the cosine-vs-θ rationale and the strength
+// movement. With doc ≥ 0, the score-side explanation follows.
+func httpExplain(addr, user string, doc int64) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := addr + "/explainz?user=" + user
+	if doc >= 0 {
+		url += fmt.Sprintf("&doc=%d", doc)
+	}
+	body, err := httpGet(url)
+	if err != nil {
+		return err
+	}
+	var out struct {
+		Profile struct {
+			User    string `json:"user"`
+			Learner string `json:"learner"`
+			Size    int    `json:"size"`
+			Vectors []struct {
+				ID             uint64   `json:"id"`
+				Strength       float64  `json:"strength"`
+				CreatedAt      int      `json:"created_at"`
+				Incorporations int      `json:"incorporations"`
+				TopTerms       []string `json:"top_terms"`
+			} `json:"vectors"`
+			Audit []core.AuditEvent `json:"audit"`
+		} `json:"profile"`
+		Explanation *core.Explanation `json:"explanation"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("explainz: %w", err)
+	}
+	p := out.Profile
+	fmt.Printf("%s: learner %s, %d vector(s)\n", p.User, p.Learner, p.Size)
+	for _, v := range p.Vectors {
+		fmt.Printf("  vector %d  strength %.3f  incorporations %d  since step %d  [%s]\n",
+			v.ID, v.Strength, v.Incorporations, v.CreatedAt, strings.Join(v.TopTerms, " "))
+	}
+	if len(p.Audit) > 0 {
+		fmt.Printf("audit journal (%d event(s)):\n", len(p.Audit))
+		for _, ev := range p.Audit {
+			line := fmt.Sprintf("  step %-5d %-11s", ev.Step, ev.Op)
+			if ev.Vector != 0 {
+				line += fmt.Sprintf(" vector %d", ev.Vector)
+			}
+			if ev.Merged != 0 {
+				line += fmt.Sprintf(" ⟵ vector %d", ev.Merged)
+			}
+			line += fmt.Sprintf("  cos %.3f vs θ %.3f  strength %.3f→%.3f",
+				ev.Cosine, ev.Theta, ev.StrengthBefore, ev.StrengthAfter)
+			if ev.Doc != 0 {
+				line += fmt.Sprintf("  doc %d", ev.Doc)
+			}
+			if ev.Trace != "" {
+				line += "  trace " + ev.Trace
+			}
+			fmt.Println(line)
+		}
+	}
+	if out.Explanation != nil {
+		ex := out.Explanation
+		fmt.Printf("doc %d: score %.4f via vector %d (strength %.3f)\n",
+			doc, ex.Score, ex.VectorID, ex.Strength)
+		for _, c := range ex.Contributions {
+			fmt.Printf("  %-20s %.4f\n", c.Term, c.Weight)
+		}
+	}
+	return nil
+}
+
 func httpGet(url string) ([]byte, error) {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -302,6 +511,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|feedback|profile|fetch|export|import|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|feedback|profile|fetch|export|import|stats|trace|explain [flags]")
 	os.Exit(2)
 }

@@ -7,21 +7,26 @@
 // Usage:
 //
 //	mmload [-addr 127.0.0.1:7070] [-subscribers 20] [-publishers 4]
-//	       [-docs 2000] [-seed 1]
+//	       [-docs 2000] [-seed 1] [-trace-every 100] [-status localhost:8080]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mmprofile/internal/corpus"
 	"mmprofile/internal/text"
+	"mmprofile/internal/trace"
 	"mmprofile/internal/wire"
 )
 
@@ -32,6 +37,8 @@ func main() {
 		publishers  = flag.Int("publishers", 4, "publisher connections")
 		docs        = flag.Int("docs", 2000, "total pages to publish")
 		seed        = flag.Int64("seed", 1, "corpus and workload seed")
+		traceEvery  = flag.Int("trace-every", 0, "propagate trace context on every Nth publish, forcing server-side capture (0 = off)")
+		statusAddr  = flag.String("status", "", "mmserver -http address; after the run, print the server's slow-trace summary from /tracez")
 	)
 	flag.Parse()
 
@@ -96,7 +103,7 @@ func main() {
 	// Publishers: split the document budget, measure per-publish RTT.
 	var pubWG sync.WaitGroup
 	latencies := make([][]time.Duration, *publishers)
-	var published atomic.Int64
+	var published, traced atomic.Int64
 	start := time.Now()
 	for p := 0; p < *publishers; p++ {
 		pubWG.Add(1)
@@ -112,10 +119,23 @@ func main() {
 			lats := make([]time.Duration, 0, n)
 			for i := 0; i < n; i++ {
 				page := coll.Pages[prng.Intn(len(coll.Pages))]
+				// Client-driven sampling: a propagated context forces the
+				// server to capture this request regardless of its own
+				// head-sampling rate, so a load run can collect traces from
+				// a production-tuned (rarely sampling) server.
+				ctx := ""
+				if *traceEvery > 0 && i%*traceEvery == 0 {
+					ctx = trace.FormatContext(
+						trace.TraceID(prng.Uint64()|1), trace.SpanID(prng.Uint64()|1))
+				}
 				t0 := time.Now()
-				if _, _, err := c.Publish(page.HTML); err != nil {
+				_, _, tid, err := c.PublishTrace(page.HTML, ctx)
+				if err != nil {
 					fmt.Fprintln(os.Stderr, "mmload: publish:", err)
 					return
+				}
+				if tid != "" {
+					traced.Add(1)
 				}
 				lats = append(lats, time.Since(t0))
 				published.Add(1)
@@ -144,6 +164,10 @@ func main() {
 	}
 	fmt.Printf("deliveries consumed (with feedback): %d\n", consumed.Load())
 
+	if traced.Load() > 0 {
+		fmt.Printf("traced publishes: %d (server captured; inspect with mmclient trace -http ...)\n", traced.Load())
+	}
+
 	c, err := wire.Dial(*addr)
 	if err == nil {
 		if st, err := c.Stats(); err == nil {
@@ -152,6 +176,56 @@ func main() {
 		}
 		c.Close()
 	}
+
+	if *statusAddr != "" {
+		if err := slowSummary(*statusAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "mmload: slow-trace summary:", err)
+		}
+	}
+}
+
+// slowSummary reads the server's /tracez and reports the slow ring — the
+// requests that exceeded -trace-slow during the run, which is what a load
+// test is usually hunting for.
+func slowSummary(addr string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(addr + "/tracez")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /tracez: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var out struct {
+		Enabled  bool           `json:"enabled"`
+		Snapshot trace.Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return err
+	}
+	if !out.Enabled {
+		fmt.Println("\nserver tracing disabled (start mmserver with -trace-sample / -trace-slow)")
+		return nil
+	}
+	fmt.Printf("\nserver traces: %d sampled, %d slow-captured (threshold %.3gms)\n",
+		out.Snapshot.Sampled, out.Snapshot.SlowCaptured, out.Snapshot.SlowThresholdMS)
+	slow := out.Snapshot.Slow
+	sort.Slice(slow, func(i, j int) bool { return slow[i].DurationMS > slow[j].DurationMS })
+	if len(slow) > 5 {
+		slow = slow[:5]
+	}
+	for _, ts := range slow {
+		fmt.Printf("  slow: %s  %-22s %9.3fms  (mmclient trace -http %s -id %s)\n",
+			ts.Trace, ts.Root, ts.DurationMS, addr, ts.Trace)
+	}
+	return nil
 }
 
 // topicWords extracts a page's k most frequent pipeline terms — after

@@ -12,7 +12,7 @@
 //
 //	mmserver [-addr :7070] [-threshold 0.25] [-queue 128] [-retention 4096]
 //	         [-state DIR] [-checkpoint 5m] [-fsync] [-sync-interval 2s]
-//	         [-pubsub-shards N]
+//	         [-pubsub-shards N] [-trace-sample 0.01] [-trace-slow 50ms]
 package main
 
 import (
@@ -30,24 +30,76 @@ import (
 	"mmprofile/internal/metrics"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/store"
+	"mmprofile/internal/trace"
 	"mmprofile/internal/wire"
 )
+
+// config is the flag surface that shapes the engine (as opposed to the
+// flags main consumes directly, like -addr). Split from main so the
+// flag → options translation is unit-testable.
+type config struct {
+	threshold   float64
+	queue       int
+	retention   int
+	retainBody  bool
+	fsync       bool
+	syncEvery   time.Duration
+	pubWorkers  int
+	shards      int
+	traceSample float64
+	traceSlow   time.Duration
+}
+
+func (c *config) register(fs *flag.FlagSet) {
+	fs.Float64Var(&c.threshold, "threshold", 0.25, "minimum profile/document similarity for delivery")
+	fs.IntVar(&c.queue, "queue", 128, "per-subscriber delivery buffer")
+	fs.IntVar(&c.retention, "retention", 4096, "recent documents kept for feedback")
+	fs.BoolVar(&c.retainBody, "retain-content", false, "keep raw page content for the retention window (enables fetch)")
+	fs.BoolVar(&c.fsync, "fsync", false, "durable journal: feedback is acked only once fsynced (group-committed)")
+	fs.DurationVar(&c.syncEvery, "sync-interval", 0, "without -fsync: background journal fsync interval (0 = OS-flushed only)")
+	fs.IntVar(&c.pubWorkers, "publish-workers", 0, "goroutines for batch publishes (0 = GOMAXPROCS)")
+	fs.IntVar(&c.shards, "pubsub-shards", 0, "suggested shard count for the broker's registry/docstore layers (0 = GOMAXPROCS, rounded to a power of two)")
+	fs.Float64Var(&c.traceSample, "trace-sample", 0, "fraction of requests to capture as traces, 0..1 (0 = off; see /tracez)")
+	fs.DurationVar(&c.traceSlow, "trace-slow", 0, "capture any request slower than this even when unsampled (0 = off)")
+}
+
+// tracer builds the request tracer from the trace flags; nil when both are
+// off, which keeps the publish hot path entirely untraced.
+func (c *config) tracer() *trace.Tracer {
+	if c.traceSample <= 0 && c.traceSlow <= 0 {
+		return nil
+	}
+	return trace.New(trace.Options{SampleRate: c.traceSample, SlowThreshold: c.traceSlow})
+}
+
+// brokerOptions translates the flags into the broker configuration.
+func (c *config) brokerOptions(reg *metrics.Registry) pubsub.Options {
+	return pubsub.Options{
+		Threshold:      c.threshold,
+		QueueSize:      c.queue,
+		Retention:      c.retention,
+		RetainContent:  c.retainBody,
+		PublishWorkers: c.pubWorkers,
+		Shards:         c.shards,
+		Metrics:        reg,
+		Trace:          c.tracer(),
+	}
+}
+
+// storeOptions translates the durability flags into the store configuration.
+func (c *config) storeOptions(reg *metrics.Registry) store.Options {
+	return store.Options{Durable: c.fsync, SyncInterval: c.syncEvery, Metrics: reg}
+}
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":7070", "listen address")
-		threshold  = flag.Float64("threshold", 0.25, "minimum profile/document similarity for delivery")
-		queue      = flag.Int("queue", 128, "per-subscriber delivery buffer")
-		retention  = flag.Int("retention", 4096, "recent documents kept for feedback")
-		retainBody = flag.Bool("retain-content", false, "keep raw page content for the retention window (enables fetch)")
 		httpAddr   = flag.String("http", "", "optional HTTP status address (e.g. :8080)")
 		stateDir   = flag.String("state", "", "directory for durable profiles (empty = in-memory only)")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "snapshot interval when -state is set")
-		fsync      = flag.Bool("fsync", false, "durable journal: feedback is acked only once fsynced (group-committed)")
-		syncEvery  = flag.Duration("sync-interval", 0, "without -fsync: background journal fsync interval (0 = OS-flushed only)")
-		pubWorkers = flag.Int("publish-workers", 0, "goroutines for batch publishes (0 = GOMAXPROCS)")
-		shards     = flag.Int("pubsub-shards", 0, "suggested shard count for the broker's registry/docstore layers (0 = GOMAXPROCS, rounded to a power of two)")
 	)
+	var cfg config
+	cfg.register(flag.CommandLine)
 	flag.Parse()
 
 	// One registry for the whole process: the broker, the index, and the
@@ -57,20 +109,12 @@ func main() {
 	reg := metrics.NewRegistry()
 	store.RegisterMetrics(reg)
 
-	opts := pubsub.Options{
-		Threshold:      *threshold,
-		QueueSize:      *queue,
-		Retention:      *retention,
-		RetainContent:  *retainBody,
-		PublishWorkers: *pubWorkers,
-		Shards:         *shards,
-		Metrics:        reg,
-	}
+	opts := cfg.brokerOptions(reg)
 
 	var st *store.Store
 	if *stateDir != "" {
 		var err error
-		st, err = store.Open(*stateDir, store.Options{Durable: *fsync, SyncInterval: *syncEvery, Metrics: reg})
+		st, err = store.Open(*stateDir, cfg.storeOptions(reg))
 		if err != nil {
 			fatal(err)
 		}
@@ -93,7 +137,11 @@ func main() {
 	}
 	lay := broker.Layout()
 	log.Printf("mmserver: listening on %s (threshold %.2f, state %q, shards registry=%d docs=%d stats=%d index=%d)",
-		lis.Addr(), *threshold, *stateDir, lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards)
+		lis.Addr(), cfg.threshold, *stateDir, lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards)
+	if broker.Tracer() != nil {
+		log.Printf("mmserver: tracing on (sample %.3g, slow %s) — /tracez on the -http listener",
+			cfg.traceSample, cfg.traceSlow)
+	}
 
 	if *httpAddr != "" {
 		httpLis, err := net.Listen("tcp", *httpAddr)

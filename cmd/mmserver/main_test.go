@@ -1,0 +1,82 @@
+package main
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// parse runs the config's flag surface over args, as main does.
+func parse(t *testing.T, args ...string) config {
+	t.Helper()
+	fs := flag.NewFlagSet("mmserver", flag.ContinueOnError)
+	var cfg config
+	cfg.register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestConfigDefaults checks the zero-flag configuration: no tracer (the
+// publish hot path stays untraced), no durability, paper-default threshold.
+func TestConfigDefaults(t *testing.T) {
+	cfg := parse(t)
+	if cfg.threshold != 0.25 || cfg.queue != 128 || cfg.retention != 4096 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.tracer() != nil {
+		t.Error("tracing enabled without trace flags")
+	}
+	opts := cfg.brokerOptions(nil)
+	if opts.Trace != nil {
+		t.Error("broker options carry a tracer without trace flags")
+	}
+	st := cfg.storeOptions(nil)
+	if st.Durable || st.SyncInterval != 0 {
+		t.Errorf("store options = %+v", st)
+	}
+}
+
+// TestConfigTraceFlags checks -trace-sample / -trace-slow build an enabled
+// tracer and wire it into the broker options.
+func TestConfigTraceFlags(t *testing.T) {
+	cfg := parse(t, "-trace-sample", "0.5", "-trace-slow", "50ms")
+	tr := cfg.tracer()
+	if tr == nil || !tr.Enabled() {
+		t.Fatal("trace flags did not enable tracing")
+	}
+	snap := tr.Snapshot()
+	if snap.SampleEvery != 2 {
+		t.Errorf("sample 0.5 → every %d, want 2", snap.SampleEvery)
+	}
+	if snap.SlowThresholdMS != 50 {
+		t.Errorf("slow threshold = %vms, want 50", snap.SlowThresholdMS)
+	}
+	if cfg.brokerOptions(nil).Trace == nil {
+		t.Error("broker options did not receive the tracer")
+	}
+
+	// Each flag alone is sufficient.
+	sampleOnly := parse(t, "-trace-sample", "1")
+	if sampleOnly.tracer() == nil {
+		t.Error("-trace-sample alone did not enable tracing")
+	}
+	slowOnly := parse(t, "-trace-slow", "1ms")
+	if slowOnly.tracer() == nil {
+		t.Error("-trace-slow alone did not enable tracing")
+	}
+}
+
+// TestConfigDurabilityFlags pins the -fsync / -sync-interval translation
+// the trace flags ride alongside.
+func TestConfigDurabilityFlags(t *testing.T) {
+	cfg := parse(t, "-fsync")
+	if st := cfg.storeOptions(nil); !st.Durable {
+		t.Error("-fsync did not set Durable")
+	}
+	cfg = parse(t, "-sync-interval", "2s")
+	if st := cfg.storeOptions(nil); st.Durable || st.SyncInterval != 2*time.Second {
+		t.Errorf("-sync-interval 2s → %+v", st)
+	}
+}

@@ -153,11 +153,23 @@ func (p *Profile) UnmarshalBinary(data []byte) error {
 			return err
 		}
 		pv.Incorporations = int(u)
+		pv.ID = uint64(i + 1)
 		vectors = append(vectors, pv)
 	}
 	if len(buf) != 0 {
 		return fmt.Errorf("core: %d trailing bytes in profile snapshot", len(buf))
 	}
+
+	// The audit journal and vector ids are runtime-only diagnostics: the
+	// snapshot carries neither, so restored vectors get fresh sequential
+	// ids, the journal restarts empty, and its configured capacity (a
+	// process-level setting, not profile state) carries over.
+	opts.AuditCapacity = p.opts.AuditCapacity
+	p.nextID = uint64(len(vectors))
+	p.auditBuf = nil
+	p.auditPos = 0
+	p.auditSeq = 0
+	p.endStep()
 
 	p.opts = opts
 	p.step = step

@@ -22,6 +22,10 @@ type Explanation struct {
 	// Vectors() order at the time of the call; −1 when the profile is
 	// empty or the document is zero.
 	Cluster int
+	// VectorID is the matching cluster's stable id (ProfileVector.ID),
+	// which joins an explanation against the audit journal's events; 0
+	// when Cluster is −1.
+	VectorID uint64
 	// Strength is the matching cluster's current strength.
 	Strength float64
 	// Contributions lists the shared terms in decreasing order of their
@@ -49,6 +53,7 @@ func (p *Profile) Explain(v vsm.Vector, maxTerms int) Explanation {
 	}
 	best := p.vectors[ex.Cluster]
 	ex.Strength = best.Strength
+	ex.VectorID = best.ID
 
 	// Shared-term contributions to the (normalized) dot product.
 	norm := best.Vec.Norm() * v.Norm()

@@ -49,6 +49,11 @@ type Options struct {
 	// vector regardless of Theta. This is an extension for bounded-memory
 	// deployments; 0 (the default) reproduces the paper exactly.
 	MaxVectors int
+	// AuditCapacity bounds the adaptation audit journal (audit.go): the
+	// number of structural events retained per profile. 0 uses the default
+	// (64); a negative value disables the journal entirely, making Observe
+	// skip its per-step clock read.
+	AuditCapacity int
 }
 
 // DefaultOptions returns the paper's experimental defaults: θ = 0.15,

@@ -11,6 +11,12 @@ import (
 // ProfileVector is one cluster of the multi-modal profile: a representative
 // vector plus the strength statistic that drives deletion.
 type ProfileVector struct {
+	// ID identifies the vector across its lifetime, for the adaptation
+	// audit journal (audit.go): ids are assigned once at creation, never
+	// reused, and survive the index shifts that remove/merge cause. A
+	// profile restored from a snapshot gets fresh sequential ids (the
+	// codec does not persist them, matching the journal itself).
+	ID uint64
 	// Vec is the cluster representative, truncated to Options.MaxTerms and
 	// unit-normalized.
 	Vec vsm.Vector
@@ -41,6 +47,16 @@ type Profile struct {
 	vectors []*ProfileVector
 	step    int
 	ops     OpCounts
+
+	// nextID seeds ProfileVector.ID; the audit journal state lives in
+	// audit.go and is not part of the serialized snapshot.
+	nextID   uint64
+	auditBuf []AuditEvent
+	auditPos int
+	auditSeq int
+	stepTime int64
+	tagDoc   int64
+	tagTrace string
 }
 
 // New constructs an MM profile; it panics if opts fail validation, since
@@ -80,6 +96,7 @@ func (p *Profile) Vectors() []ProfileVector {
 	out := make([]ProfileVector, len(p.vectors))
 	for i, pv := range p.vectors {
 		out[i] = ProfileVector{
+			ID:             pv.ID,
 			Vec:            pv.Vec.Clone(),
 			Strength:       pv.Strength,
 			CreatedAt:      pv.CreatedAt,
@@ -115,11 +132,17 @@ func (p *Profile) ForEachStrength(fn func(float64)) {
 	}
 }
 
-// Reset implements filter.Learner.
+// Reset implements filter.Learner. It also discards the audit journal and
+// restarts vector id assignment.
 func (p *Profile) Reset() {
 	p.vectors = nil
 	p.step = 0
 	p.ops = OpCounts{}
+	p.nextID = 0
+	p.auditBuf = nil
+	p.auditPos = 0
+	p.auditSeq = 0
+	p.endStep()
 }
 
 // Score implements filter.Learner: the relevance of a document to a
@@ -142,8 +165,11 @@ func (p *Profile) Score(v vsm.Vector) float64 {
 // update procedure.
 func (p *Profile) Observe(v vsm.Vector, fd filter.Feedback) {
 	p.step++
+	p.beginStep()
+	defer p.endStep()
 	if v.IsZero() {
 		p.ops.Ignored++
+		p.audit(AuditEvent{Op: AuditIgnore, Feedback: int(fd)})
 		return
 	}
 
@@ -151,9 +177,10 @@ func (p *Profile) Observe(v vsm.Vector, fd filter.Feedback) {
 	if actIdx < 0 {
 		// Empty profile: only a relevant document may seed it (§3.2).
 		if fd == filter.Relevant {
-			p.create(v)
+			p.create(v, 0)
 		} else {
 			p.ops.Ignored++
+			p.audit(AuditEvent{Op: AuditIgnore, Feedback: int(fd)})
 		}
 		return
 	}
@@ -168,6 +195,11 @@ func (p *Profile) Observe(v vsm.Vector, fd filter.Feedback) {
 		// cluster, non-relevant ones are ignored (§3.2).
 		if fd != filter.Relevant {
 			p.ops.Ignored++
+			p.audit(AuditEvent{
+				Op: AuditIgnore, Feedback: int(fd),
+				Vector: act.ID, Cosine: sim,
+				StrengthBefore: act.Strength, StrengthAfter: act.Strength,
+			})
 			return
 		}
 		if p.opts.MaxVectors > 0 && len(p.vectors) >= p.opts.MaxVectors {
@@ -175,20 +207,30 @@ func (p *Profile) Observe(v vsm.Vector, fd filter.Feedback) {
 			p.incorporate(actIdx, v, fd, sim)
 			return
 		}
-		p.create(v)
+		p.create(v, sim)
 		return
 	}
 	p.incorporate(actIdx, v, fd, sim)
 }
 
-// create inserts v as a new profile vector.
-func (p *Profile) create(v vsm.Vector) {
-	p.vectors = append(p.vectors, &ProfileVector{
+// create inserts v as a new profile vector. sim is the cosine to the
+// nearest existing vector (0 when the profile was empty), kept for the
+// audit journal so a create can be read as "closest cluster was sim < θ".
+func (p *Profile) create(v vsm.Vector, sim float64) {
+	p.nextID++
+	pv := &ProfileVector{
+		ID:        p.nextID,
 		Vec:       v.Truncated(p.opts.MaxTerms).Normalized(),
 		Strength:  p.opts.InitialStrength,
 		CreatedAt: p.step,
-	})
+	}
+	p.vectors = append(p.vectors, pv)
 	p.ops.Created++
+	p.audit(AuditEvent{
+		Op: AuditCreate, Feedback: int(filter.Relevant),
+		Vector: pv.ID, Cosine: sim,
+		StrengthAfter: pv.Strength,
+	})
 }
 
 // incorporate folds v into the active vector at index actIdx, applies
@@ -200,6 +242,7 @@ func (p *Profile) create(v vsm.Vector) {
 // instantiation of the paper's "simple exponential decay" was chosen.
 func (p *Profile) incorporate(actIdx int, v vsm.Vector, fd filter.Feedback, sim float64) {
 	act := p.vectors[actIdx]
+	before := act.Strength
 	moved := vsm.Combine(act.Vec, 1-p.opts.Eta, v, p.opts.Eta*float64(fd))
 	moved = moved.Truncated(p.opts.MaxTerms).Normalized()
 	p.ops.Incorporated++
@@ -209,6 +252,11 @@ func (p *Profile) incorporate(actIdx int, v vsm.Vector, fd filter.Feedback, sim 
 		// Negative feedback annihilated the vector entirely.
 		p.remove(actIdx)
 		p.ops.Annihilated++
+		p.audit(AuditEvent{
+			Op: AuditAnnihilate, Feedback: int(fd),
+			Vector: act.ID, Cosine: sim,
+			StrengthBefore: before,
+		})
 		return
 	}
 	act.Vec = moved
@@ -220,11 +268,27 @@ func (p *Profile) incorporate(actIdx int, v vsm.Vector, fd filter.Feedback, sim 
 		}
 		act.Strength *= math.Exp(exponent)
 		if act.Strength < p.opts.DeleteThreshold {
+			decayed := act.Strength
 			p.remove(actIdx)
 			p.ops.Deleted++
+			p.audit(AuditEvent{
+				Op: AuditIncorporate, Feedback: int(fd),
+				Vector: act.ID, Cosine: sim,
+				StrengthBefore: before, StrengthAfter: decayed,
+			})
+			p.audit(AuditEvent{
+				Op: AuditDelete, Feedback: int(fd),
+				Vector: act.ID, Cosine: sim,
+				StrengthBefore: decayed,
+			})
 			return
 		}
 	}
+	p.audit(AuditEvent{
+		Op: AuditIncorporate, Feedback: int(fd),
+		Vector: act.ID, Cosine: sim,
+		StrengthBefore: before, StrengthAfter: act.Strength,
+	})
 
 	// Merge check: only pairs containing the (moved) active vector can have
 	// changed distance; at most one merge per feedback step, further merges
@@ -237,10 +301,12 @@ func (p *Profile) incorporate(actIdx int, v vsm.Vector, fd filter.Feedback, sim 
 		return
 	}
 	c := p.vectors[cIdx]
-	if vsm.DotUnit(act.Vec, c.Vec) < p.opts.Theta {
+	mergeSim := vsm.DotUnit(act.Vec, c.Vec)
+	if mergeSim < p.opts.Theta {
 		return
 	}
 	// Mixing ratio is the strength share of the removed vector (§3.3).
+	mergeBefore := act.Strength
 	r := c.Strength / (act.Strength + c.Strength)
 	merged := vsm.Combine(act.Vec, 1-r, c.Vec, r)
 	act.Vec = merged.Truncated(p.opts.MaxTerms).Normalized()
@@ -248,6 +314,11 @@ func (p *Profile) incorporate(actIdx int, v vsm.Vector, fd filter.Feedback, sim 
 	act.Incorporations += c.Incorporations
 	p.remove(cIdx)
 	p.ops.Merged++
+	p.audit(AuditEvent{
+		Op: AuditMerge, Feedback: int(fd),
+		Vector: act.ID, Merged: c.ID, Cosine: mergeSim,
+		StrengthBefore: mergeBefore, StrengthAfter: act.Strength,
+	})
 }
 
 // closestTo returns the index of the profile vector most similar to v,

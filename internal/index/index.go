@@ -139,8 +139,8 @@ type instruments struct {
 // Call it before the index is shared across goroutines (the broker does so
 // at construction). Self-timing covers Match and TopK; MatchDoc is left to
 // its caller — the broker's publish path already brackets MatchDoc with
-// its own clock reads and re-uses them, keeping the hot path at three
-// time.Now calls total.
+// its own clock reads and re-uses them via RecordMatchLatency, keeping the
+// hot path at three time.Now calls total.
 func (ix *Index) Instrument(reg *metrics.Registry) {
 	ix.inst = &instruments{
 		matchLat: reg.Histogram("mm_index_match_seconds",
@@ -611,6 +611,25 @@ func (ix *Index) MatchDoc(d Doc, threshold float64) []Match {
 	ix.pool.Put(m)
 	sortMatches(out)
 	return out
+}
+
+// RecordMatchLatency feeds an externally timed MatchDoc call into
+// mm_index_match_seconds. MatchDoc does not self-time (see Instrument);
+// the broker brackets it with clock reads it needs anyway and hands them
+// here, so the index's histogram still covers the hot path without extra
+// time.Now calls. A non-zero trace links the observation to its trace as
+// a per-bucket exemplar; pass 0 for unsampled requests (the common case —
+// exemplars are only useful for traces that were actually captured).
+func (ix *Index) RecordMatchLatency(start, end time.Time, trace uint64) {
+	if ix.inst == nil {
+		return
+	}
+	sec := end.Sub(start).Seconds()
+	if trace != 0 {
+		ix.inst.matchLat.ObserveExemplar(sec, trace)
+		return
+	}
+	ix.inst.matchLat.Observe(sec)
 }
 
 // resolve looks every document term up in the dictionary, into the

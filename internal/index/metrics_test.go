@@ -2,6 +2,7 @@ package index
 
 import (
 	"testing"
+	"time"
 
 	"mmprofile/internal/metrics"
 	"mmprofile/internal/vsm"
@@ -50,6 +51,30 @@ func TestInstrument(t *testing.T) {
 	if got := snap["mm_index_live_vectors"].(float64); got != 1 {
 		t.Errorf("live vectors = %v, want 1 after RemoveUser", got)
 	}
+}
+
+// TestRecordMatchLatency covers the externally-timed MatchDoc recording
+// the broker uses: plain observations land in the histogram, traced ones
+// additionally register a per-bucket exemplar, and an uninstrumented index
+// ignores the call entirely.
+func TestRecordMatchLatency(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ix := New()
+	ix.Instrument(reg)
+
+	base := time.Unix(0, 0)
+	ix.RecordMatchLatency(base, base.Add(time.Millisecond), 0)
+	ix.RecordMatchLatency(base, base.Add(2*time.Millisecond), 0xabcd)
+
+	h := reg.Snapshot()["mm_index_match_seconds"].(metrics.HistogramSnapshot)
+	if h.Count != 2 {
+		t.Fatalf("observations = %d, want 2", h.Count)
+	}
+	if len(h.Exemplars) != 1 || h.Exemplars[0].Trace != "000000000000abcd" {
+		t.Fatalf("exemplars = %+v", h.Exemplars)
+	}
+
+	New().RecordMatchLatency(base, base.Add(time.Millisecond), 1) // no Instrument: no-op
 }
 
 // TestUninstrumentedIndexRecordsNothing pins the zero-cost default: an

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -160,6 +161,21 @@ type Histogram struct {
 	// single atomic add instead of a CAS loop on float bits. The ~1e-9
 	// absolute granularity is far below bucket resolution.
 	sumNanos atomic.Int64
+
+	// Exemplar table, lazily allocated on the first ObserveExemplar: one
+	// slot per bucket holding the slowest observation that carried a
+	// trace id, so a histogram bucket can be joined back to the concrete
+	// request (/tracez) that produced it. Exemplar updates happen only
+	// for sampled requests, so a mutex is fine here.
+	exMu sync.Mutex
+	ex   *[histBuckets + 1]exemplarSlot
+}
+
+// exemplarSlot is one bucket's worst-case witness.
+type exemplarSlot struct {
+	value float64
+	trace uint64
+	set   bool
 }
 
 // bucketOf maps an observation to its bucket index.
@@ -201,6 +217,39 @@ func (h *Histogram) ObserveSince(t time.Time) {
 	h.Observe(time.Since(t).Seconds())
 }
 
+// ObserveExemplar records a value like Observe and, when traceID is
+// non-zero, remembers it as the bucket's exemplar if it is the slowest
+// such observation seen for that bucket — linking the histogram to the
+// trace (internal/trace) that produced its tail. Call it only on sampled
+// requests: unlike Observe, it takes a mutex and may allocate once.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := bucketOf(v)
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = new([histBuckets + 1]exemplarSlot)
+	}
+	if s := &h.ex[i]; !s.set || v >= s.value {
+		*s = exemplarSlot{value: v, trace: traceID, set: true}
+	}
+	h.exMu.Unlock()
+}
+
+// ExemplarSnapshot is one bucket's exemplar: the bucket's inclusive upper
+// bound ("+Inf" for the overflow bucket), the slowest traced observation
+// that landed in it, and that observation's trace id in /tracez hex form.
+type ExemplarSnapshot struct {
+	LE    string  `json:"le"`
+	Value float64 `json:"value"`
+	Trace string  `json:"trace"`
+}
+
 // HistogramSnapshot is a point-in-time summary of a histogram.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
@@ -208,10 +257,13 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Exemplars lists, per bucket that ever received a traced
+	// observation, the slowest such observation and its trace id.
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
 }
 
-// Snapshot summarizes the histogram: total count, sum, and interpolated
-// p50/p95/p99.
+// Snapshot summarizes the histogram: total count, sum, interpolated
+// p50/p95/p99, and any per-bucket trace exemplars.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
@@ -228,7 +280,34 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.P95 = quantile(&counts, total, 0.95)
 		s.P99 = quantile(&counts, total, 0.99)
 	}
+	s.Exemplars = h.exemplars()
 	return s
+}
+
+// exemplars snapshots the exemplar table (nil when none were recorded).
+func (h *Histogram) exemplars() []ExemplarSnapshot {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil {
+		return nil
+	}
+	var out []ExemplarSnapshot
+	for i := range h.ex {
+		s := h.ex[i]
+		if !s.set {
+			continue
+		}
+		le := "+Inf"
+		if i < histBuckets {
+			le = strconv.FormatFloat(upperBound(i), 'g', -1, 64)
+		}
+		out = append(out, ExemplarSnapshot{
+			LE:    le,
+			Value: s.value,
+			Trace: fmt.Sprintf("%016x", s.trace),
+		})
+	}
+	return out
 }
 
 // Quantile returns the interpolated q-quantile (0 < q < 1) of the
@@ -252,6 +331,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 // quantile interpolates linearly inside the bucket containing the target
 // rank; the first bucket's lower bound is 0, the overflow bucket reports
 // its lower bound (the best available answer).
+//
+// Interpolation is well-defined even when every sample lands in a single
+// log₂ bucket (lo, hi]: the q-quantile is then lo + (hi−lo)·q exactly —
+// the rank fraction distributes the samples uniformly across the bucket.
+// Because rank q·total is nondecreasing in q and the cumulative scan
+// resolves ranks left to right, reported quantiles are monotone:
+// p50 ≤ p95 ≤ p99 always holds, single bucket or not (pinned by
+// TestQuantileSingleBucketMonotone).
 func quantile(counts *[histBuckets + 1]int64, total int64, q float64) float64 {
 	rank := q * float64(total)
 	var cum float64

@@ -285,3 +285,122 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestQuantileSingleBucketMonotone pins the interpolation contract when
+// every observation lands in one log₂ bucket: quantiles interpolate
+// linearly across that bucket and p50 ≤ p95 ≤ p99 holds.
+func TestQuantileSingleBucketMonotone(t *testing.T) {
+	var h Histogram
+	// 0.3 lands in the (0.25, 0.5] bucket; all samples identical, so the
+	// whole distribution occupies a single bucket.
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.3)
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	lo, hi := 0.25, 0.5
+	for q, v := range map[float64]float64{0.50: s.P50, 0.95: s.P95, 0.99: s.P99} {
+		if v <= lo || v > hi {
+			t.Fatalf("q%v=%v escapes the (%v,%v] bucket", q, v, lo, hi)
+		}
+		want := lo + (hi-lo)*q
+		if diff := v - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("q%v=%v, want exact linear interpolation %v", q, v, want)
+		}
+	}
+	// A single observation is the degenerate single-bucket case.
+	var one Histogram
+	one.Observe(0.3)
+	s1 := one.Snapshot()
+	if !(s1.P50 <= s1.P95 && s1.P95 <= s1.P99) {
+		t.Fatalf("single-sample quantiles not monotone: %+v", s1)
+	}
+}
+
+// TestQuantileMonotoneAcrossBuckets sweeps a multi-bucket distribution
+// and requires the quantile function itself to be nondecreasing in q.
+func TestQuantileMonotoneAcrossBuckets(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 2000; i++ {
+		h.Observe(float64(i) / 500) // spans several buckets
+	}
+	prev := 0.0
+	for q := 0.01; q < 1; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile(%v)=%v < quantile(prev)=%v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(0.3, 0xabc)  // (0.25, 0.5]
+	h.ObserveExemplar(0.4, 0xdef)  // same bucket, slower: replaces
+	h.ObserveExemplar(0.26, 0x123) // same bucket, faster: kept out
+	h.ObserveExemplar(3.0, 0x456)  // (2,4] bucket
+	h.ObserveExemplar(5.0, 0)      // no trace id: counted, no exemplar
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5 (exemplar observes must count)", s.Count)
+	}
+	if len(s.Exemplars) != 2 {
+		t.Fatalf("exemplars %+v, want 2 buckets", s.Exemplars)
+	}
+	first := s.Exemplars[0]
+	if first.Value != 0.4 || first.Trace != "0000000000000def" {
+		t.Fatalf("bucket exemplar %+v, want slowest (0.4, ...def)", first)
+	}
+	if first.LE != "0.5" {
+		t.Fatalf("exemplar le %q, want 0.5", first.LE)
+	}
+	if s.Exemplars[1].Trace != "0000000000000456" {
+		t.Fatalf("second exemplar %+v", s.Exemplars[1])
+	}
+
+	// Plain snapshots without exemplars must omit the field entirely.
+	var plain Histogram
+	plain.Observe(1)
+	if ex := plain.Snapshot().Exemplars; ex != nil {
+		t.Fatalf("plain histogram has exemplars %+v", ex)
+	}
+
+	// Overflow bucket renders +Inf.
+	var of Histogram
+	of.ObserveExemplar(1e10, 0x9)
+	if got := of.Snapshot().Exemplars[0].LE; got != "+Inf" {
+		t.Fatalf("overflow exemplar le %q", got)
+	}
+
+	// Nil histogram stays a no-op.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, 2)
+}
+
+func TestHistogramExemplarConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.ObserveExemplar(float64(i%7)+0.1, uint64(w*1000+i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4000 {
+		t.Fatalf("count %d", s.Count)
+	}
+	for _, ex := range s.Exemplars {
+		if ex.Trace == "" || ex.Value <= 0 {
+			t.Fatalf("bad exemplar %+v", ex)
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"mmprofile/internal/index"
 	"mmprofile/internal/metrics"
 	"mmprofile/internal/text"
+	"mmprofile/internal/trace"
 	"mmprofile/internal/vsm"
 )
 
@@ -59,6 +60,22 @@ type Journal interface {
 // before the call is on stable storage.
 type journalSyncer interface {
 	Sync() error
+}
+
+// tracedJournal is the optional traced feedback append a Journal may
+// implement (*store.Store does): when the request is sampled, the append's
+// WAL write and group-commit wait become child spans of sp, separating the
+// two very different ways a durable append can be slow.
+type tracedJournal interface {
+	AppendFeedbackTraced(user string, v vsm.Vector, fd filter.Feedback, sp *trace.Span) error
+}
+
+// auditTagger is implemented by learners that keep an adaptation audit
+// journal (core.Profile): before applying a judgment the broker tags it
+// with the judged document id and the trace that carried it, so audit
+// events join back to deliveries and request traces.
+type auditTagger interface {
+	TagNextObserve(doc int64, trace string)
 }
 
 // errDuplicate signals an id collision inside the registry; Subscribe
@@ -102,6 +119,11 @@ type Options struct {
 	// per registry: sharing a registry between brokers would silently
 	// merge their series.
 	Metrics *metrics.Registry
+	// Trace, when set, records request-scoped span trees for sampled (and
+	// slow) publishes and feedbacks — see internal/trace and DESIGN.md §11.
+	// Nil disables tracing; with a tracer set but nothing sampled, the
+	// publish hot path pays no allocations and no extra clock reads.
+	Trace *trace.Tracer
 }
 
 // DefaultOptions returns the broker defaults: threshold 0.25, queues of
@@ -318,6 +340,14 @@ func (b *Broker) Unsubscribe(id string) {
 // every subscriber whose best profile vector clears the threshold. It
 // returns the assigned document id and the number of deliveries.
 func (b *Broker) Publish(page string) (int64, int) {
+	return b.PublishSpan(page, nil)
+}
+
+// PublishSpan is Publish under an explicit parent span, which may be nil:
+// the wire server passes its request root so the broker's match and
+// fan-out phases nest inside the request trace. Without a parent the
+// broker roots its own trace when the tracer samples this publish.
+func (b *Broker) PublishSpan(page string, parent *trace.Span) (int64, int) {
 	terms := b.pipe.Terms(page)
 	// The striped statistics admit concurrent updates and reads, so the
 	// expensive vectorization runs outside any statistics critical section;
@@ -328,14 +358,14 @@ func (b *Broker) Publish(page string) (int64, int) {
 	if b.opts.RetainContent {
 		content = page
 	}
-	return b.publishRecord(vec, content)
+	return b.publishRecord(vec, content, parent)
 }
 
 // PublishVector ingests a pre-vectorized document (it must be unit-
 // normalized); used when documents arrive already processed, and by the
 // benchmarks.
 func (b *Broker) PublishVector(vec vsm.Vector) (int64, int) {
-	return b.publishRecord(vec, "")
+	return b.publishRecord(vec, "", nil)
 }
 
 // BatchResult is one document's outcome within a PublishBatch call.
@@ -352,11 +382,17 @@ type BatchResult struct {
 // sequential Publish.
 func (b *Broker) PublishBatch(pages []string) []BatchResult {
 	t0 := time.Now()
+	// One sampling decision covers the whole batch; each worker's publish
+	// then hangs off the batch root, so a sampled batch is captured with
+	// every document's match/deliver phases as (concurrent) subtrees.
+	sp := b.opts.Trace.RootAt("pubsub.publish_batch", t0, trace.Remote{})
 	out := make([]BatchResult, len(pages))
 	b.fanOut(len(pages), func(i int) {
-		doc, n := b.Publish(pages[i])
+		doc, n := b.PublishSpan(pages[i], sp)
 		out[i] = BatchResult{Doc: doc, Deliveries: n}
 	})
+	sp.SetInt("docs", int64(len(pages)))
+	sp.End()
 	b.m.batchLat.ObserveSince(t0)
 	return out
 }
@@ -365,11 +401,14 @@ func (b *Broker) PublishBatch(pages []string) []BatchResult {
 // documents.
 func (b *Broker) PublishVectorBatch(vecs []vsm.Vector) []BatchResult {
 	t0 := time.Now()
+	sp := b.opts.Trace.RootAt("pubsub.publish_batch", t0, trace.Remote{})
 	out := make([]BatchResult, len(vecs))
 	b.fanOut(len(vecs), func(i int) {
-		doc, n := b.PublishVector(vecs[i])
+		doc, n := b.publishRecord(vecs[i], "", sp)
 		out[i] = BatchResult{Doc: doc, Deliveries: n}
 	})
+	sp.SetInt("docs", int64(len(vecs)))
+	sp.End()
 	b.m.batchLat.ObserveSince(t0)
 	return out
 }
@@ -407,8 +446,16 @@ func (b *Broker) fanOut(n int, fn func(int)) {
 	wg.Wait()
 }
 
-func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
+func (b *Broker) publishRecord(vec vsm.Vector, content string, parent *trace.Span) (int64, int) {
 	t0 := time.Now()
+	// Span setup costs nothing unless this request is captured: ChildAt on
+	// a nil parent and RootAt without a winning sampling decision both
+	// return nil, and every Span method on nil is a no-op. Timestamps are
+	// the three clock reads the latency histograms take anyway.
+	sp := parent.ChildAt("pubsub.publish", t0)
+	if sp == nil {
+		sp = b.opts.Trace.RootAt("pubsub.publish", t0, trace.Remote{})
+	}
 	// Retain the vector for feedback resolution; the docstore assigns the
 	// id and evicts the oldest document under its shard's lock.
 	id, evicted := b.docs.Put(vec, content)
@@ -419,11 +466,15 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
 
 	if vec.IsZero() {
 		b.m.publishLat.ObserveSince(t0)
+		sp.SetInt("doc", id)
+		sp.SetBool("zero_doc", true)
+		sp.End()
 		return id, 0
 	}
 
 	// Resolve the document against the index's term dictionary once; the
 	// whole tokenize→weight→match path then never re-hashes a term string.
+	ms := sp.ChildAt("index.match", t0)
 	doc := b.idx.NewDoc(vec)
 	matches := b.idx.MatchDoc(doc, b.opts.Threshold)
 
@@ -460,18 +511,45 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string) (int64, int) {
 		}
 	}
 	// One clock read separates matching from fan-out; together with t0 and
-	// the final read it yields all three hot-path histograms.
+	// the final read it yields all three hot-path histograms, the two
+	// phase spans, and the index's own match histogram.
 	t1 := time.Now()
-	b.m.matchLat.Observe(t1.Sub(t0).Seconds())
+	ms.EndAt(t1)
+	tid := uint64(sp.Trace())
+	b.idx.RecordMatchLatency(t0, t1, tid)
+	if tid != 0 {
+		b.m.matchLat.ObserveExemplar(t1.Sub(t0).Seconds(), tid)
+	} else {
+		b.m.matchLat.Observe(t1.Sub(t0).Seconds())
+	}
 
+	ds := sp.ChildAt("pubsub.deliver", t1)
 	for i, s := range targets {
 		if b.deliver(s, Delivery{Doc: id, Score: scores[i]}) {
 			delivered++
 		}
 	}
 	t2 := time.Now()
-	b.m.deliverLat.Observe(t2.Sub(t1).Seconds())
-	b.m.publishLat.Observe(t2.Sub(t0).Seconds())
+	ds.EndAt(t2)
+	if sp != nil {
+		sp.SetInt("doc", id)
+		sp.SetInt("matches", int64(len(targets)))
+		sp.SetInt("deliveries", int64(delivered))
+		sp.EndAt(t2)
+	} else if tr := b.opts.Trace; tr.Slow(t2.Sub(t0)) {
+		// Head sampling skipped this publish but it met the slow threshold:
+		// capture it post hoc from the clocks already in hand. The id links
+		// the histogram exemplars below to the synthetic trace.
+		tid = uint64(tr.CaptureSlow("pubsub.publish", t0, t2,
+			trace.Int("doc", id), trace.Int("deliveries", int64(delivered))))
+	}
+	if tid != 0 {
+		b.m.deliverLat.ObserveExemplar(t2.Sub(t1).Seconds(), tid)
+		b.m.publishLat.ObserveExemplar(t2.Sub(t0).Seconds(), tid)
+	} else {
+		b.m.deliverLat.Observe(t2.Sub(t1).Seconds())
+		b.m.publishLat.Observe(t2.Sub(t0).Seconds())
+	}
 	return id, delivered
 }
 
@@ -511,7 +589,46 @@ func (b *Broker) deliver(s *subscriber, d Delivery) bool {
 // ghost entries and the WAL never records feedback after an unsubscribe
 // for the same user.
 func (b *Broker) Feedback(user string, doc int64, fd filter.Feedback) error {
+	return b.FeedbackSpan(user, doc, fd, nil)
+}
+
+// FeedbackSpan is Feedback under an explicit parent span (nil is fine; see
+// PublishSpan). A captured feedback records its journal append, profile
+// update, and reindex as child spans, and tags the learner's audit journal
+// with the trace id so /explainz events link back to /tracez.
+func (b *Broker) FeedbackSpan(user string, doc int64, fd filter.Feedback, parent *trace.Span) error {
 	t0 := time.Now()
+	sp := parent.ChildAt("pubsub.feedback", t0)
+	if sp == nil {
+		sp = b.opts.Trace.RootAt("pubsub.feedback", t0, trace.Remote{})
+	}
+	err := b.applyFeedback(user, doc, fd, sp)
+	t1 := time.Now()
+	tid := uint64(sp.Trace())
+	if sp != nil {
+		sp.SetInt("doc", doc)
+		sp.SetString("user", user)
+		if err != nil {
+			sp.SetString("error", err.Error())
+		}
+		sp.EndAt(t1)
+	} else if tr := b.opts.Trace; err == nil && tr.Slow(t1.Sub(t0)) {
+		tid = uint64(tr.CaptureSlow("pubsub.feedback", t0, t1,
+			trace.Int("doc", doc), trace.String("user", user)))
+	}
+	if err != nil {
+		return err
+	}
+	b.m.feedbacks.Inc()
+	if tid != 0 {
+		b.m.feedbackLat.ObserveExemplar(t1.Sub(t0).Seconds(), tid)
+	} else {
+		b.m.feedbackLat.Observe(t1.Sub(t0).Seconds())
+	}
+	return nil
+}
+
+func (b *Broker) applyFeedback(user string, doc int64, fd filter.Feedback, sp *trace.Span) error {
 	s, ok := b.reg.get(user)
 	if !ok {
 		return fmt.Errorf("pubsub: unknown subscriber %q", user)
@@ -526,17 +643,33 @@ func (b *Broker) Feedback(user string, doc int64, fd filter.Feedback) error {
 		return fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
 	if b.opts.Journal != nil {
-		if err := b.opts.Journal.AppendFeedback(user, rec.Vec, fd); err != nil {
+		var err error
+		if tj, ok := b.opts.Journal.(tracedJournal); ok {
+			// The store itself spans the WAL write and commit wait under sp.
+			err = tj.AppendFeedbackTraced(user, rec.Vec, fd, sp)
+		} else {
+			js := sp.Child("store.append")
+			err = b.opts.Journal.AppendFeedback(user, rec.Vec, fd)
+			js.End()
+		}
+		if err != nil {
 			return fmt.Errorf("pubsub: journal: %w", err)
 		}
 	}
+	if at, ok := s.learner.(auditTagger); ok {
+		// Trace() is 0 (and the hex empty) when this request is untraced;
+		// the document id is worth tagging either way.
+		at.TagNextObserve(doc, sp.Trace().String())
+	}
+	os := sp.Child("core.observe")
 	s.learner.Observe(rec.Vec, fd)
+	os.End()
 	b.recordAdaptation(s)
 	if s.indexed {
+		rs := sp.Child("index.reindex")
 		b.idx.SetUser(s.id, s.learner.(filter.VectorSource).ProfileVectors())
+		rs.End()
 	}
-	b.m.feedbacks.Inc()
-	b.m.feedbackLat.ObserveSince(t0)
 	return nil
 }
 

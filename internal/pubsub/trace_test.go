@@ -1,0 +1,237 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+
+	"mmprofile/internal/core"
+	"mmprofile/internal/filter"
+	"mmprofile/internal/metrics"
+	"mmprofile/internal/trace"
+)
+
+// TestPublishUnsampledAddsNoAllocs is the PR's acceptance guard: with a
+// tracer configured but this publish neither sampled nor slow, the publish
+// hot path must allocate exactly what an untraced broker does. Measured as
+// a delta so docstore/index allocations inherent to publishing don't turn
+// the test into a moving target.
+func TestPublishUnsampledAddsNoAllocs(t *testing.T) {
+	doc := vec("cat", 1.0, "dog", 0.5)
+	setup := func(tr *trace.Tracer) *Broker {
+		b := New(Options{Threshold: 0.3, Retention: 1 << 16, Trace: tr})
+		if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+			t.Fatal(err)
+		}
+		// Warm the docstore/index paths so steady-state is measured.
+		for i := 0; i < 100; i++ {
+			b.PublishVector(doc)
+		}
+		return b
+	}
+
+	base := setup(nil)
+	// SampleRate 0 disables head sampling; the 1h threshold keeps any
+	// CI-induced slowness from triggering the slow-capture path.
+	traced := setup(trace.New(trace.Options{SlowThreshold: time.Hour}))
+
+	const rounds = 200
+	baseAllocs := testing.AllocsPerRun(rounds, func() { base.PublishVector(doc) })
+	tracedAllocs := testing.AllocsPerRun(rounds, func() { traced.PublishVector(doc) })
+	if tracedAllocs > baseAllocs {
+		t.Fatalf("unsampled tracing adds allocations: %v allocs/op with tracer vs %v without",
+			tracedAllocs, baseAllocs)
+	}
+}
+
+// TestPublishSampledSpanTree checks a head-sampled publish is captured with
+// its phase children and the doc/delivery attributes.
+func TestPublishSampledSpanTree(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1})
+	b := New(Options{Threshold: 0.3, Trace: tr})
+	if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+		t.Fatal(err)
+	}
+	id, n := b.PublishVector(vec("cat", 1.0, "dog", 1.0))
+	if n != 1 {
+		t.Fatalf("deliveries = %d", n)
+	}
+
+	snap := tr.Snapshot()
+	if len(snap.Recent) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(snap.Recent))
+	}
+	ts := snap.Recent[0]
+	if ts.Root != "pubsub.publish" {
+		t.Fatalf("root = %q", ts.Root)
+	}
+	names := map[string]bool{}
+	for _, s := range ts.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"pubsub.publish", "index.match", "pubsub.deliver"} {
+		if !names[want] {
+			t.Errorf("missing span %q in %+v", want, ts.Spans)
+		}
+	}
+	var gotDoc, gotDeliveries bool
+	for _, s := range ts.Spans {
+		if s.Name != "pubsub.publish" {
+			continue
+		}
+		for _, a := range s.Attrs {
+			switch a.Key {
+			case "doc":
+				gotDoc = a.Value() == id
+			case "deliveries":
+				gotDeliveries = a.Value() == int64(1)
+			}
+		}
+	}
+	if !gotDoc || !gotDeliveries {
+		t.Errorf("root attrs missing doc/deliveries: %+v", ts.Spans)
+	}
+
+	// The sampled trace must surface as an exemplar on the publish
+	// histogram, linked by trace id.
+	hist := b.Metrics().Snapshot()["mm_pubsub_publish_seconds"].(metrics.HistogramSnapshot)
+	found := false
+	for _, ex := range hist.Exemplars {
+		if ex.Trace == ts.Trace {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("publish histogram exemplars %+v do not link trace %s", hist.Exemplars, ts.Trace)
+	}
+}
+
+// TestFeedbackSampledSpanTreeAndAuditTag checks a sampled feedback records
+// journal/observe/reindex children and stamps the audit journal with the
+// trace id.
+func TestFeedbackSampledSpanTreeAndAuditTag(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1})
+	b := New(Options{Threshold: 0.3, Trace: tr})
+	if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := b.PublishVector(vec("cat", 1.0, "dog", 1.0))
+	if err := b.Feedback("alice", id, filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+
+	var fb *trace.TraceSnapshot
+	for _, ts := range tr.Snapshot().Recent {
+		if ts.Root == "pubsub.feedback" {
+			ts := ts
+			fb = &ts
+		}
+	}
+	if fb == nil {
+		t.Fatal("no feedback trace captured")
+	}
+	names := map[string]bool{}
+	for _, s := range fb.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"pubsub.feedback", "core.observe", "index.reindex"} {
+		if !names[want] {
+			t.Errorf("missing span %q in %+v", want, fb.Spans)
+		}
+	}
+
+	info, err := b.ProfileInfo("alice", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Audit) == 0 {
+		t.Fatal("no audit events after feedback")
+	}
+	last := info.Audit[len(info.Audit)-1]
+	if last.Doc != id {
+		t.Errorf("audit doc = %d, want %d", last.Doc, id)
+	}
+	if last.Trace != fb.Trace {
+		t.Errorf("audit trace = %q, want %q", last.Trace, fb.Trace)
+	}
+	if last.Op != core.AuditIncorporate || last.Cosine < last.Theta {
+		t.Errorf("expected incorporate with cosine ≥ θ, got %+v", last)
+	}
+}
+
+// TestPublishSlowCapture checks the always-capture-slow policy: head
+// sampling off, a tiny threshold, and a publish must surface as a
+// synthetic root-only trace.
+func TestPublishSlowCapture(t *testing.T) {
+	tr := trace.New(trace.Options{SlowThreshold: time.Nanosecond})
+	b := New(Options{Threshold: 0.3, Trace: tr})
+	if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+		t.Fatal(err)
+	}
+	b.PublishVector(vec("cat", 1.0))
+
+	snap := tr.Snapshot()
+	if len(snap.Slow) == 0 {
+		t.Fatal("no slow trace captured")
+	}
+	ts := snap.Slow[0]
+	if !ts.Synthetic || ts.Root != "pubsub.publish" {
+		t.Fatalf("slow capture = %+v", ts)
+	}
+}
+
+// TestBatchWorkersInheritBatchRoot checks PublishBatch takes one sampling
+// decision and every worker's publish nests under the batch root.
+func TestBatchWorkersInheritBatchRoot(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1})
+	b := New(Options{Threshold: 0.3, PublishWorkers: 4, Trace: tr})
+	if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+		t.Fatal(err)
+	}
+	pages := make([]string, 8)
+	for i := range pages {
+		pages[i] = "<html><body>cat dog</body></html>"
+	}
+	b.PublishBatch(pages)
+
+	var batch *trace.TraceSnapshot
+	for _, ts := range tr.Snapshot().Recent {
+		if ts.Root == "pubsub.publish_batch" {
+			ts := ts
+			batch = &ts
+		}
+	}
+	if batch == nil {
+		t.Fatal("no batch trace captured")
+	}
+	publishes := 0
+	for _, s := range batch.Spans {
+		if s.Name == "pubsub.publish" {
+			publishes++
+		}
+	}
+	if publishes != len(pages) {
+		t.Fatalf("batch trace has %d publish spans, want %d", publishes, len(pages))
+	}
+}
+
+// TestExplainDoc checks the retained-document explanation endpoint helper.
+func TestExplainDoc(t *testing.T) {
+	b := New(Options{Threshold: 0.3})
+	if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := b.PublishVector(vec("cat", 1.0, "dog", 1.0))
+	ex, err := b.ExplainDoc("alice", id, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Score <= 0 || ex.VectorID == 0 || len(ex.Contributions) == 0 {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	if _, err := b.ExplainDoc("nobody", id, 5); err == nil {
+		t.Fatal("unknown user did not error")
+	}
+	if _, err := b.ExplainDoc("alice", 99999, 5); err == nil {
+		t.Fatal("unretained doc did not error")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"mmprofile/internal/faultfs"
 	"mmprofile/internal/filter"
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/trace"
 	"mmprofile/internal/vsm"
 )
 
@@ -325,6 +326,15 @@ func (s *Store) Close() error {
 
 // AppendFeedback records one feedback event.
 func (s *Store) AppendFeedback(user string, v vsm.Vector, fd filter.Feedback) error {
+	return s.AppendFeedbackTraced(user, v, fd, nil)
+}
+
+// AppendFeedbackTraced is AppendFeedback with request tracing: when sp is a
+// live span (it may be nil), the append's phases are recorded as child
+// spans — store.wal_write for the serialized write under the store lock and
+// store.commit_wait for the group-commit fsync wait (durable mode only),
+// the two very different reasons an append can be slow.
+func (s *Store) AppendFeedbackTraced(user string, v vsm.Vector, fd filter.Feedback, sp *trace.Span) error {
 	payload := []byte{byte(EventFeedback)}
 	payload = appendLenBytes(payload, []byte(user))
 	b := byte(0)
@@ -333,7 +343,7 @@ func (s *Store) AppendFeedback(user string, v vsm.Vector, fd filter.Feedback) er
 	}
 	payload = append(payload, b)
 	payload = vsm.AppendVector(payload, v)
-	return s.appendPayload(payload)
+	return s.appendPayload(payload, sp)
 }
 
 // AppendSubscribe records a new subscription together with the learner's
@@ -343,18 +353,19 @@ func (s *Store) AppendSubscribe(user, learner string, state []byte) error {
 	payload = appendLenBytes(payload, []byte(user))
 	payload = appendLenBytes(payload, []byte(learner))
 	payload = appendLenBytes(payload, state)
-	return s.appendPayload(payload)
+	return s.appendPayload(payload, nil)
 }
 
 // AppendUnsubscribe records a user's removal.
 func (s *Store) AppendUnsubscribe(user string) error {
 	payload := []byte{byte(EventUnsubscribe)}
 	payload = appendLenBytes(payload, []byte(user))
-	return s.appendPayload(payload)
+	return s.appendPayload(payload, nil)
 }
 
-func (s *Store) appendPayload(payload []byte) error {
+func (s *Store) appendPayload(payload []byte, sp *trace.Span) error {
 	t0 := time.Now()
+	ws := sp.ChildAt("store.wal_write", t0)
 	s.mu.Lock()
 	if s.wal == nil {
 		s.mu.Unlock()
@@ -374,16 +385,22 @@ func (s *Store) appendPayload(payload []byte) error {
 		// write path — reopening repairs via the torn-tail scan.
 		s.failed = err
 		s.mu.Unlock()
+		ws.End()
 		return err
 	}
 	s.walLen += int64(len(payload)) + 8
 	s.recs++
 	pos := s.recs
 	s.mu.Unlock()
+	ws.SetInt("bytes", int64(len(payload))+8)
+	ws.End()
 
 	s.m.appends.Inc()
 	if s.opts.Durable {
-		if err := s.waitDurable(pos); err != nil {
+		cw := sp.Child("store.commit_wait")
+		err := s.waitDurable(pos)
+		cw.End()
+		if err != nil {
 			return err
 		}
 	}

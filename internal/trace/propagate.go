@@ -1,0 +1,107 @@
+package trace
+
+// Wire propagation: trace context crosses the JSON protocol as a single
+// string field of the form "tttttttttttttttt-ssssssssssssssss" — sixteen
+// lowercase hex digits of trace id, a dash, sixteen of span id. The codec
+// is deliberately unforgiving in shape but forgiving in effect: anything
+// malformed (wrong length, bad digit, zero ids) parses as the zero Remote,
+// meaning "no parent", never an error — a publisher with a buggy tracing
+// header must still be able to publish.
+
+const ctxLen = 33 // 16 hex + '-' + 16 hex
+
+const hexDigits = "0123456789abcdef"
+
+// FormatContext renders trace context for the wire. Zero ids yield "".
+func FormatContext(tr TraceID, sp SpanID) string {
+	if tr == 0 || sp == 0 {
+		return ""
+	}
+	var b [ctxLen]byte
+	putHex16(b[:16], uint64(tr))
+	b[16] = '-'
+	putHex16(b[17:], uint64(sp))
+	return string(b[:])
+}
+
+// Context renders a live span's propagation header ("" on nil), for
+// clients that fan a traced request out to downstream servers.
+func (s *Span) Context() string {
+	if s == nil {
+		return ""
+	}
+	return FormatContext(s.rec.trace, s.id)
+}
+
+// TraceString renders just the trace id as 16 hex digits ("" on nil), the
+// form surfaced to users in responses and joined against /tracez.
+func (s *Span) TraceString() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.trace.String()
+}
+
+// String renders a TraceID as 16 lowercase hex digits ("" when zero).
+func (id TraceID) String() string {
+	if id == 0 {
+		return ""
+	}
+	var b [16]byte
+	putHex16(b[:], uint64(id))
+	return string(b[:])
+}
+
+// String renders a SpanID as 16 lowercase hex digits ("" when zero).
+func (id SpanID) String() string {
+	if id == 0 {
+		return ""
+	}
+	var b [16]byte
+	putHex16(b[:], uint64(id))
+	return string(b[:])
+}
+
+func putHex16(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ParseContext decodes a wire trace-context header. Malformed or
+// truncated input — wrong length, missing dash, non-hex digit, zero id —
+// returns the zero Remote ("no parent"); there is no error path.
+func ParseContext(s string) Remote {
+	if len(s) != ctxLen || s[16] != '-' {
+		return Remote{}
+	}
+	tr, ok := parseHex16(s[:16])
+	if !ok || tr == 0 {
+		return Remote{}
+	}
+	sp, ok := parseHex16(s[17:])
+	if !ok || sp == 0 {
+		return Remote{}
+	}
+	return Remote{Trace: TraceID(tr), Span: SpanID(sp)}
+}
+
+// parseHex16 decodes exactly 16 lowercase hex digits.
+func parseHex16(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}

@@ -68,17 +68,36 @@ func (c *Client) Unsubscribe(user string) error {
 // Publish pushes one raw page into the system; it returns the assigned
 // document id and how many subscribers it was delivered to.
 func (c *Client) Publish(content string) (doc int64, delivered int, err error) {
-	resp, err := c.roundTrip(Request{Op: OpPublish, Content: content})
+	doc, delivered, _, err = c.PublishTrace(content, "")
+	return doc, delivered, err
+}
+
+// PublishTrace is Publish with trace plumbing: ctx optionally propagates
+// this caller's trace context ("<trace>-<span>", see trace.FormatContext)
+// so the server joins an existing trace, and the returned traceID (16 hex
+// digits, empty when the server did not capture the request) names the
+// server-side trace for /tracez lookup.
+func (c *Client) PublishTrace(content, ctx string) (doc int64, delivered int, traceID string, err error) {
+	resp, err := c.roundTrip(Request{Op: OpPublish, Content: content, Trace: ctx})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
-	return resp.Doc, resp.Delivered, nil
+	return resp.Doc, resp.Delivered, resp.Trace, nil
 }
 
 // Feedback reports a relevance judgment for a document.
 func (c *Client) Feedback(user string, doc int64, relevant bool) error {
-	_, err := c.roundTrip(Request{Op: OpFeedback, User: user, Doc: doc, Relevant: relevant})
+	_, err := c.FeedbackTrace(user, doc, relevant, "")
 	return err
+}
+
+// FeedbackTrace is Feedback with trace plumbing; see PublishTrace.
+func (c *Client) FeedbackTrace(user string, doc int64, relevant bool, ctx string) (traceID string, err error) {
+	resp, err := c.roundTrip(Request{Op: OpFeedback, User: user, Doc: doc, Relevant: relevant, Trace: ctx})
+	if err != nil {
+		return "", err
+	}
+	return resp.Trace, nil
 }
 
 // Poll drains up to max queued deliveries for user (max ≤ 0 means all).

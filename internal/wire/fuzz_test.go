@@ -2,9 +2,11 @@ package wire
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"mmprofile/internal/pubsub"
+	"mmprofile/internal/trace"
 )
 
 // FuzzDispatch feeds arbitrary request JSON to the server's dispatcher: it
@@ -41,6 +43,51 @@ func FuzzDispatch(f *testing.F) {
 		resp := srv.dispatch(req)
 		if !resp.OK && resp.Error == "" {
 			t.Fatalf("failed response without error: %+v (req %+v)", resp, req)
+		}
+	})
+}
+
+// FuzzTraceContext fuzzes the trace-context header codec that rides the
+// Request.Trace field: arbitrary input must never panic, anything malformed
+// or truncated must parse as the zero Remote ("no parent", never an error),
+// and whatever parses as valid must survive a format/parse round trip.
+func FuzzTraceContext(f *testing.F) {
+	seeds := []string{
+		"",
+		"0123456789abcdef-fedcba9876543210", // well-formed
+		"0123456789abcdef-fedcba987654321",  // one digit short
+		"0123456789abcdef_fedcba9876543210", // wrong separator
+		"0000000000000000-fedcba9876543210", // zero trace id
+		"0123456789abcdef-0000000000000000", // zero span id
+		"0123456789ABCDEF-FEDCBA9876543210", // uppercase rejected
+		"0123456789abcdefgfedcba9876543210", // non-hex at the dash
+		"-",
+		"deadbeef",
+		strings.Repeat("a", 33),
+		strings.Repeat("a", 1000),
+		"0123456789abcdef-fedcba9876543210extra",
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r := trace.ParseContext(s)
+		if !r.OK() {
+			// Malformed input must be indistinguishable from "no context".
+			if r.Trace != 0 || r.Span != 0 {
+				t.Fatalf("ParseContext(%q) = %+v, want zero Remote", s, r)
+			}
+			return
+		}
+		// Valid context must round-trip exactly and be canonical: the only
+		// string that parses to this Remote is the formatted one.
+		enc := trace.FormatContext(r.Trace, r.Span)
+		if enc != s {
+			t.Fatalf("round trip: ParseContext(%q) → %+v → FormatContext = %q", s, r, enc)
+		}
+		if r2 := trace.ParseContext(enc); r2 != r {
+			t.Fatalf("re-parse: %+v != %+v", r2, r)
 		}
 	})
 }

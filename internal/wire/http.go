@@ -7,6 +7,7 @@ import (
 	"html"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -40,7 +41,12 @@ func publishExpvar(reg *metrics.Registry) {
 //	GET /healthz      — liveness ("ok")
 //	GET /statsz       — broker + index counters as JSON, plus a "metrics"
 //	                    object with the full registry snapshot
-//	GET /metrics      — Prometheus text exposition (format 0.0.4)
+//	GET /metrics      — Prometheus text exposition (format 0.0.4);
+//	                    ?format=json returns the registry snapshot as JSON
+//	GET /tracez       — sampled + slow request traces as JSON;
+//	                    ?trace=<id> looks up one trace by hex id
+//	GET /explainz     — ?user= profile vectors + adaptation audit journal;
+//	                    &doc= additionally scores a retained document
 //	GET /varz         — Go expvar JSON (memstats, cmdline, "mmprofile")
 //	GET /debug/pprof/ — runtime profiling endpoints
 //	GET /             — a minimal human-readable dashboard
@@ -81,8 +87,71 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(reg.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tr := b.Tracer()
+		if tr == nil {
+			json.NewEncoder(w).Encode(map[string]any{"enabled": false})
+			return
+		}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			ts, ok := tr.Find(id)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]any{"error": "trace not found", "trace": id})
+				return
+			}
+			json.NewEncoder(w).Encode(ts)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"enabled": true, "snapshot": tr.Snapshot()})
+	})
+	mux.HandleFunc("/explainz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		user := r.URL.Query().Get("user")
+		if user == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]any{"error": "missing user parameter"})
+			return
+		}
+		terms := 5
+		if t := r.URL.Query().Get("terms"); t != "" {
+			if n, err := strconv.Atoi(t); err == nil && n >= 0 {
+				terms = n
+			}
+		}
+		info, err := b.ProfileInfo(user, terms)
+		if err != nil {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		out := map[string]any{"profile": info}
+		if d := r.URL.Query().Get("doc"); d != "" {
+			doc, err := strconv.ParseInt(d, 10, 64)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(map[string]any{"error": "bad doc parameter: " + d})
+				return
+			}
+			ex, err := b.ExplainDoc(user, doc, terms)
+			if err != nil {
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+				return
+			}
+			out["doc"] = doc
+			out["explanation"] = ex
+		}
+		json.NewEncoder(w).Encode(out)
 	})
 	mux.Handle("/varz", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -109,14 +178,14 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 <tr><td>index</td><td>%d vectors over %d terms (%d postings)</td></tr>
 <tr><td>sharding</td><td>registry ×%d · docstore ×%d · termstats ×%d · index ×%d</td></tr>
 </table>
-<p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a></p>
+<p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/tracez</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a></p>
 </body></html>`,
 			c.Subscribers, c.Published, c.Deliveries, c.Dropped, c.Feedbacks,
 			ix.Vectors, ix.Terms, ix.Postings,
 			lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards,
 			html.EscapeString("/statsz"), html.EscapeString("/metrics"),
-			html.EscapeString("/varz"), html.EscapeString("/debug/pprof/"),
-			html.EscapeString("/healthz"))
+			html.EscapeString("/tracez"), html.EscapeString("/varz"),
+			html.EscapeString("/debug/pprof/"), html.EscapeString("/healthz"))
 	})
 	return mux
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"mmprofile/internal/metrics"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/store"
+	"mmprofile/internal/trace"
 )
 
 func TestStatusHandler(t *testing.T) {
@@ -160,5 +162,161 @@ func TestStatusHandlerMetrics(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
 		t.Errorf("pprof index: %d", rec.Code)
+	}
+}
+
+// TestHTTPContentTypes audits every introspection endpoint's Content-Type:
+// machine-readable endpoints must declare JSON, text endpoints must say so,
+// and nothing may fall back to Go's content sniffing.
+func TestHTTPContentTypes(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1})
+	b := pubsub.New(pubsub.Options{Threshold: 0.2, Trace: tr})
+	if _, err := b.SubscribeKeywords("alice", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("<html><body>cats cats cats</body></html>")
+	h := NewStatusHandler(b)
+
+	cases := []struct {
+		path string
+		want string // Content-Type prefix
+	}{
+		{"/healthz", "text/plain; charset=utf-8"},
+		{"/statsz", "application/json"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics?format=json", "application/json"},
+		{"/tracez", "application/json"},
+		{"/explainz?user=alice", "application/json"},
+		{"/varz", "application/json; charset=utf-8"},
+		{"/", "text/html; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", tc.path, nil))
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", tc.path, rec.Code)
+			continue
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, tc.want) {
+			t.Errorf("%s: Content-Type = %q, want prefix %q", tc.path, ct, tc.want)
+		}
+	}
+}
+
+// TestTracezEndpoint checks /tracez exposition: full snapshot, single-trace
+// lookup, 404 on unknown ids, and the disabled report without a tracer.
+func TestTracezEndpoint(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1})
+	b := pubsub.New(pubsub.Options{Threshold: 0.2, Trace: tr})
+	if _, err := b.SubscribeKeywords("alice", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("<html><body>cats cats cats</body></html>")
+	h := NewStatusHandler(b)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	var out struct {
+		Enabled  bool           `json:"enabled"`
+		Snapshot trace.Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled || len(out.Snapshot.Recent) == 0 {
+		t.Fatalf("tracez = enabled %v, %d recent traces", out.Enabled, len(out.Snapshot.Recent))
+	}
+
+	// Single-trace lookup by the id just captured.
+	id := out.Snapshot.Recent[0].Trace
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?trace="+id, nil))
+	if rec.Code != 200 {
+		t.Fatalf("tracez?trace=%s: %d", id, rec.Code)
+	}
+	var ts trace.TraceSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &ts); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Trace != id || len(ts.Spans) == 0 {
+		t.Errorf("trace lookup = %+v", ts)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?trace=ffffffffffffffff", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown trace id: %d, want 404", rec.Code)
+	}
+
+	// A broker without a tracer reports disabled rather than erroring.
+	h2 := NewStatusHandler(pubsub.New(pubsub.Options{Threshold: 0.2}))
+	rec = httptest.NewRecorder()
+	h2.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"enabled":false`) {
+		t.Errorf("tracer-less tracez: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestExplainzEndpoint checks the adaptation-audit endpoint: the profile
+// report with vectors and audit events, the optional document join, and
+// the error statuses.
+func TestExplainzEndpoint(t *testing.T) {
+	b := pubsub.New(pubsub.Options{Threshold: 0.2, Retention: 1 << 10})
+	if _, err := b.SubscribeKeywords("alice", []string{"cats", "dogs"}); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := b.Publish("<html><body>cats dogs cats dogs</body></html>")
+	if err := b.Feedback("alice", doc, filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	h := NewStatusHandler(b)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/explainz?user=alice", nil))
+	if rec.Code != 200 {
+		t.Fatalf("explainz: %d %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Profile pubsub.ProfileInfo `json:"profile"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile.User != "alice" || len(out.Profile.Vectors) == 0 {
+		t.Fatalf("explainz profile = %+v", out.Profile)
+	}
+	if len(out.Profile.Audit) == 0 {
+		t.Fatal("explainz profile has no audit events")
+	}
+
+	// Document join adds the score explanation.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/explainz?user=alice&doc="+strconv.FormatInt(doc, 10), nil))
+	if rec.Code != 200 {
+		t.Fatalf("explainz with doc: %d %s", rec.Code, rec.Body.String())
+	}
+	var joined map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &joined); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := joined["explanation"]; !ok {
+		t.Errorf("explainz with doc has no explanation: %v", joined)
+	}
+
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/explainz", 400},
+		{"/explainz?user=nobody", 404},
+		{"/explainz?user=alice&doc=banana", 400},
+		{"/explainz?user=alice&doc=99999", 404},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", tc.path, nil))
+		if rec.Code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.path, rec.Code, tc.code)
+		}
 	}
 }

@@ -51,6 +51,12 @@ type Request struct {
 	// State carries a serialized profile for import (JSON base64-encodes
 	// byte slices automatically).
 	State []byte `json:"state,omitempty"`
+	// Trace carries propagated trace context ("<trace>-<span>", two
+	// 16-hex-digit ids — see trace.FormatContext) on publish and feedback.
+	// When present and well-formed, the server joins the caller's trace and
+	// captures the request regardless of its own sampling decision.
+	// Malformed context is treated as absent, never an error.
+	Trace string `json:"trace,omitempty"`
 }
 
 // DeliveryMsg is one pushed document in a poll response.
@@ -94,6 +100,10 @@ type Response struct {
 	// Learner and State answer export.
 	Learner string `json:"learner,omitempty"`
 	State   []byte `json:"state,omitempty"`
+	// Trace is the trace id (16 hex digits) under which the server captured
+	// this request, when it did; clients print it so an operator can jump
+	// straight to /tracez?trace=<id>.
+	Trace string `json:"trace,omitempty"`
 }
 
 // errResponse builds a failure reply.

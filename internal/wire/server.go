@@ -12,6 +12,7 @@ import (
 
 	"mmprofile/internal/filter"
 	"mmprofile/internal/pubsub"
+	"mmprofile/internal/trace"
 	"mmprofile/internal/vsm"
 
 	// Register the baseline learners so wire subscribers can select them
@@ -108,7 +109,14 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
+	// The decode clocks are read only when the broker can trace at all, so
+	// untraced servers keep the old two-syscalls-per-request loop.
+	tracing := s.broker.Tracer().Enabled()
 	for {
+		var d0, d1 time.Time
+		if tracing {
+			d0 = time.Now()
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -116,7 +124,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(req)
+		if tracing {
+			d1 = time.Now()
+		}
+		resp := s.dispatchTimed(req, d0, d1)
 		if err := enc.Encode(resp); err != nil {
 			s.logf("wire: encode to %s: %v", conn.RemoteAddr(), err)
 			return
@@ -124,8 +135,19 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// dispatch executes one request against the broker.
+// dispatch executes one request against the broker, reading its own decode
+// timestamp (tests and fuzzing enter here).
 func (s *Server) dispatch(req Request) Response {
+	now := time.Now()
+	return s.dispatchTimed(req, now, now)
+}
+
+// dispatchTimed executes one request. d0/d1 bracket the request decode:
+// the wire.decode child span covers reading and parsing the request off
+// the socket — including any wait for the client's bytes, which is why
+// idle long-lived connections show large decode spans only when the next
+// request was itself sampled.
+func (s *Server) dispatchTimed(req Request, d0, d1 time.Time) Response {
 	switch req.Op {
 	case OpSubscribe:
 		return s.subscribe(req)
@@ -136,17 +158,9 @@ func (s *Server) dispatch(req Request) Response {
 		s.broker.Unsubscribe(req.User)
 		return Response{OK: true}
 	case OpPublish:
-		doc, n := s.broker.Publish(req.Content)
-		return Response{OK: true, Doc: doc, Delivered: n}
+		return s.publishOp(req, d0, d1)
 	case OpFeedback:
-		fd := filter.NotRelevant
-		if req.Relevant {
-			fd = filter.Relevant
-		}
-		if err := s.broker.Feedback(req.User, req.Doc, fd); err != nil {
-			return errResponse("%v", err)
-		}
-		return Response{OK: true}
+		return s.feedbackOp(req, d0, d1)
 	case OpPoll:
 		return s.poll(req)
 	case OpWatch:
@@ -182,6 +196,48 @@ func (s *Server) dispatch(req Request) Response {
 	default:
 		return errResponse("wire: unknown op %q", req.Op)
 	}
+}
+
+// publishOp runs a publish under a request trace when the broker's tracer
+// samples it (or the client propagated sampled context via req.Trace). The
+// trace id goes back in the response so the publisher can cite it.
+func (s *Server) publishOp(req Request, d0, d1 time.Time) Response {
+	sp := s.broker.Tracer().RootAt("wire.publish", d0, trace.ParseContext(req.Trace))
+	if sp != nil {
+		dec := sp.ChildAt("wire.decode", d0)
+		dec.EndAt(d1)
+		sp.SetInt("content_bytes", int64(len(req.Content)))
+	}
+	doc, n := s.broker.PublishSpan(req.Content, sp)
+	resp := Response{OK: true, Doc: doc, Delivered: n}
+	if sp != nil {
+		resp.Trace = sp.Trace().String()
+		sp.End()
+	}
+	return resp
+}
+
+// feedbackOp is publishOp's twin for relevance judgments.
+func (s *Server) feedbackOp(req Request, d0, d1 time.Time) Response {
+	fd := filter.NotRelevant
+	if req.Relevant {
+		fd = filter.Relevant
+	}
+	sp := s.broker.Tracer().RootAt("wire.feedback", d0, trace.ParseContext(req.Trace))
+	if sp != nil {
+		dec := sp.ChildAt("wire.decode", d0)
+		dec.EndAt(d1)
+	}
+	err := s.broker.FeedbackSpan(req.User, req.Doc, fd, sp)
+	resp := Response{OK: true}
+	if err != nil {
+		resp = errResponse("%v", err)
+	}
+	if sp != nil {
+		resp.Trace = sp.Trace().String()
+		sp.End()
+	}
+	return resp
 }
 
 // importProfile subscribes req.User with a previously exported profile.
