@@ -1,0 +1,65 @@
+// CI benchmark guard: re-runs the pinned BenchmarkIndexMatch tier and fails
+// when it regresses more than 25% against the committed BENCH_index.json
+// baseline. Gated behind MM_BENCH_GUARD=1 because wall-clock comparisons
+// are meaningless under -race or on loaded developer machines.
+package mmprofile_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"mmprofile/internal/index"
+)
+
+// benchBaseline mirrors the slice of BENCH_index.json the guard reads.
+type benchBaseline struct {
+	Benchmarks map[string]struct {
+		After struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// TestIndexMatchBenchGuard replays the vectors=100000 match benchmark and
+// compares ns/op against the "after" column recorded in BENCH_index.json.
+// Run it with MM_BENCH_GUARD=1 go test -run TestIndexMatchBenchGuard .
+func TestIndexMatchBenchGuard(t *testing.T) {
+	if os.Getenv("MM_BENCH_GUARD") != "1" {
+		t.Skip("set MM_BENCH_GUARD=1 to run the wall-clock benchmark guard")
+	}
+	raw, err := os.ReadFile("BENCH_index.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	const key = "BenchmarkIndexMatch/vectors=100000"
+	pinned := base.Benchmarks[key].After.NsPerOp
+	if pinned <= 0 {
+		t.Fatalf("baseline %s missing from BENCH_index.json", key)
+	}
+
+	ds := harness.Dataset()
+	const n = 100_000
+	ix := index.New()
+	users := n / 5
+	for i := 0; i < n; i++ {
+		d := ds.Docs[i%len(ds.Docs)]
+		ix.Upsert(fmt.Sprintf("user%05d", i%users), i/users, d.Vec)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ix.Match(ds.Docs[i%len(ds.Docs)].Vec, 0.25)
+		}
+	})
+	got := float64(res.NsPerOp())
+	limit := pinned * 1.25
+	t.Logf("%s: measured %.0f ns/op, baseline %.0f ns/op (limit %.0f)", key, got, pinned, limit)
+	if got > limit {
+		t.Errorf("index match regressed: %.0f ns/op exceeds 1.25x baseline %.0f ns/op", got, pinned)
+	}
+}

@@ -8,6 +8,8 @@ package mmprofile_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"testing"
 
 	"mmprofile/internal/bench"
@@ -291,25 +293,46 @@ func BenchmarkMMScore(b *testing.B) {
 	}
 }
 
+// matchTier lazily builds the match-tier collection (bench.MatchTierConfig):
+// 10k distinct pages, so the 1M-vector population below is ~100 copies of
+// each page rather than ~7000. Only the 1M case pays the build.
+var matchTier = bench.NewHarness(bench.MatchTierConfig())
+
 // BenchmarkIndexMatch measures matching one document against n indexed
 // profile vectors via the inverted index — the paper's argument that
 // "filtering cost is not linearly proportional to the number of vectors".
-// The 10k and 100k sizes are the dissemination hot path at scale; their
-// before/after numbers are recorded in BENCH_index.json.
+// The 10k and 100k sizes are the dissemination hot path at scale, probed
+// at the broker's default θ = 0.25 on the quick corpus; the 1M size is the
+// tier the threshold-aware pruning (DESIGN.md §12) targets, built from the
+// match-tier collection (10k distinct pages — cycling 144 pages to a
+// million vectors would make ~0.7% of the index an exact duplicate of
+// every probe) and probed at the tier's θ = 0.5 after Optimize() commits
+// the staged tails. Before/after numbers are recorded in BENCH_index.json;
+// MM_PRUNE=off in the environment disables pruning for the "before" column
+// of an A/B run.
 func BenchmarkIndexMatch(b *testing.B) {
-	ds := harness.Dataset()
-	for _, n := range []int{1000, 10_000, 100_000} {
+	for _, n := range []int{1000, 10_000, 100_000, 1_000_000} {
+		ds, theta := harness.Dataset(), 0.25
+		if n == 1_000_000 {
+			ds, theta = matchTier.Dataset(), 0.5
+		}
 		b.Run(fmt.Sprintf("vectors=%d", n), func(b *testing.B) {
 			ix := index.New()
+			ix.SetPruning(os.Getenv("MM_PRUNE") != "off")
 			users := n / 5
 			for i := 0; i < n; i++ {
 				d := ds.Docs[i%len(ds.Docs)]
 				ix.Upsert(fmt.Sprintf("user%05d", i%users), i/users, d.Vec)
 			}
+			ix.Optimize()
+			// Building the 1M tier leaves a multi-GB heap behind; collect it
+			// now so a GC cycle doesn't land inside the timed loop (on one
+			// core a mark phase over that heap dwarfs a single match).
+			runtime.GC()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_ = ix.Match(ds.Docs[i%len(ds.Docs)].Vec, 0.25)
+				_ = ix.Match(ds.Docs[i%len(ds.Docs)].Vec, theta)
 			}
 		})
 	}

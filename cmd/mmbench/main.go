@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	mmbench [-fig all|ablations|everything|4|...|learning|eta|group|merge|decay|lsi]
-//	        [-runs N] [-quick] [-csv DIR] [-seed N]
+//	mmbench [-fig all|ablations|everything|4|...|learning|eta|group|merge|decay|lsi|scale|prune|pubsub]
+//	        [-runs N] [-quick] [-csv DIR] [-seed N] [-prune=false]
 //
 // "all" runs the paper's figures; "ablations" runs the design-choice
 // ablations and extensions (η sweep, RG group-size sweep, merge on/off,
@@ -34,8 +34,9 @@ func main() {
 		svgDir  = flag.String("svg", "", "also write <fig>.svg charts into this directory")
 		seed    = flag.Int64("seed", 0, "base seed (0 = config default)")
 		list    = flag.Bool("list", false, "print the experiment index and exit")
-		pops    = flag.String("populations", "", "comma-separated subscriber counts for -fig scale (empty = defaults)")
+		pops    = flag.String("populations", "", "comma-separated subscriber counts for -fig scale/prune (empty = defaults)")
 		pshards = flag.Int("pubsub-shards", 0, "broker shard suggestion for -fig pubsub (0 = GOMAXPROCS default)")
+		prune   = flag.Bool("prune", true, "threshold-aware match pruning in index figures; -prune=false scans every posting (A/B escape hatch)")
 	)
 	flag.Parse()
 
@@ -68,7 +69,15 @@ func main() {
 	}
 	reg := metrics.NewRegistry()
 	cfg.Metrics = reg
+	cfg.PruneOff = !*prune
 	h := bench.NewHarness(cfg)
+
+	// The prune figure defaults to the 100k and 1M tiers; -quick scales the
+	// vector counts down the way it scales the corpus down.
+	pruneSizes := populations
+	if len(pruneSizes) == 0 && *quick {
+		pruneSizes = []int{20_000, 100_000}
+	}
 
 	type runner struct {
 		key string
@@ -101,10 +110,11 @@ func main() {
 		}},
 		{"lsi", func() []bench.Figure { return []bench.Figure{h.LSIFigure()} }},
 		{"scale", func() []bench.Figure { return []bench.Figure{h.ScaleFigure(populations)} }},
+		{"prune", func() []bench.Figure { return []bench.Figure{h.PruneFigure(pruneSizes, nil)} }},
 		{"pubsub", func() []bench.Figure { return []bench.Figure{h.PubsubFigure(nil, *pshards, 0)} }},
 	}
 
-	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true, "pubsub": true}
+	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true, "prune": true, "pubsub": true}
 	want := strings.Split(*figFlag, ",")
 
 	// -fig ttest prints paired significance tests instead of a figure.
@@ -237,6 +247,7 @@ func printIndex() {
 		{"kmeans", "A7 — single-pass vs batch clustering"},
 		{"lsi", "A5 — keyword vs LSI space"},
 		{"scale", "matching cost vs subscriber count (index vs brute force)"},
+		{"prune", "match-pruning effort vs θ (postings scanned, blocks skipped)"},
 		{"pubsub", "broker publish throughput vs workers (sharded vs 1-shard)"},
 		{"ttest", "paired significance tests (MM vs RG10, MM vs RI)"},
 	}

@@ -48,6 +48,7 @@ type config struct {
 	shards      int
 	traceSample float64
 	traceSlow   time.Duration
+	prune       bool
 }
 
 func (c *config) register(fs *flag.FlagSet) {
@@ -61,6 +62,7 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.shards, "pubsub-shards", 0, "suggested shard count for the broker's registry/docstore layers (0 = GOMAXPROCS, rounded to a power of two)")
 	fs.Float64Var(&c.traceSample, "trace-sample", 0, "fraction of requests to capture as traces, 0..1 (0 = off; see /tracez)")
 	fs.DurationVar(&c.traceSlow, "trace-slow", 0, "capture any request slower than this even when unsampled (0 = off)")
+	fs.BoolVar(&c.prune, "prune", true, "threshold-aware match pruning (block-max skipping); -prune=false scans every posting")
 }
 
 // tracer builds the request tracer from the trace flags; nil when both are
@@ -83,6 +85,7 @@ func (c *config) brokerOptions(reg *metrics.Registry) pubsub.Options {
 		Shards:         c.shards,
 		Metrics:        reg,
 		Trace:          c.tracer(),
+		NoPrune:        !c.prune,
 	}
 }
 

@@ -36,6 +36,22 @@ func TestConfigDefaults(t *testing.T) {
 	if st.Durable || st.SyncInterval != 0 {
 		t.Errorf("store options = %+v", st)
 	}
+	if !cfg.prune || opts.NoPrune {
+		t.Error("match pruning must default to on")
+	}
+}
+
+// TestConfigPruneFlag pins the -prune=false escape hatch reaching the
+// broker as NoPrune.
+func TestConfigPruneFlag(t *testing.T) {
+	cfg := parse(t, "-prune=false")
+	if opts := cfg.brokerOptions(nil); !opts.NoPrune {
+		t.Error("-prune=false did not set NoPrune")
+	}
+	cfg = parse(t, "-prune=true")
+	if opts := cfg.brokerOptions(nil); opts.NoPrune {
+		t.Error("-prune=true set NoPrune")
+	}
 }
 
 // TestConfigTraceFlags checks -trace-sample / -trace-slow build an enabled

@@ -31,9 +31,13 @@ type Config struct {
 	// BaseSeed decorrelates repetitions; run r uses BaseSeed + r.
 	BaseSeed int64
 	// Metrics, when non-nil, receives instrumentation from the experiments
-	// that exercise instrumented subsystems (currently ScaleFigure's
-	// inverted index). mmbench prints its snapshot after the run.
+	// that exercise instrumented subsystems (the scale and prune figures'
+	// inverted indexes). mmbench prints its snapshot after the run.
 	Metrics *metrics.Registry
+	// PruneOff disables the index's threshold-aware match pruning in the
+	// figures that build indexes (mmbench -prune=off), so A/B runs of the
+	// same figure differ by exactly one flag.
+	PruneOff bool
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -66,6 +70,26 @@ func QuickConfig() Config {
 	cfg.CurveEvery = 25
 	cfg.ShiftStream = 200
 	cfg.ShiftAt = 80
+	return cfg
+}
+
+// MatchTierConfig returns the population used to benchmark the 1M-vector
+// match tier (BenchmarkIndexMatch/vectors=1000000, mmbench -fig prune).
+// The quick corpus's 144 distinct pages are fine for figure-shape runs,
+// but cycled to a million vectors they make ~0.7% of the index an exact
+// duplicate of every probe document: duplicate matches alone dominate
+// matcher cost, and each posting list carries only 144 distinct weights,
+// flattening the impact-ordered decay that block-max skipping feeds on.
+// Scaling the collection to 10k distinct pages (10×10×100) keeps the
+// duplication factor at the tier realistic (~100 copies per page, ~20
+// exact-duplicate matches per probe) while preserving the generator's
+// category structure and Zipf vocabulary.
+func MatchTierConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Corpus.PagesPerSub = 100 // 10×10×100 = 10k distinct pages
+	cfg.Corpus.MaxWords = 250
+	cfg.TrainDocs = 90
+	cfg.Runs = 2
 	return cfg
 }
 

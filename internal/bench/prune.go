@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mmprofile/internal/index"
+)
+
+// PruneFigure measures what threshold-aware pruning (DESIGN.md §12) does
+// to matcher effort as θ varies: postings actually scanned and posting
+// blocks skipped, per probe document, at each population size. Vectors are
+// real corpus document vectors cycled across users, so list shapes follow
+// the collection's Zipf profile rather than synthetic noise. With
+// Config.PruneOff the skip series flatline at zero and the scan series
+// show the unpruned posting volume — the two runs differ by one flag.
+func (h *Harness) PruneFigure(sizes []int, thetas []float64) Figure {
+	if len(sizes) == 0 {
+		sizes = []int{100_000, 1_000_000}
+	}
+	if len(thetas) == 0 {
+		thetas = []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6}
+	}
+	ds := h.Dataset()
+	fig := Figure{
+		ID:     "prune",
+		Title:  "Match pruning effort vs θ (per-document postings scanned / blocks skipped)",
+		XLabel: "theta",
+		YLabel: "per-doc count",
+	}
+	for _, n := range sizes {
+		ix := index.New()
+		ix.SetPruning(!h.Cfg.PruneOff)
+		if h.Cfg.Metrics != nil {
+			ix.Instrument(h.Cfg.Metrics)
+		}
+		users := n / 5
+		if users == 0 {
+			users = 1
+		}
+		for i := 0; i < n; i++ {
+			d := ds.Docs[i%len(ds.Docs)]
+			ix.Upsert(fmt.Sprintf("user%06d", i%users), i/users, d.Vec)
+		}
+		probe := ds.Docs
+		if len(probe) > 50 {
+			probe = probe[:50]
+		}
+		scanned := Series{Label: "scanned@" + sizeLabel(n)}
+		skipped := Series{Label: "skipped@" + sizeLabel(n)}
+		perDoc := Series{Label: "us-per-doc@" + sizeLabel(n)}
+		for _, theta := range thetas {
+			before := ix.PruneStats()
+			start := time.Now()
+			for _, d := range probe {
+				ix.Match(d.Vec, theta)
+			}
+			elapsed := time.Since(start)
+			after := ix.PruneStats()
+			np := float64(len(probe))
+			scanned.X = append(scanned.X, theta)
+			scanned.Y = append(scanned.Y, float64(after.PostingsScanned-before.PostingsScanned)/np)
+			skipped.X = append(skipped.X, theta)
+			skipped.Y = append(skipped.Y, float64(after.BlocksSkipped-before.BlocksSkipped)/np)
+			perDoc.X = append(perDoc.X, theta)
+			perDoc.Y = append(perDoc.Y, float64(elapsed.Microseconds())/np)
+		}
+		fig.Series = append(fig.Series, scanned, skipped, perDoc)
+	}
+	return fig
+}
+
+// sizeLabel renders a population size compactly (100000 → "100k").
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dk", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

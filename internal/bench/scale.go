@@ -61,6 +61,7 @@ func (h *Harness) ScaleFigure(populations []int) Figure {
 			pop = maxPop
 		}
 		ix := index.New()
+		ix.SetPruning(!h.Cfg.PruneOff)
 		if h.Cfg.Metrics != nil {
 			// Registration is idempotent, so every population's index
 			// shares the counters and histograms; the live-size gauges

@@ -8,26 +8,37 @@
 // Profile vectors and document vectors are unit-normalized throughout the
 // system, so the accumulated dot product IS the cosine similarity.
 //
-// Hot-path architecture (see DESIGN.md §7):
+// Hot-path architecture (see DESIGN.md §7 and §12):
 //
 //   - Terms are interned to uint32 ids through a sharded dictionary
 //     (internal/intern), so matching compares integers, never strings.
 //   - Postings are sharded by term-id hash across independently locked
-//     shards; each posting list is a compact []posting slice. Removal
+//     shards. Within a term, committed postings are impact-ordered
+//     (descending weight), carved into fixed blocks with per-block
+//     max-weight summaries, and their weights quantized to uint8 against a
+//     per-term scale; recent inserts sit in an unsorted exact staged tail
+//     until the list is hot enough to rebuild (hot/cold split). Removal
 //     tombstones postings lazily (per-shard dead-slot sets) and each shard
 //     compacts itself once tombstones exceed a fraction of its postings.
-//   - Posting weights are stored as float32: profile weights are already
-//     quantized by term truncation and unit normalization, and half-width
-//     postings double the number that fit a cache line. Scores therefore
-//     match a float64 recomputation only to ~1e-7 relative.
+//   - Matching at θ > 0 prunes: terms are walked heaviest-document-weight
+//     first and abandoned once the remaining terms' bounds cannot reach θ;
+//     within a term, whole blocks are skipped once their block-max bound
+//     proves no accumulator can cross θ. Survivors are
+//     rescored exactly against the entry's own term/weight pairs, so
+//     pruned results are identical to the brute-force scorer (§12 for the
+//     invariants). SetPruning(false) is the escape hatch.
 //   - Per-call score accumulators are dense slices indexed by entry slot,
 //     drawn from a sync.Pool; a touched-list makes reset O(candidates).
-//   - TopK selects through a bounded min-heap instead of sorting every hit.
+//   - TopK sorts candidates by upper bound and keeps a min-heap of the
+//     best per-user scores; once the heap is full its floor retires the
+//     remaining candidates without rescoring them.
 package index
 
 import (
-	"sort"
+	"math"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mmprofile/internal/intern"
@@ -50,6 +61,31 @@ const (
 	// postings and they exceed 1/compactFraction of its total.
 	compactMinStale = 64
 	compactFraction = 4
+
+	// blockSize is the posting-block granularity: each committed run of
+	// blockSize postings carries one max-weight summary byte, the unit of
+	// skipping during pruned matches. 64 postings = 512B of (id, w) pairs,
+	// a few cache lines, small enough that a skip decision is worth making.
+	blockSize = 64
+
+	// rebuildFraction gates merging a term's staged tail into its
+	// impact-ordered committed body: rebuild once the tail holds at least
+	// one block AND at least 1/rebuildFraction of the committed size, so
+	// rebuild work stays amortized O(1) per insert. Lists below one block
+	// never rebuild — they are the cold Zipf tail, scanned exactly.
+	rebuildFraction = 4
+
+	// slackBudget bounds, as a fraction of θ, the upper-bound slack a match
+	// may absorb from skipped blocks (three quarters of the budget) and the
+	// term-level cutoff (the remainder). Slack widens the candidate filter — every
+	// touched slot within slackTotal of θ pays an exact rescore — so the
+	// budget trades scan volume against rescore volume. Profile-vector
+	// score distributions are strongly bimodal around realistic θ (real
+	// matches score far above it, term-sharing noise far below), which
+	// keeps the candidate set close to the true result set even at half
+	// of θ; 0.5 sits well inside the flat part of that trade on the
+	// evaluation corpus (see DESIGN.md §12).
+	slackBudget = 0.5
 )
 
 // shardOf maps a term id to its posting shard (Fibonacci hashing, so the
@@ -59,31 +95,152 @@ func shardOf(term uint32) uint32 {
 	return (term * 0x9E3779B1) >> (32 - 4) // log2(numShards) == 4
 }
 
-// posting credits one profile vector (by entry slot) with a term weight.
-type posting struct {
-	id uint32
-	w  float32
+// termList is one term's postings: a committed body in impact order
+// (descending weight) with quantized weights and per-block maxima, plus an
+// unsorted exact staged tail of recent inserts.
+//
+// The bound invariants every reader may rely on (the property tests in
+// prune_test.go pin them):
+//
+//	maxW    ≥ w for every live posting weight w in the list
+//	qws[i]  · scale ≥ ws[i]        (quantization never under-estimates)
+//	bmax[b] ≥ qws[i] for i in block b
+//	ws, qws and bmax are non-increasing (impact order)
+type termList struct {
+	ids  []uint32  // committed: entry slots, impact-ordered
+	ws   []float32 // committed: exact weights, aligned with ids
+	qws  []uint8   // committed: ceil-quantized weights, aligned with ids
+	bmax []uint8   // per-block max of qws (== block head, by impact order)
+
+	sids []uint32  // staged tail: entry slots, insertion order
+	sws  []float32 // staged tail: exact weights
+
+	maxW  float32 // ≥ every weight in the list, committed or staged
+	scale float32 // committed quantization scale; qw·scale ≥ w
+}
+
+// blocks returns the committed block count.
+func (l *termList) blocks() int { return (len(l.ids) + blockSize - 1) / blockSize }
+
+// refreshMaxW recomputes the list bound after postings were dropped. The
+// committed body is impact-ordered so its head is its max.
+func (l *termList) refreshMaxW() {
+	var m float32
+	if len(l.ws) > 0 {
+		m = l.ws[0]
+	}
+	for _, w := range l.sws {
+		if w > m {
+			m = w
+		}
+	}
+	l.maxW = m
+}
+
+// rebuild merges the staged tail into the committed body, restoring impact
+// order, and requantizes. Caller holds the shard write lock.
+func (l *termList) rebuild() {
+	heapsortDesc(l.sws, l.sids)
+	n := len(l.ids) + len(l.sids)
+	ids := make([]uint32, 0, n)
+	ws := make([]float32, 0, n)
+	i, j := 0, 0
+	for i < len(l.ids) && j < len(l.sids) {
+		if l.ws[i] >= l.sws[j] {
+			ids = append(ids, l.ids[i])
+			ws = append(ws, l.ws[i])
+			i++
+		} else {
+			ids = append(ids, l.sids[j])
+			ws = append(ws, l.sws[j])
+			j++
+		}
+	}
+	ids = append(ids, l.ids[i:]...)
+	ws = append(ws, l.ws[i:]...)
+	ids = append(ids, l.sids[j:]...)
+	ws = append(ws, l.sws[j:]...)
+	l.ids, l.ws = ids, ws
+	l.sids, l.sws = l.sids[:0], l.sws[:0]
+	l.requantize()
+}
+
+// requantize derives scale, qws and bmax from the committed body. The scale
+// is nudged up until 255·scale ≥ maxW in float64, and each quantum is the
+// smallest q with q·scale ≥ w, so quantized bounds over-estimate — never
+// under-estimate — every stored weight.
+func (l *termList) requantize() {
+	n := len(l.ids)
+	if n == 0 {
+		l.qws, l.bmax, l.scale = l.qws[:0], l.bmax[:0], 0
+		l.refreshMaxW()
+		return
+	}
+	maxw := l.ws[0]
+	scale := maxw / 255
+	if scale <= 0 || math.IsInf(float64(scale), 0) {
+		// Degenerate weights (≤ 0 or overflow): a unit scale keeps the
+		// over-estimate invariant through the bump loop below.
+		scale = 1
+	}
+	for float64(255)*float64(scale) < float64(maxw) {
+		scale = math.Nextafter32(scale, math.MaxFloat32)
+	}
+	l.scale = scale
+	s64 := float64(scale)
+	l.qws = grow(l.qws, n)
+	for i, w := range l.ws {
+		q := int(math.Ceil(float64(w) / s64))
+		if q < 0 {
+			q = 0
+		}
+		if q > 255 {
+			q = 255
+		}
+		for float64(q)*s64 < float64(w) && q < 255 {
+			q++
+		}
+		l.qws[i] = uint8(q)
+	}
+	nb := (n + blockSize - 1) / blockSize
+	l.bmax = grow(l.bmax, nb)
+	for b := 0; b < nb; b++ {
+		l.bmax[b] = l.qws[b*blockSize] // impact order: the block head is its max
+	}
+	l.refreshMaxW()
 }
 
 // shard is one independently locked slice of the posting space.
 type shard struct {
-	mu       sync.RWMutex
-	postings map[uint32][]posting // term id → posting list
-	live     int                  // postings referencing live entries
-	stale    int                  // tombstoned postings awaiting compaction
-	dead     map[uint32]bool      // entry slots whose postings here are stale
+	mu    sync.RWMutex
+	lists map[uint32]*termList // term id → postings
+	live  int                  // postings referencing live entries
+	stale int                  // tombstoned postings awaiting compaction
+	dead  map[uint32]bool      // entry slots whose postings here are stale
 }
 
-// entrySlot is one indexed profile vector. Slots are recycled, but only
-// after every shard holding the dead slot's stale postings has compacted
-// them away — until then a stale posting can still accumulate score onto
-// the slot, which harvest discards via the alive flag.
+// termWeight is one (term, weight) coordinate of an indexed vector. Entries
+// keep their own vector as a single []termWeight run — one allocation, one
+// cache stream — because the pruned harvest rescores every candidate by
+// walking it (rescoreDense) and pays the entry's memory locality directly.
+type termWeight struct {
+	t uint32
+	w float32
+}
+
+// entrySlot is one indexed profile vector. tws holds the vector's own
+// (term, weight) pairs sorted by ascending term id — rescoreDense sums in
+// that order to stay bit-for-bit consistent with the sorted-merge rescore
+// it replaced. Slots are recycled, but only after
+// every shard holding the dead slot's stale postings has compacted them
+// away — until then a stale posting can still accumulate score onto the
+// slot, which harvest discards via the alive flag.
 type entrySlot struct {
-	user    string
-	vec     int
-	uid     uint32
-	termIDs []uint32
-	alive   bool
+	user  string
+	vec   int
+	uid   uint32
+	tws   []termWeight
+	alive bool
 }
 
 // userInfo tracks one user's slots and dense user id (uids index the
@@ -119,20 +276,80 @@ type Index struct {
 	nextUID  uint32
 	freeUID  []uint32
 	liveVecs int
+	// maxNorm over-estimates every live entry's vector norm (profile
+	// vectors are unit-normalized, so it hovers at 1). It only grows —
+	// removals leave it stale-high, which keeps the Cauchy–Schwarz
+	// remaining-mass bound in accumulate an over-estimate, like maxW.
+	maxNorm float64
 
 	pool sync.Pool // *matcher
+
+	// pruneOff disables threshold-aware skipping (SetPruning). Results are
+	// identical either way — exact rescoring makes pruning lossless — so
+	// the toggle exists for A/B benchmarking and as an escape hatch.
+	pruneOff atomic.Bool
+
+	// stats counts pruning work across all matches (PruneStats); always on,
+	// flushed in one batch of atomic adds per match.
+	stats pruneCounters
 
 	// inst is nil until Instrument is called; instrumented paths check it
 	// once and fall through at zero cost when monitoring is off.
 	inst *instruments
 }
 
+// pruneCounters aggregates matcher work; see PruneStats.
+type pruneCounters struct {
+	postingsScanned atomic.Uint64
+	blocksSkipped   atomic.Uint64
+	termsPruned     atomic.Uint64
+	candidates      atomic.Uint64
+	rescores        atomic.Uint64
+}
+
+// PruneStats is a cumulative snapshot of matcher effort: how many postings
+// every match so far actually read, how many whole blocks the θ-bound let
+// it skip, how many document terms were cut off wholesale, and how many
+// survivor candidates needed an exact rescore. The bench prune figure
+// differences two snapshots around a probe batch.
+type PruneStats struct {
+	PostingsScanned uint64
+	BlocksSkipped   uint64
+	TermsPruned     uint64
+	Candidates      uint64
+	Rescores        uint64
+}
+
+// PruneStats returns the cumulative pruning counters.
+func (ix *Index) PruneStats() PruneStats {
+	return PruneStats{
+		PostingsScanned: ix.stats.postingsScanned.Load(),
+		BlocksSkipped:   ix.stats.blocksSkipped.Load(),
+		TermsPruned:     ix.stats.termsPruned.Load(),
+		Candidates:      ix.stats.candidates.Load(),
+		Rescores:        ix.stats.rescores.Load(),
+	}
+}
+
+// SetPruning toggles threshold-aware block skipping at runtime (the
+// -prune=off escape hatch in mmserver/mmbench). Pruned and unpruned
+// matching return identical results; only the work differs.
+func (ix *Index) SetPruning(on bool) { ix.pruneOff.Store(!on) }
+
+// PruningEnabled reports whether threshold-aware skipping is active.
+func (ix *Index) PruningEnabled() bool { return !ix.pruneOff.Load() }
+
 // instruments holds the index's metrics (DESIGN.md §8). All fields are
 // nil-safe no-ops until Instrument wires them to a registry.
 type instruments struct {
-	matchLat    *metrics.Histogram
-	compactions *metrics.Counter
-	compactLat  *metrics.Histogram
+	matchLat        *metrics.Histogram
+	compactions     *metrics.Counter
+	compactLat      *metrics.Histogram
+	postingsScanned *metrics.Counter
+	blocksSkipped   *metrics.Counter
+	termsPruned     *metrics.Counter
+	rescores        *metrics.Counter
+	quantErr        *metrics.Histogram
 }
 
 // Instrument registers the index's metrics with reg and starts recording.
@@ -149,6 +366,16 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 			"Posting-shard compactions performed (tombstone garbage collection)."),
 		compactLat: reg.Histogram("mm_index_compaction_seconds",
 			"Duration of individual posting-shard compactions."),
+		postingsScanned: reg.Counter("mm_index_postings_scanned_total",
+			"Postings actually read while matching (pruning skips the rest)."),
+		blocksSkipped: reg.Counter("mm_index_blocks_skipped_total",
+			"Posting blocks skipped because their block-max bound could not reach the match threshold."),
+		termsPruned: reg.Counter("mm_index_terms_pruned_total",
+			"Document terms dropped wholesale because the remaining upper-bound mass could not reach the threshold."),
+		rescores: reg.Counter("mm_index_rescores_total",
+			"Candidate vectors exactly rescored after quantized upper-bound accumulation."),
+		quantErr: reg.Histogram("mm_index_quantization_error",
+			"Per-match maximum over-estimate of the quantized upper-bound score versus the exact rescored similarity."),
 	}
 	reg.GaugeFunc("mm_index_live_vectors",
 		"Profile vectors currently live in the inverted index.",
@@ -184,7 +411,7 @@ func New() *Index {
 		dict:   intern.NewDict(),
 	}
 	for i := range ix.shards {
-		ix.shards[i].postings = make(map[uint32][]posting)
+		ix.shards[i].lists = make(map[uint32]*termList)
 		ix.shards[i].dead = make(map[uint32]bool)
 	}
 	ix.pool.New = func() any { return new(matcher) }
@@ -198,8 +425,9 @@ func (ix *Index) Dict() *intern.Dict { return ix.dict }
 // ---------------------------------------------------------------------------
 // Updates
 
-// stagedVec is one profile vector prepared for insertion: interned terms,
-// float32 weights, and the entry slot assigned during staging.
+// stagedVec is one profile vector prepared for insertion: interned terms
+// sorted ascending (the order rescoreDense sums in), float32 weights, and
+// the entry slot assigned during staging.
 type stagedVec struct {
 	vec     int
 	termIDs []uint32
@@ -217,6 +445,7 @@ func (ix *Index) prepare(vec int, v vsm.Vector) stagedVec {
 		sv.termIDs[i] = ix.dict.Intern(t)
 		sv.ws[i] = float32(v.Weights[i])
 	}
+	sortByIDAsc(sv.termIDs, sv.ws)
 	return sv
 }
 
@@ -267,24 +496,40 @@ func (ix *Index) stage(user string, svs []stagedVec) {
 			slot = uint32(len(ix.entries))
 			ix.entries = append(ix.entries, entrySlot{})
 		}
-		ix.entries[slot] = entrySlot{user: user, vec: svs[i].vec, termIDs: svs[i].termIDs}
+		tws := make([]termWeight, len(svs[i].termIDs))
+		for j, t := range svs[i].termIDs {
+			tws[j] = termWeight{t: t, w: svs[i].ws[j]}
+		}
+		ix.entries[slot] = entrySlot{user: user, vec: svs[i].vec, tws: tws}
 		svs[i].slot = slot
+		var sumsq float64
+		for _, w := range svs[i].ws {
+			sumsq += float64(w) * float64(w)
+		}
+		// The 1e-6 bump absorbs float32 weights and summation rounding so
+		// maxNorm·√Σdw² stays a true upper bound in accumulate.
+		if norm := math.Sqrt(sumsq) * (1 + 1e-6); norm > ix.maxNorm {
+			ix.maxNorm = norm
+		}
 	}
 	ix.mu.Unlock()
 }
 
 // insertPostings appends the staged vectors' postings, one lock
-// acquisition per affected shard.
+// acquisition per affected shard. Inserts land in the term's staged tail;
+// once the tail holds a block's worth and a rebuildFraction-th of the
+// committed body, the list rebuilds into impact order there and then.
 func (ix *Index) insertPostings(svs []stagedVec) {
 	type ins struct {
 		term uint32
-		p    posting
+		id   uint32
+		w    float32
 	}
 	var work [numShards][]ins
 	for _, sv := range svs {
 		for i, t := range sv.termIDs {
 			si := shardOf(t)
-			work[si] = append(work[si], ins{term: t, p: posting{id: sv.slot, w: sv.ws[i]}})
+			work[si] = append(work[si], ins{term: t, id: sv.slot, w: sv.ws[i]})
 		}
 	}
 	for si := range work {
@@ -294,7 +539,19 @@ func (ix *Index) insertPostings(svs []stagedVec) {
 		s := &ix.shards[si]
 		s.mu.Lock()
 		for _, w := range work[si] {
-			s.postings[w.term] = append(s.postings[w.term], w.p)
+			l := s.lists[w.term]
+			if l == nil {
+				l = &termList{}
+				s.lists[w.term] = l
+			}
+			l.sids = append(l.sids, w.id)
+			l.sws = append(l.sws, w.w)
+			if w.w > l.maxW {
+				l.maxW = w.w
+			}
+			if len(l.sids) >= blockSize && len(l.sids)*rebuildFraction >= len(l.ids) {
+				l.rebuild()
+			}
 		}
 		s.live += len(work[si])
 		s.mu.Unlock()
@@ -408,8 +665,8 @@ func (ix *Index) killLocked(slots []uint32) *[numShards]tombShard {
 		e := &ix.entries[slot]
 		seen := 0
 		var touched [numShards]bool
-		for _, t := range e.termIDs {
-			si := shardOf(t)
+		for _, p := range e.tws {
+			si := shardOf(p.t)
 			if !touched[si] {
 				touched[si] = true
 				seen++
@@ -457,22 +714,48 @@ func (ix *Index) tombstone(tomb *[numShards]tombShard) {
 
 // compactLocked rebuilds every posting list in the shard, dropping stale
 // postings, and returns the slots whose postings are now gone from this
-// shard. Caller holds the shard write lock.
+// shard. Filtering preserves impact order, so block maxima are re-sliced
+// from the surviving block heads and the quantization scale stays valid.
+// Caller holds the shard write lock.
 func (s *shard) compactLocked() []uint32 {
 	if len(s.dead) == 0 {
 		return nil
 	}
-	for t, list := range s.postings {
-		keep := list[:0]
-		for _, p := range list {
-			if !s.dead[p.id] {
-				keep = append(keep, p)
+	for t, l := range s.lists {
+		nc := 0
+		for i, id := range l.ids {
+			if !s.dead[id] {
+				l.ids[nc] = id
+				l.ws[nc] = l.ws[i]
+				l.qws[nc] = l.qws[i]
+				nc++
 			}
 		}
-		if len(keep) == 0 {
-			delete(s.postings, t)
-		} else {
-			s.postings[t] = keep
+		changed := nc != len(l.ids)
+		l.ids, l.ws, l.qws = l.ids[:nc], l.ws[:nc], l.qws[:nc]
+		if changed {
+			nb := (nc + blockSize - 1) / blockSize
+			l.bmax = l.bmax[:nb]
+			for b := 0; b < nb; b++ {
+				l.bmax[b] = l.qws[b*blockSize]
+			}
+		}
+		ns := 0
+		for i, id := range l.sids {
+			if !s.dead[id] {
+				l.sids[ns] = id
+				l.sws[ns] = l.sws[i]
+				ns++
+			}
+		}
+		changed = changed || ns != len(l.sids)
+		l.sids, l.sws = l.sids[:ns], l.sws[:ns]
+		if nc+ns == 0 {
+			delete(s.lists, t)
+			continue
+		}
+		if changed {
+			l.refreshMaxW()
 		}
 	}
 	freed := make([]uint32, 0, len(s.dead))
@@ -499,9 +782,30 @@ func (ix *Index) release(freed []uint32) {
 	ix.mu.Unlock()
 }
 
-// Compact eagerly rebuilds every shard's posting lists, dropping all
-// tombstones. Updates trigger compaction automatically; Compact exists for
-// callers that want exact statistics or minimal memory right now.
+// Optimize merges every term's staged tail into its impact-ordered,
+// quantized committed body, leaving no exact-scan-only postings behind.
+// Background rebuilds keep staged tails amortized-small (≤ 1/rebuildFraction
+// of each list), but a freshly loaded index can still carry ~10% of its
+// postings in tails that pruned matches must scan exactly; a read-heavy
+// deployment calls Optimize once after bulk loading to make the whole
+// index block-max skippable. Safe (and pointless) to call repeatedly.
+func (ix *Index) Optimize() {
+	for si := range ix.shards {
+		s := &ix.shards[si]
+		s.mu.Lock()
+		for _, l := range s.lists {
+			if len(l.sids) > 0 {
+				l.rebuild()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Compact eagerly rebuilds every dirty shard's posting lists, dropping all
+// tombstones; clean shards (zero tombstones) are untouched and not counted.
+// Updates trigger compaction automatically; Compact exists for callers
+// that want exact statistics or minimal memory right now.
 func (ix *Index) Compact() {
 	var freed []uint32
 	for si := range ix.shards {
@@ -537,18 +841,26 @@ func (ix *Index) compactShard(s *shard) []uint32 {
 
 // Doc is a document vector resolved against the index's term dictionary:
 // terms the index has never seen are dropped (they cannot match), the rest
-// carry their interned ids. Build one with NewDoc to score the same
-// document several times without re-resolving terms.
+// carry their interned ids. NewDoc also precomputes the two orders the
+// matcher wants — terms by descending document weight, and an ascending
+// term-id view for exact rescoring — so scoring the same document several
+// times re-derives neither.
 type Doc struct {
-	ids []uint32
-	ws  []float64
+	ids []uint32  // scan-order hint: descending document weight
+	ws  []float64 // aligned with ids
+	asc []uint32  // the same terms sorted by ascending id (rescore merge)
+	aws []float64 // aligned with asc
 }
 
 // Len returns the number of document terms known to the index.
 func (d Doc) Len() int { return len(d.ids) }
 
 // NewDoc resolves a unit-normalized document vector against the term
-// dictionary once.
+// dictionary once and precomputes the matcher's two orders. The scan-order
+// hint depends only on the document's own weights (heaviest first, the
+// order that collapses the matcher's Cauchy–Schwarz tail bound fastest),
+// so a Doc stays valid (and exact) across concurrent index updates — the
+// matcher re-reads live term maxima for its pruning bounds.
 func (ix *Index) NewDoc(v vsm.Vector) Doc {
 	d := Doc{
 		ids: make([]uint32, 0, len(v.Terms)),
@@ -560,20 +872,49 @@ func (ix *Index) NewDoc(v vsm.Vector) Doc {
 			d.ws = append(d.ws, v.Weights[i])
 		}
 	}
+	d.asc = append([]uint32(nil), d.ids...)
+	d.aws = append([]float64(nil), d.ws...)
+	sortByIDAsc(d.asc, d.aws)
+	sortTermsByWDesc(nil, d.ids, d.ws, nil)
 	return d
 }
 
 // matcher is the pooled per-call scoring state: a dense accumulator over
-// entry slots, a dense best-per-user table over uids, and the touched
-// lists that make resetting them O(candidates) instead of O(capacity).
+// entry slots, a dense best-per-user table over uids, the touched lists
+// that make resetting them O(candidates) instead of O(capacity), and the
+// pruning scratch (term bounds, suffix sums, candidate and floor heaps).
 type matcher struct {
-	docIDs  []uint32
-	docWs   []float64
-	scores  []float64
-	touched []uint32
-	best    []float64
-	bestAt  []uint32
-	uids    []uint32
+	docIDs   []uint32
+	docWs    []float64
+	ascIDs   []uint32
+	ascWs    []float64
+	ubs      []float64
+	nb       []int32
+	suffix   []float64
+	csr      []float64
+	dense    []float64
+	scores   []float64 // exact float64 accumulator (unpruned path)
+	scores32 []float32 // upper-bound float32 accumulator (pruned path)
+	touched  []uint32
+	cands    []uint32
+	candUB   []float64
+	floor    []float64
+	best     []float64
+	bestAt   []uint32
+	uids     []uint32
+	stats    matchStats
+}
+
+// matchStats is one match's pruning effort, flushed to the index counters
+// (and instruments, when wired) in a single batch after the locks drop.
+type matchStats struct {
+	postingsScanned int
+	blocksSkipped   int
+	termsPruned     int
+	candidates      int
+	rescores        int
+	maxOver         float64
+	rescored        bool
 }
 
 func grow[T any](s []T, n int) []T {
@@ -595,7 +936,8 @@ func (ix *Index) Match(doc vsm.Vector, threshold float64) []Match {
 	}
 	m := ix.pool.Get().(*matcher)
 	m.resolve(ix, doc)
-	out := ix.matchInto(m, m.docIDs, m.docWs, threshold)
+	m.fillAsc()
+	out := ix.matchInto(m, m.docIDs, m.docWs, m.ascIDs, m.ascWs, true, threshold)
 	ix.pool.Put(m)
 	sortMatches(out)
 	if ix.inst != nil {
@@ -604,10 +946,13 @@ func (ix *Index) Match(doc vsm.Vector, threshold float64) []Match {
 	return out
 }
 
-// MatchDoc is Match for a pre-resolved document.
+// MatchDoc is Match for a pre-resolved document. The Doc's precomputed
+// hint order stands in for the live upper-bound sort (Docs are shared and
+// must not be mutated), which trades at most a little pruning efficacy —
+// never correctness — when term maxima drifted since NewDoc.
 func (ix *Index) MatchDoc(d Doc, threshold float64) []Match {
 	m := ix.pool.Get().(*matcher)
-	out := ix.matchInto(m, d.ids, d.ws, threshold)
+	out := ix.matchInto(m, d.ids, d.ws, d.asc, d.aws, false, threshold)
 	ix.pool.Put(m)
 	sortMatches(out)
 	return out
@@ -645,58 +990,419 @@ func (m *matcher) resolve(ix *Index, doc vsm.Vector) {
 	}
 }
 
-// matchInto accumulates scores and harvests the per-user best matches,
-// unsorted. The registry read lock is held for the whole call — freezing
-// slot liveness across both phases — with per-shard read locks nested
-// inside (registry→shard is the global lock order; no writer acquires the
-// registry while holding a shard). Commits therefore appear atomic to a
-// match: it scores either a user's old vector set or the new one, never a
-// half-replaced mix or a vanished user. Postings inserted concurrently for
-// staged slots are harmless: staged slots are not alive, and harvest
-// discards them along with stale postings on dead slots.
-func (ix *Index) matchInto(m *matcher, ids []uint32, ws []float64, threshold float64) []Match {
-	ix.mu.RLock()
-	nSlots := len(ix.entries)
-	m.scores = grow(m.scores, nSlots)
-	m.touched = m.touched[:0]
+// fillAsc derives the ascending term-id rescore view from the resolved doc.
+func (m *matcher) fillAsc() {
+	n := len(m.docIDs)
+	m.ascIDs = grow(m.ascIDs, n)
+	m.ascWs = grow(m.ascWs, n)
+	copy(m.ascIDs, m.docIDs)
+	copy(m.ascWs, m.docWs)
+	sortByIDAsc(m.ascIDs, m.ascWs)
+}
 
+// matchInto runs accumulate + harvest under the registry read lock —
+// freezing slot liveness across both phases — with per-shard read locks
+// nested inside (registry→shard is the global lock order; no writer
+// acquires the registry while holding a shard). Commits therefore appear
+// atomic to a match: it scores either a user's old vector set or the new
+// one, never a half-replaced mix or a vanished user. Postings inserted
+// concurrently for staged slots are harmless: staged slots are not alive,
+// and harvest discards them along with stale postings on dead slots.
+func (ix *Index) matchInto(m *matcher, ids []uint32, ws []float64, ascIDs []uint32, ascWs []float64, canSort bool, threshold float64) []Match {
+	prune := threshold > 0 && !ix.pruneOff.Load()
+	ix.mu.RLock()
+	slackTotal := ix.accumulate(m, ids, ws, canSort, threshold, prune)
+	out := ix.harvestAll(m, ascIDs, ascWs, threshold, slackTotal, prune)
+	ix.mu.RUnlock()
+	m.flushStats(ix)
+	return out
+}
+
+// accumulate walks posting lists term-at-a-time.
+//
+// With pruning off (or θ ≤ 0) every posting contributes its exact weight
+// to the float64 accumulator m.scores (reset via m.touched) and the
+// returned slack is 0.
+//
+// With pruning on, every scanned posting contributes its quantized upper
+// bound to the dense float32 accumulator m.scores32 — unconditionally, no
+// first-touch bookkeeping — and two skip levels bound what goes unscanned
+// (DESIGN.md §12):
+//
+//  1. Block skip: a committed block whose bound bub = dw·bmax·scale fits
+//     the remaining skip budget retires the whole rest of the list for one
+//     charge of bub to slack — impact order makes the current block's max
+//     bound every later posting, and a slot holds at most one posting per
+//     term. This can fire at block 0, dropping an entire fat list.
+//  2. Term cutoff: terms are walked heaviest-document-weight first (the
+//     order that collapses the Cauchy–Schwarz branch of rest fastest, and
+//     one that front-loads rare short-listed terms); once slack + rest(i)
+//     fits the slack budget (slackBudget·θ) the remaining terms are
+//     dropped whole.
+//
+// rest(i) is the tighter of two per-slot bounds on mass from terms [i, n):
+// the upper-bound sum Σ ub, and Cauchy–Schwarz — √(Σ dw²) times maxNorm,
+// since no entry holds more weight mass over those terms than its norm.
+//
+// The invariant is uniform: for EVERY slot, the mass its accumulator may
+// be missing is ≤ slackTotal = slack + rest(stop) ≤ slackBudget·θ —
+// skipped list tails are covered by their charged bub (one posting per
+// slot per term) and cut terms by rest(stop). So the harvest sweep's
+// candidate filter (score32 + slackTotal ≥ θ, minus a float32 rounding
+// margin) admits a superset of the true result set, every candidate is
+// exactly rescored in float64, and pruned output is bit-identical to
+// Caller holds the registry read lock.
+func (ix *Index) accumulate(m *matcher, ids []uint32, ws []float64, canSort bool, threshold float64, prune bool) (slackTotal float64) {
+	nSlots := len(ix.entries)
+	if prune {
+		m.scores32 = grow(m.scores32, nSlots)
+	} else {
+		m.scores = grow(m.scores, nSlots)
+	}
+	m.touched = m.touched[:0]
+	m.stats = matchStats{}
+
+	n := len(ids)
+	m.ubs = grow(m.ubs, n)
+	m.nb = grow(m.nb, n)
 	for i, t := range ids {
+		s := &ix.shards[shardOf(t)]
+		s.mu.RLock()
+		var maxw float64
+		var nb int32
+		if l := s.lists[t]; l != nil {
+			maxw = float64(l.maxW)
+			nb = int32(l.blocks())
+		}
+		s.mu.RUnlock()
+		m.ubs[i] = ws[i] * maxw
+		m.nb[i] = nb
+	}
+	if prune && canSort {
+		sortTermsByWDesc(m.ubs, ids, ws, m.nb)
+	}
+	m.suffix = grow(m.suffix, n+1)
+	m.csr = grow(m.csr, n+1)
+	m.suffix[n], m.csr[n] = 0, 0
+	var sumsq float64
+	maxNorm := ix.maxNorm
+	for i := n - 1; i >= 0; i-- {
+		m.suffix[i] = m.suffix[i+1] + m.ubs[i]
+		sumsq += ws[i] * ws[i]
+		m.csr[i] = maxNorm * math.Sqrt(sumsq)
+	}
+	rest := func(i int) float64 {
+		if m.csr[i] < m.suffix[i] {
+			return m.csr[i]
+		}
+		return m.suffix[i]
+	}
+
+	budget := slackBudget * threshold
+	var slack float64
+	scanned := 0
+	stop := n
+	for i, t := range ids {
+		if prune && slack+rest(i) <= budget {
+			stop = i
+			break
+		}
 		dw := ws[i]
 		s := &ix.shards[shardOf(t)]
 		s.mu.RLock()
-		for _, p := range s.postings[t] {
-			if int(p.id) >= nSlots {
+		l := s.lists[t]
+		if l == nil {
+			s.mu.RUnlock()
+			continue
+		}
+		if !prune {
+			// Staged ("hot") postings: few, exact, always scanned.
+			for k, id := range l.sids {
+				if int(id) >= nSlots {
+					continue // slot staged after this match began
+				}
+				sc := m.scores[id]
+				if sc == 0 {
+					m.touched = append(m.touched, id)
+				}
+				m.scores[id] = sc + dw*float64(l.sws[k])
+			}
+			scanned += len(l.sids)
+			for k, id := range l.ids {
+				if int(id) >= nSlots {
+					continue
+				}
+				sc := m.scores[id]
+				if sc == 0 {
+					m.touched = append(m.touched, id)
+				}
+				m.scores[id] = sc + dw*float64(l.ws[k])
+			}
+			scanned += len(l.ids)
+			s.mu.RUnlock()
+			continue
+		}
+		for k, id := range l.sids { // staged tail: exact, always scanned
+			if int(id) >= nSlots {
 				continue // slot staged after this match began
 			}
-			if m.scores[p.id] == 0 {
-				m.touched = append(m.touched, p.id)
+			m.scores32[id] += float32(dw * float64(l.sws[k]))
+		}
+		scanned += len(l.sids)
+		nc := len(l.ids)
+		if nc == 0 {
+			s.mu.RUnlock()
+			continue
+		}
+		dws := dw * float64(l.scale) // folds the per-term dequantize scale
+		dws32 := float32(dws)
+		nb := l.blocks()
+		lids, qws, bmax := l.ids, l.qws, l.bmax
+		for b := 0; b < nb; b++ {
+			bub := dws * float64(bmax[b])
+			// Three quarters of the budget may go to block skips; the
+			// remainder is reserved so the term cutoff can still fire.
+			if slack+bub <= budget*0.75 {
+				slack += bub
+				m.stats.blocksSkipped += nb - b
+				break
 			}
-			m.scores[p.id] += float64(p.w) * dw
+			start, end := b*blockSize, (b+1)*blockSize
+			if end > nc {
+				end = nc
+			}
+			for k := start; k < end; k++ {
+				id := lids[k]
+				if int(id) >= nSlots {
+					continue
+				}
+				m.scores32[id] += dws32 * float32(qws[k])
+			}
+			scanned += end - start
 		}
 		s.mu.RUnlock()
 	}
+	slackTotal = slack
+	if stop < n {
+		m.stats.termsPruned = n - stop
+		for j := stop; j < n; j++ {
+			m.stats.blocksSkipped += int(m.nb[j])
+		}
+		slackTotal += rest(stop)
+	}
+	m.stats.postingsScanned = scanned
+	return slackTotal
+}
 
+// fillDense scatters the document's weights into a term-id-indexed scratch
+// array so rescoreDense can look doc weights up in O(1) instead of merging
+// two sorted sequences per candidate. Sized to the document's largest term
+// id; entry terms beyond it cannot be doc terms (ascIDs is sorted) and
+// contribute zero. clearDense undoes exactly the writes fillDense made,
+// keeping the pooled array all-zero between calls.
+func (m *matcher) fillDense(ascIDs []uint32, ascWs []float64) {
+	n := len(ascIDs)
+	if n == 0 {
+		m.dense = m.dense[:0]
+		return
+	}
+	m.dense = grow(m.dense, int(ascIDs[n-1])+1)
+	for j, t := range ascIDs {
+		m.dense[t] = ascWs[j]
+	}
+}
+
+func (m *matcher) clearDense(ascIDs []uint32) {
+	for _, t := range ascIDs {
+		if int(t) < len(m.dense) {
+			m.dense[t] = 0
+		}
+	}
+}
+
+// rescoreDense recomputes the exact similarity between an entry's own
+// vector and the document. Walking the entry's ascending term ids and
+// summing weight products in that order reproduces the sorted-merge
+// rescore's float arithmetic bit-for-bit; the entry's single termWeight
+// run keeps the walk one sequential cache stream.
+func rescoreDense(e *entrySlot, dense []float64) float64 {
+	var sum float64
+	for _, p := range e.tws {
+		if int(p.t) < len(dense) {
+			sum += float64(p.w) * dense[p.t]
+		}
+	}
+	return sum
+}
+
+// sweepCut is the pruned harvest's candidate filter: a slot survives when
+// score32 + slackTotal ≥ θ·(1 − sweepMargin). The margin absorbs every
+// float32 rounding the pruned accumulator admits — the per-term
+// float32(dw·scale) fold and the float32 additions — whose combined
+// relative error stays under (terms+3)·2⁻²³ ≈ 1.6e-5 for thousand-term
+// documents, three orders of magnitude inside the margin. Candidates are
+// exactly rescored in float64, so the margin only widens the candidate
+// superset; it never changes output.
+const sweepMargin = 1e-3
+
+func sweepCut(threshold, slackTotal float64) float32 {
+	return float32(threshold - slackTotal - sweepMargin*threshold)
+}
+
+// harvestAll reduces the accumulator to the best vector per user ≥ θ.
+//
+// Unpruned, it walks m.touched, resetting each touched float64 score and
+// keeping exact scores ≥ θ. Pruned, it sweeps the dense float32 bound
+// accumulator sequentially — at large slot counts nearly every slot was
+// touched anyway, and one linear pass plus a bulk clear is far cheaper
+// than a random-order touched walk — and exactly rescores the slots that
+// survive sweepCut. Caller holds the registry read lock.
+func (ix *Index) harvestAll(m *matcher, ascIDs []uint32, ascWs []float64, threshold float64, slackTotal float64, prune bool) []Match {
 	m.best = grow(m.best, int(ix.nextUID))
 	m.bestAt = grow(m.bestAt, int(ix.nextUID))
 	m.uids = m.uids[:0]
-	for _, slot := range m.touched {
-		sc := m.scores[slot]
-		m.scores[slot] = 0
-		if sc < threshold {
-			continue
+	if prune {
+		m.fillDense(ascIDs, ascWs)
+		defer m.clearDense(ascIDs)
+		cut := sweepCut(threshold, slackTotal)
+		for slot, sc32 := range m.scores32 {
+			if sc32 < cut {
+				continue
+			}
+			e := &ix.entries[slot]
+			if !e.alive {
+				continue
+			}
+			m.stats.candidates++
+			m.stats.rescores++
+			m.stats.rescored = true
+			ex := rescoreDense(e, m.dense)
+			if over := float64(sc32) - ex; over > m.stats.maxOver {
+				m.stats.maxOver = over
+			}
+			if ex < threshold {
+				continue
+			}
+			m.record(ix, uint32(slot), ex)
+		}
+		clear(m.scores32)
+	} else {
+		for _, slot := range m.touched {
+			sc := m.scores[slot]
+			m.scores[slot] = 0
+			if sc < threshold {
+				continue
+			}
+			e := &ix.entries[slot]
+			if !e.alive {
+				continue
+			}
+			m.record(ix, slot, sc)
+		}
+	}
+	out := make([]Match, 0, len(m.uids))
+	for _, uid := range m.uids {
+		e := &ix.entries[m.bestAt[uid]]
+		out = append(out, Match{User: e.user, Score: m.best[uid], Vector: e.vec})
+		m.best[uid] = 0
+	}
+	return out
+}
+
+// record folds one qualifying (slot, exact score) into the per-user bests.
+func (m *matcher) record(ix *Index, slot uint32, sc float64) {
+	e := &ix.entries[slot]
+	uid := e.uid
+	cur := m.best[uid]
+	switch {
+	case cur == 0:
+		m.uids = append(m.uids, uid)
+		fallthrough
+	case sc > cur,
+		sc == cur && e.vec < ix.entries[m.bestAt[uid]].vec:
+		m.best[uid] = sc
+		m.bestAt[uid] = slot
+	}
+}
+
+// harvestTopK is harvestAll with the heap floor fed back into pruning:
+// candidates are rescored in descending upper-bound order while a min-heap
+// tracks the k best first-qualifying per-user scores; once full, its floor
+// retires every candidate whose bound falls below it. The floor
+// under-estimates the true kth-best user score (a user's best only
+// improves after its first score), so no output-affecting candidate is
+// dropped, and the per-user bests equal Match's for every emitted user —
+// pinning TopK(θ,k) ≡ sort(Match(θ))[:k]. Caller holds the registry read
+// lock; the caller sorts and truncates to k.
+func (ix *Index) harvestTopK(m *matcher, ascIDs []uint32, ascWs []float64, threshold float64, k int, slackTotal float64, prune bool) []Match {
+	m.cands = m.cands[:0]
+	m.candUB = m.candUB[:0]
+	if prune {
+		cut := sweepCut(threshold, slackTotal)
+		for slot, sc32 := range m.scores32 {
+			if sc32 < cut {
+				continue
+			}
+			if !ix.entries[slot].alive {
+				continue
+			}
+			m.cands = append(m.cands, uint32(slot))
+			// The upper bound mirrors sweepCut's margin so float32
+			// rounding can't place a candidate's bound below its exact
+			// score (the floor test depends on UB ≥ exact).
+			m.candUB = append(m.candUB, float64(sc32)+slackTotal+sweepMargin*threshold)
+		}
+		clear(m.scores32)
+	} else {
+		for _, slot := range m.touched {
+			sc := m.scores[slot]
+			m.scores[slot] = 0
+			if sc < threshold {
+				continue
+			}
+			if !ix.entries[slot].alive {
+				continue
+			}
+			m.cands = append(m.cands, slot)
+			m.candUB = append(m.candUB, sc)
+		}
+	}
+	heapsortDesc(m.candUB, m.cands)
+	m.best = grow(m.best, int(ix.nextUID))
+	m.bestAt = grow(m.bestAt, int(ix.nextUID))
+	m.uids = m.uids[:0]
+	m.floor = m.floor[:0]
+	if prune {
+		m.fillDense(ascIDs, ascWs)
+		defer m.clearDense(ascIDs)
+	}
+	for ci, slot := range m.cands {
+		if len(m.floor) == k && m.candUB[ci] < m.floor[0] {
+			break // no remaining candidate can enter or reorder the top k
 		}
 		e := &ix.entries[slot]
-		if !e.alive {
+		sc := m.candUB[ci]
+		if prune {
+			m.stats.candidates++
+			m.stats.rescores++
+			m.stats.rescored = true
+			ex := rescoreDense(e, m.dense)
+			if over := sc - slackTotal - ex; over > m.stats.maxOver {
+				m.stats.maxOver = over
+			}
+			sc = ex
+		}
+		if sc < threshold {
 			continue
 		}
 		uid := e.uid
 		cur := m.best[uid]
-		switch {
-		case cur == 0:
+		if cur == 0 {
 			m.uids = append(m.uids, uid)
-			fallthrough
-		case sc > cur,
-			sc == cur && e.vec < ix.entries[m.bestAt[uid]].vec:
+			m.best[uid] = sc
+			m.bestAt[uid] = slot
+			m.floor = floorPush(m.floor, sc, k)
+		} else if sc > cur || (sc == cur && e.vec < ix.entries[m.bestAt[uid]].vec) {
 			m.best[uid] = sc
 			m.bestAt[uid] = slot
 		}
@@ -707,8 +1413,51 @@ func (ix *Index) matchInto(m *matcher, ids []uint32, ws []float64, threshold flo
 		out = append(out, Match{User: e.user, Score: m.best[uid], Vector: e.vec})
 		m.best[uid] = 0
 	}
-	ix.mu.RUnlock()
 	return out
+}
+
+// flushStats batches the match's pruning work into the index counters and,
+// when instrumented, the exported metrics. Called after locks drop.
+func (m *matcher) flushStats(ix *Index) {
+	st := &m.stats
+	if st.postingsScanned > 0 {
+		ix.stats.postingsScanned.Add(uint64(st.postingsScanned))
+	}
+	if st.blocksSkipped > 0 {
+		ix.stats.blocksSkipped.Add(uint64(st.blocksSkipped))
+	}
+	if st.termsPruned > 0 {
+		ix.stats.termsPruned.Add(uint64(st.termsPruned))
+	}
+	if st.candidates > 0 {
+		ix.stats.candidates.Add(uint64(st.candidates))
+	}
+	if st.rescores > 0 {
+		ix.stats.rescores.Add(uint64(st.rescores))
+	}
+	inst := ix.inst
+	if inst == nil {
+		return
+	}
+	if st.postingsScanned > 0 {
+		inst.postingsScanned.Add(int64(st.postingsScanned))
+	}
+	if st.blocksSkipped > 0 {
+		inst.blocksSkipped.Add(int64(st.blocksSkipped))
+	}
+	if st.termsPruned > 0 {
+		inst.termsPruned.Add(int64(st.termsPruned))
+	}
+	if st.rescores > 0 {
+		inst.rescores.Add(int64(st.rescores))
+	}
+	if st.rescored {
+		over := st.maxOver
+		if over < 0 {
+			over = 0
+		}
+		inst.quantErr.Observe(over)
+	}
 }
 
 // matchLess is the result order: descending score, ties by user.
@@ -720,11 +1469,23 @@ func matchLess(a, b Match) bool {
 }
 
 func sortMatches(out []Match) {
-	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+	// slices.SortFunc over sort.Slice: no reflection-based swaps, and the
+	// match-set sort is a measurable slice of large-tier Match calls.
+	slices.SortFunc(out, func(a, b Match) int {
+		if matchLess(a, b) {
+			return -1
+		}
+		if matchLess(b, a) {
+			return 1
+		}
+		return 0
+	})
 }
 
-// TopK returns the k best matches above the threshold, selected through a
-// bounded min-heap so only k of the candidate users are ever sorted.
+// TopK returns the k best matches above the threshold. The accumulator
+// pass prunes against θ like Match; the harvest pass then tightens the
+// effective threshold as the per-user heap fills (see harvestTopK), so
+// low-bound candidates are never rescored at all.
 func (ix *Index) TopK(doc vsm.Vector, threshold float64, k int) []Match {
 	if k <= 0 {
 		return nil
@@ -736,46 +1497,149 @@ func (ix *Index) TopK(doc vsm.Vector, threshold float64, k int) []Match {
 	}
 	m := ix.pool.Get().(*matcher)
 	m.resolve(ix, doc)
-	all := ix.matchInto(m, m.docIDs, m.docWs, threshold)
+	m.fillAsc()
+	prune := threshold > 0 && !ix.pruneOff.Load()
+	ix.mu.RLock()
+	slackTotal := ix.accumulate(m, m.docIDs, m.docWs, true, threshold, prune)
+	out := ix.harvestTopK(m, m.ascIDs, m.ascWs, threshold, k, slackTotal, prune)
+	ix.mu.RUnlock()
+	m.flushStats(ix)
 	ix.pool.Put(m)
-	if len(all) <= k {
-		sortMatches(all)
-		return all
-	}
-	// Min-heap of the k best seen so far; the root is the weakest keeper.
-	heap := all[:k]
-	for i := k/2 - 1; i >= 0; i-- {
-		siftDown(heap, i)
-	}
-	for _, cand := range all[k:] {
-		if matchLess(cand, heap[0]) {
-			heap[0] = cand
-			siftDown(heap, 0)
-		}
-	}
-	out := heap[:k:k]
 	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
 	return out
 }
 
-// siftDown restores the heap property at i, ordering by "weakest first"
-// (the inverse of matchLess).
-func siftDown(h []Match, i int) {
+// ---------------------------------------------------------------------------
+// Sorting scratch (closure-free so the match path stays allocation-free)
+
+// sortByIDAsc insertion-sorts parallel (id, weight) arrays by ascending id.
+// Inputs are vector-sized (≤ a few hundred terms).
+func sortByIDAsc[W any](ids []uint32, ws []W) {
+	for i := 1; i < len(ids); i++ {
+		id, w := ids[i], ws[i]
+		j := i - 1
+		for j >= 0 && ids[j] > id {
+			ids[j+1], ws[j+1] = ids[j], ws[j]
+			j--
+		}
+		ids[j+1], ws[j+1] = id, w
+	}
+}
+
+// sortTermsByWDesc insertion-sorts the parallel term arrays by descending
+// document weight. The walk order exists to make rest(i) collapse as fast
+// as possible, and the binding branch of rest is the Cauchy–Schwarz bound
+// √(Σ tail dw²) — which decays fastest when the heaviest doc weights go
+// first. High doc weights are high-idf (rare) terms with short posting
+// lists, so this order also keeps the broad mint zone over cheap lists
+// and leaves the fat common-term lists to the update/skip/cutoff levels.
+// nb may be nil (NewDoc's hint ordering carries no counts).
+func sortTermsByWDesc(ubs []float64, ids []uint32, ws []float64, nb []int32) {
+	for i := 1; i < len(ws); i++ {
+		id, w := ids[i], ws[i]
+		var u float64
+		if ubs != nil {
+			u = ubs[i]
+		}
+		var b int32
+		if nb != nil {
+			b = nb[i]
+		}
+		j := i - 1
+		for j >= 0 && ws[j] < w {
+			ids[j+1], ws[j+1] = ids[j], ws[j]
+			if ubs != nil {
+				ubs[j+1] = ubs[j]
+			}
+			if nb != nil {
+				nb[j+1] = nb[j]
+			}
+			j--
+		}
+		ids[j+1], ws[j+1] = id, w
+		if ubs != nil {
+			ubs[j+1] = u
+		}
+		if nb != nil {
+			nb[j+1] = b
+		}
+	}
+}
+
+// heapsortDesc sorts parallel (key, value) arrays by descending key,
+// in place and allocation-free (candidate sets can reach many thousands,
+// too large for insertion sort).
+func heapsortDesc[K float32 | float64](keys []K, vals []uint32) {
+	n := len(keys)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMin(keys, vals, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		keys[0], keys[end] = keys[end], keys[0]
+		vals[0], vals[end] = vals[end], vals[0]
+		siftDownMin(keys, vals, 0, end)
+	}
+}
+
+// siftDownMin restores the min-heap property at i over keys[:n].
+func siftDownMin[K float32 | float64](keys []K, vals []uint32, i, n int) {
 	for {
-		l, r := 2*i+1, 2*i+2
-		weakest := i
-		if l < len(h) && matchLess(h[weakest], h[l]) {
-			weakest = l
-		}
-		if r < len(h) && matchLess(h[weakest], h[r]) {
-			weakest = r
-		}
-		if weakest == i {
+		l := 2*i + 1
+		if l >= n {
 			return
 		}
-		h[i], h[weakest] = h[weakest], h[i]
-		i = weakest
+		small := l
+		if r := l + 1; r < n && keys[r] < keys[l] {
+			small = r
+		}
+		if keys[small] >= keys[i] {
+			return
+		}
+		keys[i], keys[small] = keys[small], keys[i]
+		vals[i], vals[small] = vals[small], vals[i]
+		i = small
 	}
+}
+
+// floorPush feeds one first-qualifying user score into the bounded
+// min-heap whose root is the TopK pruning floor.
+func floorPush(h []float64, x float64, k int) []float64 {
+	if len(h) < k {
+		h = append(h, x)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p] <= h[i] {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		return h
+	}
+	if x > h[0] {
+		h[0] = x
+		i, n := 0, len(h)
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			small := l
+			if r := l + 1; r < n && h[r] < h[l] {
+				small = r
+			}
+			if h[small] >= h[i] {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+	}
+	return h
 }
 
 // ---------------------------------------------------------------------------
@@ -799,7 +1663,7 @@ func (ix *Index) Size() Stats {
 	for i := range ix.shards {
 		sh := &ix.shards[i]
 		sh.mu.RLock()
-		s.Terms += len(sh.postings)
+		s.Terms += len(sh.lists)
 		s.Postings += sh.live
 		sh.mu.RUnlock()
 	}

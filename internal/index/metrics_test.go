@@ -53,6 +53,35 @@ func TestInstrument(t *testing.T) {
 	}
 }
 
+// TestCompactSkipsCleanShards pins that per-shard compaction is a strict
+// no-op for shards without tombstones: a single-term removal dirties
+// exactly one of the 16 shards, so a full Compact() must record exactly
+// one compaction — and a second Compact(), with nothing left to sweep,
+// must record none.
+func TestCompactSkipsCleanShards(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ix := New()
+	ix.Instrument(reg)
+
+	for i := 0; i < 8; i++ {
+		ix.Upsert("keeper", i, vec("kept-term", 1.0))
+	}
+	ix.Upsert("victim", 0, vec("doomed-term", 1.0))
+	ix.Remove("victim", 0)
+
+	ix.Compact()
+	if got := reg.Snapshot()["mm_index_compactions_total"].(int64); got != 1 {
+		t.Errorf("compactions after one dirty shard = %d, want 1 (clean shards must be skipped)", got)
+	}
+	ix.Compact()
+	if got := reg.Snapshot()["mm_index_compactions_total"].(int64); got != 1 {
+		t.Errorf("compactions after clean re-run = %d, want still 1", got)
+	}
+	if h := reg.Snapshot()["mm_index_compaction_seconds"].(metrics.HistogramSnapshot); h.Count != 1 {
+		t.Errorf("compaction durations = %d, want 1", h.Count)
+	}
+}
+
 // TestRecordMatchLatency covers the externally-timed MatchDoc recording
 // the broker uses: plain observations land in the histogram, traced ones
 // additionally register a per-bucket exemplar, and an uninstrumented index

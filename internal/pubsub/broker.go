@@ -124,6 +124,11 @@ type Options struct {
 	// Nil disables tracing; with a tracer set but nothing sampled, the
 	// publish hot path pays no allocations and no extra clock reads.
 	Trace *trace.Tracer
+	// NoPrune disables the index's threshold-aware match pruning
+	// (DESIGN.md §12), forcing every posting to be scanned exactly. Match
+	// results are identical either way; the flag (mmserver/mmbench
+	// -prune=off) exists for A/B comparisons and as an escape hatch.
+	NoPrune bool
 }
 
 // DefaultOptions returns the broker defaults: threshold 0.25, queues of
@@ -223,6 +228,7 @@ func New(opts Options) *Broker {
 		m:     newBrokerMetrics(reg),
 	}
 	b.idx.Instrument(reg)
+	b.idx.SetPruning(!opts.NoPrune)
 	reg.GaugeFunc("mm_pubsub_subscribers",
 		"Currently registered subscribers.",
 		func() float64 { return float64(b.reg.len()) })
