@@ -16,6 +16,7 @@
 //	mmclient stats -http localhost:8080     (full /statsz + /metrics dump)
 //	mmclient trace -http localhost:8080 [-slow] [-n 10] [-id TRACE]
 //	mmclient explain -http localhost:8080 -user alice [-doc 12]
+//	mmclient health -http localhost:8080    (liveness + per-component readiness)
 //	mmclient unsubscribe -user alice
 package main
 
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"mmprofile/internal/core"
+	"mmprofile/internal/obs"
 	"mmprofile/internal/trace"
 	"mmprofile/internal/wire"
 )
@@ -70,6 +72,18 @@ func main() {
 			fail(fmt.Errorf("trace needs -http (the mmserver -http address)"))
 		}
 		check(httpTrace(*httpAddr, *slow, *n, *id))
+		return
+	}
+
+	if cmd == "health" {
+		// health is HTTP-only: it reads /healthz and /readyz.
+		fs := flag.NewFlagSet("health", flag.ExitOnError)
+		httpAddr := fs.String("http", "", "status-listener address (required)")
+		parse(fs, rest)
+		if *httpAddr == "" {
+			fail(fmt.Errorf("health needs -http (the mmserver -http address)"))
+		}
+		check(httpHealth(*httpAddr))
 		return
 	}
 
@@ -447,6 +461,64 @@ func httpExplain(addr, user string, doc int64) error {
 	return nil
 }
 
+// httpHealth reads /healthz (liveness) and /readyz (readiness) and renders
+// both: the liveness line, the readiness rollup, and one line per component
+// with its status, reason, and heartbeat age. Exits 1 when the server is
+// not ready, so scripts can gate on `mmclient health`.
+func httpHealth(addr string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	body, err := httpGet(addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("liveness   %s\n", strings.TrimSpace(string(body)))
+
+	// /readyz answers 503 while not ready — with the same JSON body — so
+	// it needs a fetch path that keeps the body on non-200.
+	resp, err := http.Get(addr + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var snap obs.HealthSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+	fmt.Printf("readiness  %s (HTTP %d)\n", snap.Status, resp.StatusCode)
+	if len(snap.Components) > 0 {
+		width := 0
+		names := make([]string, 0, len(snap.Components))
+		for name := range snap.Components {
+			names = append(names, name)
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := snap.Components[name]
+			line := fmt.Sprintf("  %-*s  %s", width, name, c.Status)
+			if c.Reason != "" {
+				line += "  (" + c.Reason + ")"
+			}
+			if c.LastBeatAgoMS > 0 {
+				line += fmt.Sprintf("  beat %dms ago", c.LastBeatAgoMS)
+			}
+			fmt.Println(line)
+		}
+	}
+	if !snap.Ready() {
+		os.Exit(1)
+	}
+	return nil
+}
+
 func httpGet(url string) ([]byte, error) {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -511,6 +583,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|feedback|profile|fetch|export|import|stats|trace|explain [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|feedback|profile|fetch|export|import|stats|trace|explain|health [flags]")
 	os.Exit(2)
 }

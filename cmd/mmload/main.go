@@ -101,8 +101,15 @@ func main() {
 	}
 
 	// Publishers: split the document budget, measure per-publish RTT.
+	// Traced publishes also record their (latency, trace id) pair so the
+	// summary can correlate straggler RTTs with server-side span trees.
+	type tracedPublish struct {
+		lat   time.Duration
+		trace string
+	}
 	var pubWG sync.WaitGroup
 	latencies := make([][]time.Duration, *publishers)
+	tracedLats := make([][]tracedPublish, *publishers)
 	var published, traced atomic.Int64
 	start := time.Now()
 	for p := 0; p < *publishers; p++ {
@@ -134,10 +141,12 @@ func main() {
 					fmt.Fprintln(os.Stderr, "mmload: publish:", err)
 					return
 				}
+				rtt := time.Since(t0)
 				if tid != "" {
 					traced.Add(1)
+					tracedLats[p] = append(tracedLats[p], tracedPublish{lat: rtt, trace: tid})
 				}
-				lats = append(lats, time.Since(t0))
+				lats = append(lats, rtt)
 				published.Add(1)
 			}
 			latencies[p] = lats
@@ -166,6 +175,21 @@ func main() {
 
 	if traced.Load() > 0 {
 		fmt.Printf("traced publishes: %d (server captured; inspect with mmclient trace -http ...)\n", traced.Load())
+		// Straggler correlation: the slowest traced RTTs, each with the
+		// trace id the server captured for it, so "why was the tail slow"
+		// goes straight from this summary to a span tree.
+		var stragglers []tracedPublish
+		for _, tl := range tracedLats {
+			stragglers = append(stragglers, tl...)
+		}
+		sort.Slice(stragglers, func(i, j int) bool { return stragglers[i].lat > stragglers[j].lat })
+		if len(stragglers) > 5 {
+			stragglers = stragglers[:5]
+		}
+		for _, s := range stragglers {
+			fmt.Printf("  straggler: %v  trace %s  (mmclient trace -http ... -id %s)\n",
+				s.lat.Round(time.Microsecond), s.trace, s.trace)
+		}
 	}
 
 	c, err := wire.Dial(*addr)

@@ -8,26 +8,38 @@
 // journaled to a write-ahead log, checkpointed periodically, and restored
 // on restart.
 //
+// Diagnostics (DESIGN.md §13): structured logs (-log-format, -log-level),
+// liveness on /healthz and per-component readiness on /readyz (flipped to
+// draining before the listener closes on SIGINT/SIGTERM), runtime
+// telemetry as mm_runtime_* gauges, and a flight recorder that writes a
+// diagnostic bundle under -dump-dir on panic, SIGQUIT, a match-latency
+// p99 over -match-slo, or POST /debugz/dump.
+//
 // Usage:
 //
 //	mmserver [-addr :7070] [-threshold 0.25] [-queue 128] [-retention 4096]
 //	         [-state DIR] [-checkpoint 5m] [-fsync] [-sync-interval 2s]
 //	         [-pubsub-shards N] [-trace-sample 0.01] [-trace-slow 50ms]
+//	         [-log-format text|json] [-log-level info] [-dump-dir DIR]
+//	         [-match-slo 0]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
 
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/obs"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/store"
 	"mmprofile/internal/trace"
@@ -49,6 +61,10 @@ type config struct {
 	traceSample float64
 	traceSlow   time.Duration
 	prune       bool
+	logFormat   string
+	logLevel    string
+	dumpDir     string
+	matchSLO    time.Duration
 }
 
 func (c *config) register(fs *flag.FlagSet) {
@@ -63,6 +79,10 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.Float64Var(&c.traceSample, "trace-sample", 0, "fraction of requests to capture as traces, 0..1 (0 = off; see /tracez)")
 	fs.DurationVar(&c.traceSlow, "trace-slow", 0, "capture any request slower than this even when unsampled (0 = off)")
 	fs.BoolVar(&c.prune, "prune", true, "threshold-aware match pruning (block-max skipping); -prune=false scans every posting")
+	fs.StringVar(&c.logFormat, "log-format", "text", "log encoding: text or json")
+	fs.StringVar(&c.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	fs.StringVar(&c.dumpDir, "dump-dir", "", "flight-recorder bundle directory (default <state>/dumps, or the OS temp dir without -state)")
+	fs.DurationVar(&c.matchSLO, "match-slo", 0, "p99 match-latency SLO; sustained breach triggers a flight-recorder bundle (0 = off)")
 }
 
 // tracer builds the request tracer from the trace flags; nil when both are
@@ -72,6 +92,31 @@ func (c *config) tracer() *trace.Tracer {
 		return nil
 	}
 	return trace.New(trace.Options{SampleRate: c.traceSample, SlowThreshold: c.traceSlow})
+}
+
+// logger builds the process logger from the log flags, tapped into ring
+// for the flight recorder.
+func (c *config) logger(ring *obs.EventRing) (*obs.Logger, error) {
+	level, err := obs.ParseLevel(c.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(obs.LogOptions{Format: c.logFormat, Level: level, Ring: ring})
+}
+
+// resolveDumpDir picks the flight-recorder directory: the explicit flag,
+// else a dumps/ subdirectory of the state dir, else a stable path under
+// the OS temp dir (so a stateless server still records crashes somewhere
+// findable).
+func resolveDumpDir(flagVal, stateDir string) string {
+	switch {
+	case flagVal != "":
+		return flagVal
+	case stateDir != "":
+		return filepath.Join(stateDir, "dumps")
+	default:
+		return filepath.Join(os.TempDir(), "mmserver-dumps")
+	}
 }
 
 // brokerOptions translates the flags into the broker configuration.
@@ -94,6 +139,16 @@ func (c *config) storeOptions(reg *metrics.Registry) store.Options {
 	return store.Options{Durable: c.fsync, SyncInterval: c.syncEvery, Metrics: reg}
 }
 
+// heartbeatEvery is how often the pipeline probe beats the health model;
+// heartbeatMaxAge is the staleness bound /readyz degrades at. The gap
+// tolerates scheduler hiccups without flapping.
+const (
+	heartbeatEvery  = time.Second
+	heartbeatMaxAge = 5 * time.Second
+	samplerEvery    = 5 * time.Second
+	sloCooldown     = time.Minute
+)
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":7070", "listen address")
@@ -105,18 +160,24 @@ func main() {
 	cfg.register(flag.CommandLine)
 	flag.Parse()
 
-	// One registry for the whole process: the broker, the index, and the
-	// store all record into it, and the HTTP endpoints expose it. The
-	// mm_store_* family is registered up front so /metrics carries every
-	// family even when the server runs without -state.
+	ring := obs.NewEventRing(0)
+	logger, err := cfg.logger(ring)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One registry for the whole process: the broker, the index, the store,
+	// and the runtime sampler all record into it, and the HTTP endpoints
+	// expose it. The mm_store_* family is registered up front so /metrics
+	// carries every family even when the server runs without -state.
 	reg := metrics.NewRegistry()
 	store.RegisterMetrics(reg)
 
 	opts := cfg.brokerOptions(reg)
+	opts.Log = logger
 
 	var st *store.Store
 	if *stateDir != "" {
-		var err error
 		st, err = store.Open(*stateDir, cfg.storeOptions(reg))
 		if err != nil {
 			fatal(err)
@@ -126,10 +187,97 @@ func main() {
 	}
 
 	broker := pubsub.New(opts)
-	srv := wire.NewServer(broker, log.Printf)
+
+	// Readiness model: the server flips from starting to ready once the
+	// listener is bound; the store reports its sticky failure state; the
+	// index and publish pipeline prove liveness via heartbeats (a wedged
+	// layer blocks the probe, the beat goes stale, /readyz degrades — the
+	// handler itself never touches broker locks).
+	health := obs.NewHealth()
+	health.Set("server", obs.StatusNotReady, "starting")
+	if st != nil {
+		health.RegisterCheck("store_wal", st.Health)
+	} else {
+		health.Set("store_wal", obs.StatusReady, "in-memory (no -state)")
+	}
+	health.RegisterHeartbeat("index", heartbeatMaxAge)
+	health.RegisterHeartbeat("publish_loop", heartbeatMaxAge)
+	stopBeats := make(chan struct{})
+	go func() {
+		t := time.NewTicker(heartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopBeats:
+				return
+			case <-t.C:
+				broker.PingPipeline()
+				health.Beat("publish_loop")
+				broker.IndexStats()
+				health.Beat("index")
+			}
+		}
+	}()
+
+	// Flight recorder: panic (via the deferred RecoverRepanic here and in
+	// every wire connection handler), SIGQUIT, the match-SLO watermark
+	// below, and POST /debugz/dump all write bundles to dumpDir.
+	dumpDir := resolveDumpDir(cfg.dumpDir, *stateDir)
+	src := obs.BundleSources{Metrics: reg, Tracer: broker.Tracer(), Health: health}
+	if st != nil {
+		src.WALInfo = func() (any, error) { return st.WALInfo() }
+	}
+	rec := obs.NewRecorder(dumpDir, ring, src)
+	defer rec.RecoverRepanic()
+
+	// Watermark: every sampler tick, compare the match histogram's p99
+	// against the SLO; a breach with fresh traffic dumps a bundle (at most
+	// one per cooldown window). The registry's idempotent registration
+	// returns the broker's own histogram.
+	matchHist := reg.Histogram("mm_pubsub_match_seconds",
+		"Latency of matching one published document against all subscriber profiles.")
+	var lastMatchCount int64
+	onTick := func(obs.RuntimeStats) {
+		if cfg.matchSLO <= 0 {
+			return
+		}
+		snap := matchHist.Snapshot()
+		fresh := snap.Count > lastMatchCount
+		lastMatchCount = snap.Count
+		if !fresh {
+			return
+		}
+		p99 := matchHist.Quantile(0.99)
+		if p99 <= cfg.matchSLO.Seconds() {
+			return
+		}
+		path, skipped, err := rec.DumpCooldown("match_slo", sloCooldown)
+		switch {
+		case err != nil:
+			logger.Error("mmserver: match-slo dump failed", slog.String("err", err.Error()))
+		case !skipped:
+			logger.Warn("mmserver: match p99 over SLO, bundle written",
+				slog.Float64("p99_seconds", p99),
+				slog.Float64("slo_seconds", cfg.matchSLO.Seconds()),
+				slog.String("bundle", path))
+		}
+	}
+	sampler := obs.StartRuntimeSampler(reg, samplerEvery, onTick)
+	defer sampler.Stop()
+	if tr := broker.Tracer(); tr != nil {
+		reg.GaugeFunc("mm_trace_sampled",
+			"Root spans captured by head sampling or remote join.",
+			func() float64 { s, _ := tr.Counts(); return float64(s) })
+		reg.GaugeFunc("mm_trace_slow_captured",
+			"Traces retained for meeting the slow threshold.",
+			func() float64 { _, s := tr.Counts(); return float64(s) })
+	}
+
+	srv := wire.NewServerLogger(broker, logger)
+	srv.SetRecorder(rec)
 
 	if st != nil {
-		if err := restore(st, broker, srv); err != nil {
+		if err := restore(st, broker, srv, logger); err != nil {
 			fatal(err)
 		}
 	}
@@ -139,22 +287,32 @@ func main() {
 		fatal(err)
 	}
 	lay := broker.Layout()
-	log.Printf("mmserver: listening on %s (threshold %.2f, state %q, shards registry=%d docs=%d stats=%d index=%d)",
-		lis.Addr(), cfg.threshold, *stateDir, lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards)
+	logger.Info("mmserver: listening",
+		slog.String("addr", lis.Addr().String()),
+		slog.Float64("threshold", cfg.threshold),
+		slog.String("state", *stateDir),
+		slog.String("dump_dir", dumpDir),
+		slog.Int("registry_shards", lay.RegistryShards),
+		slog.Int("doc_shards", lay.DocShards),
+		slog.Int("stats_stripes", lay.StatsStripes),
+		slog.Int("index_shards", lay.IndexShards))
 	if broker.Tracer() != nil {
-		log.Printf("mmserver: tracing on (sample %.3g, slow %s) — /tracez on the -http listener",
-			cfg.traceSample, cfg.traceSlow)
+		logger.Info("mmserver: tracing on — /tracez on the -http listener",
+			slog.Float64("sample", cfg.traceSample),
+			slog.String("slow", cfg.traceSlow.String()))
 	}
+	health.Set("server", obs.StatusReady, "")
 
 	if *httpAddr != "" {
 		httpLis, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("mmserver: status pages on http://%s/", httpLis.Addr())
+		logger.Info("mmserver: status pages", slog.String("url", "http://"+httpLis.Addr().String()+"/"))
+		handler := wire.NewStatusHandlerOpts(broker, wire.StatusOptions{Health: health, Recorder: rec})
 		go func() {
-			if err := http.Serve(httpLis, wire.NewStatusHandler(broker)); err != nil {
-				log.Printf("mmserver: http: %v", err)
+			if err := http.Serve(httpLis, handler); err != nil {
+				logger.Warn("mmserver: http", slog.String("err", err.Error()))
 			}
 		}()
 	}
@@ -168,7 +326,7 @@ func main() {
 				select {
 				case <-t.C:
 					if err := snapshot(st, broker); err != nil {
-						log.Printf("mmserver: checkpoint: %v", err)
+						logger.Error("mmserver: checkpoint", slog.String("err", err.Error()))
 					}
 				case <-stopCheckpoints:
 					return
@@ -177,35 +335,54 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
 	go func() {
-		<-sig
-		log.Printf("mmserver: shutting down")
-		close(stopCheckpoints)
-		if st != nil {
-			// Barrier first: anything journaled but not yet fsynced (the
-			// -sync-interval window) becomes durable even if the final
-			// checkpoint below fails.
-			if err := broker.SyncJournal(); err != nil {
-				log.Printf("mmserver: journal sync: %v", err)
+		for s := range sig {
+			if s == syscall.SIGQUIT {
+				// Non-destructive: dump and keep serving, like the
+				// runtime's own SIGQUIT but without dying.
+				path, err := rec.Dump("sigquit")
+				if err != nil {
+					logger.Error("mmserver: sigquit dump failed", slog.String("err", err.Error()))
+				} else {
+					logger.Info("mmserver: sigquit bundle written", slog.String("bundle", path))
+				}
+				continue
 			}
-			if err := snapshot(st, broker); err != nil {
-				log.Printf("mmserver: final checkpoint: %v", err)
+			// Graceful drain. Readiness flips FIRST: load balancers
+			// watching /readyz stop routing while the flush below runs
+			// and in-flight requests finish. /healthz stays green — the
+			// process is alive and must not be restarted mid-drain.
+			health.StartDrain()
+			logger.Info("mmserver: shutting down", slog.String("signal", s.String()))
+			close(stopCheckpoints)
+			close(stopBeats)
+			if st != nil {
+				// Barrier first: anything journaled but not yet fsynced
+				// (the -sync-interval window) becomes durable even if the
+				// final checkpoint below fails.
+				if err := broker.SyncJournal(); err != nil {
+					logger.Error("mmserver: journal sync", slog.String("err", err.Error()))
+				}
+				if err := snapshot(st, broker); err != nil {
+					logger.Error("mmserver: final checkpoint", slog.String("err", err.Error()))
+				}
 			}
+			srv.Close()
+			return
 		}
-		srv.Close()
 	}()
 
-	if err := srv.Serve(lis); err != nil && err != net.ErrClosed {
-		log.Printf("mmserver: serve: %v", err)
+	if err := srv.Serve(lis); err != nil && !errors.Is(err, net.ErrClosed) {
+		logger.Error("mmserver: serve", slog.String("err", err.Error()))
 	}
 }
 
 // restore rebuilds subscriptions from the snapshot + journal, registers
 // them with both broker and server, and takes an immediate checkpoint so
 // the journal restarts empty (Subscribe re-journals each restored profile).
-func restore(st *store.Store, broker *pubsub.Broker, srv *wire.Server) error {
+func restore(st *store.Store, broker *pubsub.Broker, srv *wire.Server, logger *obs.Logger) error {
 	profiles, events, err := st.Load()
 	if err != nil {
 		return err
@@ -227,8 +404,10 @@ func restore(st *store.Store, broker *pubsub.Broker, srv *wire.Server) error {
 		srv.Adopt(user, sub)
 	}
 	if len(users) > 0 {
-		log.Printf("mmserver: restored %d subscriber(s) from %d snapshot record(s) + %d journal event(s)",
-			len(users), len(profiles), len(events))
+		logger.Info("mmserver: restored subscribers",
+			slog.Int("subscribers", len(users)),
+			slog.Int("snapshot_records", len(profiles)),
+			slog.Int("journal_events", len(events)))
 	}
 	return snapshot(st, broker)
 }

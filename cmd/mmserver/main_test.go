@@ -2,8 +2,11 @@ package main
 
 import (
 	"flag"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"mmprofile/internal/obs"
 )
 
 // parse runs the config's flag surface over args, as main does.
@@ -81,6 +84,68 @@ func TestConfigTraceFlags(t *testing.T) {
 	slowOnly := parse(t, "-trace-slow", "1ms")
 	if slowOnly.tracer() == nil {
 		t.Error("-trace-slow alone did not enable tracing")
+	}
+}
+
+// TestConfigLogFlags checks the -log-format / -log-level surface: defaults
+// build a text logger at info, explicit flags are honored, and bad values
+// error instead of silently logging wrong.
+func TestConfigLogFlags(t *testing.T) {
+	cfg := parse(t)
+	if cfg.logFormat != "text" || cfg.logLevel != "info" {
+		t.Errorf("log defaults = %q %q", cfg.logFormat, cfg.logLevel)
+	}
+	lg, err := cfg.logger(nil)
+	if err != nil || lg == nil {
+		t.Fatalf("default logger: %v", err)
+	}
+	if lg.Enabled(obs.LevelDebug) || !lg.Enabled(obs.LevelInfo) {
+		t.Error("default logger is not at info level")
+	}
+
+	cfg = parse(t, "-log-format", "json", "-log-level", "debug")
+	lg, err = cfg.logger(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lg.Enabled(obs.LevelDebug) {
+		t.Error("-log-level debug did not lower the threshold")
+	}
+
+	badLevel := parse(t, "-log-level", "verbose")
+	if _, err := badLevel.logger(nil); err == nil {
+		t.Error("bad -log-level did not error")
+	}
+	badFormat := parse(t, "-log-format", "xml")
+	if _, err := badFormat.logger(nil); err == nil {
+		t.Error("bad -log-format did not error")
+	}
+}
+
+// TestConfigObsFlags pins the flight-recorder flag surface.
+func TestConfigObsFlags(t *testing.T) {
+	cfg := parse(t)
+	if cfg.dumpDir != "" || cfg.matchSLO != 0 {
+		t.Errorf("obs defaults = %q %v", cfg.dumpDir, cfg.matchSLO)
+	}
+	cfg = parse(t, "-dump-dir", "/tmp/bundles", "-match-slo", "25ms")
+	if cfg.dumpDir != "/tmp/bundles" || cfg.matchSLO != 25*time.Millisecond {
+		t.Errorf("obs flags = %q %v", cfg.dumpDir, cfg.matchSLO)
+	}
+}
+
+// TestResolveDumpDir checks the dump-directory fallback chain: explicit
+// flag beats the state dir, which beats the OS temp dir.
+func TestResolveDumpDir(t *testing.T) {
+	if got := resolveDumpDir("/explicit", "/state"); got != "/explicit" {
+		t.Errorf("explicit flag → %q", got)
+	}
+	if got := resolveDumpDir("", "/state"); got != filepath.Join("/state", "dumps") {
+		t.Errorf("state fallback → %q", got)
+	}
+	got := resolveDumpDir("", "")
+	if got == "" || filepath.Base(got) != "mmserver-dumps" {
+		t.Errorf("temp fallback → %q", got)
 	}
 }
 

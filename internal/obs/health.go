@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Status is a component readiness state. The overall server state is the
+// worst component state, with draining overriding everything: a draining
+// server is deliberately refusing new work even though its components may
+// all be healthy.
+type Status int
+
+const (
+	// Ready: the component is serving normally.
+	StatusReady Status = iota
+	// Degraded: serving, but with reduced guarantees (e.g. a stale
+	// heartbeat, or the store fell back to read-only). /readyz still
+	// returns 200 so load balancers keep routing, but the reason is
+	// surfaced.
+	StatusDegraded
+	// NotReady: the component cannot serve; /readyz returns 503.
+	StatusNotReady
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusReady:
+		return "ready"
+	case StatusDegraded:
+		return "degraded"
+	case StatusNotReady:
+		return "not_ready"
+	}
+	return "unknown"
+}
+
+// degradedError marks a check failure as degraded-not-dead; see Degraded.
+type degradedError struct{ msg string }
+
+func (e *degradedError) Error() string { return e.msg }
+
+// Degraded wraps a reason so a health check can report "serving with
+// reduced guarantees" instead of hard not-ready. Checks returning an
+// error produced by Degraded map to the Degraded status; any other
+// non-nil error maps to NotReady.
+func Degraded(reason string) error { return &degradedError{msg: reason} }
+
+// IsDegraded reports whether err was produced by Degraded.
+func IsDegraded(err error) bool {
+	var de *degradedError
+	return errors.As(err, &de)
+}
+
+// component is one tracked readiness unit, in exactly one of three
+// modes: pull (check func), push (explicit Set), or heartbeat (Beat
+// within maxBeatAge).
+type component struct {
+	check      func() error
+	maxBeatAge time.Duration
+	lastBeat   time.Time
+	status     Status
+	reason     string
+}
+
+// Health tracks per-component readiness and the server-wide drain flag
+// that mmserver flips before it stops accepting work. A nil *Health
+// snapshot reports ready with no components, so the /readyz handler
+// works unconfigured. Safe for concurrent use.
+type Health struct {
+	mu       sync.Mutex
+	order    []string // registration order, for stable snapshots
+	comps    map[string]*component
+	draining atomic.Bool
+	now      func() time.Time // test hook; defaults to time.Now
+}
+
+// NewHealth builds an empty health model.
+func NewHealth() *Health {
+	return &Health{comps: make(map[string]*component), now: time.Now}
+}
+
+func (h *Health) comp(name string) *component {
+	c, ok := h.comps[name]
+	if !ok {
+		c = &component{}
+		h.comps[name] = c
+		h.order = append(h.order, name)
+	}
+	return c
+}
+
+// RegisterCheck adds a pull component: check runs at snapshot time; nil →
+// ready, Degraded(...) → degraded, other error → not_ready. Checks must
+// be cheap and non-blocking — /readyz is polled.
+func (h *Health) RegisterCheck(name string, check func() error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.comp(name)
+	*c = component{check: check}
+}
+
+// RegisterHeartbeat adds a push-liveness component: some background
+// goroutine must call Beat(name) at least every maxBeatAge or the
+// component reports degraded with a staleness reason. This keeps /readyz
+// responsive even when the monitored loop is wedged on a lock — the
+// handler never touches the loop itself, it only looks at the clock.
+func (h *Health) RegisterHeartbeat(name string, maxBeatAge time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.comp(name)
+	*c = component{maxBeatAge: maxBeatAge, lastBeat: h.now()}
+}
+
+// Beat records a liveness proof for a heartbeat component.
+func (h *Health) Beat(name string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, ok := h.comps[name]; ok {
+		c.lastBeat = h.now()
+	}
+}
+
+// Set records the state of a push component (also usable to override a
+// previously registered one, e.g. "server" flipping starting → ready).
+func (h *Health) Set(name string, status Status, reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.comp(name)
+	*c = component{status: status, reason: reason}
+}
+
+// StartDrain flips the server-wide draining flag. Graceful shutdown
+// calls this BEFORE closing listeners or flushing state, so load
+// balancers watching /readyz stop routing new work while in-flight
+// requests finish.
+func (h *Health) StartDrain() {
+	if h == nil {
+		return
+	}
+	h.draining.Store(true)
+}
+
+// Draining reports whether StartDrain has been called.
+func (h *Health) Draining() bool { return h != nil && h.draining.Load() }
+
+// ComponentHealth is one component's state in a snapshot.
+type ComponentHealth struct {
+	Status        string `json:"status"`
+	Reason        string `json:"reason,omitempty"`
+	LastBeatAgoMS int64  `json:"last_beat_ago_ms,omitempty"`
+}
+
+// HealthSnapshot is the /readyz JSON document.
+type HealthSnapshot struct {
+	Status     string                     `json:"status"` // ready | degraded | not_ready | draining
+	Draining   bool                       `json:"draining"`
+	Components map[string]ComponentHealth `json:"components,omitempty"`
+}
+
+// Ready reports whether the snapshot should answer 200: serving states
+// (ready, degraded) do; refusing states (not_ready, draining) do not.
+func (s HealthSnapshot) Ready() bool {
+	return s.Status == "ready" || s.Status == "degraded"
+}
+
+// Snapshot evaluates every component and rolls them up. Precedence for
+// the overall status: draining > not_ready > degraded > ready.
+func (h *Health) Snapshot() HealthSnapshot {
+	if h == nil {
+		return HealthSnapshot{Status: StatusReady.String()}
+	}
+	h.mu.Lock()
+	now := h.now()
+	type evaluated struct {
+		name string
+		c    component // copied state
+	}
+	evs := make([]evaluated, 0, len(h.order))
+	for _, name := range h.order {
+		evs = append(evs, evaluated{name: name, c: *h.comps[name]})
+	}
+	h.mu.Unlock()
+
+	snap := HealthSnapshot{Draining: h.draining.Load()}
+	if len(evs) > 0 {
+		snap.Components = make(map[string]ComponentHealth, len(evs))
+	}
+	worst := StatusReady
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].name < evs[j].name })
+	for _, ev := range evs {
+		ch := ComponentHealth{Status: ev.c.status.String(), Reason: ev.c.reason}
+		switch {
+		case ev.c.check != nil:
+			// Checks run outside h.mu so a slow check cannot block
+			// Beat/Set writers.
+			switch err := ev.c.check(); {
+			case err == nil:
+				ch = ComponentHealth{Status: StatusReady.String()}
+			case IsDegraded(err):
+				ch = ComponentHealth{Status: StatusDegraded.String(), Reason: err.Error()}
+			default:
+				ch = ComponentHealth{Status: StatusNotReady.String(), Reason: err.Error()}
+			}
+		case ev.c.maxBeatAge > 0:
+			age := now.Sub(ev.c.lastBeat)
+			ch = ComponentHealth{Status: StatusReady.String(), LastBeatAgoMS: age.Milliseconds()}
+			if age > ev.c.maxBeatAge {
+				ch.Status = StatusDegraded.String()
+				ch.Reason = "heartbeat stale: last beat " + age.Truncate(time.Millisecond).String() + " ago (max " + ev.c.maxBeatAge.String() + ")"
+			}
+		}
+		snap.Components[ev.name] = ch
+		if s := statusOf(ch.Status); s > worst {
+			worst = s
+		}
+	}
+	snap.Status = worst.String()
+	if snap.Draining {
+		snap.Status = "draining"
+	}
+	return snap
+}
+
+func statusOf(s string) Status {
+	switch s {
+	case "degraded":
+		return StatusDegraded
+	case "not_ready":
+		return StatusNotReady
+	}
+	return StatusReady
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHealthEmptyAndNil(t *testing.T) {
+	var nilH *Health
+	if s := nilH.Snapshot(); s.Status != "ready" || !s.Ready() {
+		t.Errorf("nil health snapshot = %+v", s)
+	}
+	// All mutators must be nil-safe.
+	nilH.RegisterCheck("x", func() error { return nil })
+	nilH.RegisterHeartbeat("y", time.Second)
+	nilH.Beat("y")
+	nilH.Set("z", StatusReady, "")
+	nilH.StartDrain()
+	if nilH.Draining() {
+		t.Error("nil health Draining = true")
+	}
+	if s := NewHealth().Snapshot(); s.Status != "ready" || len(s.Components) != 0 {
+		t.Errorf("empty health snapshot = %+v", s)
+	}
+}
+
+func TestHealthCheckPrecedence(t *testing.T) {
+	h := NewHealth()
+	h.RegisterCheck("store_wal", func() error { return nil })
+	h.RegisterCheck("index", func() error { return nil })
+	s := h.Snapshot()
+	if s.Status != "ready" {
+		t.Fatalf("status = %s, want ready", s.Status)
+	}
+
+	// One degraded component → overall degraded, still serving.
+	h.RegisterCheck("index", func() error { return Degraded("compaction backlog") })
+	s = h.Snapshot()
+	if s.Status != "degraded" || !s.Ready() {
+		t.Fatalf("status = %s Ready=%v, want degraded/serving", s.Status, s.Ready())
+	}
+	if c := s.Components["index"]; c.Status != "degraded" || c.Reason != "compaction backlog" {
+		t.Errorf("index component = %+v", c)
+	}
+
+	// One hard-failed component → overall not_ready, wins over degraded.
+	h.RegisterCheck("store_wal", func() error { return errors.New("wal: read-only") })
+	s = h.Snapshot()
+	if s.Status != "not_ready" || s.Ready() {
+		t.Fatalf("status = %s Ready=%v, want not_ready/refusing", s.Status, s.Ready())
+	}
+	if c := s.Components["store_wal"]; c.Status != "not_ready" || c.Reason != "wal: read-only" {
+		t.Errorf("store_wal component = %+v", c)
+	}
+}
+
+func TestHealthPushComponents(t *testing.T) {
+	h := NewHealth()
+	h.Set("server", StatusNotReady, "starting")
+	if s := h.Snapshot(); s.Status != "not_ready" || s.Components["server"].Reason != "starting" {
+		t.Fatalf("startup snapshot = %+v", s)
+	}
+	h.Set("server", StatusReady, "")
+	if s := h.Snapshot(); s.Status != "ready" {
+		t.Fatalf("post-start snapshot = %+v", s)
+	}
+}
+
+func TestHealthHeartbeatStaleness(t *testing.T) {
+	h := NewHealth()
+	now := time.Unix(1000, 0)
+	h.now = func() time.Time { return now }
+	h.RegisterHeartbeat("publish_loop", 2*time.Second)
+
+	if s := h.Snapshot(); s.Status != "ready" {
+		t.Fatalf("fresh heartbeat snapshot = %+v", s)
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if s := h.Snapshot(); s.Status != "ready" {
+		t.Fatalf("within-age snapshot = %+v", s)
+	}
+	if got := h.Snapshot().Components["publish_loop"].LastBeatAgoMS; got != 1500 {
+		t.Errorf("LastBeatAgoMS = %d, want 1500", got)
+	}
+
+	now = now.Add(3 * time.Second)
+	s := h.Snapshot()
+	if s.Status != "degraded" {
+		t.Fatalf("stale heartbeat status = %s, want degraded", s.Status)
+	}
+	if c := s.Components["publish_loop"]; c.Reason == "" {
+		t.Error("stale heartbeat has no reason")
+	}
+
+	h.Beat("publish_loop")
+	if s := h.Snapshot(); s.Status != "ready" {
+		t.Fatalf("post-beat snapshot = %+v", s)
+	}
+}
+
+func TestHealthDrainOverridesEverything(t *testing.T) {
+	h := NewHealth()
+	h.RegisterCheck("store_wal", func() error { return nil })
+	h.StartDrain()
+	s := h.Snapshot()
+	if s.Status != "draining" || !s.Draining || s.Ready() {
+		t.Fatalf("draining snapshot = %+v", s)
+	}
+	// Components keep reporting their own state underneath.
+	if c := s.Components["store_wal"]; c.Status != "ready" {
+		t.Errorf("component under drain = %+v", c)
+	}
+}

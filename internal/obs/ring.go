@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Event is one flight-recorder entry: a structured log record flattened
+// into a JSON-friendly shape. Attr values are rendered via
+// slog.Value.Resolve().Any(), so LogValuers are resolved at capture time.
+type Event struct {
+	TimeUnixNano int64          `json:"time_unix_nano"`
+	Level        string         `json:"level"`
+	Msg          string         `json:"msg"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+}
+
+// DefaultRingCapacity is the event-ring size when NewEventRing is given a
+// non-positive capacity: enough to cover the seconds before a crash
+// without holding a meaningful share of heap.
+const DefaultRingCapacity = 512
+
+// EventRing is a bounded ring of recent Events — the flight recorder's
+// memory. Writers overwrite the oldest entry once full; Snapshot returns
+// oldest-first. A nil *EventRing is a no-op sink. Safe for concurrent
+// use.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	pos   int    // next write slot
+	total uint64 // lifetime pushes, for drop accounting
+}
+
+// NewEventRing builds a ring holding up to capacity events
+// (DefaultRingCapacity when capacity <= 0).
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &EventRing{buf: make([]Event, 0, capacity)}
+}
+
+// Push appends an event, evicting the oldest when full.
+func (r *EventRing) Push(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.pos] = e
+		r.pos = (r.pos + 1) % len(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (r *EventRing) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// Total returns the lifetime number of pushed events; Total() minus
+// len(Snapshot()) is how many the ring has already forgotten.
+func (r *EventRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+func eventFrom(now time.Time, level slog.Level, msg string, attrs []slog.Attr) Event {
+	e := Event{TimeUnixNano: now.UnixNano(), Level: level.String(), Msg: msg}
+	if len(attrs) > 0 {
+		e.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			e.Attrs[a.Key] = a.Value.Resolve().Any()
+		}
+	}
+	return e
+}

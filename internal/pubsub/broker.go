@@ -30,6 +30,7 @@ package pubsub
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ import (
 	"mmprofile/internal/filter"
 	"mmprofile/internal/index"
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/obs"
 	"mmprofile/internal/text"
 	"mmprofile/internal/trace"
 	"mmprofile/internal/vsm"
@@ -129,6 +131,13 @@ type Options struct {
 	// results are identical either way; the flag (mmserver/mmbench
 	// -prune=off) exists for A/B comparisons and as an escape hatch.
 	NoPrune bool
+	// Log, when set, receives the broker's structured events: subscriber
+	// lifecycle at info, per-publish/per-feedback detail at debug. Debug
+	// statements on the publish hot path are guarded by Log.Enabled, so
+	// with the level at info (or Log nil) they cost one atomic load —
+	// zero allocations, zero clock reads (the obs zero-alloc contract,
+	// pinned by TestPublishUnsampledAddsNoAllocs).
+	Log *obs.Logger
 }
 
 // DefaultOptions returns the broker defaults: threshold 0.25, queues of
@@ -291,6 +300,13 @@ func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
 	}
 	b.m.profileVectors.Add(float64(s.lastSize))
 	b.reindex(s)
+	// Debug, not info: load tests subscribe by the hundred thousand.
+	if b.opts.Log.Enabled(obs.LevelDebug) {
+		b.opts.Log.Debug("pubsub: subscribe",
+			slog.String("user", id),
+			slog.String("learner", l.Name()),
+			slog.Int("profile_vectors", s.lastSize))
+	}
 	return &Subscription{b: b, sub: s}, nil
 }
 
@@ -338,6 +354,9 @@ func (b *Broker) Unsubscribe(id string) {
 	s.lastSize = 0
 	s.mu.Unlock()
 	b.m.profileVectors.Add(float64(-gone))
+	if b.opts.Log.Enabled(obs.LevelDebug) {
+		b.opts.Log.Debug("pubsub: unsubscribe", slog.String("user", id))
+	}
 }
 
 // Publish ingests one raw page: it is run through the processing pipeline,
@@ -556,6 +575,15 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string, parent *trace.Spa
 		b.m.deliverLat.Observe(t2.Sub(t1).Seconds())
 		b.m.publishLat.Observe(t2.Sub(t0).Seconds())
 	}
+	// Hot-path log: the Enabled guard keeps attribute construction off
+	// the disabled path entirely (see Options.Log).
+	if b.opts.Log.Enabled(obs.LevelDebug) {
+		b.opts.Log.Debug("pubsub: publish",
+			slog.Int64("doc", id),
+			slog.Int("matches", len(targets)),
+			slog.Int("deliveries", delivered),
+			obs.TraceAttr(sp))
+	}
 	return id, delivered
 }
 
@@ -623,6 +651,13 @@ func (b *Broker) FeedbackSpan(user string, doc int64, fd filter.Feedback, parent
 			trace.Int("doc", doc), trace.String("user", user)))
 	}
 	if err != nil {
+		if b.opts.Log.Enabled(obs.LevelDebug) {
+			b.opts.Log.Debug("pubsub: feedback rejected",
+				slog.String("user", user),
+				slog.Int64("doc", doc),
+				slog.String("err", err.Error()),
+				obs.TraceAttr(sp))
+		}
 		return err
 	}
 	b.m.feedbacks.Inc()
@@ -630,6 +665,12 @@ func (b *Broker) FeedbackSpan(user string, doc int64, fd filter.Feedback, parent
 		b.m.feedbackLat.ObserveExemplar(t1.Sub(t0).Seconds(), tid)
 	} else {
 		b.m.feedbackLat.Observe(t1.Sub(t0).Seconds())
+	}
+	if b.opts.Log.Enabled(obs.LevelDebug) {
+		b.opts.Log.Debug("pubsub: feedback",
+			slog.String("user", user),
+			slog.Int64("doc", doc),
+			obs.TraceAttr(sp))
 	}
 	return nil
 }
@@ -793,6 +834,21 @@ func (b *Broker) Stats() Counters {
 
 // IndexStats returns the profile index's size.
 func (b *Broker) IndexStats() index.Stats { return b.idx.Size() }
+
+// Log returns the broker's structured logger (nil when none configured).
+func (b *Broker) Log() *obs.Logger { return b.opts.Log }
+
+// PingPipeline probes the locks the publish path takes — a registry-shard
+// read, a docstore-shard read, and the index size scan — and returns once
+// all of them were acquired. Health heartbeat goroutines call it
+// periodically: if any layer is wedged (a lock held forever), the ping
+// blocks, the heartbeat goes stale, and /readyz degrades — without the
+// /readyz handler itself ever touching the wedged lock.
+func (b *Broker) PingPipeline() {
+	_ = b.reg.len()
+	_, _ = b.docs.Get(0)
+	_ = b.idx.Size()
+}
 
 // Layout reports how the broker's layers are sharded.
 func (b *Broker) Layout() Layout {

@@ -1,24 +1,27 @@
 package pubsub
 
 import (
+	"io"
 	"testing"
 	"time"
 
 	"mmprofile/internal/core"
 	"mmprofile/internal/filter"
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/obs"
 	"mmprofile/internal/trace"
 )
 
-// TestPublishUnsampledAddsNoAllocs is the PR's acceptance guard: with a
-// tracer configured but this publish neither sampled nor slow, the publish
-// hot path must allocate exactly what an untraced broker does. Measured as
-// a delta so docstore/index allocations inherent to publishing don't turn
-// the test into a moving target.
+// TestPublishUnsampledAddsNoAllocs is the PR 5 acceptance guard, extended
+// in PR 7 with the logging leg: with a tracer configured but this publish
+// neither sampled nor slow — and with a structured logger configured but
+// debug disabled — the publish hot path must allocate exactly what a bare
+// broker does. Measured as a delta so docstore/index allocations inherent
+// to publishing don't turn the test into a moving target.
 func TestPublishUnsampledAddsNoAllocs(t *testing.T) {
 	doc := vec("cat", 1.0, "dog", 0.5)
-	setup := func(tr *trace.Tracer) *Broker {
-		b := New(Options{Threshold: 0.3, Retention: 1 << 16, Trace: tr})
+	setup := func(tr *trace.Tracer, lg *obs.Logger) *Broker {
+		b := New(Options{Threshold: 0.3, Retention: 1 << 16, Trace: tr, Log: lg})
 		if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
 			t.Fatal(err)
 		}
@@ -29,17 +32,29 @@ func TestPublishUnsampledAddsNoAllocs(t *testing.T) {
 		return b
 	}
 
-	base := setup(nil)
+	base := setup(nil, nil)
 	// SampleRate 0 disables head sampling; the 1h threshold keeps any
 	// CI-induced slowness from triggering the slow-capture path.
-	traced := setup(trace.New(trace.Options{SlowThreshold: time.Hour}))
+	traced := setup(trace.New(trace.Options{SlowThreshold: time.Hour}), nil)
+	// Logger at info: the publish path's debug statements must vanish
+	// behind the Enabled guard (obs zero-alloc contract).
+	infoLog, err := obs.NewLogger(obs.LogOptions{Format: "json", Output: io.Discard, Level: obs.LevelInfo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged := setup(trace.New(trace.Options{SlowThreshold: time.Hour}), infoLog)
 
 	const rounds = 200
 	baseAllocs := testing.AllocsPerRun(rounds, func() { base.PublishVector(doc) })
 	tracedAllocs := testing.AllocsPerRun(rounds, func() { traced.PublishVector(doc) })
+	loggedAllocs := testing.AllocsPerRun(rounds, func() { logged.PublishVector(doc) })
 	if tracedAllocs > baseAllocs {
 		t.Fatalf("unsampled tracing adds allocations: %v allocs/op with tracer vs %v without",
 			tracedAllocs, baseAllocs)
+	}
+	if loggedAllocs > baseAllocs {
+		t.Fatalf("disabled-level logging adds allocations: %v allocs/op with logger vs %v without",
+			loggedAllocs, baseAllocs)
 	}
 }
 

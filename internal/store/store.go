@@ -738,6 +738,35 @@ func (s *Store) WALInfo() (WALInfo, error) {
 	return info, nil
 }
 
+// Health reports the store's sticky failure state without touching disk:
+// nil means the write path is healthy, a non-nil error names the first
+// thing that broke (write failure, fsync failure, or closed). ReadOnly
+// stores report a degraded-style error since they cannot accept appends.
+// Cheap enough to poll from /readyz — two mutex acquisitions, no I/O.
+func (s *Store) Health() error {
+	s.mu.Lock()
+	failed := s.failed
+	readOnly := s.opts.ReadOnly
+	s.mu.Unlock()
+	if failed != nil {
+		return failed
+	}
+	s.cmu.Lock()
+	syncErr := s.syncErr
+	closed := s.closed
+	s.cmu.Unlock()
+	if closed {
+		return errClosed
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	if readOnly {
+		return errors.New("store: opened read-only")
+	}
+	return nil
+}
+
 func decodeProfileRecord(payload []byte) (ProfileRecord, error) {
 	user, rest, err := readLenBytes(payload)
 	if err != nil {

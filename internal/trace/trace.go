@@ -103,6 +103,17 @@ func (t *Tracer) Slow(d time.Duration) bool {
 	return t != nil && t.slowNS > 0 && d.Nanoseconds() >= t.slowNS
 }
 
+// Counts returns the lifetime capture counters — roots captured by head
+// sampling (or remote join) and traces retained for meeting
+// SlowThreshold — without the ring copies Snapshot performs, so gauges
+// can poll it.
+func (t *Tracer) Counts() (sampled, slowCaptured uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.sampled.Load(), t.slowCaptured.Load()
+}
+
 // sampleHead takes the head-sampling decision: one atomic add, no clocks,
 // no allocation.
 func (t *Tracer) sampleHead() bool {

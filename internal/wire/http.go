@@ -1,3 +1,21 @@
+// The HTTP side of package wire distinguishes liveness from readiness:
+//
+//   - /healthz is pure liveness. It answers "ok" whenever the process can
+//     serve an HTTP request at all, and nothing else — a deadlocked broker
+//     with a live HTTP listener still answers. Point process supervisors
+//     (restart-on-failure) here: restarting on readiness would bounce a
+//     server that is merely draining or briefly degraded.
+//   - /readyz is readiness. It rolls up per-component state — store WAL
+//     writable, index generation live, publish loop responsive via
+//     heartbeat — and answers 200 while the server should receive traffic
+//     (ready or degraded) and 503 while it should not (not_ready at
+//     startup, draining at shutdown, or a hard component failure). Point
+//     load balancers here. mmserver flips it to draining before the
+//     listener closes, so balancers stop routing ahead of the drain.
+//
+// The split matters precisely at shutdown: /healthz stays green through a
+// graceful drain (the process is alive and must not be restarted) while
+// /readyz goes 503 (it must stop receiving new connections).
 package wire
 
 import (
@@ -12,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/obs"
 	"mmprofile/internal/pubsub"
 )
 
@@ -36,24 +55,46 @@ func publishExpvar(reg *metrics.Registry) {
 	})
 }
 
+// StatusOptions wires the optional obs layer into the status handler.
+type StatusOptions struct {
+	// Health backs /readyz; nil reports a bare "ready" (no components).
+	Health *obs.Health
+	// Recorder backs POST /debugz/dump; nil makes the endpoint answer
+	// 503 with an explanatory error.
+	Recorder *obs.Recorder
+}
+
 // NewStatusHandler serves broker observability over HTTP:
 //
-//	GET /healthz      — liveness ("ok")
-//	GET /statsz       — broker + index counters as JSON, plus a "metrics"
-//	                    object with the full registry snapshot
-//	GET /metrics      — Prometheus text exposition (format 0.0.4);
-//	                    ?format=json returns the registry snapshot as JSON
-//	GET /tracez       — sampled + slow request traces as JSON;
-//	                    ?trace=<id> looks up one trace by hex id
-//	GET /explainz     — ?user= profile vectors + adaptation audit journal;
-//	                    &doc= additionally scores a retained document
-//	GET /varz         — Go expvar JSON (memstats, cmdline, "mmprofile")
-//	GET /debug/pprof/ — runtime profiling endpoints
-//	GET /             — a minimal human-readable dashboard
+//	GET  /healthz      — liveness ("ok"; see the package comment for the
+//	                     liveness/readiness split)
+//	GET  /readyz       — readiness: per-component JSON, 200 while serving
+//	                     (ready/degraded), 503 while refusing
+//	                     (not_ready/draining)
+//	POST /debugz/dump  — trigger a flight-recorder bundle; returns its path
+//	GET  /statsz       — broker + index counters as JSON, plus a "metrics"
+//	                     object with the full registry snapshot
+//	GET  /metrics      — Prometheus text exposition (format 0.0.4);
+//	                     ?format=json returns the registry snapshot as JSON
+//	GET  /tracez       — sampled + slow request traces as JSON;
+//	                     ?trace=<id> looks up one trace by hex id
+//	GET  /explainz     — ?user= profile vectors + adaptation audit journal;
+//	                     &doc= additionally scores a retained document
+//	GET  /varz         — Go expvar JSON (memstats, cmdline, "mmprofile")
+//	GET  /debug/pprof/ — runtime profiling endpoints
+//	GET  /             — a minimal human-readable dashboard
 //
-// Mounted by mmserver's -http flag; handlers are read-only (pprof's
-// profile/trace endpoints start collections but mutate nothing).
+// Mounted by mmserver's -http flag; handlers are read-only except
+// /debugz/dump, which writes a diagnostic bundle under the server's dump
+// directory (pprof's profile/trace endpoints start collections but mutate
+// nothing). NewStatusHandler serves with no health model or recorder;
+// NewStatusHandlerOpts attaches them.
 func NewStatusHandler(b *pubsub.Broker) http.Handler {
+	return NewStatusHandlerOpts(b, StatusOptions{})
+}
+
+// NewStatusHandlerOpts is NewStatusHandler with the obs layer attached.
+func NewStatusHandlerOpts(b *pubsub.Broker, o StatusOptions) http.Handler {
 	reg := b.Metrics()
 	publishExpvar(reg)
 
@@ -61,6 +102,36 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		snap := o.Health.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if !snap.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(snap)
+	})
+	mux.HandleFunc("/debugz/dump", func(w http.ResponseWriter, r *http.Request) {
+		// POST only: dumping writes to disk, and GETs must stay safe to
+		// crawl (the root dashboard links every GET endpoint).
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if o.Recorder == nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"error": "no flight recorder configured (mmserver -dump-dir)"})
+			return
+		}
+		path, err := o.Recorder.Dump("endpoint")
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"path": path})
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		c := b.Stats()
@@ -178,14 +249,15 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 <tr><td>index</td><td>%d vectors over %d terms (%d postings)</td></tr>
 <tr><td>sharding</td><td>registry ×%d · docstore ×%d · termstats ×%d · index ×%d</td></tr>
 </table>
-<p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/tracez</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a></p>
+<p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/tracez</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a> · <a href="%s">/readyz</a></p>
 </body></html>`,
 			c.Subscribers, c.Published, c.Deliveries, c.Dropped, c.Feedbacks,
 			ix.Vectors, ix.Terms, ix.Postings,
 			lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards,
 			html.EscapeString("/statsz"), html.EscapeString("/metrics"),
 			html.EscapeString("/tracez"), html.EscapeString("/varz"),
-			html.EscapeString("/debug/pprof/"), html.EscapeString("/healthz"))
+			html.EscapeString("/debug/pprof/"), html.EscapeString("/healthz"),
+			html.EscapeString("/readyz"))
 	})
 	return mux
 }

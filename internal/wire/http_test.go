@@ -3,12 +3,14 @@ package wire
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
 
 	"mmprofile/internal/filter"
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/obs"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/store"
 	"mmprofile/internal/trace"
@@ -182,6 +184,7 @@ func TestHTTPContentTypes(t *testing.T) {
 		want string // Content-Type prefix
 	}{
 		{"/healthz", "text/plain; charset=utf-8"},
+		{"/readyz", "application/json"},
 		{"/statsz", "application/json"},
 		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
 		{"/metrics?format=json", "application/json"},
@@ -200,6 +203,127 @@ func TestHTTPContentTypes(t *testing.T) {
 		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, tc.want) {
 			t.Errorf("%s: Content-Type = %q, want prefix %q", tc.path, ct, tc.want)
 		}
+	}
+}
+
+// TestReadyzEndpoint checks the readiness endpoint: the unconfigured
+// handler reports a bare ready, a wired health model surfaces per-component
+// state, and the status code flips with the rollup (200 while serving,
+// 503 while refusing).
+func TestReadyzEndpoint(t *testing.T) {
+	b := pubsub.New(pubsub.Options{Threshold: 0.2})
+
+	// No health model: /readyz answers 200 ready so the handler works
+	// unconfigured (tests, embedders).
+	h := NewStatusHandler(b)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("bare readyz: %d", rec.Code)
+	}
+	var snap obs.HealthSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != "ready" {
+		t.Errorf("bare readyz status = %q", snap.Status)
+	}
+
+	// Wired model: components appear, and the worst one drives the code.
+	health := obs.NewHealth()
+	health.Set("server", obs.StatusNotReady, "starting")
+	health.Set("store_wal", obs.StatusReady, "")
+	h = NewStatusHandlerOpts(b, StatusOptions{Health: health})
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("starting readyz: %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != "not_ready" || snap.Components["server"].Reason != "starting" {
+		t.Errorf("starting snapshot = %+v", snap)
+	}
+
+	health.Set("server", obs.StatusReady, "")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("ready readyz: %d", rec.Code)
+	}
+
+	// Degraded still serves: load balancers keep routing.
+	health.Set("store_wal", obs.StatusDegraded, "read-only")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != 200 || snap.Status != "degraded" {
+		t.Errorf("degraded readyz: %d %q, want 200 degraded", rec.Code, snap.Status)
+	}
+
+	// Draining overrides everything and refuses.
+	health.StartDrain()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != 503 || snap.Status != "draining" || !snap.Draining {
+		t.Errorf("draining readyz: %d %+v", rec.Code, snap)
+	}
+}
+
+// TestDebugzDumpEndpoint checks the on-demand flight-recorder trigger:
+// method discipline, the explanatory 503 without a recorder, and a real
+// dump landing on disk as valid JSON.
+func TestDebugzDumpEndpoint(t *testing.T) {
+	b := pubsub.New(pubsub.Options{Threshold: 0.2})
+
+	// GET is rejected: the root dashboard links every GET endpoint, and
+	// crawling it must not write bundles.
+	h := NewStatusHandler(b)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debugz/dump", nil))
+	if rec.Code != 405 || rec.Header().Get("Allow") != "POST" {
+		t.Errorf("GET dump: %d Allow=%q, want 405 POST", rec.Code, rec.Header().Get("Allow"))
+	}
+
+	// No recorder: explanatory 503, not a panic.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debugz/dump", nil))
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "no flight recorder") {
+		t.Errorf("recorder-less dump: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Wired recorder: 200 with the bundle path, and the file is real JSON.
+	dir := t.TempDir()
+	recd := obs.NewRecorder(dir, obs.NewEventRing(8), obs.BundleSources{Metrics: b.Metrics()})
+	h = NewStatusHandlerOpts(b, StatusOptions{Recorder: recd})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debugz/dump", nil))
+	if rec.Code != 200 {
+		t.Fatalf("dump: %d %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Path string `json:"path"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out.Path)
+	if err != nil {
+		t.Fatalf("bundle not on disk: %v", err)
+	}
+	var bundle map[string]any
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		t.Fatalf("bundle is not valid JSON: %v", err)
+	}
+	if bundle["reason"] != "endpoint" {
+		t.Errorf("bundle reason = %v, want endpoint", bundle["reason"])
 	}
 }
 

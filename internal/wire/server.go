@@ -5,12 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"mmprofile/internal/filter"
+	"mmprofile/internal/obs"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/trace"
 	"mmprofile/internal/vsm"
@@ -24,7 +25,8 @@ import (
 // connection, all connections sharing one broker.
 type Server struct {
 	broker *pubsub.Broker
-	logf   func(format string, args ...any)
+	log    *obs.Logger
+	rec    *obs.Recorder // flight recorder; nil → no panic bundles
 
 	mu     sync.Mutex
 	subs   map[string]*pubsub.Subscription
@@ -35,20 +37,34 @@ type Server struct {
 	done   chan struct{} // closed by Close; unblocks watch handlers
 }
 
-// NewServer wraps a broker. logf defaults to log.Printf; pass a no-op to
-// silence it.
+// NewServer wraps a broker. The logf signature is kept for compatibility:
+// it is adapted into the structured logging pipeline (obs.NewLogfLogger),
+// so records render as "msg key=value" lines through logf. logf defaults
+// to log.Printf; pass a no-op to silence it. Servers wanting real
+// structured output use NewServerLogger.
 func NewServer(b *pubsub.Broker, logf func(string, ...any)) *Server {
-	if logf == nil {
-		logf = log.Printf
+	return NewServerLogger(b, obs.NewLogfLogger(logf, nil))
+}
+
+// NewServerLogger wraps a broker with a structured logger (nil → the
+// broker's logger, which may itself be nil for silence).
+func NewServerLogger(b *pubsub.Broker, logger *obs.Logger) *Server {
+	if logger == nil {
+		logger = b.Log()
 	}
 	return &Server{
 		broker: b,
-		logf:   logf,
+		log:    logger,
 		subs:   make(map[string]*pubsub.Subscription),
 		conns:  make(map[net.Conn]struct{}),
 		done:   make(chan struct{}),
 	}
 }
+
+// SetRecorder attaches a flight recorder: a panic in a connection handler
+// then writes a diagnostic bundle before crashing the process as before.
+// Call before Serve.
+func (s *Server) SetRecorder(rec *obs.Recorder) { s.rec = rec }
 
 // Serve accepts connections until the listener is closed. It always
 // returns a non-nil error (net.ErrClosed after Close).
@@ -100,6 +116,9 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	// Outermost so it sees any panic from the request loop: the bundle is
+	// written, then the panic resumes and crashes the process as before.
+	defer s.rec.RecoverRepanic()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -120,7 +139,9 @@ func (s *Server) handle(conn net.Conn) {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("wire: decode from %s: %v", conn.RemoteAddr(), err)
+				s.log.Warn("wire: decode",
+					slog.String("remote_addr", conn.RemoteAddr().String()),
+					slog.String("err", err.Error()))
 			}
 			return
 		}
@@ -129,7 +150,10 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		resp := s.dispatchTimed(req, d0, d1)
 		if err := enc.Encode(resp); err != nil {
-			s.logf("wire: encode to %s: %v", conn.RemoteAddr(), err)
+			s.log.Warn("wire: encode",
+				slog.String("remote_addr", conn.RemoteAddr().String()),
+				slog.String("err", err.Error()),
+				slog.String("trace_id", resp.Trace))
 			return
 		}
 	}
