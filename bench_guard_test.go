@@ -1,16 +1,22 @@
-// CI benchmark guard: re-runs the pinned BenchmarkIndexMatch tier and fails
-// when it regresses more than 25% against the committed BENCH_index.json
-// baseline. Gated behind MM_BENCH_GUARD=1 because wall-clock comparisons
-// are meaningless under -race or on loaded developer machines.
+// CI benchmark guards: re-run the pinned BenchmarkIndexMatch tier and the
+// sharded-journal fsync-amplification comparison, failing when they regress
+// against the committed BENCH_index.json / BENCH_store.json baselines.
+// Gated behind MM_BENCH_GUARD=1 because wall-clock comparisons are
+// meaningless under -race or on loaded developer machines.
 package mmprofile_test
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 
+	"mmprofile/internal/filter"
 	"mmprofile/internal/index"
+	"mmprofile/internal/metrics"
+	"mmprofile/internal/store"
+	"mmprofile/internal/vsm"
 )
 
 // benchBaseline mirrors the slice of BENCH_index.json the guard reads.
@@ -61,5 +67,87 @@ func TestIndexMatchBenchGuard(t *testing.T) {
 	t.Logf("%s: measured %.0f ns/op, baseline %.0f ns/op (limit %.0f)", key, got, pinned, limit)
 	if got > limit {
 		t.Errorf("index match regressed: %.0f ns/op exceeds 1.25x baseline %.0f ns/op", got, pinned)
+	}
+}
+
+// storeBaseline mirrors the slice of BENCH_store.json the lane guard reads.
+type storeBaseline struct {
+	Benchmarks map[string]struct {
+		FsyncsPerAppend float64 `json:"fsyncs_per_append"`
+	} `json:"benchmarks"`
+	Lanes map[string]struct {
+		FsyncsPerAppend float64 `json:"fsyncs_per_append"`
+	} `json:"lanes"`
+}
+
+// measureLaneAmplification runs 64 concurrent writers (one user each, so
+// user-id hashing spreads them over every lane) against a durable store
+// with the given lane count and returns the observed fsyncs/append.
+func measureLaneAmplification(t *testing.T, lanes int) float64 {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	st, err := store.Open(t.TempDir(), store.Options{Durable: true, Lanes: lanes, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	doc := vsm.FromMap(map[string]float64{"cat": 1, "dog": 0.5}).Normalized()
+	const writers, perWriter = 64, 96
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := fmt.Sprintf("w%03d", w)
+			for i := 0; i < perWriter; i++ {
+				if err := st.AppendFeedback(user, doc, filter.Relevant); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	fsyncs := snap["mm_store_fsyncs_total"].(int64)
+	appends := snap["mm_store_appends_total"].(int64)
+	if appends == 0 {
+		t.Fatal("no appends recorded")
+	}
+	return float64(fsyncs) / float64(appends)
+}
+
+// TestStoreLanesBenchGuard replays the 64-writer durable-append workload on
+// the default multi-lane journal and checks its fsync amplification against
+// BENCH_store.json: it must stay at or below the single-lane baseline PR 4
+// measured at the same writer count (the acceptance row), and within 1.5x
+// of its own pinned lanes=4 figure. Run it with
+// MM_BENCH_GUARD=1 go test -run TestStoreLanesBenchGuard .
+func TestStoreLanesBenchGuard(t *testing.T) {
+	if os.Getenv("MM_BENCH_GUARD") != "1" {
+		t.Skip("set MM_BENCH_GUARD=1 to run the wall-clock benchmark guard")
+	}
+	raw, err := os.ReadFile("BENCH_store.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var base storeBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	singleLane := base.Benchmarks["BenchmarkDurableAppend/workers=64"].FsyncsPerAppend
+	pinnedMulti := base.Lanes["BenchmarkDurableAppendLanes/lanes=4"].FsyncsPerAppend
+	if singleLane <= 0 || pinnedMulti <= 0 {
+		t.Fatal("BENCH_store.json missing single-lane workers=64 or lanes=4 baseline rows")
+	}
+
+	got := measureLaneAmplification(t, store.DefaultLanes)
+	t.Logf("lanes=%d at 64 writers: measured %.4f fsyncs/append (single-lane baseline %.4f, pinned multi-lane %.4f)",
+		store.DefaultLanes, got, singleLane, pinnedMulti)
+	if got > singleLane {
+		t.Errorf("multi-lane group commit amplification %.4f exceeds single-lane baseline %.4f fsyncs/append", got, singleLane)
+	}
+	if got > pinnedMulti*1.5 {
+		t.Errorf("multi-lane amplification %.4f regressed past 1.5x its pinned baseline %.4f", got, pinnedMulti)
 	}
 }

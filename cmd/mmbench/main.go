@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mmbench [-fig all|ablations|everything|4|...|learning|eta|group|merge|decay|lsi|scale|prune|pubsub]
+//	mmbench [-fig all|ablations|everything|4|...|learning|eta|group|merge|decay|lsi|scale|prune|pubsub|store]
 //	        [-runs N] [-quick] [-csv DIR] [-seed N] [-prune=false]
 //
 // "all" runs the paper's figures; "ablations" runs the design-choice
@@ -112,9 +112,10 @@ func main() {
 		{"scale", func() []bench.Figure { return []bench.Figure{h.ScaleFigure(populations)} }},
 		{"prune", func() []bench.Figure { return []bench.Figure{h.PruneFigure(pruneSizes, nil)} }},
 		{"pubsub", func() []bench.Figure { return []bench.Figure{h.PubsubFigure(nil, *pshards, 0)} }},
+		{"store", func() []bench.Figure { return []bench.Figure{h.StoreLanesFigure(nil, 64)} }},
 	}
 
-	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true, "prune": true, "pubsub": true}
+	ablationKeys := map[string]bool{"eta": true, "group": true, "merge": true, "decay": true, "noise": true, "kmeans": true, "lsi": true, "scale": true, "prune": true, "pubsub": true, "store": true}
 	want := strings.Split(*figFlag, ",")
 
 	// -fig ttest prints paired significance tests instead of a figure.
@@ -249,6 +250,7 @@ func printIndex() {
 		{"scale", "matching cost vs subscriber count (index vs brute force)"},
 		{"prune", "match-pruning effort vs θ (postings scanned, blocks skipped)"},
 		{"pubsub", "broker publish throughput vs workers (sharded vs 1-shard)"},
+		{"store", "durable append latency and fsyncs/append vs WAL lane count (64 writers)"},
 		{"ttest", "paired significance tests (MM vs RG10, MM vs RI)"},
 	}
 	fmt.Println("experiments (-fig KEY; groups: all, ablations, everything):")

@@ -5,8 +5,12 @@
 // online.
 //
 // With -state, profiles are durable: subscriptions and judgments are
-// journaled to a write-ahead log, checkpointed periodically, and restored
-// on restart.
+// journaled to a sharded write-ahead log (-lanes), compacted by periodic
+// incremental checkpoints (only lanes with at least -checkpoint-dirty
+// changed profiles rewrite their segment), and restored on restart. With
+// -max-resident-profiles, restored profiles boot as evicted stubs and
+// hydrate from the store on first use, and the broker keeps at most that
+// many profiles in the heap (DESIGN.md §14).
 //
 // Diagnostics (DESIGN.md §13): structured logs (-log-format, -log-level),
 // liveness on /healthz and per-component readiness on /readyz (flipped to
@@ -18,7 +22,8 @@
 // Usage:
 //
 //	mmserver [-addr :7070] [-threshold 0.25] [-queue 128] [-retention 4096]
-//	         [-state DIR] [-checkpoint 5m] [-fsync] [-sync-interval 2s]
+//	         [-state DIR] [-checkpoint 5m] [-checkpoint-dirty 1] [-lanes 4]
+//	         [-max-resident-profiles 0] [-fsync] [-sync-interval 2s]
 //	         [-pubsub-shards N] [-trace-sample 0.01] [-trace-slow 50ms]
 //	         [-log-format text|json] [-log-level info] [-dump-dir DIR]
 //	         [-match-slo 0]
@@ -56,6 +61,9 @@ type config struct {
 	retainBody  bool
 	fsync       bool
 	syncEvery   time.Duration
+	lanes       int
+	ckptDirty   int
+	maxResident int
 	pubWorkers  int
 	shards      int
 	traceSample float64
@@ -74,6 +82,9 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.retainBody, "retain-content", false, "keep raw page content for the retention window (enables fetch)")
 	fs.BoolVar(&c.fsync, "fsync", false, "durable journal: feedback is acked only once fsynced (group-committed)")
 	fs.DurationVar(&c.syncEvery, "sync-interval", 0, "without -fsync: background journal fsync interval (0 = OS-flushed only)")
+	fs.IntVar(&c.lanes, "lanes", 0, "WAL lanes the journal is sharded into by user (0 = store default; pinned by the manifest on reopen)")
+	fs.IntVar(&c.ckptDirty, "checkpoint-dirty", 1, "minimum changed profiles before a checkpoint rewrites a lane's segment")
+	fs.IntVar(&c.maxResident, "max-resident-profiles", 0, "profiles kept in the heap; colder ones hydrate from -state on demand (0 = all resident; requires -state)")
 	fs.IntVar(&c.pubWorkers, "publish-workers", 0, "goroutines for batch publishes (0 = GOMAXPROCS)")
 	fs.IntVar(&c.shards, "pubsub-shards", 0, "suggested shard count for the broker's registry/docstore layers (0 = GOMAXPROCS, rounded to a power of two)")
 	fs.Float64Var(&c.traceSample, "trace-sample", 0, "fraction of requests to capture as traces, 0..1 (0 = off; see /tracez)")
@@ -136,7 +147,7 @@ func (c *config) brokerOptions(reg *metrics.Registry) pubsub.Options {
 
 // storeOptions translates the durability flags into the store configuration.
 func (c *config) storeOptions(reg *metrics.Registry) store.Options {
-	return store.Options{Durable: c.fsync, SyncInterval: c.syncEvery, Metrics: reg}
+	return store.Options{Durable: c.fsync, SyncInterval: c.syncEvery, Lanes: c.lanes, Metrics: reg}
 }
 
 // heartbeatEvery is how often the pipeline probe beats the health model;
@@ -184,6 +195,10 @@ func main() {
 		}
 		defer st.Close()
 		opts.Journal = st
+		opts.Hydrator = st
+		opts.MaxResident = cfg.maxResident
+	} else if cfg.maxResident > 0 {
+		fatal(errors.New("-max-resident-profiles requires -state (evicted profiles hydrate from the store)"))
 	}
 
 	broker := pubsub.New(opts)
@@ -277,7 +292,7 @@ func main() {
 	srv.SetRecorder(rec)
 
 	if st != nil {
-		if err := restore(st, broker, srv, logger); err != nil {
+		if err := restore(st, broker, srv, logger, cfg.maxResident > 0); err != nil {
 			fatal(err)
 		}
 	}
@@ -325,7 +340,7 @@ func main() {
 			for {
 				select {
 				case <-t.C:
-					if err := snapshot(st, broker); err != nil {
+					if err := runCheckpoint(st, broker, cfg.ckptDirty, logger); err != nil {
 						logger.Error("mmserver: checkpoint", slog.String("err", err.Error()))
 					}
 				case <-stopCheckpoints:
@@ -365,7 +380,9 @@ func main() {
 				if err := broker.SyncJournal(); err != nil {
 					logger.Error("mmserver: journal sync", slog.String("err", err.Error()))
 				}
-				if err := snapshot(st, broker); err != nil {
+				// Compact every dirty lane regardless of -checkpoint-dirty:
+				// a clean shutdown should leave the shortest possible replay.
+				if err := runCheckpoint(st, broker, 1, logger); err != nil {
 					logger.Error("mmserver: final checkpoint", slog.String("err", err.Error()))
 				}
 			}
@@ -379,49 +396,89 @@ func main() {
 	}
 }
 
-// restore rebuilds subscriptions from the snapshot + journal, registers
-// them with both broker and server, and takes an immediate checkpoint so
-// the journal restarts empty (Subscribe re-journals each restored profile).
-func restore(st *store.Store, broker *pubsub.Broker, srv *wire.Server, logger *obs.Logger) error {
+// restore rebuilds subscriptions from the lane segments + journal and
+// registers them with both broker and server. Registration never
+// re-journals (SubscribeRestored): the store already holds each profile.
+// Eagerly, every learner is replayed into the heap at boot; lazily (with
+// -max-resident-profiles), each user becomes an evicted stub that
+// hydrates from the store on first use — boot cost is O(subscribers), not
+// O(journal events). Either way a boot checkpoint then compacts every
+// dirty lane, so replays (the next boot's, and each lazy hydration's)
+// start from segments instead of long logs.
+func restore(st *store.Store, broker *pubsub.Broker, srv *wire.Server, logger *obs.Logger, lazy bool) error {
 	profiles, events, err := st.Load()
 	if err != nil {
 		return err
 	}
-	learners, err := store.Restore(profiles, events)
-	if err != nil {
-		return err
-	}
-	users := make([]string, 0, len(learners))
-	for u := range learners {
-		users = append(users, u)
-	}
-	sort.Strings(users)
-	for _, user := range users {
-		sub, err := broker.Subscribe(user, learners[user])
+	adopt := func(user string, sub *pubsub.Subscription, err error) error {
 		if err != nil {
 			return fmt.Errorf("restoring %q: %w", user, err)
 		}
 		srv.Adopt(user, sub)
+		return nil
+	}
+	var users []string
+	if lazy {
+		names := store.RestoredNames(profiles, events)
+		users = make([]string, 0, len(names))
+		for u := range names {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		for _, user := range users {
+			sub, err := broker.SubscribeRestored(user, names[user], nil)
+			if err := adopt(user, sub, err); err != nil {
+				return err
+			}
+		}
+	} else {
+		learners, err := store.Restore(profiles, events)
+		if err != nil {
+			return err
+		}
+		users = make([]string, 0, len(learners))
+		for u := range learners {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		for _, user := range users {
+			sub, err := broker.SubscribeRestored(user, learners[user].Name(), learners[user])
+			if err := adopt(user, sub, err); err != nil {
+				return err
+			}
+		}
 	}
 	if len(users) > 0 {
 		logger.Info("mmserver: restored subscribers",
 			slog.Int("subscribers", len(users)),
+			slog.Bool("lazy", lazy),
 			slog.Int("snapshot_records", len(profiles)),
 			slog.Int("journal_events", len(events)))
 	}
-	return snapshot(st, broker)
+	_, err = st.Checkpoint(1)
+	return err
 }
 
-func snapshot(st *store.Store, broker *pubsub.Broker) error {
-	snaps, err := broker.ExportProfiles()
+// checkpoint runs one incremental checkpoint: the journal's durability
+// barrier first (so the relaxed -sync-interval window never spans a
+// checkpoint), then a segment rewrite of every lane with at least
+// minDirty changed profiles.
+func runCheckpoint(st *store.Store, broker *pubsub.Broker, minDirty int, logger *obs.Logger) error {
+	if err := broker.SyncJournal(); err != nil {
+		return err
+	}
+	stats, err := st.Checkpoint(minDirty)
 	if err != nil {
 		return err
 	}
-	records := make([]store.ProfileRecord, len(snaps))
-	for i, s := range snaps {
-		records[i] = store.ProfileRecord{User: s.User, Learner: s.Learner, Data: s.Data}
-	}
-	return st.Snapshot(records)
+	logger.Debug("mmserver: checkpoint",
+		slog.Int("lanes", stats.Lanes),
+		slog.Int("rewritten", stats.Rewritten),
+		slog.Int("skipped", stats.Skipped),
+		slog.Int("clean", stats.Clean),
+		slog.Int("profiles", stats.Profiles),
+		slog.Int64("bytes", stats.Bytes))
+	return nil
 }
 
 func fatal(err error) {

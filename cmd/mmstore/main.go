@@ -1,13 +1,15 @@
 // Command mmstore inspects an mmserver state directory (see
-// internal/store): the current snapshot, the journal (including crash
-// damage: torn tails and committed extent), and the profiles that
-// recovery would reconstruct. The directory is opened read-only, so it
-// is safe to point at a live server's state.
+// internal/store): the manifest-committed lane layout, each lane's
+// segment and journal (including crash damage: torn tails and committed
+// extent), and the profiles that recovery would reconstruct. The
+// directory is opened read-only, so it is safe to point at a live
+// server's state.
 //
 // Usage:
 //
-//	mmstore -state DIR           # summary of snapshot + journal + users
+//	mmstore -state DIR           # summary: manifest epoch, lanes, users
 //	mmstore -state DIR -user ID  # one restored profile in detail
+//	mmstore lanes -state DIR     # per-lane generation, bytes, dirty counts
 package main
 
 import (
@@ -24,6 +26,19 @@ import (
 )
 
 func main() {
+	// The lanes subcommand gets its own flag set so both spellings parse:
+	// `mmstore lanes -state DIR`.
+	if len(os.Args) > 1 && os.Args[1] == "lanes" {
+		fs := flag.NewFlagSet("lanes", flag.ExitOnError)
+		stateDir := fs.String("state", "", "state directory")
+		fs.Parse(os.Args[2:])
+		if *stateDir == "" {
+			fmt.Fprintln(os.Stderr, "mmstore lanes: need -state DIR")
+			os.Exit(2)
+		}
+		lanes(*stateDir)
+		return
+	}
 	var (
 		stateDir = flag.String("state", "", "state directory")
 		user     = flag.String("user", "", "show one user's restored profile")
@@ -69,14 +84,38 @@ func main() {
 	describe(*user, l)
 }
 
+// lanes prints the per-lane breakdown: each lane's generation, its
+// checkpoint segment, and its journal's committed/torn extents and
+// dirty-profile count — the inputs the incremental checkpoint policy
+// works from.
+func lanes(stateDir string) {
+	st, err := store.Open(stateDir, store.Options{ReadOnly: true})
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+	infos, infoErr := st.LaneInfos()
+	fmt.Printf("%-5s %-4s %-9s %-10s %-10s %-6s %-9s %-10s\n",
+		"lane", "gen", "segprofs", "segbytes", "committed", "torn", "records", "dirty")
+	for _, li := range infos {
+		fmt.Printf("%-5d %-4d %-9d %-10d %-10d %-6d %-9d %-10d\n",
+			li.Lane, li.Gen, li.SegProfiles, li.SegBytes,
+			li.Committed, li.Torn, li.Records, li.DirtyUsers)
+	}
+	if infoErr != nil {
+		fail(infoErr)
+	}
+}
+
 func summarize(profiles []store.ProfileRecord, events []store.Event, info store.WALInfo) {
-	fmt.Printf("generation:       %d\n", info.Seq)
-	fmt.Printf("snapshot records: %d\n", len(profiles))
+	fmt.Printf("manifest epoch:   %d\n", info.Seq)
+	fmt.Printf("wal lanes:        %d\n", info.Lanes)
+	fmt.Printf("segment records:  %d\n", len(profiles))
 	var snapBytes int
 	for _, p := range profiles {
 		snapBytes += len(p.Data)
 	}
-	fmt.Printf("snapshot bytes:   %d\n", snapBytes)
+	fmt.Printf("segment bytes:    %d\n", snapBytes)
 	counts := map[store.EventType]int{}
 	for _, ev := range events {
 		counts[ev.Type]++

@@ -17,7 +17,10 @@ import (
 
 // startStack boots a broker (optionally durable in dir) and a wire server
 // on a loopback socket, returning a connected client and a shutdown func.
-func startStack(t *testing.T, dir string) (*wire.Client, func()) {
+// maxResident > 0 bounds resident profiles the way mmserver's
+// -max-resident-profiles does: restored users boot as evicted stubs and
+// hydrate from the store on first use.
+func startStack(t *testing.T, dir string, maxResident int) (*wire.Client, func()) {
 	t.Helper()
 	opts := pubsub.Options{Threshold: 0.2, QueueSize: 64, RetainContent: true}
 	var st *store.Store
@@ -28,6 +31,8 @@ func startStack(t *testing.T, dir string) (*wire.Client, func()) {
 			t.Fatal(err)
 		}
 		opts.Journal = st
+		opts.Hydrator = st
+		opts.MaxResident = maxResident
 	}
 	broker := pubsub.New(opts)
 	srv := wire.NewServer(broker, func(string, ...any) {})
@@ -37,16 +42,26 @@ func startStack(t *testing.T, dir string) (*wire.Client, func()) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		learners, err := store.Restore(profiles, events)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for user, l := range learners {
-			sub, err := broker.Subscribe(user, l)
+		if maxResident > 0 {
+			for user, name := range store.RestoredNames(profiles, events) {
+				sub, err := broker.SubscribeRestored(user, name, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv.Adopt(user, sub)
+			}
+		} else {
+			learners, err := store.Restore(profiles, events)
 			if err != nil {
 				t.Fatal(err)
 			}
-			srv.Adopt(user, sub)
+			for user, l := range learners {
+				sub, err := broker.SubscribeRestored(user, l.Name(), l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv.Adopt(user, sub)
+			}
 		}
 	}
 
@@ -79,7 +94,7 @@ const integPage = "<html><head><title>t</title></head><body>cats and kittens and
 // TestIntegrationLifecycle drives subscribe → publish → watch → feedback →
 // profile → fetch over a real socket.
 func TestIntegrationLifecycle(t *testing.T) {
-	c, shutdown := startStack(t, "")
+	c, shutdown := startStack(t, "", 0)
 	defer shutdown()
 
 	if err := c.Subscribe("alice", "", []string{"cats", "kittens"}); err != nil {
@@ -115,7 +130,7 @@ func TestIntegrationLifecycle(t *testing.T) {
 // restored subscriber without resubscribing.
 func TestIntegrationDurability(t *testing.T) {
 	dir := t.TempDir()
-	c, shutdown := startStack(t, dir)
+	c, shutdown := startStack(t, dir, 0)
 	if err := c.Subscribe("alice", "", []string{"cats", "kittens"}); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +147,7 @@ func TestIntegrationDurability(t *testing.T) {
 	}
 	shutdown() // includes closing the store
 
-	c2, shutdown2 := startStack(t, dir)
+	c2, shutdown2 := startStack(t, dir, 0)
 	defer shutdown2()
 	after, err := c2.Profile("alice")
 	if err != nil {
@@ -146,10 +161,64 @@ func TestIntegrationDurability(t *testing.T) {
 	}
 }
 
+// TestIntegrationLazyHydration restarts the stack with a residency bound
+// of one: restored users boot evicted, hydrate on first touch over the
+// wire, and adapted profiles still survive bit-exact.
+func TestIntegrationLazyHydration(t *testing.T) {
+	dir := t.TempDir()
+	c, shutdown := startStack(t, dir, 0)
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := c.Subscribe(u, "", []string{"cats", "kittens"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc, _, err := c.Publish(integPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := c.Feedback(u, doc, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := c.Profile("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown()
+
+	c2, shutdown2 := startStack(t, dir, 1)
+	defer shutdown2()
+	// Evicted stubs are off the match path until first touched.
+	if _, delivered, err := c2.Publish(integPage); err != nil || delivered != 0 {
+		t.Fatalf("evicted subscribers took deliveries: %v, %d", err, delivered)
+	}
+	// A profile request hydrates bob from the store.
+	after, err := c2.Profile("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size != before.Size || after.Learner != before.Learner {
+		t.Fatalf("profile changed across lazy restart: %+v vs %+v", after, before)
+	}
+	// Hydrated bob is back in the index; the bound keeps others evicted.
+	if _, delivered, err := c2.Publish(integPage); err != nil || delivered != 1 {
+		t.Fatalf("hydrated subscriber missed delivery: %v, %d", err, delivered)
+	}
+	// Feedback through the wire hydrates carol (evicting bob) and adapts.
+	doc2, _, err := c2.Publish(integPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Feedback("carol", doc2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestIntegrationManyClients hammers one stack from concurrent
 // connections mixing subscribes, publishes, polls and feedback.
 func TestIntegrationManyClients(t *testing.T) {
-	c0, shutdown := startStack(t, "")
+	c0, shutdown := startStack(t, "", 0)
 	defer shutdown()
 
 	const users = 6

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/metrics"
+	"mmprofile/internal/store"
+	"mmprofile/internal/vsm"
+)
+
+// StoreLanesFigure measures the durable append path of the sharded profile
+// journal (DESIGN.md §14) as the WAL lane count grows, at a fixed writer
+// count. Each writer appends feedback for its own user, so user-id hashing
+// spreads the load across every lane. Two series share the x-axis: mean
+// microseconds per durable append, and the fsync amplification
+// (fsyncs/append) read from the store's own instruments — the same metric
+// BENCH_store.json pins for the group-commit acceptance row.
+//
+// On a single-core host with fast fsyncs, fewer lanes coalesce better (all
+// writers pile onto one group-commit leader), so the single-lane row is the
+// floor; the lanes win is reduced append-path contention and parallel lane
+// fsyncs, which shows on multicore hosts with real disk-flush latency.
+func (h *Harness) StoreLanesFigure(lanes []int, writers int) Figure {
+	if len(lanes) == 0 {
+		lanes = []int{1, 4, 16}
+	}
+	if writers <= 0 {
+		writers = 64
+	}
+	perWriter := 128
+	if h.Cfg.Runs <= 2 { // quick configuration: smaller sweep
+		perWriter = 48
+	}
+
+	fig := Figure{
+		ID:     "store_lanes",
+		Title:  fmt.Sprintf("Durable append vs WAL lane count (%d writers, group commit)", writers),
+		XLabel: "wal-lanes",
+		YLabel: "per durable append",
+	}
+	lat := Series{Label: "us-per-append"}
+	amp := Series{Label: "fsyncs-per-append"}
+
+	doc := vsm.FromMap(map[string]float64{"cat": 1, "dog": 0.5}).Normalized()
+	for _, n := range lanes {
+		dir, err := os.MkdirTemp("", "mmbench-store-*")
+		if err != nil {
+			panic(err)
+		}
+		reg := metrics.NewRegistry()
+		s, err := store.Open(dir, store.Options{Durable: true, Lanes: n, Metrics: reg})
+		if err != nil {
+			panic(err)
+		}
+
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				user := fmt.Sprintf("w%03d", w)
+				for i := 0; i < perWriter; i++ {
+					if err := s.AppendFeedback(user, doc, filter.Relevant); err != nil {
+						panic(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		snap := reg.Snapshot()
+		fsyncs := snap["mm_store_fsyncs_total"].(int64)
+		appends := snap["mm_store_appends_total"].(int64)
+		s.Close()
+		os.RemoveAll(dir)
+
+		total := writers * perWriter
+		lat.X = append(lat.X, float64(n))
+		lat.Y = append(lat.Y, elapsed.Seconds()*1e6/float64(total))
+		amp.X = append(amp.X, float64(n))
+		if appends > 0 {
+			amp.Y = append(amp.Y, float64(fsyncs)/float64(appends))
+		} else {
+			amp.Y = append(amp.Y, 0)
+		}
+	}
+	fig.Series = []Series{lat, amp}
+	return fig
+}

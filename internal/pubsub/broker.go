@@ -126,6 +126,21 @@ type Options struct {
 	// Nil disables tracing; with a tracer set but nothing sampled, the
 	// publish hot path pays no allocations and no extra clock reads.
 	Trace *trace.Tracer
+	// Hydrator, when set, restores evicted subscriber profiles on demand
+	// (lazy hydration, DESIGN.md §14); *store.Store implements it. Without
+	// one, SubscribeRestored requires a resident learner and MaxResident is
+	// ignored.
+	Hydrator Hydrator
+	// MaxResident bounds how many subscriber profiles are resident in the
+	// heap at once (mmserver -max-resident-profiles). When the bound is
+	// exceeded the least-recently-accessed profile is evicted: its learner
+	// is dropped (the journal already holds every mutation) and rebuilt by
+	// the Hydrator on the subscriber's next feedback or introspection.
+	// Recency is driven by profile access — feedback, hydration, export,
+	// introspection — not by deliveries: the publish hot path never touches
+	// the residency list. 0 means unbounded (every profile stays resident).
+	// Requires Hydrator.
+	MaxResident int
 	// NoPrune disables the index's threshold-aware match pruning
 	// (DESIGN.md §12), forcing every posting to be scanned exactly. Match
 	// results are identical either way; the flag (mmserver/mmbench
@@ -177,6 +192,9 @@ type subscriber struct {
 	// profile mutation with its journal append and its index refresh, so
 	// the WAL order, the learner state, and the index entries for one
 	// subscriber can never disagree (see Feedback and Unsubscribe).
+	// learner is nil while the subscriber is evicted (lazy hydration,
+	// hydrate.go): the profile's state lives only in the store until the
+	// next access rebuilds it.
 	mu      sync.Mutex
 	learner filter.Learner
 	closed  bool
@@ -186,9 +204,15 @@ type subscriber struct {
 
 	// lastOps/lastSize are the adaptation-telemetry baselines: the
 	// learner's operation tallies and vector count as of the last
-	// recordAdaptation (initialized at Subscribe).
+	// recordAdaptation (initialized at Subscribe, re-baselined on
+	// hydration).
 	lastOps  core.OpCounts
 	lastSize int
+
+	// Intrusive residency-LRU links, guarded by Broker.lru.mu only (a leaf
+	// lock; see residencyLRU).
+	lruPrev, lruNext *subscriber
+	inLRU            bool
 }
 
 // Broker is the dissemination engine: an orchestrator composing the
@@ -202,6 +226,7 @@ type Broker struct {
 	stats *vsm.ConcurrentStats
 	docs  *docstore.Store
 	reg   *registry
+	lru   residencyLRU
 
 	// m holds every instrument the broker records into; the dissemination
 	// counters inside it also back Stats().
@@ -257,21 +282,6 @@ type Subscription struct {
 // When a journal is configured, the subscription (with the learner's
 // initial state, if serializable) is logged before being applied.
 func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
-	_, indexed := l.(filter.VectorSource)
-	s := &subscriber{
-		id:      id,
-		learner: l,
-		indexed: indexed,
-		queue:   make(chan Delivery, b.opts.QueueSize),
-	}
-	// Telemetry baselines: adaptation counters report only operations
-	// performed under this broker, not the learner's prior history
-	// (keyword seeding, journal replay). The learner is not yet shared,
-	// so no lock is needed.
-	if oc, ok := l.(opCounter); ok {
-		s.lastOps = oc.Counts()
-	}
-	s.lastSize = l.ProfileSize()
 	// The duplicate check, the journal record, and the insertion are one
 	// atomic step under the id's registry-shard lock (see registry.insert):
 	// journaling a subscribe that then fails as a duplicate would clobber
@@ -292,6 +302,27 @@ func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
 			return nil
 		}
 	}
+	return b.subscribe(id, l, journal)
+}
+
+// subscribe is the shared registration path behind Subscribe (journaled)
+// and SubscribeRestored with a resident learner (journal nil).
+func (b *Broker) subscribe(id string, l filter.Learner, journal func() error) (*Subscription, error) {
+	_, indexed := l.(filter.VectorSource)
+	s := &subscriber{
+		id:      id,
+		learner: l,
+		indexed: indexed,
+		queue:   make(chan Delivery, b.opts.QueueSize),
+	}
+	// Telemetry baselines: adaptation counters report only operations
+	// performed under this broker, not the learner's prior history
+	// (keyword seeding, journal replay). The learner is not yet shared,
+	// so no lock is needed.
+	if oc, ok := l.(opCounter); ok {
+		s.lastOps = oc.Counts()
+	}
+	s.lastSize = l.ProfileSize()
 	if err := b.reg.insert(id, s, journal); err != nil {
 		if errors.Is(err, errDuplicate) {
 			return nil, fmt.Errorf("pubsub: duplicate subscriber %q", id)
@@ -299,7 +330,12 @@ func (b *Broker) Subscribe(id string, l filter.Learner) (*Subscription, error) {
 		return nil, err
 	}
 	b.m.profileVectors.Add(float64(s.lastSize))
+	b.m.residentProfiles.Add(1)
 	b.reindex(s)
+	if b.bounded() {
+		b.lru.touch(s)
+		b.enforceResidency()
+	}
 	// Debug, not info: load tests subscribe by the hundred thousand.
 	if b.opts.Log.Enabled(obs.LevelDebug) {
 		b.opts.Log.Debug("pubsub: subscribe",
@@ -350,10 +386,15 @@ func (b *Broker) Unsubscribe(id string) {
 	s.closed = true
 	close(s.queue)
 	b.idx.RemoveUser(id)
+	resident := s.learner != nil
 	gone := s.lastSize
 	s.lastSize = 0
 	s.mu.Unlock()
+	b.lru.drop(s)
 	b.m.profileVectors.Add(float64(-gone))
+	if resident {
+		b.m.residentProfiles.Add(-1)
+	}
 	if b.opts.Log.Enabled(obs.LevelDebug) {
 		b.opts.Log.Debug("pubsub: unsubscribe", slog.String("user", id))
 	}
@@ -525,7 +566,10 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string, parent *trace.Spa
 		for _, s := range b.reg.bruteSnapshot(nil) {
 			s.mu.Lock()
 			sc := 0.0
-			if !s.closed {
+			// The learner nil check covers an eviction racing the snapshot:
+			// evicted brutes leave the brute table, but this subscriber may
+			// have been evicted after it was snapped.
+			if !s.closed && s.learner != nil {
 				sc = s.learner.Score(vec)
 			}
 			s.mu.Unlock()
@@ -637,6 +681,9 @@ func (b *Broker) FeedbackSpan(user string, doc int64, fd filter.Feedback, parent
 		sp = b.opts.Trace.RootAt("pubsub.feedback", t0, trace.Remote{})
 	}
 	err := b.applyFeedback(user, doc, fd, sp)
+	// Outside the subscriber's lock: the residency bound may pick this very
+	// subscriber as its victim.
+	b.enforceResidency()
 	t1 := time.Now()
 	tid := uint64(sp.Trace())
 	if sp != nil {
@@ -689,6 +736,11 @@ func (b *Broker) applyFeedback(user string, doc int64, fd filter.Feedback, sp *t
 	if s.closed {
 		return fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
+	// An evicted subscriber hydrates before the journal append so the
+	// learner observes this judgment on top of its full history.
+	if err := b.residentLocked(s, sp); err != nil {
+		return err
+	}
 	if b.opts.Journal != nil {
 		var err error
 		if tj, ok := b.opts.Journal.(tracedJournal); ok {
@@ -729,7 +781,7 @@ func (b *Broker) reindex(s *subscriber) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.learner == nil {
 		return
 	}
 	b.idx.SetUser(s.id, s.learner.(filter.VectorSource).ProfileVectors())
@@ -756,14 +808,20 @@ type ProfileSnapshot struct {
 	Data    []byte
 }
 
-// ExportProfiles serializes every subscriber's learner for a checkpoint.
-// It fails if any learner does not support serialization — checkpoints
+// ExportProfiles serializes every resident subscriber's learner for a
+// checkpoint. Evicted subscribers are skipped rather than hydrated: their
+// state already lives, complete, in the store that evicted them. It fails
+// if any resident learner does not support serialization — checkpoints
 // must be complete or not taken at all.
 func (b *Broker) ExportProfiles() ([]ProfileSnapshot, error) {
 	subs := b.reg.snapshot()
 	out := make([]ProfileSnapshot, 0, len(subs))
 	for _, s := range subs {
 		s.mu.Lock()
+		if s.closed || s.learner == nil {
+			s.mu.Unlock()
+			continue
+		}
 		m, ok := s.learner.(interface{ MarshalBinary() ([]byte, error) })
 		if !ok {
 			name := s.learner.Name()
@@ -787,8 +845,15 @@ func (b *Broker) ExportProfile(user string) (ProfileSnapshot, error) {
 	if !ok {
 		return ProfileSnapshot{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
+	defer b.enforceResidency()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ProfileSnapshot{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
+	}
+	if err := b.residentLocked(s, nil); err != nil {
+		return ProfileSnapshot{}, err
+	}
 	m, ok := s.learner.(interface{ MarshalBinary() ([]byte, error) })
 	if !ok {
 		return ProfileSnapshot{}, fmt.Errorf("pubsub: learner %q is not serializable", s.learner.Name())
@@ -872,26 +937,39 @@ func (s *Subscription) Feedback(doc int64, fd filter.Feedback) error {
 	return s.b.Feedback(s.sub.id, doc, fd)
 }
 
-// ProfileSize returns the subscriber profile's current vector count.
+// ProfileSize returns the subscriber profile's current vector count,
+// hydrating an evicted profile first (0 when the subscriber is gone or
+// hydration fails).
 func (s *Subscription) ProfileSize() int {
-	s.sub.mu.Lock()
-	defer s.sub.mu.Unlock()
-	return s.sub.learner.ProfileSize()
+	n := 0
+	_ = s.WithLearner(func(l filter.Learner) { n = l.ProfileSize() })
+	return n
 }
 
 // WithLearner runs fn with the subscription's learner under the
-// subscriber's lock, for read-only introspection (the wire layer uses it
-// to describe profiles). fn must not retain the learner or call back into
-// the broker.
-func (s *Subscription) WithLearner(fn func(filter.Learner)) {
+// subscriber's lock, hydrating an evicted profile first; it errors when
+// the subscriber is unsubscribed or hydration fails. For read-only
+// introspection (the wire layer uses it to describe profiles). fn must
+// not retain the learner or call back into the broker.
+func (s *Subscription) WithLearner(fn func(filter.Learner)) error {
+	defer s.b.enforceResidency()
 	s.sub.mu.Lock()
 	defer s.sub.mu.Unlock()
+	if s.sub.closed {
+		return fmt.Errorf("pubsub: unknown subscriber %q", s.sub.id)
+	}
+	if err := s.b.residentLocked(s.sub, nil); err != nil {
+		return err
+	}
 	fn(s.sub.learner)
+	return nil
 }
 
-// Score returns the profile's current score for a vector (diagnostics).
+// Score returns the profile's current score for a vector (diagnostics),
+// hydrating an evicted profile first (0 on a gone subscriber or a failed
+// hydration).
 func (s *Subscription) Score(v vsm.Vector) float64 {
-	s.sub.mu.Lock()
-	defer s.sub.mu.Unlock()
-	return s.sub.learner.Score(v)
+	sc := 0.0
+	_ = s.WithLearner(func(l filter.Learner) { sc = l.Score(v) })
+	return sc
 }

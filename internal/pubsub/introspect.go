@@ -56,10 +56,14 @@ func (b *Broker) ProfileInfo(user string, topTerms int) (ProfileInfo, error) {
 	if !ok {
 		return ProfileInfo{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
+	defer b.enforceResidency()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ProfileInfo{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
+	}
+	if err := b.residentLocked(s, nil); err != nil {
+		return ProfileInfo{}, err
 	}
 	info := ProfileInfo{User: user, Learner: s.learner.Name(), Size: s.learner.ProfileSize()}
 	if vl, ok := s.learner.(vectorLister); ok {
@@ -92,10 +96,14 @@ func (b *Broker) ExplainDoc(user string, doc int64, maxTerms int) (core.Explanat
 	if !ok {
 		return core.Explanation{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
 	}
+	defer b.enforceResidency()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return core.Explanation{}, fmt.Errorf("pubsub: unknown subscriber %q", user)
+	}
+	if err := b.residentLocked(s, nil); err != nil {
+		return core.Explanation{}, err
 	}
 	ex, ok := s.learner.(explainer)
 	if !ok {

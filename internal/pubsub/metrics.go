@@ -40,6 +40,14 @@ type brokerMetrics struct {
 	fbIgnored       *metrics.Counter
 	strength        *metrics.Histogram
 	profileVectors  *metrics.Gauge
+
+	// Residency telemetry (lazy hydration, hydrate.go): how many profiles
+	// are in-heap right now, and the evict/hydrate churn the
+	// MaxResident bound is causing.
+	residentProfiles *metrics.Gauge
+	hydrations       *metrics.Counter
+	profileEvictions *metrics.Counter
+	hydrateLat       *metrics.Histogram
 }
 
 func newBrokerMetrics(reg *metrics.Registry) brokerMetrics {
@@ -81,6 +89,14 @@ func newBrokerMetrics(reg *metrics.Registry) brokerMetrics {
 			"Distribution of profile-vector strengths, sampled from the judged profile after every feedback step."),
 		profileVectors: reg.Gauge("mm_profile_vectors",
 			"Profile vectors currently held across all subscribers (learner view, including non-indexable learners)."),
+		residentProfiles: reg.Gauge("mm_pubsub_resident_profiles",
+			"Subscriber profiles currently resident in the heap (subscribers minus evicted)."),
+		hydrations: reg.Counter("mm_pubsub_hydrations_total",
+			"Evicted profiles rebuilt from the store on access (lazy hydration)."),
+		profileEvictions: reg.Counter("mm_pubsub_profile_evictions_total",
+			"Resident profiles dropped from the heap by the MaxResident LRU bound."),
+		hydrateLat: reg.Histogram("mm_pubsub_hydrate_seconds",
+			"Latency of rebuilding one evicted profile from its checkpoint segment and WAL-lane replay."),
 	}
 }
 

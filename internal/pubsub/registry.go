@@ -82,11 +82,39 @@ func (r *registry) insert(id string, s *subscriber, journal func() error) error 
 	}
 	sh.subs[id] = s
 	r.count.Add(1)
-	if !s.indexed {
+	// Evicted stubs (learner nil, SubscribeRestored) stay out of the brute
+	// table until hydration rejoins them; s is not yet shared, so the
+	// learner field can be read without its lock.
+	if !s.indexed && s.learner != nil {
 		sh.brute[id] = s
 		r.brutes.Add(1)
 	}
 	return nil
+}
+
+// dropBrute removes an evicted brute-force subscriber from its shard's
+// brute table so publishes stop snapshotting it; the subscriber itself
+// stays registered.
+func (r *registry) dropBrute(id string) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.brute[id]; ok {
+		delete(sh.brute, id)
+		r.brutes.Add(-1)
+	}
+	sh.mu.Unlock()
+}
+
+// rejoinBrute returns a rehydrated brute-force subscriber to its shard's
+// brute table (idempotent).
+func (r *registry) rejoinBrute(id string, s *subscriber) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.brute[id]; !ok {
+		sh.brute[id] = s
+		r.brutes.Add(1)
+	}
+	sh.mu.Unlock()
 }
 
 // remove deletes id from its shard and returns the removed subscriber.

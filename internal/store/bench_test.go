@@ -57,3 +57,45 @@ func BenchmarkDurableAppend(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchDurableAppend(b, w) })
 	}
 }
+
+// benchDurableAppendLanes measures the sharded-journal durable append path:
+// 64 concurrent writers spread across user ids (and therefore across WAL
+// lanes), with the lane count swept. Reports the same fsyncs/append
+// amplification metric as benchDurableAppend so the two tables compare
+// directly; BENCH_store.json pins the 64-writer row per lane count.
+func benchDurableAppendLanes(b *testing.B, lanes, workers int) {
+	reg := metrics.NewRegistry()
+	s, err := Open(b.TempDir(), Options{Durable: true, Lanes: lanes, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	doc := vec("cat", 1.0, "dog", 0.5)
+
+	var id atomic.Int64
+	b.ResetTimer()
+	b.SetParallelism(workers)
+	b.RunParallel(func(pb *testing.PB) {
+		// Distinct users per goroutine so writers spread over every lane.
+		user := fmt.Sprintf("u%d", id.Add(1))
+		for pb.Next() {
+			if err := s.AppendFeedback(user, doc, filter.Relevant); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+
+	snap := reg.Snapshot()
+	fsyncs := snap["mm_store_fsyncs_total"].(int64)
+	appends := snap["mm_store_appends_total"].(int64)
+	if appends > 0 {
+		b.ReportMetric(float64(fsyncs)/float64(appends), "fsyncs/append")
+	}
+}
+
+func BenchmarkDurableAppendLanes(b *testing.B) {
+	for _, lanes := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) { benchDurableAppendLanes(b, lanes, 64) })
+	}
+}

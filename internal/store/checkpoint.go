@@ -1,0 +1,353 @@
+package store
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+	"time"
+
+	"mmprofile/internal/filter"
+)
+
+// CheckpointStats reports what one Checkpoint pass did.
+type CheckpointStats struct {
+	Lanes     int   // lanes in the store
+	Rewritten int   // dirty lanes compacted into a new segment
+	Skipped   int   // dirty lanes left alone (below the minDirty threshold)
+	Clean     int   // lanes with no events since their last segment
+	Profiles  int   // live profiles across the rewritten segments
+	Carried   int   // of those, clean records carried forward verbatim
+	Bytes     int64 // segment bytes written by this pass
+}
+
+// Checkpoint compacts every lane whose dirty-profile count has reached
+// minDirty (values < 1 are treated as 1): the lane's WAL is replayed over
+// its current segment inside the store — clean profiles are carried
+// forward as raw bytes, dirty ones are rehydrated, updated, and
+// re-serialized — and the result becomes the lane's next immutable
+// segment with a fresh, empty WAL. Lanes below the threshold keep
+// accumulating; clean lanes cost nothing. One manifest rename commits all
+// rewritten lanes atomically.
+//
+// Compacting from the journal rather than from caller-provided profiles
+// means an append that lands mid-checkpoint can never be lost: it either
+// makes the compaction pass or stays in the WAL that survives it. The
+// durability order per rewritten lane is strict: outgoing WAL fsync →
+// segment contents fsync → segment rename → directory fsync → manifest
+// rename → directory fsync → new WAL creation → directory fsync →
+// stale-generation removal. A crash at any point leaves either the old
+// generations or the new ones fully recoverable.
+//
+// On success, every record appended to a rewritten lane before the call
+// is durable. Replay requires the lanes' learner types to be registered
+// with the filter registry, same as Restore.
+func (s *Store) Checkpoint(minDirty int) (CheckpointStats, error) {
+	var st CheckpointStats
+	if s.opts.ReadOnly {
+		return st, errors.New("store: read-only")
+	}
+	if minDirty < 1 {
+		minDirty = 1
+	}
+	t0 := time.Now()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// Claim the sync token: no group-commit pass may race the WAL swaps
+	// (it would fsync closed handles).
+	s.cmu.Lock()
+	for s.syncing {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.cmu.Unlock()
+		return st, errClosed
+	}
+	s.syncing = true
+	s.cmu.Unlock()
+	tokenHeld := true
+	defer func() {
+		if tokenHeld {
+			s.cmu.Lock()
+			s.syncing = false
+			s.cond.Broadcast()
+			s.cmu.Unlock()
+		}
+	}()
+
+	st.Lanes = len(s.lanes)
+
+	type flip struct {
+		ln        *lane
+		gen       uint64 // new generation
+		recs      []segEntry
+		durableTo uint64
+		bytes     int64
+	}
+	var flips []*flip
+	var locked []*lane
+	unlockAll := func() {
+		for _, ln := range locked {
+			ln.mu.Unlock()
+		}
+		locked = nil
+	}
+	defer unlockAll()
+
+	// Select lanes. The chosen lanes stay locked until their WAL swap, so
+	// nothing can append between the compaction read and the swap — which
+	// is exactly the window where the old export-then-swap design could
+	// drop events. Appends to unchosen lanes keep flowing (durable
+	// waiters stall until the token is released, as they did under the
+	// old whole-store snapshot).
+	for _, ln := range s.lanes {
+		ln.mu.Lock()
+		locked = append(locked, ln)
+		if ln.wal == nil {
+			return st, errClosed
+		}
+		if ln.failed != nil {
+			return st, fmt.Errorf("store: lane %d: %w", ln.id, ln.failed)
+		}
+		if len(ln.dirty) == 0 {
+			st.Clean++
+			ln.mu.Unlock()
+			locked = locked[:len(locked)-1]
+			continue
+		}
+		if len(ln.dirty) < minDirty {
+			st.Skipped++
+			s.m.ckptLanesSkipped.Inc()
+			ln.mu.Unlock()
+			locked = locked[:len(locked)-1]
+			continue
+		}
+		flips = append(flips, &flip{ln: ln, gen: ln.gen + 1})
+	}
+	if len(flips) == 0 {
+		// Nothing dirty enough anywhere: no segment writes, no manifest
+		// churn — the incremental win over the old full rewrite.
+		return st, nil
+	}
+
+	// Phase 1, per lane: fsync the outgoing WAL (until the manifest
+	// commits it is the only durable copy of its events), compact it over
+	// the segment, and stage the new segment file. The manifest does not
+	// reference any of this yet, so a crash mid-phase leaves only strays.
+	for _, fl := range flips {
+		ln := fl.ln
+		ts := time.Now()
+		if err := ln.wal.Sync(); err != nil {
+			ln.failed = err
+			return st, fmt.Errorf("store: lane %d: %w", ln.id, err)
+		}
+		s.m.fsyncs.Inc()
+		s.m.fsyncLat.ObserveSince(ts)
+		fl.durableTo = ln.recs
+
+		recs, carried, err := s.compactLane(ln)
+		if err != nil {
+			return st, err
+		}
+		fl.recs = recs
+		st.Profiles += len(recs)
+		st.Carried += carried
+
+		tmp, err := s.fsys.CreateTemp(s.dir, "seg-*.tmp")
+		if err != nil {
+			return st, fmt.Errorf("store: %w", err)
+		}
+		werr := func() error {
+			for _, e := range recs {
+				if err := writeRecord(tmp, e.payload); err != nil {
+					return err
+				}
+				fl.bytes += int64(len(e.payload)) + 8 // record framing header
+			}
+			if err := tmp.Sync(); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			return nil
+		}()
+		if cerr := tmp.Close(); werr == nil && cerr != nil {
+			werr = fmt.Errorf("store: %w", cerr)
+		}
+		if werr == nil {
+			werr = s.fsys.Rename(tmp.Name(), s.segPath(ln, fl.gen))
+		}
+		if werr != nil {
+			s.fsys.Remove(tmp.Name())
+			return st, werr
+		}
+		st.Bytes += fl.bytes
+	}
+	// The renamed segments must be durable before the manifest may
+	// reference them: a manifest entry pointing at an un-persisted
+	// directory entry would read as data loss after a crash.
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		return st, fmt.Errorf("store: %w", err)
+	}
+
+	// Phase 2: the commit point. One manifest rename flips every
+	// rewritten lane to its new generation atomically — a crash on either
+	// side of this rename recovers a consistent store, just at different
+	// generations.
+	mf := s.manifestNow()
+	for _, fl := range flips {
+		mf.gens[fl.ln.id] = fl.gen
+	}
+	mf.epoch = s.epoch.Load() + 1
+	if err := s.writeManifest(mf); err != nil {
+		return st, err
+	}
+	s.epoch.Store(mf.epoch)
+
+	// Phase 3: in-memory flips and fresh WALs. The manifest is committed,
+	// so a failure here poisons its lane (reopen repairs) instead of
+	// aborting the checkpoint.
+	var firstErr error
+	for _, fl := range flips {
+		ln := fl.ln
+		old := ln.wal
+		ln.gen = fl.gen
+		ln.wal = nil
+		if err := s.openLaneWAL(ln); err != nil {
+			ln.failed = err
+			if firstErr == nil {
+				firstErr = err
+			}
+			old.Close()
+			continue
+		}
+		old.Close()
+		s.m.dirtyProfiles.Add(-float64(len(ln.dirty)))
+		ln.dirty = make(map[string]struct{})
+		// Prime the segment cache with what was just written: hydration
+		// and the next compaction read it without touching disk.
+		idx := make(map[string]int, len(fl.recs))
+		for i, e := range fl.recs {
+			idx[e.user] = i
+		}
+		ln.segRecs, ln.segIdx, ln.segLoaded = fl.recs, idx, true
+		st.Rewritten++
+		s.m.ckptLanesRewritten.Inc()
+	}
+	// Persist the new WALs' directory entries.
+	if err := s.fsys.SyncDir(s.dir); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("store: %w", err)
+	}
+	unlockAll()
+
+	// Advance the rewritten lanes' durability watermarks (their events
+	// are segment-durable now) and release the token.
+	s.cmu.Lock()
+	s.syncing = false
+	tokenHeld = false
+	for _, fl := range flips {
+		if fl.durableTo > fl.ln.durable {
+			fl.ln.durable = fl.durableTo
+		}
+	}
+	s.cond.Broadcast()
+	s.cmu.Unlock()
+
+	s.cleanStrays()
+	s.m.checkpoints.Inc()
+	s.m.checkpointBytes.Set(float64(st.Bytes))
+	s.m.checkpointLat.ObserveSince(t0)
+	return st, firstErr
+}
+
+// compactLane replays ln's committed WAL over its current segment and
+// returns the next segment's records (caller holds ln.mu). Clean users'
+// records are carried forward verbatim; users touched by the WAL are
+// rehydrated through the filter registry, replayed, and re-serialized.
+// Segment order is preserved, with users first seen in the WAL appended
+// in event order, so compaction is deterministic.
+func (s *Store) compactLane(ln *lane) (recs []segEntry, carried int, err error) {
+	if err := s.loadSeg(ln); err != nil {
+		return nil, 0, err
+	}
+	payloads, err := s.laneWALRecords(ln)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	type slot struct {
+		payload []byte // serialized record, nil once live
+		l       filter.Learner
+		lname   string
+		live    bool
+	}
+	order := make([]string, 0, len(ln.segRecs))
+	slots := make(map[string]*slot, len(ln.segRecs))
+	for _, e := range ln.segRecs {
+		order = append(order, e.user)
+		slots[e.user] = &slot{payload: e.payload}
+	}
+	for i, p := range payloads {
+		ev, err := decodeEvent(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: lane %d wal %d record %d: %w", ln.id, ln.gen, i, err)
+		}
+		switch ev.Type {
+		case EventSubscribe:
+			sl := slots[ev.User]
+			if sl == nil {
+				sl = &slot{}
+				slots[ev.User] = sl
+				order = append(order, ev.User)
+			}
+			l, err := newRestored(ev.User, ev.Learner, ev.State)
+			if err != nil {
+				return nil, 0, err
+			}
+			sl.l, sl.lname, sl.live, sl.payload = l, ev.Learner, true, nil
+		case EventUnsubscribe:
+			if sl := slots[ev.User]; sl != nil {
+				sl.l, sl.payload, sl.live = nil, nil, false
+			}
+		case EventFeedback:
+			sl := slots[ev.User]
+			if sl == nil || (!sl.live && sl.payload == nil) {
+				return nil, 0, fmt.Errorf("store: lane %d compaction: feedback for unknown user %q", ln.id, ev.User)
+			}
+			if !sl.live {
+				rec, err := decodeProfileRecord(sl.payload)
+				if err != nil {
+					return nil, 0, fmt.Errorf("store: lane %d segment %d: %w", ln.id, ln.gen, err)
+				}
+				l, err := newRestored(rec.User, rec.Learner, rec.Data)
+				if err != nil {
+					return nil, 0, err
+				}
+				sl.l, sl.lname, sl.live = l, rec.Learner, true
+			}
+			sl.l.Observe(ev.Vec, ev.Fd)
+		default:
+			return nil, 0, fmt.Errorf("store: lane %d wal %d record %d: unknown event type %d", ln.id, ln.gen, i, ev.Type)
+		}
+	}
+
+	for _, user := range order {
+		sl := slots[user]
+		switch {
+		case sl.live:
+			m, ok := sl.l.(encoding.BinaryMarshaler)
+			if !ok {
+				return nil, 0, fmt.Errorf("store: learner %q for %q is not serializable", sl.lname, user)
+			}
+			data, err := m.MarshalBinary()
+			if err != nil {
+				return nil, 0, fmt.Errorf("store: serializing %q: %w", user, err)
+			}
+			recs = append(recs, segEntry{user: user, payload: encodeProfilePayload(user, sl.lname, data)})
+		case sl.payload != nil:
+			recs = append(recs, segEntry{user: user, payload: sl.payload})
+			carried++
+		default:
+			// unsubscribed: dropped from the new segment
+		}
+	}
+	return recs, carried, nil
+}

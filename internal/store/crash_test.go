@@ -1,18 +1,21 @@
 package store
 
-// The crash matrix: run a fixed Subscribe/Feedback/Snapshot/Sync workload
-// against a store on the simulated filesystem, kill the machine at every
-// single syscall boundary (faultfs.CrashAt tears the in-flight write),
-// reboot, reopen, and require that Load+Restore succeeds and yields
-// exactly a prefix of the workload — never shorter than what durability
-// was acknowledged for, never a panic, never an error, and always
-// appendable afterwards. This is the test that proves the torn-tail
-// repair, the directory-fsync ordering in Snapshot, and the group-commit
-// ack semantics all at once; before this PR it failed at many points.
+// The crash matrix: run a fixed Subscribe/Feedback/Checkpoint/Sync
+// workload against a two-lane store on the simulated filesystem, kill the
+// machine at every single syscall boundary (faultfs.CrashAt tears the
+// in-flight write), reboot, reopen, and require that Load+Restore
+// succeeds and yields exactly a prefix of the workload — never shorter
+// than what durability was acknowledged for, never a panic, never an
+// error, and always appendable afterwards. This is the test that proves
+// the torn-tail repair, the segment/manifest rename ordering in
+// Checkpoint (including crashes between a lane's fsync and the manifest
+// rename), and the group-commit ack semantics all at once.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"testing"
 
 	"mmprofile/internal/core"
@@ -23,25 +26,27 @@ import (
 
 // matrixOp is one scripted workload step.
 type matrixOp struct {
-	kind  string // "sub", "unsub", "fb", "snap", "sync"
+	kind  string // "sub", "unsub", "fb", "ckpt", "sync"
 	user  string
 	fbIdx int // unique feedback index ("fb" only)
 }
 
 // matrixScript mixes every record type with checkpoints and explicit
 // barriers; feedback indices are globally unique so the recovered state
-// reveals exactly which ops survived.
+// reveals exactly which ops survived. Users "u" and "z" hash to different
+// lanes of a two-lane store (pinned in crashMatrix), so every crash point
+// also exercises the cross-lane commit.
 var matrixScript = []matrixOp{
 	{kind: "sub", user: "u"},
 	{kind: "fb", user: "u", fbIdx: 0},
 	{kind: "fb", user: "u", fbIdx: 1},
 	{kind: "fb", user: "u", fbIdx: 2},
-	{kind: "snap"},
-	{kind: "sub", user: "w"},
-	{kind: "fb", user: "w", fbIdx: 3},
+	{kind: "ckpt"},
+	{kind: "sub", user: "z"},
+	{kind: "fb", user: "z", fbIdx: 3},
 	{kind: "fb", user: "u", fbIdx: 4},
-	{kind: "fb", user: "w", fbIdx: 5},
-	{kind: "unsub", user: "w"},
+	{kind: "fb", user: "z", fbIdx: 5},
+	{kind: "unsub", user: "z"},
 	{kind: "fb", user: "u", fbIdx: 6},
 	{kind: "sync"},
 	{kind: "fb", user: "u", fbIdx: 7},
@@ -127,7 +132,6 @@ func TestProbeStateSanity(t *testing.T) {
 // error. It returns how many ops were applied, how many of those are
 // durability-guaranteed, and the first error.
 func runMatrixWorkload(s *Store, durablePerAppend bool) (applied, guaranteed int, err error) {
-	shadows := map[string]filter.Learner{}
 	for _, op := range matrixScript {
 		switch op.kind {
 		case "sub":
@@ -138,32 +142,16 @@ func runMatrixWorkload(s *Store, durablePerAppend bool) (applied, guaranteed int
 			err = s.AppendFeedback(op.user, fbVec(op.fbIdx), filter.Relevant)
 		case "sync":
 			err = s.Sync()
-		case "snap":
-			var records []ProfileRecord
-			for u, l := range shadows {
-				blob, merr := l.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
-				if merr != nil {
-					return applied, guaranteed, merr
-				}
-				records = append(records, ProfileRecord{User: u, Learner: "MM", Data: blob})
-			}
-			err = s.Snapshot(records)
+		case "ckpt":
+			_, err = s.Checkpoint(1)
 		}
 		if err != nil {
 			return applied, guaranteed, err
 		}
-		switch op.kind {
-		case "sub":
-			shadows[op.user] = core.NewDefault()
-		case "unsub":
-			delete(shadows, op.user)
-		case "fb":
-			shadows[op.user].Observe(fbVec(op.fbIdx), filter.Relevant)
-		}
 		applied++
 		// Durability acknowledgments: a durable-mode append, an explicit
 		// barrier, or a checkpoint guarantees everything applied so far.
-		if durablePerAppend || op.kind == "sync" || op.kind == "snap" {
+		if durablePerAppend || op.kind == "sync" || op.kind == "ckpt" {
 			guaranteed = applied
 		}
 	}
@@ -174,9 +162,16 @@ func TestCrashMatrixDurable(t *testing.T) { crashMatrix(t, true) }
 func TestCrashMatrixRelaxed(t *testing.T) { crashMatrix(t, false) }
 
 func crashMatrix(t *testing.T, durable bool) {
+	if laneFNV32("u")%2 == laneFNV32("z")%2 {
+		t.Fatal("matrix users collided on one lane — pick users that spread")
+	}
+	opts := func(sim *faultfs.Sim) Options {
+		return Options{FS: sim, Durable: durable, Lanes: 2}
+	}
+
 	// Calibration pass: count the workload's total syscall footprint.
 	calib := faultfs.NewSim()
-	s, err := Open("/state", Options{FS: calib, Durable: durable})
+	s, err := Open("/state", opts(calib))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +191,7 @@ func crashMatrix(t *testing.T, durable bool) {
 			sim.SetHook(faultfs.CrashAt(k))
 
 			applied, guaranteed := 0, 0
-			s, err := Open("/state", Options{FS: sim, Durable: durable})
+			s, err := Open("/state", opts(sim))
 			if err == nil {
 				applied, guaranteed, err = runMatrixWorkload(s, durable)
 				s.Close() // post-crash close errors are expected
@@ -216,7 +211,7 @@ func crashMatrix(t *testing.T, durable bool) {
 
 			// Recovery must never error and never lose an acknowledged
 			// record, at every single crash point.
-			s2, err := Open("/state", Options{FS: sim, Durable: durable})
+			s2, err := Open("/state", opts(sim))
 			if err != nil {
 				t.Fatalf("reopen after crash: %v", err)
 			}
@@ -242,19 +237,19 @@ func crashMatrix(t *testing.T, durable bool) {
 			}
 
 			// The reopened store must be fully usable: the torn-tail
-			// repair has to leave the log appendable (this is the exact
+			// repair has to leave every lane appendable (this is the exact
 			// reopen-append-reload sequence that corrupted the store
 			// before the fix).
-			if err := s2.AppendSubscribe("z", "MM", nil); err != nil {
+			if err := s2.AppendSubscribe("q", "MM", nil); err != nil {
 				t.Fatalf("append after recovery: %v", err)
 			}
-			if err := s2.AppendFeedback("z", fbVec(9), filter.Relevant); err != nil {
+			if err := s2.AppendFeedback("q", fbVec(9), filter.Relevant); err != nil {
 				t.Fatalf("append after recovery: %v", err)
 			}
 			if err := s2.Close(); err != nil {
 				t.Fatalf("close after recovery: %v", err)
 			}
-			s3, err := Open("/state", Options{FS: sim, Durable: durable})
+			s3, err := Open("/state", opts(sim))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -267,17 +262,140 @@ func crashMatrix(t *testing.T, durable bool) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if l3["z"] == nil || l3["z"].Score(fbVec(9)) <= 1e-9 {
+			if l3["q"] == nil || l3["q"].Score(fbVec(9)) <= 1e-9 {
 				t.Fatalf("post-recovery appends lost")
 			}
 		})
 	}
 }
 
-// TestSnapshotDurableAcrossCrash pins the directory-fsync fix in
-// isolation: once Snapshot returns, a crash must not roll recovery back a
-// generation (the rename and the new log's creation are both fsynced).
-func TestSnapshotDurableAcrossCrash(t *testing.T) {
+// seedLegacy writes a durable pre-manifest layout (one snapshot, one WAL)
+// into the simulator: alice checkpointed with feedback 0, then a log with
+// feedback 1 for alice and subscriptions + feedback for "u" and "z".
+func seedLegacy(t *testing.T, sim *faultfs.Sim) {
+	t.Helper()
+	if err := sim.MkdirAll("/state", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mm := core.NewDefault()
+	mm.Observe(fbVec(0), filter.Relevant)
+	blob, err := mm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap, wal bytes.Buffer
+	if err := writeRecord(&snap, encodeProfilePayload("alice", "MM", blob)); err != nil {
+		t.Fatal(err)
+	}
+	sub := func(user string) []byte {
+		p := []byte{byte(EventSubscribe)}
+		p = appendLenBytes(p, []byte(user))
+		p = appendLenBytes(p, []byte("MM"))
+		return appendLenBytes(p, nil)
+	}
+	fb := func(user string, i int) []byte {
+		p := []byte{byte(EventFeedback)}
+		p = appendLenBytes(p, []byte(user))
+		p = append(p, 1)
+		return vsm.AppendVector(p, fbVec(i))
+	}
+	for _, payload := range [][]byte{fb("alice", 1), sub("u"), fb("u", 2), sub("z"), fb("z", 3)} {
+		if err := writeRecord(&wal, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write := func(path string, data []byte) {
+		f, err := sim.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("/state/snap-00000001.db", snap.Bytes())
+	write("/state/wal-00000001.log", wal.Bytes())
+	if err := sim.SyncDir("/state"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationCrashMatrix crashes the legacy→lane migration at every
+// syscall boundary. The legacy files were durable before the migration
+// started and are removed only after the manifest commit, so recovery
+// after any crash point must come back with the complete legacy state —
+// either by re-running the migration or from the committed lane layout.
+func TestMigrationCrashMatrix(t *testing.T) {
+	calib := faultfs.NewSim()
+	seedLegacy(t, calib)
+	seedOps := calib.Ops()
+	s, err := Open("/state", Options{FS: calib, Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	total := calib.Ops()
+	if total <= seedOps {
+		t.Fatalf("migration performed no operations (%d..%d)", seedOps, total)
+	}
+
+	for k := seedOps + 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash_at_%03d", k), func(t *testing.T) {
+			sim := faultfs.NewSim()
+			seedLegacy(t, sim)
+			sim.SetHook(faultfs.CrashAt(k))
+			if s, err := Open("/state", Options{FS: sim, Lanes: 2}); err == nil {
+				s.Close()
+			} else if !errors.Is(err, faultfs.ErrCrashed) {
+				t.Fatalf("open failed with a non-crash error: %v", err)
+			}
+			sim.SetHook(nil)
+			sim.Reboot()
+
+			s2, err := Open("/state", Options{FS: sim, Lanes: 2})
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			profiles, events, err := s2.Load()
+			if err != nil {
+				t.Fatalf("load after crash: %v", err)
+			}
+			learners, err := Restore(profiles, events)
+			if err != nil {
+				t.Fatalf("restore after crash: %v", err)
+			}
+			if len(learners) != 3 {
+				t.Fatalf("restored %d users, want 3", len(learners))
+			}
+			if learners["alice"].Score(fbVec(0)) <= 1e-9 || learners["alice"].Score(fbVec(1)) <= 1e-9 {
+				t.Fatal("alice lost state across migration crash")
+			}
+			if learners["u"].Score(fbVec(2)) <= 1e-9 || learners["z"].Score(fbVec(3)) <= 1e-9 {
+				t.Fatal("sharded users lost state across migration crash")
+			}
+			// The migrated store must be fully usable.
+			if err := s2.AppendFeedback("u", fbVec(4), filter.Relevant); err != nil {
+				t.Fatalf("append after migration recovery: %v", err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatalf("close after migration recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointDurableAcrossCrash pins the rename-ordering fix in
+// isolation: once Checkpoint returns, a hard power cut must not roll
+// recovery back a generation — the segment rename, the manifest rename,
+// and the new log's creation are all covered by directory fsyncs.
+func TestCheckpointDurableAcrossCrash(t *testing.T) {
 	sim := faultfs.NewSim()
 	s, err := Open("/state", Options{FS: sim, Durable: true})
 	if err != nil {
@@ -286,13 +404,10 @@ func TestSnapshotDurableAcrossCrash(t *testing.T) {
 	if err := s.AppendSubscribe("u", "MM", nil); err != nil {
 		t.Fatal(err)
 	}
-	shadow := core.NewDefault()
-	shadow.Observe(fbVec(0), filter.Relevant)
 	if err := s.AppendFeedback("u", fbVec(0), filter.Relevant); err != nil {
 		t.Fatal(err)
 	}
-	blob, _ := shadow.MarshalBinary()
-	if err := s.Snapshot([]ProfileRecord{{User: "u", Learner: "MM", Data: blob}}); err != nil {
+	if _, err := s.Checkpoint(1); err != nil {
 		t.Fatal(err)
 	}
 	// Hard power cut with no further syscalls: the checkpoint must hold.
@@ -307,7 +422,7 @@ func TestSnapshotDurableAcrossCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(profiles) != 1 || len(events) != 0 {
-		t.Fatalf("snapshot not durable: %d profiles, %d events", len(profiles), len(events))
+		t.Fatalf("checkpoint not durable: %d profiles, %d events", len(profiles), len(events))
 	}
 	learners, err := Restore(profiles, events)
 	if err != nil {
@@ -356,12 +471,12 @@ func TestLyingFsyncIsOutOfScope(t *testing.T) {
 }
 
 // TestWriteErrorPoisonsStore pins the short-write policy: after a failed
-// append the write path refuses further appends (the file tail is of
-// unknown extent), Load still serves the committed prefix, and reopening
-// repairs.
+// append the lane refuses further appends (the file tail is of unknown
+// extent) and Health reports it, Load still serves the committed prefix,
+// other lanes keep working, and reopening repairs.
 func TestWriteErrorPoisonsStore(t *testing.T) {
 	sim := faultfs.NewSim()
-	s, err := Open("/state", Options{FS: sim})
+	s, err := Open("/state", Options{FS: sim, Lanes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,14 +497,21 @@ func TestWriteErrorPoisonsStore(t *testing.T) {
 	if err := s.AppendFeedback("u", fbVec(1), filter.Relevant); err == nil {
 		t.Fatal("append accepted after a torn write — would corrupt the log")
 	}
+	if err := s.Health(); err == nil {
+		t.Fatal("poisoned lane not reported by Health")
+	}
+	// The other lane still accepts appends ("z" hashes away from "u").
+	if err := s.AppendSubscribe("z", "MM", nil); err != nil {
+		t.Fatalf("healthy lane refused an append: %v", err)
+	}
 	// The committed prefix is still readable around the poison.
 	_, events, err := s.Load()
-	if err != nil || len(events) != 1 {
+	if err != nil || len(events) != 2 {
 		t.Fatalf("load on poisoned store: %d events, %v", len(events), err)
 	}
 	s.Close()
 	// Reopen repairs the torn tail and appends flow again.
-	s2, err := Open("/state", Options{FS: sim})
+	s2, err := Open("/state", Options{FS: sim, Lanes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +520,7 @@ func TestWriteErrorPoisonsStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, events, err = s2.Load()
-	if err != nil || len(events) != 2 {
+	if err != nil || len(events) != 3 {
 		t.Fatalf("after repair: %d events, %v", len(events), err)
 	}
 }

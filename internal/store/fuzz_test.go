@@ -14,7 +14,7 @@ import (
 func sampleWAL(tb testing.TB) []byte {
 	tb.Helper()
 	dir := tb.TempDir()
-	s, err := Open(dir, Options{})
+	s, err := Open(dir, Options{Lanes: 1})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func sampleWAL(tb testing.TB) []byte {
 	s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant)
 	s.AppendUnsubscribe("alice")
 	s.Close()
-	data, err := os.ReadFile(filepath.Join(dir, "wal-00000000.log"))
+	data, err := os.ReadFile(filepath.Join(dir, "wal-000-00000000.log"))
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -49,10 +49,10 @@ func FuzzLoadWAL(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fdir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(fdir, "wal-00000000.log"), data, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(fdir, "wal-000-00000000.log"), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		st, err := Open(fdir, Options{})
+		st, err := Open(fdir, Options{Lanes: 1})
 		if err != nil {
 			// Mid-log corruption refused at open; the read-only path must
 			// still be able to inspect it without panicking.

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+
+	"mmprofile/internal/filter"
+)
+
+// RestoreUser rebuilds one user's learner from durable state: the user's
+// record in its lane's segment (if any) plus a replay of the user's
+// events in the lane's current WAL. Learner update rules are
+// deterministic and the journal is written before any in-heap state
+// mutates, so the result is bit-identical to the learner the broker would
+// hold had the user never been evicted — this is the hydration half of
+// the pubsub LRU residency bound. found is false when the user does not
+// exist (or its last event is an unsubscribe).
+//
+// Cost is one cached segment lookup plus one scan of the lane's WAL
+// (events for other users are skipped without decoding their vectors);
+// checkpoints bound the WAL, so hydration stays proportional to the
+// lane's recent activity, not its history.
+func (s *Store) RestoreUser(user string) (filter.Learner, bool, error) {
+	ln := s.laneFor(user)
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+
+	if err := s.loadSeg(ln); err != nil {
+		return nil, false, err
+	}
+	var l filter.Learner
+	found := false
+	if i, ok := ln.segIdx[user]; ok {
+		rec, err := decodeProfileRecord(ln.segRecs[i].payload)
+		if err != nil {
+			return nil, false, fmt.Errorf("store: lane %d segment %d: %w", ln.id, ln.gen, err)
+		}
+		nl, err := newRestored(rec.User, rec.Learner, rec.Data)
+		if err != nil {
+			return nil, false, err
+		}
+		l, found = nl, true
+	}
+
+	payloads, err := s.laneWALRecords(ln)
+	if err != nil {
+		return nil, false, err
+	}
+	for i, p := range payloads {
+		if !eventUserIs(p, user) {
+			continue
+		}
+		ev, err := decodeEvent(p)
+		if err != nil {
+			return nil, false, fmt.Errorf("store: lane %d wal %d record %d: %w", ln.id, ln.gen, i, err)
+		}
+		switch ev.Type {
+		case EventSubscribe:
+			nl, err := newRestored(ev.User, ev.Learner, ev.State)
+			if err != nil {
+				return nil, false, err
+			}
+			l, found = nl, true
+		case EventUnsubscribe:
+			l, found = nil, false
+		case EventFeedback:
+			if !found {
+				return nil, false, fmt.Errorf("store: lane %d: feedback for unknown user %q", ln.id, user)
+			}
+			l.Observe(ev.Vec, ev.Fd)
+		}
+	}
+	if found {
+		s.m.userRestores.Inc()
+	}
+	return l, found, nil
+}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mmprofile/internal/faultfs"
+)
+
+// lane is one shard of the journal (DESIGN.md §14). Users hash to exactly
+// one lane, so per-user event order survives the sharding even though
+// lanes append, fsync, and checkpoint independently: each lane owns its
+// WAL handle, committed byte length, torn-tail repair, write-path poison,
+// dirty-profile set, and durability watermark. Cross-lane coordination
+// happens in exactly two places — the group-commit leader (Store.leadSync
+// fsyncs every lane with unacknowledged records in one pass) and the
+// checkpoint (one manifest rename commits all lane generations at once).
+type lane struct {
+	id     int
+	legacy bool // pre-manifest single-WAL file naming (read-only inspection)
+
+	// mu guards the lane's write path: the WAL handle, the committed byte
+	// length, the record count, the dirty set, and the segment cache.
+	mu     sync.Mutex
+	gen    uint64
+	wal    faultfs.File
+	walLen int64               // committed bytes in the current WAL (resets per generation)
+	recs   uint64              // records ever written to this lane (monotone across generations)
+	failed error               // sticky write-path failure; reopen repairs
+	dirty  map[string]struct{} // users with events in the current WAL generation
+
+	// Segment cache: the current generation's segment, decoded once and
+	// reused by checkpoint compaction and RestoreUser hydration. Segments
+	// are immutable after their manifest commit, so the cache can only go
+	// stale when a checkpoint flips the generation — which re-primes it
+	// with the records it just wrote. This is the mmap stand-in: faultfs
+	// only exposes ReadFile, so "mmap-friendly" here means append-ordered
+	// immutable records cached per lane rather than a real mapping.
+	segRecs   []segEntry
+	segIdx    map[string]int
+	segLoaded bool
+
+	// Group-commit state, guarded by Store.cmu (never by mu).
+	durable uint64 // records covered by the last acknowledged fsync
+	syncErr error  // sticky fsync failure: durability is unknowable past it
+}
+
+// segEntry is one decoded segment record: the user plus the raw framed
+// payload (user, learner, state) kept verbatim, so clean profiles are
+// carried into the next segment without a decode/re-encode round trip.
+type segEntry struct {
+	user    string
+	payload []byte
+}
+
+// laneFNV32 is the 32-bit FNV-1a hash used for lane routing. The lane
+// count is pinned by the manifest, so the mapping is stable across
+// restarts — which is what makes per-lane replay equivalent to the old
+// single-log replay for any one user.
+func laneFNV32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func (s *Store) laneFor(user string) *lane {
+	if len(s.lanes) == 1 {
+		return s.lanes[0]
+	}
+	return s.lanes[int(laneFNV32(user)%uint32(len(s.lanes)))]
+}
+
+func makeLanes(n int) []*lane {
+	lanes := make([]*lane, n)
+	for i := range lanes {
+		lanes[i] = &lane{id: i, dirty: make(map[string]struct{})}
+	}
+	return lanes
+}
+
+func (s *Store) walPath(ln *lane, gen uint64) string {
+	if ln.legacy {
+		return filepath.Join(s.dir, fmt.Sprintf("%s%08d.log", walPrefix, gen))
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s%03d-%08d.log", walPrefix, ln.id, gen))
+}
+
+func (s *Store) segPath(ln *lane, gen uint64) string {
+	if ln.legacy {
+		return filepath.Join(s.dir, fmt.Sprintf("%s%08d.db", snapPrefix, gen))
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s%03d-%08d.db", segPrefix, ln.id, gen))
+}
+
+// laneFile parses a lane-qualified file name (wal-003-00000042.log,
+// seg-003-00000042.db) into its lane id and generation. Legacy names
+// (wal-00000042.log) have no lane part and do not match.
+func laneFile(name, prefix, suffix string) (laneID int, gen uint64, ok bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	i := strings.IndexByte(mid, '-')
+	if i < 0 {
+		return 0, 0, false
+	}
+	id, err := strconv.Atoi(mid[:i])
+	if err != nil || id < 0 {
+		return 0, 0, false
+	}
+	g, err := strconv.ParseUint(mid[i+1:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return id, g, true
+}
+
+// openLaneWAL opens ln's current-generation log for appending, truncating
+// any torn tail first. Caller holds ln.mu (or is the constructor /
+// checkpoint, which own the lane exclusively). The new directory entry is
+// NOT synced here — Open and Checkpoint batch one SyncDir over every lane
+// they touch, so a 16-lane store does not pay 16 directory fsyncs.
+func (s *Store) openLaneWAL(ln *lane) error {
+	path := s.walPath(ln, ln.gen)
+	data, err := s.fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, committed, err := scanRecords(data)
+	if err != nil {
+		// Valid records exist beyond the damage: this is not a torn
+		// append, and truncating would destroy them. Refuse to open.
+		return fmt.Errorf("store: lane %d wal %d: %w", ln.id, ln.gen, err)
+	}
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if committed < len(data) {
+		// Torn tail from a crash mid-append: chop it so the next append
+		// starts at a record boundary — appending after garbage is what
+		// used to turn one torn record into a whole-log loss on the
+		// following reload.
+		if err := f.Truncate(int64(committed)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		s.m.tornTails.Inc()
+	}
+	ln.wal = f
+	ln.walLen = int64(committed)
+	return nil
+}
+
+// loadSeg populates the lane's segment cache (caller holds ln.mu).
+// Segments are written via temp + rename and referenced only after a
+// manifest commit, so any parse failure here is real corruption, never a
+// torn write.
+func (s *Store) loadSeg(ln *lane) error {
+	if ln.segLoaded {
+		return nil
+	}
+	ln.segRecs, ln.segIdx = nil, nil
+	if ln.gen > 0 {
+		data, err := s.readFileOrEmpty(s.segPath(ln, ln.gen))
+		if err != nil {
+			return fmt.Errorf("store: lane %d segment %d: %w", ln.id, ln.gen, err)
+		}
+		payloads, committed, err := scanRecords(data)
+		if err == nil && committed != len(data) {
+			err = fmt.Errorf("truncated record at offset %d", committed)
+		}
+		if err != nil {
+			return fmt.Errorf("store: lane %d segment %d: %w", ln.id, ln.gen, err)
+		}
+		ln.segIdx = make(map[string]int, len(payloads))
+		for i, payload := range payloads {
+			rec, err := decodeProfileRecord(payload)
+			if err != nil {
+				return fmt.Errorf("store: lane %d segment %d record %d: %w", ln.id, ln.gen, i, err)
+			}
+			ln.segRecs = append(ln.segRecs, segEntry{user: rec.User, payload: payload})
+			ln.segIdx[rec.User] = i
+		}
+	}
+	if ln.segIdx == nil {
+		ln.segIdx = map[string]int{}
+	}
+	ln.segLoaded = true
+	return nil
+}
+
+// laneWALRecords reads the committed records of ln's current WAL (caller
+// holds ln.mu). In read-write mode, bytes past the committed length can
+// only be a poisoned write's remnants and are clamped away; in ReadOnly
+// mode a torn tail is tolerated exactly the way recovery would tolerate
+// it.
+func (s *Store) laneWALRecords(ln *lane) ([][]byte, error) {
+	data, err := s.readFileOrEmpty(s.walPath(ln, ln.gen))
+	if err != nil {
+		return nil, fmt.Errorf("store: lane %d wal %d: %w", ln.id, ln.gen, err)
+	}
+	if !s.opts.ReadOnly && int64(len(data)) > ln.walLen {
+		data = data[:ln.walLen]
+	}
+	payloads, committed, err := scanRecords(data)
+	if err == nil && !s.opts.ReadOnly && committed != len(data) {
+		err = fmt.Errorf("truncated record at offset %d", committed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: lane %d wal %d: %w", ln.id, ln.gen, err)
+	}
+	return payloads, nil
+}

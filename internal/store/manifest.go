@@ -1,0 +1,316 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mmprofile/internal/faultfs"
+)
+
+// The manifest is the commit point of the sharded layout: a single framed
+// record naming the current generation of every lane. Recovery trusts
+// only files the manifest references, so checkpoints can stage new
+// segments freely — nothing becomes authoritative until the one atomic
+// MANIFEST rename lands, and everything unreferenced is removable
+// garbage. The epoch counts manifest commits, for inspection tooling.
+
+const (
+	manifestName = "MANIFEST"
+	// maxLanes bounds the manifest's claimed lane count; anything larger
+	// is corruption, not configuration.
+	maxLanes = 1024
+)
+
+type manifest struct {
+	epoch uint64
+	gens  []uint64 // current generation per lane, indexed by lane id
+}
+
+func encodeManifest(mf manifest) []byte {
+	payload := []byte{'M', 'M', 'L', 'N', 1}
+	payload = binary.AppendUvarint(payload, mf.epoch)
+	payload = binary.AppendUvarint(payload, uint64(len(mf.gens)))
+	for _, g := range mf.gens {
+		payload = binary.AppendUvarint(payload, g)
+	}
+	return payload
+}
+
+func decodeManifest(payload []byte) (manifest, error) {
+	if len(payload) < 5 || string(payload[:4]) != "MMLN" {
+		return manifest{}, fmt.Errorf("bad manifest magic")
+	}
+	if payload[4] != 1 {
+		return manifest{}, fmt.Errorf("unsupported manifest version %d", payload[4])
+	}
+	rest := payload[5:]
+	epoch, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return manifest{}, fmt.Errorf("truncated manifest epoch")
+	}
+	rest = rest[k:]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return manifest{}, fmt.Errorf("truncated manifest lane count")
+	}
+	rest = rest[k:]
+	if n == 0 || n > maxLanes {
+		return manifest{}, fmt.Errorf("implausible lane count %d", n)
+	}
+	gens := make([]uint64, n)
+	for i := range gens {
+		g, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return manifest{}, fmt.Errorf("truncated manifest generation %d", i)
+		}
+		gens[i] = g
+		rest = rest[k:]
+	}
+	if len(rest) != 0 {
+		return manifest{}, fmt.Errorf("trailing manifest bytes")
+	}
+	return manifest{epoch: epoch, gens: gens}, nil
+}
+
+// readManifest loads dir's MANIFEST. found is false when none exists —
+// a fresh store, or the pre-manifest single-WAL legacy layout. The
+// manifest is written atomically (temp + fsync + rename), so a torn or
+// corrupt one is real damage and fails the open instead of silently
+// falling back a generation.
+func readManifest(fsys faultfs.FS, dir string) (manifest, bool, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: manifest: %w", err)
+	}
+	payloads, committed, err := scanRecords(data)
+	if err == nil && (len(payloads) != 1 || committed != len(data)) {
+		err = fmt.Errorf("malformed framing")
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: manifest: %w", err)
+	}
+	mf, err := decodeManifest(payloads[0])
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: manifest: %w", err)
+	}
+	return mf, true, nil
+}
+
+// manifestNow snapshots the lane generations into a manifest value.
+// Caller holds ckptMu (generations only change under it), so reading
+// ln.gen without the lane locks is safe.
+func (s *Store) manifestNow() manifest {
+	mf := manifest{epoch: s.epoch.Load(), gens: make([]uint64, len(s.lanes))}
+	for i, ln := range s.lanes {
+		mf.gens[i] = ln.gen
+	}
+	return mf
+}
+
+// writeManifest atomically publishes a new manifest: temp file + fsync +
+// rename + directory fsync. The rename is the commit point for every
+// layout change — segment flips and WAL swaps become visible to recovery
+// all at once or not at all, which is exactly what the crash matrix
+// exercises by killing the store between the two renames.
+func (s *Store) writeManifest(mf manifest) error {
+	tmp, err := s.fsys.CreateTemp(s.dir, "manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer s.fsys.Remove(tmp.Name()) // no-op after successful rename
+	if err := writeRecord(tmp, encodeManifest(mf)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.fsys.Rename(tmp.Name(), filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// cleanStrays removes files the manifest does not reference: stale or
+// uncommitted lane generations, temp files from crashed checkpoints, and
+// (after migration) the legacy single-WAL layout. Removal is best-effort
+// — an unreferenced file is harmless until the next cleanup — but the
+// directory sync after a successful pass keeps crash-looped checkpoints
+// from accumulating garbage. Caller holds ckptMu (or is the constructor).
+func (s *Store) cleanStrays() {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	live := make(map[string]bool, 2*len(s.lanes)+1)
+	live[manifestName] = true
+	for _, ln := range s.lanes {
+		live[filepath.Base(s.walPath(ln, ln.gen))] = true
+		if ln.gen > 0 {
+			live[filepath.Base(s.segPath(ln, ln.gen))] = true
+		}
+	}
+	removed := false
+	for _, e := range entries {
+		name := e.Name()
+		if live[name] {
+			continue
+		}
+		stale := strings.HasSuffix(name, ".tmp")
+		if _, _, ok := laneFile(name, walPrefix, ".log"); ok {
+			stale = true
+		} else if _, _, ok := laneFile(name, segPrefix, ".db"); ok {
+			stale = true
+		} else if _, ok := genSeq(name, walPrefix, ".log"); ok {
+			stale = true // legacy WAL, superseded by migration
+		} else if _, ok := genSeq(name, snapPrefix, ".db"); ok {
+			stale = true // legacy snapshot, superseded by migration
+		}
+		if stale && s.fsys.Remove(filepath.Join(s.dir, name)) == nil {
+			removed = true
+		}
+	}
+	if removed {
+		_ = s.fsys.SyncDir(s.dir) // best-effort: stray files are harmless
+	}
+}
+
+// detectLegacy looks for the pre-manifest layout: snap-<seq>.db and
+// wal-<seq>.log with no lane component in the name.
+func detectLegacy(fsys faultfs.FS, dir string) (seq uint64, found bool, err error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, false, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if n, ok := genSeq(e.Name(), snapPrefix, ".db"); ok {
+			found = true
+			if n > seq {
+				seq = n
+			}
+		} else if _, ok := genSeq(e.Name(), walPrefix, ".log"); ok {
+			found = true
+		}
+	}
+	return seq, found, nil
+}
+
+// migrateLegacy converts a pre-manifest layout (one snap-<seq>.db plus
+// one wal-<seq>.log) into lanes: profiles and events are sharded by user
+// into per-lane generation-1 segment and WAL files, and the manifest
+// commit makes the new layout authoritative. The legacy files are removed
+// only after that commit (by cleanStrays), so a crash anywhere during
+// migration leaves the legacy layout intact and migration simply re-runs;
+// half-written lane files from the interrupted attempt are overwritten or
+// collected as strays.
+func (s *Store) migrateLegacy(legacySeq uint64) error {
+	old := &lane{legacy: true, gen: legacySeq}
+
+	profs := make([][][]byte, len(s.lanes))
+	if legacySeq > 0 {
+		data, err := s.readFileOrEmpty(s.segPath(old, legacySeq))
+		if err != nil {
+			return fmt.Errorf("store: snapshot %d: %w", legacySeq, err)
+		}
+		payloads, committed, err := scanRecords(data)
+		if err == nil && committed != len(data) {
+			err = fmt.Errorf("truncated record at offset %d", committed)
+		}
+		if err != nil {
+			return fmt.Errorf("store: snapshot %d: %w", legacySeq, err)
+		}
+		for i, payload := range payloads {
+			rec, err := decodeProfileRecord(payload)
+			if err != nil {
+				return fmt.Errorf("store: snapshot %d record %d: %w", legacySeq, i, err)
+			}
+			id := s.laneFor(rec.User).id
+			profs[id] = append(profs[id], payload)
+		}
+	}
+
+	evs := make([][][]byte, len(s.lanes))
+	data, err := s.readFileOrEmpty(s.walPath(old, legacySeq))
+	if err != nil {
+		return fmt.Errorf("store: wal %d: %w", legacySeq, err)
+	}
+	// A torn tail is crash residue, dropped here exactly as the torn-tail
+	// repair would have dropped it; damage before the tail refuses the
+	// migration the way it refuses an open.
+	payloads, committed, err := scanRecords(data)
+	if err != nil {
+		return fmt.Errorf("store: wal %d: %w", legacySeq, err)
+	}
+	if committed < len(data) {
+		s.m.tornTails.Inc()
+	}
+	for i, payload := range payloads {
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			return fmt.Errorf("store: wal %d record %d: %w", legacySeq, i, err)
+		}
+		id := s.laneFor(ev.User).id
+		evs[id] = append(evs[id], payload)
+	}
+
+	for _, ln := range s.lanes {
+		if len(profs[ln.id]) > 0 {
+			if err := s.writeRecordsFile(s.segPath(ln, 1), profs[ln.id]); err != nil {
+				return err
+			}
+		}
+		if len(evs[ln.id]) > 0 {
+			if err := s.writeRecordsFile(s.walPath(ln, 1), evs[ln.id]); err != nil {
+				return err
+			}
+		}
+		ln.gen = 1
+	}
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.epoch.Store(1)
+	if err := s.writeManifest(s.manifestNow()); err != nil {
+		return err
+	}
+	s.cleanStrays()
+	return nil
+}
+
+// writeRecordsFile writes framed records to path (truncating any partial
+// leftover from a crashed earlier attempt) and fsyncs the contents.
+func (s *Store) writeRecordsFile(path string, payloads [][]byte) error {
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, p := range payloads {
+		if err := writeRecord(f, p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -18,13 +18,23 @@ type storeMetrics struct {
 	checkpointBytes *metrics.Gauge
 
 	// Group-commit instruments (DESIGN.md §10): how many records each
-	// coalesced fsync acknowledged, and how long durable appenders waited
-	// for their covering fsync. records_total / fsyncs_total ≈ the batch
-	// factor; the whole point of group commit is keeping it well above 1.
+	// coalesced leader pass acknowledged, and how long durable appenders
+	// waited for their covering fsync. records_total / fsyncs_total ≈ the
+	// batch factor; the whole point of group commit is keeping it well
+	// above 1.
 	groupBatches   *metrics.Counter
 	groupRecords   *metrics.Counter
 	groupBatchRecs *metrics.Histogram
 	groupWaitLat   *metrics.Histogram
+
+	// Lane instruments (DESIGN.md §14): the sharded-journal shape —
+	// lane count, dirty profiles awaiting compaction, which lanes each
+	// checkpoint rewrote vs deferred, and single-user hydration replays.
+	lanes              *metrics.Gauge
+	dirtyProfiles      *metrics.Gauge
+	ckptLanesRewritten *metrics.Counter
+	ckptLanesSkipped   *metrics.Counter
+	userRestores       *metrics.Counter
 }
 
 // RegisterMetrics registers the store's instrument family on reg and
@@ -59,5 +69,15 @@ func RegisterMetrics(reg *metrics.Registry) storeMetrics {
 			"Records acknowledged per group-commit fsync batch."),
 		groupWaitLat: reg.Histogram("mm_store_group_commit_wait_seconds",
 			"Time a durable append waited for its covering fsync."),
+		lanes: reg.Gauge("mm_store_lanes",
+			"WAL lanes (journal shards) in the open store."),
+		dirtyProfiles: reg.Gauge("mm_store_dirty_profiles",
+			"Distinct users with WAL events not yet compacted into a segment."),
+		ckptLanesRewritten: reg.Counter("mm_store_checkpoint_lanes_rewritten_total",
+			"Lanes compacted into a new segment by checkpoints."),
+		ckptLanesSkipped: reg.Counter("mm_store_checkpoint_lanes_skipped_total",
+			"Dirty lanes left alone by checkpoints (below the dirty threshold)."),
+		userRestores: reg.Counter("mm_store_user_restores_total",
+			"Single-user hydration replays served from segment plus lane WAL."),
 	}
 }

@@ -15,6 +15,9 @@ func TestStoreMetrics(t *testing.T) {
 	}
 	defer s.Close()
 
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
 		t.Fatal(err)
 	}
@@ -24,31 +27,42 @@ func TestStoreMetrics(t *testing.T) {
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Snapshot([]ProfileRecord{{User: "alice", Learner: "MM", Data: []byte("x")}}); err != nil {
+	if _, err := s.Checkpoint(1); err != nil {
 		t.Fatal(err)
 	}
 
 	snap := reg.Snapshot()
-	if got := snap["mm_store_appends_total"].(int64); got != 2 {
-		t.Errorf("appends = %d, want 2", got)
+	if got := snap["mm_store_appends_total"].(int64); got != 3 {
+		t.Errorf("appends = %d, want 3", got)
 	}
-	// Each sequential durable append leads its own group-commit batch (2
+	// Each sequential durable append leads its own group-commit batch (3
 	// fsyncs); the explicit Sync finds everything durable and issues none;
-	// Snapshot fsyncs the outgoing log once more.
-	if got := snap["mm_store_fsyncs_total"].(int64); got != 3 {
-		t.Errorf("fsyncs = %d, want 3", got)
+	// the checkpoint fsyncs each of the two dirty lanes' outgoing logs
+	// ("alice" and "bob" hash apart under the default lane count).
+	if got := snap["mm_store_fsyncs_total"].(int64); got != 5 {
+		t.Errorf("fsyncs = %d, want 5", got)
 	}
-	if got := snap["mm_store_group_commit_batches_total"].(int64); got != 2 {
-		t.Errorf("group-commit batches = %d, want 2", got)
+	if got := snap["mm_store_group_commit_batches_total"].(int64); got != 3 {
+		t.Errorf("group-commit batches = %d, want 3", got)
 	}
-	if got := snap["mm_store_group_commit_records_total"].(int64); got != 2 {
-		t.Errorf("group-commit records = %d, want 2", got)
+	if got := snap["mm_store_group_commit_records_total"].(int64); got != 3 {
+		t.Errorf("group-commit records = %d, want 3", got)
 	}
 	if got := snap["mm_store_checkpoints_total"].(int64); got != 1 {
 		t.Errorf("checkpoints = %d, want 1", got)
 	}
 	if got := snap["mm_store_checkpoint_bytes"].(float64); got <= 0 {
 		t.Errorf("checkpoint bytes = %v, want > 0", got)
+	}
+	if got := snap["mm_store_lanes"].(float64); got != DefaultLanes {
+		t.Errorf("lanes gauge = %v, want %d", got, DefaultLanes)
+	}
+	if got := snap["mm_store_checkpoint_lanes_rewritten_total"].(int64); got != 2 {
+		t.Errorf("lanes rewritten = %d, want 2", got)
+	}
+	// The checkpoint drained both dirty sets.
+	if got := snap["mm_store_dirty_profiles"].(float64); got != 0 {
+		t.Errorf("dirty profiles gauge = %v, want 0", got)
 	}
 	for _, name := range []string{"mm_store_append_seconds", "mm_store_fsync_seconds", "mm_store_checkpoint_seconds"} {
 		h := snap[name].(metrics.HistogramSnapshot)
@@ -62,10 +76,16 @@ func TestStoreMetrics(t *testing.T) {
 // nothing and never panics (all instruments are nil no-ops).
 func TestStoreMetricsOptional(t *testing.T) {
 	s := openStore(t, t.TempDir())
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Snapshot(nil); err != nil {
+	if _, err := s.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.RestoreUser("alice"); err != nil {
 		t.Fatal(err)
 	}
 }

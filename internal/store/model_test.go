@@ -11,7 +11,7 @@ import (
 )
 
 // TestRandomOperationSequences is a model-based test: a random interleaving
-// of subscribe / feedback / unsubscribe / snapshot / reopen operations is
+// of subscribe / feedback / unsubscribe / checkpoint / reopen operations is
 // applied both to the store and to an in-memory model; after every reopen
 // the restored learners must score identically to the model's.
 func TestRandomOperationSequences(t *testing.T) {
@@ -117,17 +117,8 @@ func TestRandomOperationSequences(t *testing.T) {
 						t.Fatal(err)
 					}
 					delete(model, user)
-				case op < 9: // snapshot
-					var records []ProfileRecord
-					for user, l := range model {
-						m := l.(interface{ MarshalBinary() ([]byte, error) })
-						blob, err := m.MarshalBinary()
-						if err != nil {
-							t.Fatal(err)
-						}
-						records = append(records, ProfileRecord{User: user, Learner: l.Name(), Data: blob})
-					}
-					if err := s.Snapshot(records); err != nil {
+				case op < 9: // checkpoint (compacts dirty lanes from the journal)
+					if _, err := s.Checkpoint(1); err != nil {
 						t.Fatal(err)
 					}
 				default: // reopen (clean shutdown + restart)

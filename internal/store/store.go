@@ -1,28 +1,39 @@
 // Package store persists user profiles, the long-lived state of a
 // filtering system ("profile vectors are stored and maintained for long
-// periods of time", paper Section 4.3). It uses the classic checkpoint +
-// write-ahead-log design:
+// periods of time", paper Section 4.3). It scales the classic checkpoint
+// + write-ahead-log design past one machine's RAM by sharding it
+// (DESIGN.md §14):
 //
-//   - a snapshot file (snap-<seq>.db) holds a full binary dump of every
-//     profile, written atomically via temp-file + rename + directory fsync;
-//   - a write-ahead log (wal-<seq>.log) records each feedback event
-//     (user, judgment, document vector) applied since that snapshot.
+//   - users hash (FNV-1a) to one of N WAL lanes; each lane appends
+//     feedback/subscribe/unsubscribe events to its own log
+//     (wal-<lane>-<gen>.log) and tracks its own dirty-profile set;
+//   - each lane's profiles live in an immutable segment
+//     (seg-<lane>-<gen>.db), rewritten only when the lane is dirty enough
+//     — Checkpoint compacts a lane's WAL into its segment instead of
+//     rewriting every profile in the store;
+//   - a MANIFEST file names the current generation of every lane and is
+//     replaced atomically (temp + fsync + rename + directory fsync), so a
+//     multi-lane checkpoint commits all lanes at once or not at all.
 //
-// Recovery loads the newest snapshot and re-applies the matching log; the
-// learners' update rules are deterministic, so replay reconstructs the
-// exact pre-crash profiles. Every record is length-prefixed and CRC32-
-// guarded. A torn tail (crash mid-append) is detected at Open and
-// truncated away before any new append can land behind it; corruption
-// anywhere before the tail is refused, never silently skipped.
+// Recovery loads each lane's manifest-referenced segment and replays its
+// log; the learners' update rules are deterministic, so replay
+// reconstructs the exact pre-crash profiles, and RestoreUser replays a
+// single user on demand for lazy hydration. Every record is
+// length-prefixed and CRC32-guarded. A torn tail (crash mid-append) is
+// detected at Open and truncated away before any new append can land
+// behind it; corruption anywhere before the tail is refused, never
+// silently skipped.
 //
 // Durability is group-committed (DESIGN.md §10): with Options.Durable,
-// each Append* returns only after an fsync covers its record, but
-// concurrent appenders coalesce onto a single leader fsync, so durable
-// mode costs far less than one fsync per event. Options.SyncInterval
-// instead bounds the loss window with a background flusher, and Sync() is
-// always available as an explicit barrier. All filesystem access goes
-// through internal/faultfs, so the crash-matrix test can kill the store
-// at every syscall boundary; production runs on bare *os.File handles.
+// each Append* returns only after an fsync covers its record. One leader
+// at a time fsyncs every lane with unacknowledged records — in parallel
+// when several lanes are dirty — so concurrent appenders coalesce onto a
+// single leader pass no matter which lanes they landed in.
+// Options.SyncInterval instead bounds the loss window with a background
+// flusher, and Sync() is always available as an explicit barrier. All
+// filesystem access goes through internal/faultfs, so the crash-matrix
+// test can kill the store at every syscall boundary; production runs on
+// bare *os.File handles.
 package store
 
 import (
@@ -32,12 +43,11 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mmprofile/internal/faultfs"
@@ -47,7 +57,7 @@ import (
 	"mmprofile/internal/vsm"
 )
 
-// ProfileRecord is one user's serialized profile in a snapshot.
+// ProfileRecord is one user's serialized profile in a segment.
 type ProfileRecord struct {
 	User    string
 	Learner string // registry name, used to reconstruct the right type
@@ -79,22 +89,30 @@ type Event struct {
 	State   []byte
 }
 
+// DefaultLanes is the lane count for stores created without an explicit
+// Options.Lanes. An existing manifest always pins the count.
+const DefaultLanes = 4
+
 // Options configures a Store.
 type Options struct {
 	// Durable makes every Append* return only once an fsync covers its
 	// record. Appenders arriving while a sync is in flight coalesce onto
-	// the next one (group commit), so the cost under concurrency is far
-	// below one fsync per append.
+	// the next leader pass (group commit), so the cost under concurrency
+	// is far below one fsync per append.
 	Durable bool
 	// SyncInterval, when > 0 and Durable is off, bounds the loss window
 	// instead: appends return immediately and a background flusher fsyncs
-	// the log every interval. Sync() remains an explicit barrier.
+	// the lanes every interval. Sync() remains an explicit barrier.
 	SyncInterval time.Duration
 	// ReadOnly opens the store for inspection: no torn-tail repair, no
-	// log handle, and Load tolerates a torn tail the way recovery would.
-	// Appends, Snapshot, and Sync fail. mmstore uses this so inspecting a
-	// crashed state directory never mutates it.
+	// log handles, no migration, and Load tolerates a torn tail the way
+	// recovery would. Appends, Checkpoint, and Sync fail. mmstore uses
+	// this so inspecting a crashed state directory never mutates it.
 	ReadOnly bool
+	// Lanes is the WAL lane (shard) count used when creating a store from
+	// scratch or migrating a pre-manifest layout. An existing manifest
+	// pins the count and this value is ignored. <= 0 means DefaultLanes.
+	Lanes int
 	// FS overrides the filesystem — fault injection in tests
 	// (faultfs.Sim). Nil means the real OS filesystem.
 	FS faultfs.FS
@@ -109,35 +127,34 @@ type Store struct {
 	opts Options
 	fsys faultfs.FS
 	m    storeMetrics // all-nil (no-op) when opts.Metrics is nil
+	dir  string
 
-	// mu guards the write path: the log handle, the committed byte
-	// length, the written-record count, and the generation number.
-	mu     sync.Mutex
-	dir    string
-	seq    uint64
-	wal    faultfs.File
-	walLen int64  // committed bytes in the current log (resets per generation)
-	recs   uint64 // records ever written (monotone across generations)
-	failed error  // sticky write-path failure; reopen repairs
+	lanes []*lane
+	epoch atomic.Uint64 // manifest commit counter
 
-	// cmu guards the group-commit state. Lock discipline: no goroutine
-	// ever waits for cmu while holding mu (appenders release mu before
-	// joining a commit), so the sync leader may take mu briefly while the
-	// sync token is claimed.
+	// cmu guards the group-commit state: the global sync token plus every
+	// lane's durability watermark and sticky fsync error. Lock
+	// discipline: no goroutine ever waits for cmu while holding a lane
+	// mutex (appenders release their lane before joining a commit), so
+	// the sync leader may take lane mutexes briefly while the token is
+	// claimed.
 	cmu     sync.Mutex
 	cond    *sync.Cond
-	syncing bool   // sync token: one leader fsync (or one WAL swap) at a time
-	durable uint64 // records covered by the last acknowledged fsync
-	syncErr error  // sticky fsync failure: durability is unknowable past it
+	syncing bool // sync token: one leader pass (or one layout change) at a time
 	closed  bool
+
+	// ckptMu serializes checkpoints and manifest writes; lane generations
+	// only change under it.
+	ckptMu sync.Mutex
 
 	stopFlush chan struct{} // interval flusher; nil unless SyncInterval armed
 	flushDone chan struct{}
 }
 
 const (
-	snapPrefix = "snap-"
+	snapPrefix = "snap-" // legacy pre-manifest snapshot naming
 	walPrefix  = "wal-"
+	segPrefix  = "seg-"
 	// maxRecordLen bounds a record's claimed payload size. Records are
 	// written in one Write call, so any readable length field was fully
 	// written; a length beyond this bound is therefore corruption, never
@@ -148,9 +165,12 @@ const (
 var errClosed = errors.New("store: closed")
 
 // Open opens (or initializes) a store in dir, creating it if needed. A
-// torn log tail left by a crash mid-append is truncated here, before any
+// torn lane tail left by a crash mid-append is truncated here, before any
 // append can land behind it; mid-log corruption makes Open fail rather
-// than risk silently dropping everything after the damage.
+// than risk silently dropping everything after the damage. A pre-manifest
+// single-WAL directory is migrated into the lane layout on first
+// read-write open (the legacy files are removed only after the manifest
+// commit, so a crash mid-migration just re-runs it).
 func Open(dir string, opts Options) (*Store, error) {
 	fsys := opts.FS
 	if fsys == nil {
@@ -159,18 +179,61 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	seq, err := latestSeq(fsys, dir)
-	if err != nil {
-		return nil, err
-	}
-	s := &Store{opts: opts, fsys: fsys, dir: dir, seq: seq}
+	s := &Store{opts: opts, fsys: fsys, dir: dir}
 	s.cond = sync.NewCond(&s.cmu)
 	if opts.Metrics != nil {
 		s.m = RegisterMetrics(opts.Metrics)
 	}
-	if !opts.ReadOnly {
-		if err := s.openWAL(); err != nil {
+
+	mf, found, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	var legacySeq uint64
+	var hasLegacy bool
+	if !found {
+		if legacySeq, hasLegacy, err = detectLegacy(fsys, dir); err != nil {
 			return nil, err
+		}
+	}
+	switch {
+	case found:
+		s.epoch.Store(mf.epoch)
+		s.lanes = makeLanes(len(mf.gens))
+		for i, g := range mf.gens {
+			s.lanes[i].gen = g
+		}
+	case opts.ReadOnly:
+		// Pre-manifest (or empty) directory: inspect it through a single
+		// legacy-named lane; nothing is repaired, migrated, or written.
+		s.lanes = []*lane{{legacy: true, gen: legacySeq, dirty: map[string]struct{}{}}}
+	case hasLegacy:
+		s.lanes = makeLanes(laneCount(opts))
+		if err := s.migrateLegacy(legacySeq); err != nil {
+			return nil, err
+		}
+	default:
+		s.lanes = makeLanes(laneCount(opts))
+		s.epoch.Store(1)
+		if err := s.writeManifest(s.manifestNow()); err != nil {
+			return nil, err
+		}
+	}
+	s.m.lanes.Set(float64(len(s.lanes)))
+
+	if !opts.ReadOnly {
+		s.cleanStrays()
+		for _, ln := range s.lanes {
+			if err := s.openLaneWAL(ln); err != nil {
+				s.closeLaneHandles()
+				return nil, err
+			}
+		}
+		// Persist the lanes' directory entries (file creations, and any
+		// torn-tail truncate's metadata) in one pass.
+		if err := fsys.SyncDir(dir); err != nil {
+			s.closeLaneHandles()
+			return nil, fmt.Errorf("store: %w", err)
 		}
 		if opts.SyncInterval > 0 && !opts.Durable {
 			s.stopFlush = make(chan struct{})
@@ -181,24 +244,30 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// latestSeq finds the newest complete snapshot's sequence number (0 when
-// the store is fresh; sequence 0 has no snapshot file).
-func latestSeq(fsys faultfs.FS, dir string) (uint64, error) {
-	entries, err := fsys.ReadDir(dir)
-	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
+func laneCount(opts Options) int {
+	n := opts.Lanes
+	if n <= 0 {
+		n = DefaultLanes
 	}
-	var best uint64
-	for _, e := range entries {
-		if n, ok := genSeq(e.Name(), snapPrefix, ".db"); ok && n > best {
-			best = n
-		}
+	if n > maxLanes {
+		n = maxLanes
 	}
-	return best, nil
+	return n
 }
 
-// genSeq parses a generation file name (prefix + zero-padded seq +
-// suffix); ok is false for anything else, including stray files.
+// closeLaneHandles abandons a half-constructed store's WAL handles.
+func (s *Store) closeLaneHandles() {
+	for _, ln := range s.lanes {
+		if ln.wal != nil {
+			ln.wal.Close()
+			ln.wal = nil
+		}
+	}
+}
+
+// genSeq parses a legacy generation file name (prefix + zero-padded seq +
+// suffix, no lane component); ok is false for anything else, including
+// lane-qualified names and stray files.
 func genSeq(name, prefix, suffix string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 		return 0, false
@@ -210,59 +279,6 @@ func genSeq(name, prefix, suffix string) (uint64, bool) {
 	return n, true
 }
 
-func (s *Store) snapPath(seq uint64) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s%08d.db", snapPrefix, seq))
-}
-
-func (s *Store) walPath(seq uint64) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s%08d.log", walPrefix, seq))
-}
-
-// openWAL opens the current sequence's log for appending, truncating any
-// torn tail first and durably linking the file. Caller holds the lock (or
-// is the constructor).
-func (s *Store) openWAL() error {
-	path := s.walPath(s.seq)
-	data, err := s.fsys.ReadFile(path)
-	if err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return fmt.Errorf("store: %w", err)
-	}
-	_, committed, err := scanRecords(data)
-	if err != nil {
-		// Valid records exist beyond the damage: this is not a torn
-		// append, and truncating would destroy them. Refuse to open.
-		return fmt.Errorf("store: wal %d: %w", s.seq, err)
-	}
-	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if committed < len(data) {
-		// Torn tail from a crash mid-append: chop it so the next append
-		// starts at a record boundary — appending after garbage is what
-		// used to turn one torn record into a whole-log loss on the
-		// following reload.
-		if err := f.Truncate(int64(committed)); err != nil {
-			f.Close()
-			return fmt.Errorf("store: truncating torn tail: %w", err)
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-		s.m.tornTails.Inc()
-	}
-	// Persist the directory entry (file creation, and the truncate's
-	// metadata on filesystems that require it).
-	if err := s.fsys.SyncDir(s.dir); err != nil {
-		f.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	s.wal = f
-	s.walLen = int64(committed)
-	return nil
-}
-
 // flushLoop is the SyncInterval background flusher.
 func (s *Store) flushLoop(d time.Duration) {
 	defer close(s.flushDone)
@@ -271,8 +287,8 @@ func (s *Store) flushLoop(d time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			// Best-effort: a failure is sticky in syncErr and surfaces on
-			// the next explicit barrier or durable operation.
+			// Best-effort: a failure is sticky in the lane's syncErr and
+			// surfaces on the next explicit barrier or durable operation.
 			_ = s.Sync()
 		case <-s.stopFlush:
 			return
@@ -280,13 +296,13 @@ func (s *Store) flushLoop(d time.Duration) {
 	}
 }
 
-// Close drains any in-flight group commit, flushes the log, and closes
-// it. Safe to call twice.
+// Close drains any in-flight group commit, flushes every lane, and closes
+// the log handles. Safe to call twice.
 func (s *Store) Close() error {
-	s.mu.Lock()
+	s.cmu.Lock()
 	stop := s.stopFlush
 	s.stopFlush = nil
-	s.mu.Unlock()
+	s.cmu.Unlock()
 	if stop != nil {
 		close(stop)
 		<-s.flushDone
@@ -299,25 +315,39 @@ func (s *Store) Close() error {
 	s.syncing = true
 	s.cmu.Unlock()
 
-	s.mu.Lock()
 	var err error
-	recs := s.recs
-	if s.wal != nil {
-		if s.failed == nil {
-			err = s.wal.Sync()
-		}
-		if cerr := s.wal.Close(); err == nil {
-			err = cerr
-		}
-		s.wal = nil
+	type fin struct {
+		ln   *lane
+		recs uint64
 	}
-	s.mu.Unlock()
+	var fins []fin
+	for _, ln := range s.lanes {
+		ln.mu.Lock()
+		if ln.wal != nil {
+			var lerr error
+			if ln.failed == nil {
+				lerr = ln.wal.Sync()
+			}
+			if cerr := ln.wal.Close(); lerr == nil {
+				lerr = cerr
+			}
+			ln.wal = nil
+			if lerr == nil {
+				fins = append(fins, fin{ln, ln.recs})
+			} else if err == nil {
+				err = lerr
+			}
+		}
+		ln.mu.Unlock()
+	}
 
 	s.cmu.Lock()
 	s.syncing = false
 	s.closed = true
-	if err == nil && recs > s.durable {
-		s.durable = recs
+	for _, f := range fins {
+		if f.recs > f.ln.durable {
+			f.ln.durable = f.recs
+		}
 	}
 	s.cond.Broadcast()
 	s.cmu.Unlock()
@@ -331,7 +361,7 @@ func (s *Store) AppendFeedback(user string, v vsm.Vector, fd filter.Feedback) er
 
 // AppendFeedbackTraced is AppendFeedback with request tracing: when sp is a
 // live span (it may be nil), the append's phases are recorded as child
-// spans — store.wal_write for the serialized write under the store lock and
+// spans — store.wal_write for the serialized write under the lane lock and
 // store.commit_wait for the group-commit fsync wait (durable mode only),
 // the two very different reasons an append can be slow.
 func (s *Store) AppendFeedbackTraced(user string, v vsm.Vector, fd filter.Feedback, sp *trace.Span) error {
@@ -343,7 +373,7 @@ func (s *Store) AppendFeedbackTraced(user string, v vsm.Vector, fd filter.Feedba
 	}
 	payload = append(payload, b)
 	payload = vsm.AppendVector(payload, v)
-	return s.appendPayload(payload, sp)
+	return s.appendPayload(user, payload, sp)
 }
 
 // AppendSubscribe records a new subscription together with the learner's
@@ -353,52 +383,58 @@ func (s *Store) AppendSubscribe(user, learner string, state []byte) error {
 	payload = appendLenBytes(payload, []byte(user))
 	payload = appendLenBytes(payload, []byte(learner))
 	payload = appendLenBytes(payload, state)
-	return s.appendPayload(payload, nil)
+	return s.appendPayload(user, payload, nil)
 }
 
 // AppendUnsubscribe records a user's removal.
 func (s *Store) AppendUnsubscribe(user string) error {
 	payload := []byte{byte(EventUnsubscribe)}
 	payload = appendLenBytes(payload, []byte(user))
-	return s.appendPayload(payload, nil)
+	return s.appendPayload(user, payload, nil)
 }
 
-func (s *Store) appendPayload(payload []byte, sp *trace.Span) error {
+func (s *Store) appendPayload(user string, payload []byte, sp *trace.Span) error {
 	t0 := time.Now()
+	ln := s.laneFor(user)
 	ws := sp.ChildAt("store.wal_write", t0)
-	s.mu.Lock()
-	if s.wal == nil {
-		s.mu.Unlock()
+	ln.mu.Lock()
+	if ln.wal == nil {
+		ln.mu.Unlock()
 		if s.opts.ReadOnly {
 			return errors.New("store: read-only")
 		}
 		return errClosed
 	}
-	if s.failed != nil {
-		err := s.failed
-		s.mu.Unlock()
+	if ln.failed != nil {
+		err := ln.failed
+		ln.mu.Unlock()
 		return err
 	}
-	if err := writeRecord(s.wal, payload); err != nil {
+	if err := writeRecord(ln.wal, payload); err != nil {
 		// A failed or short write leaves bytes of unknown extent in the
-		// file; any later append would land behind garbage. Poison the
-		// write path — reopening repairs via the torn-tail scan.
-		s.failed = err
-		s.mu.Unlock()
+		// lane's file; any later append would land behind garbage. Poison
+		// this lane's write path — reopening repairs via the torn-tail
+		// scan. Other lanes keep accepting appends.
+		ln.failed = err
+		ln.mu.Unlock()
 		ws.End()
 		return err
 	}
-	s.walLen += int64(len(payload)) + 8
-	s.recs++
-	pos := s.recs
-	s.mu.Unlock()
+	ln.walLen += int64(len(payload)) + 8
+	ln.recs++
+	pos := ln.recs
+	if _, ok := ln.dirty[user]; !ok {
+		ln.dirty[user] = struct{}{}
+		s.m.dirtyProfiles.Add(1)
+	}
+	ln.mu.Unlock()
 	ws.SetInt("bytes", int64(len(payload))+8)
 	ws.End()
 
 	s.m.appends.Inc()
 	if s.opts.Durable {
 		cw := sp.Child("store.commit_wait")
-		err := s.waitDurable(pos)
+		err := s.waitDurable(ln, pos)
 		cw.End()
 		if err != nil {
 			return err
@@ -414,38 +450,53 @@ func appendLenBytes(buf, b []byte) []byte {
 }
 
 // Sync is the durability barrier: it returns once every record appended
-// before the call is fsynced, issuing at most one fsync itself (and none
-// when a group commit already covered them).
+// to any lane before the call is fsynced, leading at most one group pass
+// itself (and none when group commits already covered them).
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	if s.wal == nil {
-		s.mu.Unlock()
-		if s.opts.ReadOnly {
-			return errors.New("store: read-only")
-		}
-		return errClosed
+	if s.opts.ReadOnly {
+		return errors.New("store: read-only")
 	}
-	pos := s.recs
-	s.mu.Unlock()
-	return s.waitDurable(pos)
+	type point struct {
+		ln  *lane
+		pos uint64
+	}
+	points := make([]point, 0, len(s.lanes))
+	for _, ln := range s.lanes {
+		ln.mu.Lock()
+		if ln.wal == nil {
+			ln.mu.Unlock()
+			return errClosed
+		}
+		points = append(points, point{ln, ln.recs})
+		ln.mu.Unlock()
+	}
+	for _, p := range points {
+		// The first wait's leader pass fsyncs every lane with pending
+		// records, so the remaining waits almost always return instantly.
+		if err := s.waitDurable(p.ln, p.pos); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// waitDurable blocks until records 1..pos are covered by an acknowledged
-// fsync. The first waiter to find no sync in flight claims the token and
-// leads one fsync for everything written so far; waiters that arrive
-// mid-flight coalesce onto the next one. This is the group commit: under
-// N concurrent durable appenders, each fsync acknowledges a whole batch.
-func (s *Store) waitDurable(pos uint64) error {
+// waitDurable blocks until ln's records 1..pos are covered by an
+// acknowledged fsync. The first waiter to find no leader in flight claims
+// the token and leads one pass over every lane with unacknowledged
+// records; waiters that arrive mid-pass coalesce onto the next one. This
+// is the group commit: under N concurrent durable appenders — across any
+// mix of lanes — each leader pass acknowledges a whole batch.
+func (s *Store) waitDurable(ln *lane, pos uint64) error {
 	t0 := time.Now()
 	s.cmu.Lock()
 	for {
-		if s.durable >= pos {
+		if ln.durable >= pos {
 			s.cmu.Unlock()
 			s.m.groupWaitLat.ObserveSince(t0)
 			return nil
 		}
-		if s.syncErr != nil {
-			err := s.syncErr
+		if ln.syncErr != nil {
+			err := ln.syncErr
 			s.cmu.Unlock()
 			return err
 		}
@@ -464,32 +515,63 @@ func (s *Store) waitDurable(pos uint64) error {
 	}
 }
 
-// leadSync performs one group-commit fsync. Caller holds the sync token
-// (not cmu); the token keeps the log handle stable — Snapshot and Close
-// wait for it before swapping or closing the WAL.
-func (s *Store) leadSync() {
-	s.mu.Lock()
-	f, target := s.wal, s.recs
-	s.mu.Unlock()
+// syncTarget is one lane the leader pass must fsync.
+type syncTarget struct {
+	ln *lane
+	f  faultfs.File
+	to uint64
+	err error
+}
 
-	var err error
-	if f == nil {
-		err = errClosed
-	} else {
-		t0 := time.Now()
-		if err = f.Sync(); err == nil {
-			s.m.fsyncs.Inc()
-			s.m.fsyncLat.ObserveSince(t0)
+// leadSync performs one group-commit pass: fsync every lane holding
+// records beyond its durability watermark — in parallel when there are
+// several — then advance all the watermarks at once. Caller holds the
+// sync token (not cmu); the token keeps the log handles stable —
+// Checkpoint and Close wait for it before swapping or closing WALs.
+func (s *Store) leadSync() {
+	var targets []*syncTarget
+	for _, ln := range s.lanes {
+		ln.mu.Lock()
+		f, to := ln.wal, ln.recs
+		ln.mu.Unlock()
+		s.cmu.Lock()
+		pending := ln.syncErr == nil && to > ln.durable
+		s.cmu.Unlock()
+		if pending {
+			tg := &syncTarget{ln: ln, f: f, to: to}
+			if f == nil {
+				tg.err = errClosed
+			}
+			targets = append(targets, tg)
 		}
+	}
+
+	if len(targets) == 1 {
+		s.syncLane(targets[0])
+	} else if len(targets) > 1 {
+		var wg sync.WaitGroup
+		for _, tg := range targets {
+			wg.Add(1)
+			go func(tg *syncTarget) {
+				defer wg.Done()
+				s.syncLane(tg)
+			}(tg)
+		}
+		wg.Wait()
 	}
 
 	s.cmu.Lock()
 	s.syncing = false
-	if err != nil {
-		s.syncErr = err
-	} else if target > s.durable {
-		batch := target - s.durable
-		s.durable = target
+	var batch uint64
+	for _, tg := range targets {
+		if tg.err != nil {
+			tg.ln.syncErr = tg.err
+		} else if tg.to > tg.ln.durable {
+			batch += tg.to - tg.ln.durable
+			tg.ln.durable = tg.to
+		}
+	}
+	if batch > 0 {
 		s.m.groupBatches.Inc()
 		s.m.groupRecords.Add(int64(batch))
 		s.m.groupBatchRecs.Observe(float64(batch))
@@ -498,198 +580,64 @@ func (s *Store) leadSync() {
 	s.cmu.Unlock()
 }
 
-// Snapshot atomically writes a new snapshot of every profile and starts a
-// fresh, empty log. The durability order is strict: outgoing log fsync →
-// snapshot contents fsync → rename → directory fsync → new log creation →
-// directory fsync → old-generation removal. A crash at any point leaves
-// either the old generation or the new one fully recoverable.
-func (s *Store) Snapshot(profiles []ProfileRecord) error {
+func (s *Store) syncLane(tg *syncTarget) {
+	if tg.err != nil {
+		return
+	}
 	t0 := time.Now()
-
-	// Claim the sync token: no group-commit fsync may race the WAL swap
-	// (it would fsync a closed handle).
-	s.cmu.Lock()
-	for s.syncing {
-		s.cond.Wait()
+	if tg.err = tg.f.Sync(); tg.err == nil {
+		s.m.fsyncs.Inc()
+		s.m.fsyncLat.ObserveSince(t0)
 	}
-	if s.closed {
-		s.cmu.Unlock()
-		return errClosed
-	}
-	if err := s.syncErr; err != nil {
-		s.cmu.Unlock()
-		return err
-	}
-	s.syncing = true
-	s.cmu.Unlock()
-
-	s.mu.Lock()
-	durableTo := uint64(0) // set once the outgoing log is fsynced
-	defer func() {
-		s.mu.Unlock()
-		s.cmu.Lock()
-		s.syncing = false
-		if durableTo > s.durable {
-			s.durable = durableTo
-		}
-		s.cond.Broadcast()
-		s.cmu.Unlock()
-	}()
-
-	if s.wal == nil {
-		if s.opts.ReadOnly {
-			return errors.New("store: read-only")
-		}
-		return errClosed
-	}
-	if s.failed != nil {
-		return s.failed
-	}
-	next := s.seq + 1
-
-	// Fsync the outgoing log before the checkpoint that supersedes it:
-	// until the new generation is durably in place, that log is still the
-	// only durable copy of every event since the previous snapshot.
-	ts := time.Now()
-	if err := s.wal.Sync(); err != nil {
-		s.failed = err
-		return fmt.Errorf("store: %w", err)
-	}
-	s.m.fsyncs.Inc()
-	s.m.fsyncLat.ObserveSince(ts)
-	durableTo = s.recs // everything written so far is now durable
-
-	tmp, err := s.fsys.CreateTemp(s.dir, "snap-*.tmp")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer s.fsys.Remove(tmp.Name()) // no-op after successful rename
-	var bytes int64
-	for _, p := range profiles {
-		payload := binary.AppendUvarint(nil, uint64(len(p.User)))
-		payload = append(payload, p.User...)
-		payload = binary.AppendUvarint(payload, uint64(len(p.Learner)))
-		payload = append(payload, p.Learner...)
-		payload = binary.AppendUvarint(payload, uint64(len(p.Data)))
-		payload = append(payload, p.Data...)
-		if err := writeRecord(tmp, payload); err != nil {
-			tmp.Close()
-			return err
-		}
-		bytes += int64(len(payload)) + 8 // record framing header
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := s.fsys.Rename(tmp.Name(), s.snapPath(next)); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	// The rename is not durable until the directory is: without this, a
-	// crash could silently fall recovery back a whole generation even
-	// though Snapshot had reported success.
-	if err := s.fsys.SyncDir(s.dir); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-
-	// The new snapshot is durable; switch to its (empty) log. openWAL
-	// fsyncs the directory again for the new log's entry.
-	old := s.wal
-	s.seq = next
-	if err := s.openWAL(); err != nil {
-		// Revert to the old generation rather than losing the handle.
-		s.seq = next - 1
-		s.wal = old
-		return err
-	}
-	old.Close()
-
-	// Remove every older generation by enumerating what is actually
-	// there — probing downward from next-1 used to stop at the first gap
-	// and strand anything older (e.g. after an interrupted cleanup).
-	// Stray snapshot temp files from crashed checkpoints go too.
-	if entries, err := s.fsys.ReadDir(s.dir); err == nil {
-		removed := false
-		for _, e := range entries {
-			name := e.Name()
-			stale := false
-			if n, ok := genSeq(name, snapPrefix, ".db"); ok && n < next {
-				stale = true
-			} else if n, ok := genSeq(name, walPrefix, ".log"); ok && n < next {
-				stale = true
-			} else if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".tmp") && name != filepath.Base(tmp.Name()) {
-				stale = true
-			}
-			if stale && s.fsys.Remove(filepath.Join(s.dir, name)) == nil {
-				removed = true
-			}
-		}
-		if removed {
-			_ = s.fsys.SyncDir(s.dir) // best-effort: stray files are harmless
-		}
-	}
-	s.m.checkpoints.Inc()
-	s.m.checkpointBytes.Set(float64(bytes))
-	s.m.checkpointLat.ObserveSince(t0)
-	return nil
 }
 
-// Load reads the newest snapshot and its log under the store lock, so a
-// concurrent append can never be misread as a torn tail and silently
-// dropped. In ReadOnly mode a genuinely torn tail is tolerated exactly as
-// recovery would tolerate it; in read-write mode the tail was already
-// truncated at Open, so any trailing garbage is an error.
+// Load reads every lane's segment and log, lane by lane under each lane's
+// lock, so a concurrent append can never be misread as a torn tail and
+// silently dropped. Profiles and events are concatenated in lane order;
+// a user's records all live in one lane, so per-user order — the only
+// order replay depends on — is exactly the append order. In ReadOnly mode
+// a genuinely torn tail is tolerated exactly as recovery would tolerate
+// it; in read-write mode the tails were already truncated at Open, so any
+// trailing garbage is an error.
 func (s *Store) Load() ([]ProfileRecord, []Event, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seq := s.seq
-
 	var profiles []ProfileRecord
-	if seq > 0 {
-		data, err := s.readFileOrEmpty(s.snapPath(seq))
+	var events []Event
+	for _, ln := range s.lanes {
+		ln.mu.Lock()
+		ps, evs, err := s.loadLane(ln)
+		ln.mu.Unlock()
 		if err != nil {
-			return nil, nil, fmt.Errorf("store: snapshot %d: %w", seq, err)
+			return nil, nil, err
 		}
-		payloads, committed, err := scanRecords(data)
-		if err == nil && committed != len(data) {
-			err = fmt.Errorf("truncated record at offset %d", committed)
-		}
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: snapshot %d: %w", seq, err)
-		}
-		for i, payload := range payloads {
-			rec, err := decodeProfileRecord(payload)
-			if err != nil {
-				return nil, nil, fmt.Errorf("store: snapshot %d record %d: %w", seq, i, err)
-			}
-			profiles = append(profiles, rec)
-		}
+		profiles = append(profiles, ps...)
+		events = append(events, evs...)
 	}
+	return profiles, events, nil
+}
 
-	data, err := s.readFileOrEmpty(s.walPath(seq))
+// loadLane decodes one lane's segment and committed WAL (caller holds
+// ln.mu).
+func (s *Store) loadLane(ln *lane) ([]ProfileRecord, []Event, error) {
+	if err := s.loadSeg(ln); err != nil {
+		return nil, nil, err
+	}
+	var profiles []ProfileRecord
+	for i, e := range ln.segRecs {
+		rec, err := decodeProfileRecord(e.payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: lane %d segment %d record %d: %w", ln.id, ln.gen, i, err)
+		}
+		profiles = append(profiles, rec)
+	}
+	payloads, err := s.laneWALRecords(ln)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: wal %d: %w", seq, err)
-	}
-	if !s.opts.ReadOnly && int64(len(data)) > s.walLen {
-		// Bytes past the committed length can only be a poisoned write's
-		// remnants; the committed prefix is intact by construction.
-		data = data[:s.walLen]
-	}
-	payloads, committed, err := scanRecords(data)
-	if err == nil && !s.opts.ReadOnly && committed != len(data) {
-		err = fmt.Errorf("truncated record at offset %d", committed)
-	}
-	if err != nil {
-		return nil, nil, fmt.Errorf("store: wal %d: %w", seq, err)
+		return nil, nil, err
 	}
 	var events []Event
 	for i, payload := range payloads {
 		ev, err := decodeEvent(payload)
 		if err != nil {
-			return nil, nil, fmt.Errorf("store: wal %d record %d: %w", seq, i, err)
+			return nil, nil, fmt.Errorf("store: lane %d wal %d record %d: %w", ln.id, ln.gen, i, err)
 		}
 		events = append(events, ev)
 	}
@@ -708,63 +656,130 @@ func (s *Store) readFileOrEmpty(path string) ([]byte, error) {
 	return data, nil
 }
 
-// WALInfo describes the current log's on-disk integrity, for inspection
-// tooling (mmstore).
+// LaneInfo describes one lane's on-disk state, for inspection tooling
+// (mmstore lanes).
+type LaneInfo struct {
+	Lane        int    // lane id
+	Gen         uint64 // manifest-committed generation
+	Records     int    // complete, checksummed WAL records
+	Committed   int64  // byte length of the WAL's valid prefix
+	Torn        int64  // trailing bytes past the valid prefix (crash residue)
+	DirtyUsers  int    // distinct users with events in the current WAL
+	SegProfiles int    // profiles in the current segment
+	SegBytes    int64  // byte size of the current segment
+}
+
+// LaneInfos scans every lane's files and reports their integrity. A
+// non-nil error means corruption before some lane's tail; the returned
+// infos still describe every lane's valid prefix.
+func (s *Store) LaneInfos() ([]LaneInfo, error) {
+	var firstErr error
+	out := make([]LaneInfo, 0, len(s.lanes))
+	for _, ln := range s.lanes {
+		ln.mu.Lock()
+		li := LaneInfo{Lane: ln.id, Gen: ln.gen}
+		data, err := s.readFileOrEmpty(s.walPath(ln, ln.gen))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("store: lane %d: %w", ln.id, err)
+			}
+		} else {
+			payloads, committed, serr := scanRecords(data)
+			li.Records = len(payloads)
+			li.Committed = int64(committed)
+			li.Torn = int64(len(data) - committed)
+			seen := make(map[string]bool)
+			for _, p := range payloads {
+				if ev, derr := decodeEvent(p); derr == nil {
+					seen[ev.User] = true
+				}
+			}
+			li.DirtyUsers = len(seen)
+			if serr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("store: lane %d wal %d: %w", ln.id, ln.gen, serr)
+			}
+		}
+		if ln.gen > 0 {
+			if sdata, err := s.readFileOrEmpty(s.segPath(ln, ln.gen)); err == nil {
+				li.SegBytes = int64(len(sdata))
+				if payloads, _, serr := scanRecords(sdata); serr == nil {
+					li.SegProfiles = len(payloads)
+				}
+			}
+		}
+		ln.mu.Unlock()
+		out = append(out, li)
+	}
+	return out, firstErr
+}
+
+// WALInfo describes the journal's aggregate on-disk integrity across all
+// lanes, for inspection tooling (mmstore) and the flight recorder.
 type WALInfo struct {
-	Seq       uint64 // active generation
-	Records   int    // complete, checksummed records
-	Committed int64  // byte length of the valid prefix
-	Torn      int64  // trailing bytes past the valid prefix (crash residue)
+	Seq       uint64 // manifest epoch (commit count)
+	Lanes     int    // lane count
+	Records   int    // complete, checksummed records across all lane WALs
+	Committed int64  // byte length of the valid prefixes
+	Torn      int64  // trailing bytes past the valid prefixes (crash residue)
 }
 
-// WALInfo scans the active log and reports its integrity. A non-nil
-// error means corruption before the tail; the returned info still
-// describes the valid prefix.
+// WALInfo aggregates LaneInfos. A non-nil error means corruption before
+// some lane's tail; the returned info still describes the valid prefixes.
 func (s *Store) WALInfo() (WALInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	info := WALInfo{Seq: s.seq}
-	data, err := s.readFileOrEmpty(s.walPath(s.seq))
-	if err != nil {
-		return info, fmt.Errorf("store: %w", err)
+	lis, err := s.LaneInfos()
+	info := WALInfo{Seq: s.epoch.Load(), Lanes: len(lis)}
+	for _, li := range lis {
+		info.Records += li.Records
+		info.Committed += li.Committed
+		info.Torn += li.Torn
 	}
-	payloads, committed, err := scanRecords(data)
-	info.Records = len(payloads)
-	info.Committed = int64(committed)
-	info.Torn = int64(len(data) - committed)
-	if err != nil {
-		return info, fmt.Errorf("store: wal %d: %w", s.seq, err)
-	}
-	return info, nil
+	return info, err
 }
 
-// Health reports the store's sticky failure state without touching disk:
-// nil means the write path is healthy, a non-nil error names the first
-// thing that broke (write failure, fsync failure, or closed). ReadOnly
-// stores report a degraded-style error since they cannot accept appends.
-// Cheap enough to poll from /readyz — two mutex acquisitions, no I/O.
+// Health rolls up the store's sticky failure state without touching disk,
+// worst lane first: a write-path poison on any lane, then closed, then
+// any lane's sticky fsync failure. Nil means every lane's write path is
+// healthy. ReadOnly stores report a degraded-style error since they
+// cannot accept appends. Cheap enough to poll from /readyz — one mutex
+// acquisition per lane plus one for the commit state, no I/O.
 func (s *Store) Health() error {
-	s.mu.Lock()
-	failed := s.failed
-	readOnly := s.opts.ReadOnly
-	s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return errors.New("store: opened read-only")
+	}
+	var failed error
+	for _, ln := range s.lanes {
+		ln.mu.Lock()
+		if ln.failed != nil && failed == nil {
+			failed = fmt.Errorf("store: lane %d: %w", ln.id, ln.failed)
+		}
+		ln.mu.Unlock()
+	}
 	if failed != nil {
 		return failed
 	}
+	var syncErr error
 	s.cmu.Lock()
-	syncErr := s.syncErr
 	closed := s.closed
+	for _, ln := range s.lanes {
+		if ln.syncErr != nil && syncErr == nil {
+			syncErr = fmt.Errorf("store: lane %d: %w", ln.id, ln.syncErr)
+		}
+	}
 	s.cmu.Unlock()
 	if closed {
 		return errClosed
 	}
-	if syncErr != nil {
-		return syncErr
-	}
-	if readOnly {
-		return errors.New("store: opened read-only")
-	}
-	return nil
+	return syncErr
+}
+
+func encodeProfilePayload(user, learner string, data []byte) []byte {
+	payload := binary.AppendUvarint(nil, uint64(len(user)))
+	payload = append(payload, user...)
+	payload = binary.AppendUvarint(payload, uint64(len(learner)))
+	payload = append(payload, learner...)
+	payload = binary.AppendUvarint(payload, uint64(len(data)))
+	payload = append(payload, data...)
+	return payload
 }
 
 func decodeProfileRecord(payload []byte) (ProfileRecord, error) {
@@ -826,6 +841,17 @@ func decodeEvent(payload []byte) (Event, error) {
 		return Event{}, fmt.Errorf("trailing bytes")
 	}
 	return ev, nil
+}
+
+// eventUserIs reports whether the framed event payload names user,
+// without decoding the rest of the event (RestoreUser filters a whole
+// lane WAL this way before paying for vector decodes).
+func eventUserIs(payload []byte, user string) bool {
+	if len(payload) < 1 {
+		return false
+	}
+	u, _, err := readLenBytes(payload[1:])
+	return err == nil && string(u) == user
 }
 
 func readLenBytes(buf []byte) ([]byte, []byte, error) {
@@ -917,12 +943,13 @@ func newRestored(user, learner string, state []byte) (filter.Learner, error) {
 	return l, nil
 }
 
-// Restore reconstructs learners from a Load result: snapshot profiles are
+// Restore reconstructs learners from a Load result: segment profiles are
 // instantiated via the filter registry and unmarshalled, then the event
-// log is replayed in order. Learner update rules are deterministic, so the
-// result is exactly the pre-crash state. Recovery is all-or-nothing: any
-// undecodable record or inconsistency (feedback for an unknown user) is an
-// error.
+// log is replayed in order. Events arrive concatenated lane by lane, but
+// a user's events all live in one lane, so the per-user order — the only
+// order deterministic replay depends on — is the append order. Recovery
+// is all-or-nothing: any undecodable record or inconsistency (feedback
+// for an unknown user) is an error.
 func Restore(profiles []ProfileRecord, events []Event) (map[string]filter.Learner, error) {
 	out := make(map[string]filter.Learner, len(profiles))
 	for _, p := range profiles {
@@ -953,6 +980,25 @@ func Restore(profiles []ProfileRecord, events []Event) (map[string]filter.Learne
 		}
 	}
 	return out, nil
+}
+
+// RestoredNames maps each surviving user to its learner's registry name,
+// without instantiating any learner state — the boot path for lazy
+// hydration (pubsub registers evicted stubs and hydrates on first touch).
+func RestoredNames(profiles []ProfileRecord, events []Event) map[string]string {
+	out := make(map[string]string, len(profiles))
+	for _, p := range profiles {
+		out[p.User] = p.Learner
+	}
+	for _, ev := range events {
+		switch ev.Type {
+		case EventSubscribe:
+			out[ev.User] = ev.Learner
+		case EventUnsubscribe:
+			delete(out, ev.User)
+		}
+	}
+	return out
 }
 
 // Users lists the distinct users across a Load result, sorted.

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
@@ -38,6 +39,32 @@ func openStore(t *testing.T, dir string) *Store {
 	return s
 }
 
+// openStoreLanes pins the lane count — for tests that name lane files on
+// disk or assert per-lane behavior.
+func openStoreLanes(t *testing.T, dir string, lanes int) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Lanes: lanes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
 func TestEmptyStore(t *testing.T) {
 	s := openStore(t, t.TempDir())
 	profiles, events, err := s.Load()
@@ -51,7 +78,7 @@ func TestEmptyStore(t *testing.T) {
 
 func TestAppendAndLoadEvents(t *testing.T) {
 	dir := t.TempDir()
-	s := openStore(t, dir)
+	s := openStoreLanes(t, dir, 1) // one lane so Load's order is append order
 	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
 		t.Fatal(err)
 	}
@@ -115,17 +142,21 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	}
 }
 
-func TestSnapshotTruncatesLogAndCleansUp(t *testing.T) {
+func TestCheckpointCompactsLogAndCleansUp(t *testing.T) {
 	dir := t.TempDir()
-	s := openStore(t, dir)
+	s := openStoreLanes(t, dir, 1)
 	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
 		t.Fatal(err)
 	}
-	mm := core.NewDefault()
-	mm.Observe(vec("cat", 1.0), filter.Relevant)
-	blob, _ := mm.MarshalBinary()
-	if err := s.Snapshot([]ProfileRecord{{User: "alice", Learner: "MM", Data: blob}}); err != nil {
+	if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
 		t.Fatal(err)
+	}
+	st, err := s.Checkpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rewritten != 1 || st.Profiles != 1 {
+		t.Fatalf("checkpoint stats = %+v", st)
 	}
 	profiles, events, err := s.Load()
 	if err != nil {
@@ -135,19 +166,37 @@ func TestSnapshotTruncatesLogAndCleansUp(t *testing.T) {
 		t.Fatalf("profiles = %+v", profiles)
 	}
 	if len(events) != 0 {
-		t.Errorf("log not reset after snapshot: %d events", len(events))
+		t.Errorf("log not reset after checkpoint: %d events", len(events))
 	}
-	// Old generation removed.
-	entries, _ := os.ReadDir(dir)
-	var names []string
-	for _, e := range entries {
-		names = append(names, e.Name())
+	// The compacted profile absorbed the journaled feedback.
+	restored, err := Restore(profiles, events)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(names) != 2 {
-		t.Errorf("unexpected files after snapshot: %v", names)
+	if restored["alice"].Score(vec("cat", 1.0)) <= 1e-9 {
+		t.Error("feedback lost in compaction")
 	}
-	// Second snapshot advances the generation again.
-	if err := s.Snapshot([]ProfileRecord{{User: "alice", Learner: "MM", Data: blob}}); err != nil {
+	// Old generation removed: the directory is exactly manifest + segment
+	// + fresh WAL.
+	names := dirNames(t, dir)
+	want := []string{"MANIFEST", "seg-000-00000001.db", "wal-000-00000001.log"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("files after checkpoint = %v, want %v", names, want)
+	}
+	// A checkpoint with nothing dirty rewrites nothing — no generation
+	// churn, no manifest write.
+	st, err = s.Checkpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rewritten != 0 || st.Clean != 1 {
+		t.Fatalf("idle checkpoint stats = %+v", st)
+	}
+	// More feedback, another checkpoint, reopen: the state survives.
+	if err := s.AppendFeedback("alice", vec("dog", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(1); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -157,13 +206,13 @@ func TestSnapshotTruncatesLogAndCleansUp(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(profiles) != 1 {
-		t.Fatalf("profiles after second snapshot = %d", len(profiles))
+		t.Fatalf("profiles after second checkpoint = %d", len(profiles))
 	}
 }
 
 func TestTornTailIsDiscarded(t *testing.T) {
 	dir := t.TempDir()
-	s := openStore(t, dir)
+	s := openStoreLanes(t, dir, 1)
 	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +222,7 @@ func TestTornTailIsDiscarded(t *testing.T) {
 	s.Close()
 
 	// Simulate a crash mid-append: chop bytes off the log tail.
-	walPath := filepath.Join(dir, "wal-00000000.log")
+	walPath := filepath.Join(dir, "wal-000-00000000.log")
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -194,14 +243,14 @@ func TestTornTailIsDiscarded(t *testing.T) {
 
 func TestCorruptionMidLogIsAnError(t *testing.T) {
 	dir := t.TempDir()
-	s := openStore(t, dir)
+	s := openStoreLanes(t, dir, 1)
 	for i := 0; i < 3; i++ {
 		if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
 			t.Fatal(err)
 		}
 	}
 	s.Close()
-	walPath := filepath.Join(dir, "wal-00000000.log")
+	walPath := filepath.Join(dir, "wal-000-00000000.log")
 	data, _ := os.ReadFile(walPath)
 	data[12] ^= 0xFF // flip a byte inside the first record's payload
 	os.WriteFile(walPath, data, 0o644)
@@ -225,9 +274,10 @@ func TestCorruptionMidLogIsAnError(t *testing.T) {
 	}
 }
 
-// TestRecoveryEquivalence is the headline guarantee: after snapshot + more
-// feedback + crash, Restore rebuilds learners that score identically to
-// the originals.
+// TestRecoveryEquivalence is the headline guarantee: after checkpoint +
+// more feedback + crash, Restore rebuilds learners that score identically
+// to the originals. Users span several lanes, so this also covers the
+// lane-concatenated Load order.
 func TestRecoveryEquivalence(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir)
@@ -272,17 +322,9 @@ func TestRecoveryEquivalence(t *testing.T) {
 		feedback("bob", randVec(), fd)
 	}
 
-	// Checkpoint, then keep going (these events land in the new log).
-	var records []ProfileRecord
-	for user, l := range live {
-		m := l.(interface{ MarshalBinary() ([]byte, error) })
-		blob, err := m.MarshalBinary()
-		if err != nil {
-			t.Fatal(err)
-		}
-		records = append(records, ProfileRecord{User: user, Learner: l.Name(), Data: blob})
-	}
-	if err := s.Snapshot(records); err != nil {
+	// Checkpoint (compacting the journaled events into segments), then
+	// keep going: these events land in the fresh lane WALs.
+	if _, err := s.Checkpoint(1); err != nil {
 		t.Fatal(err)
 	}
 	subscribe("carol", "NRN")
@@ -366,20 +408,53 @@ func TestUsers(t *testing.T) {
 	}
 }
 
+func TestRestoredNames(t *testing.T) {
+	profiles := []ProfileRecord{{User: "zed", Learner: "MM"}}
+	events := []Event{
+		{Type: EventSubscribe, User: "alice", Learner: "RI"},
+		{Type: EventSubscribe, User: "alice", Learner: "NRN"}, // resubscribe wins
+		{Type: EventUnsubscribe, User: "zed"},
+	}
+	got := RestoredNames(profiles, events)
+	if len(got) != 1 || got["alice"] != "NRN" {
+		t.Errorf("RestoredNames = %v", got)
+	}
+}
+
 func TestClosedStoreErrors(t *testing.T) {
 	s := openStore(t, t.TempDir())
 	s.Close()
 	if err := s.AppendFeedback("a", vec("x", 1.0), filter.Relevant); err == nil {
 		t.Error("append after close accepted")
 	}
-	if err := s.Snapshot(nil); err == nil {
-		t.Error("snapshot after close accepted")
+	if _, err := s.Checkpoint(1); err == nil {
+		t.Error("checkpoint after close accepted")
 	}
 	if err := s.Sync(); err == nil {
 		t.Error("sync after close accepted")
 	}
 	if err := s.Close(); err != nil {
 		t.Error("double close errored")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.Health(); err != nil {
+		t.Errorf("fresh store unhealthy: %v", err)
+	}
+	s.Close()
+	if err := s.Health(); err == nil {
+		t.Error("closed store reports healthy")
+	}
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if err := ro.Health(); err == nil {
+		t.Error("read-only store reports healthy (it cannot accept appends)")
 	}
 }
 
@@ -397,14 +472,13 @@ func TestDurableAppend(t *testing.T) {
 	}
 }
 
-// TestTornTailReopenAppendReload is the headline regression of this PR:
-// the old Open left a torn tail in place and blindly O_APPENDed behind
-// it, so the first append after a crash recovery buried every later
-// record behind garbage and the next Load rejected the log. The fixed
-// Open truncates the torn tail before appending.
+// TestTornTailReopenAppendReload is a headline regression: an Open that
+// left a torn tail in place and blindly O_APPENDed behind it buried every
+// later record behind garbage, so the next Load rejected the log. Open
+// truncates the torn lane tail before appending.
 func TestTornTailReopenAppendReload(t *testing.T) {
 	dir := t.TempDir()
-	s := openStore(t, dir)
+	s := openStoreLanes(t, dir, 1)
 	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +488,7 @@ func TestTornTailReopenAppendReload(t *testing.T) {
 	s.Close()
 
 	// Crash mid-append: the last record is half-written.
-	walPath := filepath.Join(dir, "wal-00000000.log")
+	walPath := filepath.Join(dir, "wal-000-00000000.log")
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -448,8 +522,8 @@ func TestTornTailReopenAppendReload(t *testing.T) {
 	}
 }
 
-// TestLoadConcurrentWithAppends pins the Load/append race fix: Load now
-// holds the write lock and snapshots the committed length, so a reader
+// TestLoadConcurrentWithAppends pins the Load/append race fix: Load holds
+// each lane's write lock and snapshots the committed length, so a reader
 // never mistakes an in-flight append for a torn tail and silently drops
 // live records. Run under -race this also proves the lock discipline.
 func TestLoadConcurrentWithAppends(t *testing.T) {
@@ -500,46 +574,424 @@ func TestLoadConcurrentWithAppends(t *testing.T) {
 	}
 }
 
-// TestSnapshotCleansGappedGenerations pins the cleanup rewrite: the old
-// loop walked generation numbers downward and stopped at the first gap,
-// stranding older debris forever. Cleanup now enumerates the directory.
-func TestSnapshotCleansGappedGenerations(t *testing.T) {
+// TestCheckpointCleansStrays pins stray collection: anything the manifest
+// does not reference — legacy-layout files, stale or uncommitted lane
+// generations, orphaned temp files — is removed by the next checkpoint's
+// cleanup pass, regardless of generation gaps.
+func TestCheckpointCleansStrays(t *testing.T) {
+	dir := t.TempDir()
+	s := openStoreLanes(t, dir, 1)
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	ck := func() {
+		t.Helper()
+		if err := s.AppendFeedback("alice", vec("cat", 1.0), filter.Relevant); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Checkpoint(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck()
+	ck()
+	// Plant debris: a legacy log, a legacy snapshot, an uncommitted lane
+	// generation, and an orphaned checkpoint temp file.
+	for _, stray := range []string{"wal-00000000.log", "snap-00000007.db", "seg-000-00000099.db", "seg-123456.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, stray), []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck()
+	s.Close()
+
+	names := dirNames(t, dir)
+	want := []string{"MANIFEST", "seg-000-00000003.db", "wal-000-00000003.log"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("directory after checkpoint = %v, want %v", names, want)
+	}
+}
+
+// TestCheckpointOnlyRewritesDirtyLanes is the incremental-checkpoint
+// guarantee, pinned by counters: a pass rewrites exactly the lanes whose
+// dirty-profile count reached the threshold and leaves every other lane's
+// generation (and segment file) untouched.
+func TestCheckpointOnlyRewritesDirtyLanes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, err := Open(t.TempDir(), Options{Lanes: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.laneFor("u").id == s.laneFor("z").id {
+		t.Fatal("test users collided on one lane")
+	}
+	for _, u := range []string{"u", "z"} {
+		if err := s.AppendSubscribe(u, "MM", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Checkpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rewritten != 2 || st.Clean != 2 || st.Skipped != 0 {
+		t.Fatalf("first checkpoint stats = %+v", st)
+	}
+	// Dirty one lane only: the other lane's generation must not move.
+	if err := s.AppendFeedback("u", vec("cat", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.Checkpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rewritten != 1 || st.Clean != 3 {
+		t.Fatalf("second checkpoint stats = %+v", st)
+	}
+	lis, err := s.LaneInfos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := map[int]uint64{}
+	for _, li := range lis {
+		gens[li.Lane] = li.Gen
+	}
+	if gens[s.laneFor("u").id] != 2 || gens[s.laneFor("z").id] != 1 {
+		t.Fatalf("lane generations = %v", gens)
+	}
+	// Below the dirty threshold a lane is skipped outright, and its
+	// events stay in the WAL.
+	if err := s.AppendFeedback("z", vec("dog", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.Checkpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rewritten != 0 || st.Skipped != 1 {
+		t.Fatalf("thresholded checkpoint stats = %+v", st)
+	}
+	_, events, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].User != "z" {
+		t.Fatalf("events after thresholded checkpoint = %+v", events)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["mm_store_checkpoint_lanes_rewritten_total"].(int64); got != 3 {
+		t.Errorf("lanes rewritten counter = %d, want 3", got)
+	}
+	if got := snap["mm_store_checkpoint_lanes_skipped_total"].(int64); got != 1 {
+		t.Errorf("lanes skipped counter = %d, want 1", got)
+	}
+}
+
+// TestRestoreResubscribeAcrossCheckpoint: a user present in a segment AND
+// re-subscribed in the live WAL must come back with the log's state — the
+// later subscribe supersedes the checkpointed profile, never merges.
+func TestRestoreResubscribeAcrossCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir)
 	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
 		t.Fatal(err)
 	}
-	// Advance two generations so there is room for a gap below.
-	if err := s.Snapshot(nil); err != nil {
+	if err := s.AppendFeedback("alice", vec("old", 1.0), filter.Relevant); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Snapshot(nil); err != nil {
+	if _, err := s.Checkpoint(1); err != nil {
 		t.Fatal(err)
 	}
-	// Plant debris separated from the live generation by a gap: a log from
-	// a long-dead generation and an orphaned checkpoint temp file.
-	for _, stray := range []string{"wal-00000000.log", "snap-00000099.tmp"} {
-		if err := os.WriteFile(filepath.Join(dir, stray), []byte("debris"), 0o644); err != nil {
-			t.Fatal(err)
-		}
+	if err := s.AppendSubscribe("alice", "MM", nil); err != nil {
+		t.Fatal(err)
 	}
-	if err := s.Snapshot(nil); err != nil {
+	if err := s.AppendFeedback("alice", vec("new", 1.0), filter.Relevant); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
 
-	entries, err := os.ReadDir(dir)
+	s2 := openStore(t, dir)
+	profiles, events, err := s2.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var names []string
-	for _, e := range entries {
-		names = append(names, e.Name())
+	restored, err := Restore(profiles, events)
+	if err != nil {
+		t.Fatal(err)
 	}
-	sort.Strings(names)
-	want := []string{"snap-00000003.db", "wal-00000003.log"}
-	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
-		t.Fatalf("directory after snapshot = %v, want %v", names, want)
+	al := restored["alice"]
+	if al == nil {
+		t.Fatal("alice missing")
+	}
+	if al.Score(vec("old", 1.0)) > 1e-9 {
+		t.Error("stale checkpointed state leaked into the resubscribed profile")
+	}
+	if al.Score(vec("new", 1.0)) <= 1e-9 {
+		t.Error("post-resubscribe feedback lost")
+	}
+	// Single-user hydration agrees with the full restore.
+	l, found, err := s2.RestoreUser("alice")
+	if err != nil || !found {
+		t.Fatalf("RestoreUser: found=%v err=%v", found, err)
+	}
+	if l.Score(vec("new", 1.0)) <= 1e-9 || l.Score(vec("old", 1.0)) > 1e-9 {
+		t.Error("RestoreUser state disagrees with Restore")
+	}
+}
+
+// TestRestoreInterleavedAcrossLanes: two users interleaving feedback land
+// in different lanes, so Load returns their events lane-concatenated —
+// globally out of append order. Restore depends only on per-user order,
+// which sharding preserves, so recovery matches the live learners.
+func TestRestoreInterleavedAcrossLanes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []string{"u", "z"}
+	if s.laneFor(users[0]).id == s.laneFor(users[1]).id {
+		t.Fatal("test users collided on one lane")
+	}
+	live := map[string]filter.Learner{}
+	for _, u := range users {
+		live[u] = core.NewDefault()
+		if err := s.AppendSubscribe(u, "MM", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		u := users[i%2]
+		fd := filter.Relevant
+		if i%5 == 0 {
+			fd = filter.NotRelevant
+		}
+		v := vec(fmt.Sprintf("t%02d", i), 1.0)
+		live[u].Observe(v, fd)
+		if err := s.AppendFeedback(u, v, fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	profiles, events, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 22 {
+		t.Fatalf("events = %d, want 22", len(events))
+	}
+	restored, err := Restore(profiles, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		u := users[i%2]
+		probe := vec(fmt.Sprintf("t%02d", i), 1.0)
+		if got, want := restored[u].Score(probe), live[u].Score(probe); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("user %s term %d: %v != %v", u, i, got, want)
+		}
+	}
+}
+
+// TestEmptyLaneReopen: lanes that never saw a record survive checkpoint
+// and reopen cleanly, the manifest pins the lane count against a
+// conflicting Options.Lanes, and a first append into a never-used lane
+// just works.
+func TestEmptyLaneReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Lanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubscribe("u", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(1); err != nil {
+		t.Fatal(err) // three lanes stay clean at generation 0
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{Lanes: 16}) // ignored: manifest pins 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(s2.lanes) != 4 {
+		t.Fatalf("lane count = %d, want the manifest's 4", len(s2.lanes))
+	}
+	profiles, events, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 1 || len(events) != 0 {
+		t.Fatalf("after reopen: %d profiles, %d events", len(profiles), len(events))
+	}
+	// "z" hashes to a lane that has never held a record.
+	if s2.laneFor("z").id == s2.laneFor("u").id {
+		t.Fatal("test users collided on one lane")
+	}
+	if err := s2.AppendSubscribe("z", "MM", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err = s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events after first append to empty lane = %d", len(events))
+	}
+}
+
+// TestLegacyLayoutMigration: a pre-manifest directory (single snap-/wal-
+// pair) opens into the lane layout with identical restored state, the
+// legacy files are gone afterwards, and the second open is a plain
+// manifest open.
+func TestLegacyLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+	mm := core.NewDefault()
+	mm.Observe(vec("cat", 1.0), filter.Relevant)
+	blob, err := mm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap, wal bytes.Buffer
+	if err := writeRecord(&snap, encodeProfilePayload("alice", "MM", blob)); err != nil {
+		t.Fatal(err)
+	}
+	sub := []byte{byte(EventSubscribe)}
+	sub = appendLenBytes(sub, []byte("bob"))
+	sub = appendLenBytes(sub, []byte("MM"))
+	sub = appendLenBytes(sub, nil)
+	fb := func(user, term string) []byte {
+		p := []byte{byte(EventFeedback)}
+		p = appendLenBytes(p, []byte(user))
+		p = append(p, 1)
+		return vsm.AppendVector(p, vec(term, 1.0))
+	}
+	for _, payload := range [][]byte{sub, fb("alice", "dog"), fb("bob", "fish")} {
+		if err := writeRecord(&wal, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000002.db"), snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000002.log"), wal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{Lanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(s *Store) map[string]filter.Learner {
+		t.Helper()
+		profiles, events, err := s.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(profiles, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(restored) != 2 {
+			t.Fatalf("restored %d users, want 2", len(restored))
+		}
+		if restored["alice"].Score(vec("cat", 1.0)) <= 1e-9 || restored["alice"].Score(vec("dog", 1.0)) <= 1e-9 {
+			t.Error("alice lost state in migration")
+		}
+		if restored["bob"].Score(vec("fish", 1.0)) <= 1e-9 {
+			t.Error("bob lost state in migration")
+		}
+		return restored
+	}
+	check(s)
+	s.Close()
+
+	for _, name := range dirNames(t, dir) {
+		if name == "snap-00000002.db" || name == "wal-00000002.log" {
+			t.Fatalf("legacy file %s survived migration", name)
+		}
+	}
+	s2 := openStore(t, dir)
+	check(s2)
+	if err := s2.AppendFeedback("bob", vec("boat", 1.0), filter.Relevant); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreUserHydration: single-user hydration from segment + lane WAL
+// is bit-identical to the learner a full Restore produces; unknown and
+// unsubscribed users report found=false.
+func TestRestoreUserHydration(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	rng := rand.New(rand.NewSource(11))
+	users := []string{"alice", "bob", "carol"}
+	for _, u := range users {
+		if err := s.AppendSubscribe(u, "MM", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spray := func(n int) {
+		for i := 0; i < n; i++ {
+			u := users[rng.Intn(len(users))]
+			fd := filter.Relevant
+			if rng.Float64() < 0.3 {
+				fd = filter.NotRelevant
+			}
+			if err := s.AppendFeedback(u, vec(fmt.Sprintf("t%03d", rng.Intn(40)), 1.0), fd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	spray(30)
+	if _, err := s.Checkpoint(1); err != nil {
+		t.Fatal(err) // half the history compacts into segments
+	}
+	spray(30)
+	if err := s.AppendUnsubscribe("carol"); err != nil {
+		t.Fatal(err)
+	}
+
+	profiles, events, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Restore(profiles, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob"} {
+		l, found, err := s.RestoreUser(u)
+		if err != nil || !found {
+			t.Fatalf("RestoreUser(%s): found=%v err=%v", u, found, err)
+		}
+		want, err := full[u].(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := l.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("RestoreUser(%s) state differs from full restore", u)
+		}
+	}
+	if _, found, err := s.RestoreUser("carol"); err != nil || found {
+		t.Errorf("unsubscribed user hydrated: found=%v err=%v", found, err)
+	}
+	if _, found, err := s.RestoreUser("ghost"); err != nil || found {
+		t.Errorf("unknown user hydrated: found=%v err=%v", found, err)
 	}
 }
 
@@ -568,17 +1020,22 @@ func (f slowSyncFile) Sync() error {
 	return f.File.Sync()
 }
 
-// TestGroupCommitCoalesces proves the durable mode batches fsyncs: many
-// concurrent appenders share far fewer fsyncs than appends, yet every
-// append is individually acknowledged durable.
+// TestGroupCommitCoalesces proves durable mode batches fsyncs — in the
+// single-lane store and in a multi-lane one, where the global leader pass
+// fsyncs every pending lane per batch: many concurrent appenders share
+// far fewer fsyncs than appends, yet every append is individually
+// acknowledged durable.
 func TestGroupCommitCoalesces(t *testing.T) {
-	const (
-		workers = 8
-		perW    = 20
-	)
+	t.Run("single_lane", func(t *testing.T) { testGroupCommit(t, 1, 8) })
+	t.Run("multi_lane", func(t *testing.T) { testGroupCommit(t, 4, 16) })
+}
+
+func testGroupCommit(t *testing.T, lanes, workers int) {
+	const perW = 20
 	reg := metrics.NewRegistry()
 	s, err := Open(t.TempDir(), Options{
 		Durable: true,
+		Lanes:   lanes,
 		Metrics: reg,
 		FS:      slowSyncFS{faultfs.OS(), 200 * time.Microsecond},
 	})
@@ -614,15 +1071,15 @@ func TestGroupCommitCoalesces(t *testing.T) {
 	appends := snap["mm_store_appends_total"].(int64)
 	fsyncs := snap["mm_store_fsyncs_total"].(int64)
 	batched := snap["mm_store_group_commit_records_total"].(int64)
-	if appends != workers*perW {
+	if appends != int64(workers*perW) {
 		t.Fatalf("appends = %d, want %d", appends, workers*perW)
 	}
 	if batched != appends {
 		t.Fatalf("group-commit records = %d, want %d (every durable append must ride a batch)", batched, appends)
 	}
 	if fsyncs > appends/2 {
-		t.Fatalf("fsyncs = %d for %d appends: group commit is not coalescing", fsyncs, appends)
+		t.Fatalf("fsyncs = %d for %d appends across %d lanes: group commit is not coalescing", fsyncs, appends, lanes)
 	}
-	t.Logf("group commit: %d appends / %d fsyncs = %.1f records per fsync",
-		appends, fsyncs, float64(appends)/float64(fsyncs))
+	t.Logf("group commit over %d lanes: %d appends / %d fsyncs = %.1f records per fsync",
+		lanes, appends, fsyncs, float64(appends)/float64(fsyncs))
 }

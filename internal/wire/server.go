@@ -406,7 +406,9 @@ func (s *Server) describe(sub *pubsub.Subscription) (string, [][]string) {
 	}
 	name := ""
 	var tops [][]string
-	sub.WithLearner(func(l filter.Learner) {
+	// A hydration failure leaves the description empty rather than failing
+	// the profile request: size and learner identity are still reportable.
+	_ = sub.WithLearner(func(l filter.Learner) {
 		name = l.Name()
 		if vs, ok := l.(vectorSource); ok {
 			for _, v := range vs.ProfileVectors() {
