@@ -7,6 +7,7 @@
 //	mmclient [-addr host:7070] subscribe -user alice [-learner MM] [-keywords "cats,jazz"]
 //	mmclient publish -file page.html        (or -text "...")
 //	mmclient poll -user alice [-max 10]     (or: watch [-timeout 30s] to long-poll)
+//	mmclient listen -user alice [-batch 64] (server-push session; streams until closed)
 //	mmclient feedback -user alice -doc 12 -relevant=true
 //	mmclient profile -user alice
 //	mmclient fetch -doc 12                  (server must run -retain-content)
@@ -182,6 +183,38 @@ func main() {
 		}
 		for _, d := range ds {
 			fmt.Printf("doc %d  score %.4f\n", d.Doc, d.Score)
+		}
+
+	case "listen":
+		// listen holds the connection open in server-push session mode and
+		// prints deliveries as the server pushes them — unlike watch, the
+		// connection is never blocked on a serial request/response cycle, and
+		// sequence gaps (deliveries lost to queue overflow) are reported as
+		// they are observed.
+		fs := flag.NewFlagSet("listen", flag.ExitOnError)
+		user := fs.String("user", "", "subscriber id")
+		batch := fs.Int("batch", 0, "max deliveries coalesced per pushed frame (0 = server default)")
+		parse(fs, rest)
+		sess, err := c.Session(*user, *batch)
+		check(err)
+		fmt.Printf("listening as %s (next seq %d, %d dropped so far; ctrl-c to stop)\n",
+			*user, sess.NextSeq(), sess.Dropped())
+		for {
+			frame, err := sess.Recv()
+			if err != nil {
+				fail(err)
+			}
+			for _, d := range frame.Deliveries {
+				fmt.Printf("doc %d  score %.4f  seq %d\n", d.Doc, d.Score, d.Seq)
+			}
+			if gaps := sess.Gaps(); gaps > 0 {
+				fmt.Printf("  (%d delivery(ies) lost to queue overflow so far; server reports %d dropped)\n",
+					gaps, frame.Dropped)
+			}
+			if frame.Closed {
+				fmt.Println("subscriber closed")
+				return
+			}
 		}
 
 	case "feedback":
@@ -583,6 +616,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|feedback|profile|fetch|export|import|stats|trace|explain|health [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|listen|feedback|profile|fetch|export|import|stats|trace|explain|health [flags]")
 	os.Exit(2)
 }

@@ -1,13 +1,30 @@
-// Command mmload drives an mmserver with synthetic load: it subscribes a
-// population of adaptive profiles, fans publishers out over the synthetic
-// collection, has every subscriber consume and judge its deliveries, and
-// reports publish throughput, round-trip latency percentiles, and delivery
-// counts — the operational side of "large-scale data delivery".
+// Command mmload drives an mmserver with synthetic load. Two modes:
+//
+// -mode feedback (the default) subscribes a population of adaptive
+// profiles, fans publishers out over the synthetic collection, has every
+// subscriber consume (watch) and judge its deliveries, and reports publish
+// throughput, round-trip latency percentiles, and delivery counts — the
+// adaptation-side workload.
+//
+// -mode sessions is the c10k-and-up delivery benchmark: it opens one
+// server-push session per subscriber (100k+ concurrent connections),
+// publishes topic-tagged documents, measures end-to-end delivery latency
+// (publish call → frame received), and reconciles every session's
+// sequence state so that any delivery lost to queue overflow is observed
+// — received + dropped == next_seq per session, or the run exits nonzero.
+// Percentiles are appended to -out (results/delivery.csv). With
+// -addr pipe the harness runs the full wire.Server stack in-process over
+// net.Pipe connections, which is how 100k+ sessions fit under a 20k file
+// descriptor limit; any other -addr (host:port or unix:/path) drives a
+// real mmserver over sockets.
 //
 // Usage:
 //
 //	mmload [-addr 127.0.0.1:7070] [-subscribers 20] [-publishers 4]
 //	       [-docs 2000] [-seed 1] [-trace-every 100] [-status localhost:8080]
+//	mmload -mode sessions [-addr pipe] [-subscribers 100000] [-topics 100]
+//	       [-docs 500] [-publishers 4] [-batch 0] [-queue 128]
+//	       [-out results/delivery.csv]
 package main
 
 import (
@@ -32,15 +49,38 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7070", "mmserver address")
-		subscribers = flag.Int("subscribers", 20, "subscriber connections")
+		addr        = flag.String("addr", "127.0.0.1:7070", "mmserver address (sessions mode also takes unix:/path, or pipe for in-process)")
+		mode        = flag.String("mode", "feedback", "workload: feedback (watch+judge) or sessions (server-push delivery benchmark)")
+		subscribers = flag.Int("subscribers", 20, "subscriber connections (sessions mode: concurrent sessions)")
 		publishers  = flag.Int("publishers", 4, "publisher connections")
 		docs        = flag.Int("docs", 2000, "total pages to publish")
 		seed        = flag.Int64("seed", 1, "corpus and workload seed")
 		traceEvery  = flag.Int("trace-every", 0, "propagate trace context on every Nth publish, forcing server-side capture (0 = off)")
 		statusAddr  = flag.String("status", "", "mmserver -http address; after the run, print the server's slow-trace summary from /tracez")
+		topics      = flag.Int("topics", 100, "sessions mode: distinct topics (fan-out per doc = subscribers/topics)")
+		batch       = flag.Int("batch", 0, "sessions mode: deliveries coalesced per pushed frame (0 = server default)")
+		queue       = flag.Int("queue", 128, "sessions mode with -addr pipe: per-subscriber delivery buffer")
+		out         = flag.String("out", "results/delivery.csv", "sessions mode: CSV file latency percentiles are appended to")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "sessions":
+		runSessions(sessionsConfig{
+			addr:       *addr,
+			sessions:   *subscribers,
+			publishers: *publishers,
+			docs:       *docs,
+			topics:     *topics,
+			batch:      *batch,
+			queue:      *queue,
+			out:        *out,
+		})
+		return
+	case "feedback":
+	default:
+		fail(fmt.Errorf("unknown -mode %q (feedback or sessions)", *mode))
+	}
 
 	cfg := corpus.DefaultConfig()
 	cfg.Seed = *seed

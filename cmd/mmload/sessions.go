@@ -1,0 +1,358 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmprofile/internal/pubsub"
+	"mmprofile/internal/text"
+	"mmprofile/internal/wire"
+)
+
+// sessionsConfig shapes one -mode sessions run.
+type sessionsConfig struct {
+	addr       string // "pipe" = in-process server over net.Pipe
+	sessions   int
+	publishers int
+	docs       int
+	topics     int
+	batch      int
+	queue      int
+	out        string
+}
+
+// recvRec is one received delivery: the document and when it arrived,
+// as nanoseconds from the run's monotonic anchor.
+type recvRec struct {
+	doc int64
+	at  int64
+}
+
+// sessionState is one subscriber's end of the benchmark: its live session
+// plus the receive log its consumer goroutine appends to (single-writer;
+// read only after the consumer exits).
+type sessionState struct {
+	sess *wire.Session
+	recv []recvRec
+}
+
+// runSessions is the c10k-and-up delivery benchmark: subscribers/topics
+// sessions per topic, each holding one server-push connection; publishers
+// emit topic-tagged documents; latency is publish-call-to-frame-received.
+// After the drain every session's sequence state is reconciled — any
+// delivery neither received nor accounted for by the server's drop counter
+// is unobserved loss and fails the run.
+func runSessions(cfg sessionsConfig) {
+	if cfg.topics < 1 {
+		cfg.topics = 1
+	}
+	if cfg.topics > cfg.sessions {
+		cfg.topics = cfg.sessions
+	}
+
+	dial, shutdown := transport(cfg)
+	defer shutdown()
+
+	// Topic vocabulary: both the documents and the subscription keywords go
+	// through the same text pipeline, so a topic's sessions match its
+	// documents with cosine 1 regardless of stemming. Candidate tokens whose
+	// stem collides with an earlier topic's are skipped — otherwise two
+	// topics would silently merge and inflate the fan-out.
+	pipe := text.NewPipeline()
+	topicDocs := make([]string, 0, cfg.topics)
+	topicKeywords := make([][]string, 0, cfg.topics)
+	seen := make(map[string]bool, cfg.topics)
+	for i := 0; len(topicDocs) < cfg.topics; i++ {
+		tok := topicToken(i)
+		doc := fmt.Sprintf("%s %s %s %s", tok, tok, tok, tok)
+		terms := pipe.Terms(doc)
+		if len(terms) == 0 || seen[terms[0]] {
+			continue
+		}
+		seen[terms[0]] = true
+		topicDocs = append(topicDocs, doc)
+		topicKeywords = append(topicKeywords, terms)
+	}
+
+	// Open every session up front: dial, subscribe, switch to push mode,
+	// and start its consumer. A worker pool keeps socket transports from
+	// serializing 100k dials.
+	fmt.Printf("opening %d sessions over %d topics (transport %s)...\n",
+		cfg.sessions, cfg.topics, cfg.addr)
+	states := make([]*sessionState, cfg.sessions)
+	start := time.Now()
+	var totalReceived atomic.Int64
+	var consumerWG sync.WaitGroup
+	openErr := parallelFor(cfg.sessions, 64, func(i int) error {
+		c, err := dial()
+		if err != nil {
+			return err
+		}
+		user := fmt.Sprintf("sess-%06d", i)
+		if err := c.Subscribe(user, "", topicKeywords[i%cfg.topics]); err != nil {
+			c.Close()
+			return err
+		}
+		sess, err := c.Session(user, cfg.batch)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		st := &sessionState{sess: sess}
+		states[i] = st
+		consumerWG.Add(1)
+		go func() {
+			defer consumerWG.Done()
+			for {
+				frame, err := sess.Recv()
+				if err != nil {
+					return
+				}
+				now := time.Since(start).Nanoseconds()
+				for _, d := range frame.Deliveries {
+					st.recv = append(st.recv, recvRec{doc: d.Doc, at: now})
+				}
+				totalReceived.Add(int64(len(frame.Deliveries)))
+				if frame.Closed {
+					return
+				}
+			}
+		}()
+		return nil
+	})
+	if openErr != nil {
+		fail(fmt.Errorf("opening sessions: %w", openErr))
+	}
+	opened := time.Since(start)
+	fmt.Printf("sessions open: %d in %v (%.0f/s)\n",
+		cfg.sessions, opened.Round(time.Millisecond), float64(cfg.sessions)/opened.Seconds())
+
+	// Publish the topic-tagged documents, recording each doc's send time
+	// (captured before the publish call, so latency includes the full
+	// publish round trip and can never be negative).
+	var pubMu sync.Mutex
+	publishT0 := make(map[int64]int64, cfg.docs)
+	var pubWG sync.WaitGroup
+	pubStart := time.Now()
+	var nextDoc atomic.Int64
+	for p := 0; p < cfg.publishers; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			c, err := dial()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mmload: publisher dial:", err)
+				return
+			}
+			defer c.Close()
+			for {
+				n := int(nextDoc.Add(1)) - 1
+				if n >= cfg.docs {
+					return
+				}
+				t0 := time.Since(start).Nanoseconds()
+				doc, _, err := c.Publish(topicDocs[n%cfg.topics])
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "mmload: publish:", err)
+					return
+				}
+				pubMu.Lock()
+				publishT0[doc] = t0
+				pubMu.Unlock()
+			}
+		}()
+	}
+	pubWG.Wait()
+	pubElapsed := time.Since(pubStart)
+	fmt.Printf("published %d docs in %v (%.0f docs/s)\n",
+		cfg.docs, pubElapsed.Round(time.Millisecond), float64(cfg.docs)/pubElapsed.Seconds())
+
+	// Quiesce: the run is drained when the global receive count holds still
+	// for 2s (bounded at 60s so a wedged pump can't hang the benchmark).
+	last, stableMS := int64(-1), 0
+	for waited := 0; waited < 60_000 && stableMS < 2_000; waited += 200 {
+		time.Sleep(200 * time.Millisecond)
+		if cur := totalReceived.Load(); cur == last {
+			stableMS += 200
+		} else {
+			last, stableMS = cur, 0
+		}
+	}
+
+	// Tear down: closing each connection ends its server pump and unblocks
+	// its consumer's Recv.
+	for _, st := range states {
+		st.sess.Close()
+	}
+	consumerWG.Wait()
+
+	// Reconcile every session's sequence state. received + dropped must
+	// equal next_seq exactly: the drop-oldest policy may discard deliveries
+	// under backpressure, but each discard must be visible in the drop
+	// counter (and as a gap in the received sequence numbers).
+	var received, dropped, gaps, lossSessions, unobserved int64
+	for _, st := range states {
+		r, d, n, g := st.sess.Received(), st.sess.Dropped(), st.sess.NextSeq(), st.sess.Gaps()
+		received += int64(r)
+		dropped += int64(d)
+		gaps += int64(g)
+		if r+d != n {
+			lossSessions++
+			unobserved += int64(n) - int64(r) - int64(d)
+		}
+	}
+	fmt.Printf("deliveries: %d received, %d dropped (server-reported), %d observed as sequence gaps\n",
+		received, dropped, gaps)
+
+	// End-to-end latency: join every receive record against its doc's
+	// publish time.
+	var lats []time.Duration
+	for _, st := range states {
+		for _, r := range st.recv {
+			if t0, ok := publishT0[r.doc]; ok {
+				lats = append(lats, time.Duration(r.at-t0))
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50, p95, p99 := pct(lats, 50), pct(lats, 95), pct(lats, 99)
+	if len(lats) > 0 {
+		fmt.Printf("delivery latency (publish call → frame received): p50 %v  p95 %v  p99 %v  max %v\n",
+			p50, p95, p99, lats[len(lats)-1])
+	}
+
+	if cfg.out != "" {
+		if err := appendDeliveryCSV(cfg.out, cfg, received, dropped, p50, p95, p99); err != nil {
+			fmt.Fprintln(os.Stderr, "mmload: write csv:", err)
+		} else {
+			fmt.Printf("appended percentiles to %s\n", cfg.out)
+		}
+	}
+
+	if lossSessions > 0 {
+		fail(fmt.Errorf("UNOBSERVED LOSS: %d session(s) with received+dropped != next_seq (%d deliveries unaccounted for)",
+			lossSessions, unobserved))
+	}
+	fmt.Printf("no unobserved loss: received + dropped == next_seq across all %d sessions\n", cfg.sessions)
+}
+
+// transport builds the dial function for the configured address: "pipe"
+// runs the full wire.Server stack in-process and hands out net.Pipe
+// connections (no file descriptors, no ports — how 100k+ sessions fit on
+// one machine with a 20k fd limit); anything else dials a real server.
+func transport(cfg sessionsConfig) (dial func() (*wire.Client, error), shutdown func()) {
+	if cfg.addr != "pipe" {
+		return func() (*wire.Client, error) { return wire.Dial(cfg.addr) }, func() {}
+	}
+	broker := pubsub.New(pubsub.Options{QueueSize: cfg.queue})
+	srv := wire.NewServer(broker, func(string, ...any) {})
+	dial = func() (*wire.Client, error) {
+		local, remote := net.Pipe()
+		srv.ServeConn(remote)
+		return wire.NewClient(local), nil
+	}
+	return dial, func() { srv.Close() }
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines and returns the
+// first error (the remaining items still run; session slots must be filled
+// or nil-checked either way, and a failed open fails the whole run).
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// topicToken derives a deterministic, letters-only token for topic i, so
+// neither the tokenizer nor the stop list can split or drop it.
+func topicToken(i int) string {
+	b := []byte("topic")
+	for {
+		b = append(b, byte('a'+i%26))
+		i /= 26
+		if i == 0 {
+			return string(b)
+		}
+	}
+}
+
+// appendDeliveryCSV appends one row of run results to path, creating it
+// (and its directory) with a header first when absent.
+func appendDeliveryCSV(path string, cfg sessionsConfig, received, dropped int64, p50, p95, p99 time.Duration) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if info.Size() == 0 {
+		if err := w.Write([]string{
+			"transport", "sessions", "topics", "publishers", "docs",
+			"received", "dropped", "p50_ms", "p95_ms", "p99_ms",
+		}); err != nil {
+			return err
+		}
+	}
+	ms := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+	}
+	transportName := "tcp"
+	switch {
+	case cfg.addr == "pipe":
+		transportName = "pipe"
+	case strings.HasPrefix(cfg.addr, "unix:"):
+		transportName = "unix"
+	}
+	if err := w.Write([]string{
+		transportName,
+		strconv.Itoa(cfg.sessions), strconv.Itoa(cfg.topics),
+		strconv.Itoa(cfg.publishers), strconv.Itoa(cfg.docs),
+		strconv.FormatInt(received, 10), strconv.FormatInt(dropped, 10),
+		ms(p50), ms(p95), ms(p99),
+	}); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

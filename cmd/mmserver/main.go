@@ -21,7 +21,8 @@
 //
 // Usage:
 //
-//	mmserver [-addr :7070] [-threshold 0.25] [-queue 128] [-retention 4096]
+//	mmserver [-addr :7070 | -addr unix:/path.sock] [-threshold 0.25]
+//	         [-queue 128] [-retention 4096]
 //	         [-state DIR] [-checkpoint 5m] [-checkpoint-dirty 1] [-lanes 4]
 //	         [-max-resident-profiles 0] [-fsync] [-sync-interval 2s]
 //	         [-pubsub-shards N] [-trace-sample 0.01] [-trace-slow 50ms]
@@ -40,6 +41,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -162,7 +164,7 @@ const (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":7070", "listen address")
+		addr       = flag.String("addr", ":7070", "listen address (host:port, or unix:/path for a Unix domain socket)")
 		httpAddr   = flag.String("http", "", "optional HTTP status address (e.g. :8080)")
 		stateDir   = flag.String("state", "", "directory for durable profiles (empty = in-memory only)")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "snapshot interval when -state is set")
@@ -297,7 +299,7 @@ func main() {
 		}
 	}
 
-	lis, err := net.Listen("tcp", *addr)
+	lis, err := listen(*addr)
 	if err != nil {
 		fatal(err)
 	}
@@ -394,6 +396,20 @@ func main() {
 	if err := srv.Serve(lis); err != nil && !errors.Is(err, net.ErrClosed) {
 		logger.Error("mmserver: serve", slog.String("err", err.Error()))
 	}
+}
+
+// listen binds the wire listener: "unix:<path>" binds a Unix domain
+// socket — removing a stale socket file left by a previous run first —
+// and anything else is a TCP address. Unix sockets skip the ephemeral-port
+// budget entirely, which is what the c10k-and-up session load runs need.
+func listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
 }
 
 // restore rebuilds subscriptions from the lane segments + journal and

@@ -161,10 +161,20 @@ func DefaultOptions() Options {
 	return Options{Threshold: 0.25, QueueSize: 128, Retention: 4096}
 }
 
-// Delivery is one pushed document: its id and the match score.
+// Delivery is one pushed document: its id, the match score, and the
+// subscriber-scoped sequence number.
 type Delivery struct {
 	Doc   int64
 	Score float64
+	// Seq is this delivery's position in the subscriber's outbound stream:
+	// the first delivery ever enqueued for a subscriber carries 0, the next
+	// 1, and so on, with no number ever reused or skipped at assignment.
+	// When the bounded queue overflows and the oldest undelivered item is
+	// dropped, its sequence number vanishes from the stream — so a consumer
+	// that sees Seq jump knows exactly how many deliveries it lost, which is
+	// what makes the drop-oldest policy observable end to end (the wire
+	// session layer forwards Seq to clients for precisely this).
+	Seq uint64
 }
 
 // Counters aggregates broker activity for monitoring.
@@ -201,6 +211,15 @@ type subscriber struct {
 
 	indexed bool // learner implements filter.VectorSource
 	queue   chan Delivery
+
+	// nextSeq is the sequence number the next delivery will carry (equal to
+	// the count of deliveries ever assigned to this subscriber); dropped
+	// counts deliveries discarded by the queue's drop-oldest policy. Both
+	// are guarded by mu — deliver already holds it — and together they give
+	// consumers the invariant received + queued + dropped == nextSeq, the
+	// "no silent loss" contract the wire session layer exposes.
+	nextSeq uint64
+	dropped uint64
 
 	// lastOps/lastSize are the adaptation-telemetry baselines: the
 	// learner's operation tallies and vector count as of the last
@@ -377,6 +396,15 @@ func (b *Broker) Unsubscribe(id string) {
 	if !ok {
 		return
 	}
+	b.closeRemoved(s)
+}
+
+// closeRemoved finishes an unsubscribe after the registry removal: it
+// journals, closes the queue, clears the index entries, and settles the
+// residency accounting. Shared by Unsubscribe (removal by id) and
+// Subscription.Cancel (removal by identity).
+func (b *Broker) closeRemoved(s *subscriber) {
+	id := s.id
 	s.mu.Lock()
 	if b.opts.Journal != nil {
 		// Best-effort: an unlogged unsubscribe only means the user would be
@@ -633,13 +661,19 @@ func (b *Broker) publishRecord(vec vsm.Vector, content string, parent *trace.Spa
 
 // deliver enqueues without blocking, dropping the oldest undelivered item
 // when the queue is full. It reports whether the delivery was enqueued
-// (false only when the subscriber is gone).
+// (false only when the subscriber is gone). Each enqueued delivery is
+// stamped with the subscriber's next sequence number under the same lock,
+// so sequence numbers enter the queue in strictly ascending order; each
+// drop bumps both the subscriber's own counter (the gap signal consumers
+// read via DeliveryStats) and the global mm_pubsub_dropped metric.
 func (b *Broker) deliver(s *subscriber, d Delivery) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
+	d.Seq = s.nextSeq
+	s.nextSeq++
 	for {
 		select {
 		case s.queue <- d:
@@ -648,6 +682,7 @@ func (b *Broker) deliver(s *subscriber, d Delivery) bool {
 		default:
 			select {
 			case <-s.queue:
+				s.dropped++
 				b.m.dropped.Inc()
 			default:
 			}
@@ -931,6 +966,38 @@ func (s *Subscription) Deliveries() <-chan Delivery { return s.sub.queue }
 
 // ID returns the subscriber id.
 func (s *Subscription) ID() string { return s.sub.id }
+
+// DeliveryStats reports the subscription's outbound accounting: nextSeq is
+// the sequence number the next delivery will carry (== deliveries assigned
+// so far), dropped is how many of those were discarded by the queue's
+// drop-oldest policy. A consumer that has received r deliveries and sees
+// dropped d knows nextSeq - r - d items are still queued; once the queue
+// is drained, received + dropped == nextSeq — any shortfall would be
+// silent loss, which this accounting exists to rule out.
+func (s *Subscription) DeliveryStats() (nextSeq, dropped uint64) {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.nextSeq, s.sub.dropped
+}
+
+// Closed reports whether the subscription has been unsubscribed (its
+// delivery channel is closed; remaining queued items can still be drained).
+func (s *Subscription) Closed() bool {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.closed
+}
+
+// Cancel unsubscribes exactly this subscription: unlike Broker.Unsubscribe
+// (which removes whatever currently holds the id) it is identity-matched,
+// so canceling a stale handle after the id has been re-subscribed never
+// tears down the newer subscription. A no-op when this subscription is no
+// longer the registered one.
+func (s *Subscription) Cancel() {
+	if sub, ok := s.b.reg.removeMatch(s.sub.id, s.sub); ok {
+		s.b.closeRemoved(sub)
+	}
+}
 
 // Feedback reports a judgment for a delivered document.
 func (s *Subscription) Feedback(doc int64, fd filter.Feedback) error {

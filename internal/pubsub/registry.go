@@ -119,9 +119,21 @@ func (r *registry) rejoinBrute(id string, s *subscriber) {
 
 // remove deletes id from its shard and returns the removed subscriber.
 func (r *registry) remove(id string) (*subscriber, bool) {
+	return r.removeMatch(id, nil)
+}
+
+// removeMatch deletes id from its shard only while the registered
+// subscriber is identical to want (want nil matches anything, which is
+// plain remove). The identity check lets a stale Subscription handle be
+// canceled without any risk of tearing down a newer subscriber that has
+// since taken the same id.
+func (r *registry) removeMatch(id string, want *subscriber) (*subscriber, bool) {
 	sh := r.shardFor(id)
 	sh.mu.Lock()
 	s, ok := sh.subs[id]
+	if ok && want != nil && s != want {
+		s, ok = nil, false
+	}
 	if ok {
 		delete(sh.subs, id)
 		r.count.Add(-1)

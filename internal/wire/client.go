@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -16,9 +18,15 @@ type Client struct {
 	dec  *json.Decoder
 }
 
-// Dial connects to a server.
+// Dial connects to a server: host:port dials TCP, "unix:<path>" dials a
+// Unix domain socket (the form mmserver -addr accepts for
+// port-and-FD-cheap local deployments and the c100k load harness).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	network, target := "tcp", addr
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, target = "unix", path
+	}
+	conn, err := net.DialTimeout(network, target, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
@@ -159,6 +167,107 @@ func (c *Client) Stats() (StatsMsg, error) {
 	}
 	return *resp.Stats, nil
 }
+
+// Session switches this client's connection into server-push delivery mode
+// for user (see OpSession): after the server's ack the connection carries
+// nothing but coalesced delivery frames, read with Recv. batch bounds how
+// many deliveries the server packs into one frame (≤ 0 means the server
+// default). On success the connection belongs to the returned Session —
+// the Client must not be used again.
+func (c *Client) Session(user string, batch int) (*Session, error) {
+	resp, err := c.roundTrip(Request{Op: OpSession, User: user, Batch: batch})
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{conn: c.conn, dec: c.dec, user: user, nextSeq: resp.NextSeq, dropped: resp.Dropped}
+	// A subscriber that has never been delivered to acks with next_seq 0,
+	// so the very first delivery is expected to carry seq 0 and anything
+	// later is an observable gap. On a subscriber with prior traffic the
+	// first received seq anchors gap tracking instead (queued deliveries
+	// below the ack's next_seq may still arrive).
+	if resp.NextSeq == 0 {
+		s.anchored = true
+	}
+	return s, nil
+}
+
+// SessionFrame is one pushed delivery batch from a session connection.
+type SessionFrame struct {
+	Deliveries []DeliveryMsg
+	// NextSeq and Dropped snapshot the subscriber's sequence state when the
+	// frame was built; received + dropped + still-queued == next_seq.
+	NextSeq uint64
+	Dropped uint64
+	// Closed marks the final frame of an unsubscribed subscriber.
+	Closed bool
+}
+
+// Session is the client side of a server-push delivery stream. Recv is
+// meant for one goroutine; the counters (Received, Gaps, Dropped, NextSeq)
+// may be read concurrently.
+type Session struct {
+	conn net.Conn
+	dec  *json.Decoder
+	user string
+
+	mu       sync.Mutex
+	received uint64
+	gaps     uint64
+	nextSeq  uint64
+	dropped  uint64
+	expect   uint64
+	anchored bool
+}
+
+// Recv blocks for the next pushed frame. It returns an error when the
+// server reports one (shutdown), the stream ends, or the connection
+// breaks; a frame with Closed set is the subscriber's last.
+func (s *Session) Recv() (SessionFrame, error) {
+	var resp Response
+	if err := s.dec.Decode(&resp); err != nil {
+		return SessionFrame{}, fmt.Errorf("wire: session recv %s: %w", s.user, err)
+	}
+	if !resp.OK {
+		return SessionFrame{}, fmt.Errorf("wire: session %s: %s", s.user, resp.Error)
+	}
+	s.mu.Lock()
+	for _, d := range resp.Deliveries {
+		if s.anchored && d.Seq > s.expect {
+			s.gaps += d.Seq - s.expect
+		}
+		s.anchored = true
+		s.expect = d.Seq + 1
+		s.received++
+	}
+	s.nextSeq = resp.NextSeq
+	s.dropped = resp.Dropped
+	s.mu.Unlock()
+	return SessionFrame{
+		Deliveries: resp.Deliveries,
+		NextSeq:    resp.NextSeq,
+		Dropped:    resp.Dropped,
+		Closed:     resp.Closed,
+	}, nil
+}
+
+// Received returns how many deliveries Recv has consumed.
+func (s *Session) Received() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.received }
+
+// Gaps returns the cumulative count of sequence numbers skipped between
+// consecutively received deliveries — the client-side view of loss.
+func (s *Session) Gaps() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.gaps }
+
+// Dropped returns the server's cumulative drop count for this subscriber
+// as of the last frame (or the ack).
+func (s *Session) Dropped() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.dropped }
+
+// NextSeq returns the subscriber's next sequence number as of the last
+// frame (or the ack).
+func (s *Session) NextSeq() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.nextSeq }
+
+// Close tears down the session by closing the connection; the server
+// notices and releases its end.
+func (s *Session) Close() error { return s.conn.Close() }
 
 // Profile fetches a description of the user's current profile.
 func (c *Client) Profile(user string) (ProfileMsg, error) {

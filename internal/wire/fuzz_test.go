@@ -20,6 +20,8 @@ func FuzzDispatch(f *testing.F) {
 		`{"op":"feedback","user":"a","doc":0,"relevant":true}`,
 		`{"op":"poll","user":"a","max":-5}`,
 		`{"op":"watch","user":"a","timeout_ms":1}`,
+		`{"op":"session","user":"a"}`,
+		`{"op":"session","user":"a","batch":-3}`,
 		`{"op":"profile","user":"nope"}`,
 		`{"op":"stats"}`,
 		`{"op":"unsubscribe","user":"zz"}`,

@@ -1,8 +1,27 @@
-// Package wire exposes the dissemination broker over TCP with a
-// newline-delimited JSON protocol, so the engine can run as a standalone
-// daemon (cmd/mmserver) with remote publishers and subscribers
-// (cmd/mmclient). Deliveries are pulled with the "poll" operation, which
-// keeps the protocol strictly request/response and trivially testable.
+// Package wire exposes the dissemination broker over TCP (or a Unix
+// domain socket) with a newline-delimited JSON protocol, so the engine can
+// run as a standalone daemon (cmd/mmserver) with remote publishers and
+// subscribers (cmd/mmclient).
+//
+// Deliveries reach clients three ways, all carrying the subscriber's
+// monotone sequence numbers so the broker's drop-oldest overflow policy is
+// observable rather than silent (DESIGN.md §15):
+//
+//   - "poll" drains whatever is queued, strictly request/response;
+//   - "watch" long-polls: it blocks its connection's serial request loop
+//     until a delivery arrives or the timeout elapses — simple, but a
+//     watching connection can serve no other request while blocked;
+//   - "session" switches the connection into server-push mode: the server
+//     owns the socket from the ack onward and pushes coalesced delivery
+//     batches as they happen, with no per-batch round trip. One persistent
+//     connection holds one session; this is the mode built for large
+//     subscriber populations.
+//
+// Every delivery-bearing response reports next_seq (the sequence the
+// subscriber's next delivery will be assigned) and dropped (the cumulative
+// per-subscriber drop count), so a client can always reconcile
+// received + dropped + still-queued == next_seq and detect loss the moment
+// a sequence number is skipped.
 package wire
 
 import "fmt"
@@ -17,8 +36,15 @@ const (
 	OpFeedback    Op = "feedback"
 	OpPoll        Op = "poll"
 	OpWatch       Op = "watch"
-	OpStats       Op = "stats"
-	OpProfile     Op = "profile"
+	// OpSession converts the connection into a server-push delivery stream
+	// for one subscriber: after the OK ack, the server sends coalesced
+	// delivery frames (Response values with deliveries/next_seq/dropped)
+	// until the subscriber is unsubscribed, the client closes or writes
+	// anything, or the server shuts down. No other op is served on a
+	// session connection.
+	OpSession Op = "session"
+	OpStats   Op = "stats"
+	OpProfile Op = "profile"
 	// OpFetch retrieves a retained document's raw content (requires the
 	// server to run with content retention).
 	OpFetch Op = "fetch"
@@ -43,8 +69,12 @@ type Request struct {
 	// Doc and Relevant carry a feedback judgment.
 	Doc      int64 `json:"doc,omitempty"`
 	Relevant bool  `json:"relevant,omitempty"`
-	// Max bounds the number of deliveries returned by poll (0 = all queued).
+	// Max bounds the number of deliveries returned by poll and watch;
+	// anything ≤ 0 means unlimited (drain everything queued).
 	Max int `json:"max,omitempty"`
+	// Batch bounds how many deliveries a session coalesces into one pushed
+	// frame (≤ 0 means the server default of 64).
+	Batch int `json:"batch,omitempty"`
 	// TimeoutMS bounds how long a watch blocks waiting for the first
 	// delivery (0 = server default of 30s).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -59,10 +89,15 @@ type Request struct {
 	Trace string `json:"trace,omitempty"`
 }
 
-// DeliveryMsg is one pushed document in a poll response.
+// DeliveryMsg is one pushed document in a poll/watch/session response.
 type DeliveryMsg struct {
 	Doc   int64   `json:"doc"`
 	Score float64 `json:"score"`
+	// Seq is the delivery's subscriber-scoped sequence number. Consecutive
+	// received deliveries with a gap between their Seq values lost exactly
+	// that many deliveries to the queue's drop-oldest policy (or to another
+	// consumer draining the same subscriber).
+	Seq uint64 `json:"seq"`
 }
 
 // StatsMsg mirrors pubsub.Counters plus index size.
@@ -83,7 +118,8 @@ type ProfileMsg struct {
 	Vectors [][]string `json:"vectors,omitempty"` // top terms per vector
 }
 
-// Response is the server's reply to one request.
+// Response is the server's reply to one request — and, on a session
+// connection, the frame format of every pushed delivery batch.
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
@@ -91,10 +127,22 @@ type Response struct {
 	Doc int64 `json:"doc,omitempty"`
 	// Delivered is the fan-out count of a publish.
 	Delivered int `json:"delivered,omitempty"`
-	// Deliveries answers poll.
+	// Deliveries answers poll/watch and fills session frames.
 	Deliveries []DeliveryMsg `json:"deliveries,omitempty"`
-	Stats      *StatsMsg     `json:"stats,omitempty"`
-	Profile    *ProfileMsg   `json:"profile,omitempty"`
+	// NextSeq is the sequence number the subscriber's next delivery will be
+	// assigned; Dropped is the subscriber's cumulative drop count. Set on
+	// every poll/watch response and session frame: together with the per-
+	// delivery seq values they make every dropped delivery observable
+	// (received + dropped + still-queued always equals next_seq).
+	NextSeq uint64 `json:"next_seq,omitempty"`
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Closed marks the final deliveries of an unsubscribed subscriber: the
+	// attached deliveries (possibly none) were queued before the close and
+	// no more will follow. Poll/watch/session all set it rather than
+	// discarding the drained tail.
+	Closed  bool        `json:"closed,omitempty"`
+	Stats   *StatsMsg   `json:"stats,omitempty"`
+	Profile *ProfileMsg `json:"profile,omitempty"`
 	// Content answers fetch.
 	Content string `json:"content,omitempty"`
 	// Learner and State answer export.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mmprofile/internal/filter"
+	"mmprofile/internal/metrics"
 	"mmprofile/internal/obs"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/trace"
@@ -28,13 +29,19 @@ type Server struct {
 	log    *obs.Logger
 	rec    *obs.Recorder // flight recorder; nil → no panic bundles
 
+	// Session-layer instruments, registered into the broker's registry so
+	// they ride the same /metrics exposition.
+	sessions          *metrics.Gauge   // connections currently in push mode
+	sessionFrames     *metrics.Counter // coalesced frames pushed
+	sessionDeliveries *metrics.Counter // deliveries pushed across all frames
+
 	mu     sync.Mutex
 	subs   map[string]*pubsub.Subscription
 	closed bool
 	lis    net.Listener
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
-	done   chan struct{} // closed by Close; unblocks watch handlers
+	done   chan struct{} // closed by Close; unblocks watch and session handlers
 }
 
 // NewServer wraps a broker. The logf signature is kept for compatibility:
@@ -52,12 +59,19 @@ func NewServerLogger(b *pubsub.Broker, logger *obs.Logger) *Server {
 	if logger == nil {
 		logger = b.Log()
 	}
+	reg := b.Metrics()
 	return &Server{
 		broker: b,
 		log:    logger,
-		subs:   make(map[string]*pubsub.Subscription),
-		conns:  make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
+		sessions: reg.Gauge("mm_wire_sessions",
+			"Wire connections currently held in server-push session mode."),
+		sessionFrames: reg.Counter("mm_wire_session_frames_total",
+			"Coalesced delivery frames pushed to session connections."),
+		sessionDeliveries: reg.Counter("mm_wire_session_deliveries_total",
+			"Deliveries pushed to session connections across all frames."),
+		subs:  make(map[string]*pubsub.Subscription),
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
 	}
 }
 
@@ -92,6 +106,24 @@ func (s *Server) Serve(lis net.Listener) error {
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
+}
+
+// ServeConn runs the protocol on one pre-established connection, as if it
+// had arrived through Serve's listener. It returns immediately; the
+// connection is handled on its own goroutine and participates in Close's
+// drain like any accepted one. Used for transports that never touch a
+// listener — net.Pipe in tests and mmload's in-process session harness.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.handle(conn)
 }
 
 // Close stops accepting, closes every live connection, and waits for the
@@ -148,6 +180,13 @@ func (s *Server) handle(conn net.Conn) {
 		if tracing {
 			d1 = time.Now()
 		}
+		if req.Op == OpSession {
+			// Session mode takes over the connection: the ack and every
+			// subsequent frame are written by the pump, and the serial
+			// request loop never resumes.
+			s.session(conn, enc, dec, req)
+			return
+		}
 		resp := s.dispatchTimed(req, d0, d1)
 		if err := enc.Encode(resp); err != nil {
 			s.log.Warn("wire: encode",
@@ -189,6 +228,10 @@ func (s *Server) dispatchTimed(req Request, d0, d1 time.Time) Response {
 		return s.poll(req)
 	case OpWatch:
 		return s.watch(req)
+	case OpSession:
+		// Reachable only through direct dispatch (tests, fuzzing): on a live
+		// connection the request loop hands session off before dispatching.
+		return errResponse("wire: session requires a dedicated connection")
 	case OpStats:
 		c := s.broker.Stats()
 		ix := s.broker.IndexStats()
@@ -286,9 +329,7 @@ func (s *Server) importProfile(req Request) Response {
 	if err != nil {
 		return errResponse("%v", err)
 	}
-	s.mu.Lock()
-	s.subs[req.User] = sub
-	s.mu.Unlock()
+	s.register(req.User, sub)
 	return Response{OK: true}
 }
 
@@ -316,45 +357,63 @@ func (s *Server) subscribe(req Request) Response {
 	if err != nil {
 		return errResponse("%v", err)
 	}
-	s.mu.Lock()
-	s.subs[req.User] = sub
-	s.mu.Unlock()
+	s.register(req.User, sub)
 	return Response{OK: true}
 }
 
-func (s *Server) poll(req Request) Response {
-	s.mu.Lock()
-	sub := s.subs[req.User]
-	s.mu.Unlock()
-	if sub == nil {
-		return errResponse("wire: unknown subscriber %q", req.User)
-	}
-	max := req.Max
-	if max <= 0 {
-		max = 1 << 30
-	}
-	var out []DeliveryMsg
-	for len(out) < max {
+// drain appends queued deliveries to out without blocking until the queue
+// is empty, the subscriber closes, or out reaches max. max ≤ 0 means
+// unlimited — the explicit contract poll, watch, and session frames share
+// (the old code relied on a -1 happening to hit a 1<<30 sentinel).
+func drain(sub *pubsub.Subscription, out []DeliveryMsg, max int) (msgs []DeliveryMsg, closed bool) {
+	for max <= 0 || len(out) < max {
 		select {
 		case d, ok := <-sub.Deliveries():
 			if !ok {
-				return errResponse("wire: subscriber %q closed", req.User)
+				return out, true
 			}
-			out = append(out, DeliveryMsg{Doc: d.Doc, Score: d.Score})
+			out = append(out, DeliveryMsg{Doc: d.Doc, Score: d.Score, Seq: d.Seq})
 		default:
-			return Response{OK: true, Deliveries: out}
+			return out, false
 		}
 	}
-	return Response{OK: true, Deliveries: out}
+	return out, false
+}
+
+// deliveryResponse assembles poll/watch's reply: the drained deliveries
+// plus the gap signal (next expected sequence and cumulative drop count).
+// A closed subscriber is unregistered from the connection map — the fix
+// for the old leak where entries lingered forever — and its drained tail
+// is returned, never discarded: only when nothing was queued does the
+// close surface as the terminal "closed" error.
+func (s *Server) deliveryResponse(user string, sub *pubsub.Subscription, out []DeliveryMsg, closed bool) Response {
+	next, dropped := sub.DeliveryStats()
+	if closed {
+		s.unregister(user, sub)
+		if len(out) == 0 {
+			return errResponse("wire: subscriber %q closed", user)
+		}
+	}
+	return Response{OK: true, Deliveries: out, NextSeq: next, Dropped: dropped, Closed: closed}
+}
+
+func (s *Server) poll(req Request) Response {
+	sub := s.lookup(req.User)
+	if sub == nil {
+		return errResponse("wire: unknown subscriber %q", req.User)
+	}
+	out, closed := drain(sub, nil, req.Max)
+	return s.deliveryResponse(req.User, sub, out, closed)
 }
 
 // watch is the long-poll variant of poll: it blocks until at least one
 // delivery is queued, the timeout elapses (returning an empty, successful
-// response), or the server shuts down.
+// response), or the server shuts down. Note that a blocked watch wedges
+// its connection's serial request loop for up to the timeout — the session
+// op exists so persistent consumers don't pay that; watch remains for
+// one-shot CLI-style waiting.
 func (s *Server) watch(req Request) Response {
-	s.mu.Lock()
-	sub := s.subs[req.User]
-	s.mu.Unlock()
+	sub := s.lookup(req.User)
 	if sub == nil {
 		return errResponse("wire: unknown subscriber %q", req.User)
 	}
@@ -367,29 +426,101 @@ func (s *Server) watch(req Request) Response {
 	select {
 	case d, ok := <-sub.Deliveries():
 		if !ok {
-			return errResponse("wire: subscriber %q closed", req.User)
+			return s.deliveryResponse(req.User, sub, nil, true)
 		}
-		// First delivery in hand; drain whatever else is queued via the
-		// non-blocking path, respecting Max (0 = unlimited).
-		out := []DeliveryMsg{{Doc: d.Doc, Score: d.Score}}
-		if req.Max != 1 {
-			rest := s.poll(Request{User: req.User, Max: req.Max - 1})
-			if rest.OK {
-				out = append(out, rest.Deliveries...)
-			}
-		}
-		return Response{OK: true, Deliveries: out}
+		// First delivery in hand; drain whatever else is queued without
+		// blocking. A subscriber closing mid-drain no longer discards the
+		// deliveries already collected — they return with Closed set.
+		out := []DeliveryMsg{{Doc: d.Doc, Score: d.Score, Seq: d.Seq}}
+		out, closed := drain(sub, out, req.Max)
+		return s.deliveryResponse(req.User, sub, out, closed)
 	case <-timer.C:
-		return Response{OK: true}
+		next, dropped := sub.DeliveryStats()
+		return Response{OK: true, NextSeq: next, Dropped: dropped}
 	case <-s.done:
 		return errResponse("wire: server shutting down")
 	}
 }
 
+// defaultSessionBatch caps deliveries coalesced into one session frame
+// when the client doesn't choose (Request.Batch).
+const defaultSessionBatch = 64
+
+// session runs the server-push pump for one subscriber on a dedicated
+// connection (OpSession). After the OK ack the server owns the socket:
+// every queued delivery is pushed as soon as it exists, coalesced with
+// whatever else is queued (up to the batch bound) into a single frame —
+// one write per burst instead of one round trip per document, and no
+// 30s-blocked serial loop. The pump ends when the subscriber is
+// unsubscribed (final frame carries Closed), the client closes or writes
+// anything, a push fails, or the server shuts down.
+func (s *Server) session(conn net.Conn, enc *json.Encoder, dec *json.Decoder, req Request) {
+	sub := s.lookup(req.User)
+	if sub == nil {
+		_ = enc.Encode(errResponse("wire: unknown subscriber %q", req.User))
+		return
+	}
+	batch := req.Batch
+	if batch <= 0 {
+		batch = defaultSessionBatch
+	}
+	next, dropped := sub.DeliveryStats()
+	if err := enc.Encode(Response{OK: true, NextSeq: next, Dropped: dropped}); err != nil {
+		return
+	}
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	if s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("wire: session start",
+			slog.String("user", req.User),
+			slog.String("remote_addr", conn.RemoteAddr().String()))
+	}
+
+	// Push mode inverts the connection: the only thing a client can send
+	// is teardown. A one-shot reader watches for it — EOF, a reset, or any
+	// stray frame all end the session — so an idle session notices a gone
+	// client instead of holding the subscriber map entry forever.
+	clientGone := make(chan struct{})
+	go func() {
+		var stray Request
+		_ = dec.Decode(&stray)
+		close(clientGone)
+	}()
+
+	msgs := make([]DeliveryMsg, 0, batch)
+	for {
+		select {
+		case d, ok := <-sub.Deliveries():
+			if !ok {
+				s.unregister(req.User, sub)
+				next, dropped := sub.DeliveryStats()
+				_ = enc.Encode(Response{OK: true, Closed: true, NextSeq: next, Dropped: dropped})
+				return
+			}
+			msgs = append(msgs[:0], DeliveryMsg{Doc: d.Doc, Score: d.Score, Seq: d.Seq})
+			var closed bool
+			msgs, closed = drain(sub, msgs, batch)
+			next, dropped := sub.DeliveryStats()
+			if err := enc.Encode(Response{OK: true, Deliveries: msgs, NextSeq: next, Dropped: dropped, Closed: closed}); err != nil {
+				return
+			}
+			s.sessionFrames.Inc()
+			s.sessionDeliveries.Add(int64(len(msgs)))
+			if closed {
+				s.unregister(req.User, sub)
+				return
+			}
+		case <-clientGone:
+			return
+		case <-s.done:
+			_ = enc.Encode(errResponse("wire: server shutting down"))
+			return
+		}
+	}
+}
+
 func (s *Server) profile(req Request) Response {
-	s.mu.Lock()
-	sub := s.subs[req.User]
-	s.mu.Unlock()
+	sub := s.lookup(req.User)
 	if sub == nil {
 		return errResponse("wire: unknown subscriber %q", req.User)
 	}
@@ -419,12 +550,45 @@ func (s *Server) describe(sub *pubsub.Subscription) (string, [][]string) {
 	return name, tops
 }
 
-// Adopt registers an existing subscription (e.g. one restored from the
-// persistence layer at boot) so poll/profile requests can address it.
-func (s *Server) Adopt(user string, sub *pubsub.Subscription) {
+// lookup resolves the registered subscription for user (nil when absent).
+func (s *Server) lookup(user string) *pubsub.Subscription {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.subs[user]
+}
+
+// register binds user → sub in the connection-addressable map. When a
+// different subscription already held the name, the old one is canceled
+// (identity-matched, so a handle that was already replaced broker-side is
+// a no-op) instead of being silently overwritten and leaked with a live
+// queue nobody can drain.
+func (s *Server) register(user string, sub *pubsub.Subscription) {
+	s.mu.Lock()
+	old := s.subs[user]
 	s.subs[user] = sub
+	s.mu.Unlock()
+	if old != nil && old != sub {
+		old.Cancel()
+	}
+}
+
+// unregister removes the user → sub binding, but only while it still
+// points at sub: a concurrent re-subscribe may already have replaced it,
+// and its fresh entry must survive.
+func (s *Server) unregister(user string, sub *pubsub.Subscription) {
+	s.mu.Lock()
+	if s.subs[user] == sub {
+		delete(s.subs, user)
+	}
+	s.mu.Unlock()
+}
+
+// Adopt registers an existing subscription (e.g. one restored from the
+// persistence layer at boot) so poll/profile requests can address it.
+// Adopting over a live entry closes the old subscription rather than
+// leaking it.
+func (s *Server) Adopt(user string, sub *pubsub.Subscription) {
+	s.register(user, sub)
 }
 
 // Addr returns the bound address once serving (for tests/examples that

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mmprofile/internal/pubsub"
+)
+
+// startServerOpts is startServer with an explicit broker configuration,
+// returning the broker too so tests can drive it from underneath the wire
+// layer (e.g. closing a subscriber without going through OpUnsubscribe).
+func startServerOpts(t *testing.T, opts pubsub.Options) (*Client, *Server, *pubsub.Broker) {
+	t.Helper()
+	b := pubsub.New(opts)
+	srv := NewServer(b, func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, srv, b
+}
+
+// TestPollReportsDropOldestGap pins the end-to-end loss-observability
+// contract over a real socket: queue of 2, five matching publishes, and the
+// poll response must carry the two surviving deliveries with the two
+// highest sequence numbers plus next_seq/dropped values that account for
+// every discarded one.
+func TestPollReportsDropOldestGap(t *testing.T) {
+	c, _, _ := startServerOpts(t, pubsub.Options{Threshold: 0.2, QueueSize: 2})
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Publish(catPage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := c.roundTrip(Request{Op: OpPoll, User: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Deliveries) != 2 || resp.Deliveries[0].Seq != 3 || resp.Deliveries[1].Seq != 4 {
+		t.Fatalf("deliveries = %+v, want seqs [3 4]", resp.Deliveries)
+	}
+	if resp.NextSeq != 5 || resp.Dropped != 3 {
+		t.Fatalf("next_seq %d, dropped %d, want 5 and 3", resp.NextSeq, resp.Dropped)
+	}
+	// The client-side reconciliation the protocol guarantees: the first
+	// received seq equals the drop count (seqs 0-2 vanished), and
+	// received + dropped == next_seq.
+	if got := uint64(len(resp.Deliveries)) + resp.Dropped; got != resp.NextSeq {
+		t.Fatalf("received + dropped = %d, want %d", got, resp.NextSeq)
+	}
+}
+
+// TestPollNegativeMaxDrainsAll pins the explicit "max ≤ 0 means unlimited"
+// contract (the old code only handled it for 0 by way of a sentinel).
+func TestPollNegativeMaxDrainsAll(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Publish(catPage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := c.Poll("alice", -7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("poll(max=-7) = %d items, want 3", len(ds))
+	}
+}
+
+// TestSessionPushDelivery drives the tentpole path: one connection switches
+// into push mode, publishes from another connection arrive as pushed frames
+// with contiguous sequence numbers, and an unsubscribe ends the session
+// with a final Closed frame — after which the server no longer holds the
+// subscriber.
+func TestSessionPushDelivery(t *testing.T) {
+	c, srv, _ := startServerOpts(t, pubsub.Options{Threshold: 0.2, QueueSize: 64})
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Addr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	sess, err := sc.Session("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Publish(catPage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for sess.Received() < 3 {
+		if _, err := sess.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.Gaps() != 0 || sess.Dropped() != 0 || sess.NextSeq() != 3 {
+		t.Fatalf("gaps %d, dropped %d, next %d, want 0/0/3",
+			sess.Gaps(), sess.Dropped(), sess.NextSeq())
+	}
+	if err := c.Unsubscribe("alice"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		frame, err := sess.Recv()
+		if err != nil {
+			t.Fatalf("no Closed frame before the stream ended: %v", err)
+		}
+		if frame.Closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the Closed frame")
+		}
+	}
+	if sub := srv.lookup("alice"); sub != nil {
+		t.Fatal("closed session left the subscriber registered")
+	}
+}
+
+// TestSessionUnknownUser checks the session handshake rejects a user that
+// was never subscribed.
+func TestSessionUnknownUser(t *testing.T) {
+	c, _ := startServer(t)
+	if _, err := c.Session("ghost", 0); err == nil || !strings.Contains(err.Error(), "unknown subscriber") {
+		t.Fatalf("session for unknown user: %v", err)
+	}
+}
+
+// TestWatchReturnsClosedTail pins the drain fix: a subscriber closed
+// broker-side (bypassing OpUnsubscribe) with deliveries still queued must
+// get that tail back from watch — the old code discarded it — and the
+// server must then drop its map entry instead of leaking it forever.
+func TestWatchReturnsClosedTail(t *testing.T) {
+	c, _, b := startServerOpts(t, pubsub.Options{Threshold: 0.2, QueueSize: 64})
+	if err := c.Subscribe("alice", "", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Publish(catPage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Unsubscribe("alice") // closes the queue underneath the wire layer
+	ds, err := c.Watch("alice", 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("watch on closed subscriber returned %d deliveries, want the queued 2", len(ds))
+	}
+	// The leak fix: the entry is gone, not wedged as "closed" forever.
+	if _, err := c.Poll("alice", 0); err == nil || !strings.Contains(err.Error(), "unknown subscriber") {
+		t.Fatalf("poll after closed watch: %v, want unknown subscriber", err)
+	}
+}
+
+// TestPollClosedEmptyUnregisters is the no-tail variant: the close surfaces
+// as a terminal error exactly once, then the subscriber reads as unknown.
+func TestPollClosedEmptyUnregisters(t *testing.T) {
+	c, _, b := startServerOpts(t, pubsub.Options{Threshold: 0.2, QueueSize: 8})
+	if err := c.Subscribe("bob", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Unsubscribe("bob")
+	if _, err := c.Poll("bob", 0); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("first poll after close: %v, want closed", err)
+	}
+	if _, err := c.Poll("bob", 0); err == nil || !strings.Contains(err.Error(), "unknown subscriber") {
+		t.Fatalf("second poll after close: %v, want unknown subscriber", err)
+	}
+}
+
+// TestAdoptCancelsReplaced pins the registration fix: adopting a new
+// subscription over a live entry closes the old one (identity-matched)
+// instead of silently overwriting it and leaking a queue nobody drains.
+func TestAdoptCancelsReplaced(t *testing.T) {
+	_, srv, b := startServerOpts(t, pubsub.Options{Threshold: 0.2, QueueSize: 8})
+	subA, err := b.SubscribeKeywords("inst-a", []string{"cats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subB, err := b.SubscribeKeywords("inst-b", []string{"cats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Adopt("alias", subA)
+	srv.Adopt("alias", subB)
+	if !subA.Closed() {
+		t.Fatal("replaced subscription was not closed")
+	}
+	if subB.Closed() {
+		t.Fatal("replacing subscription was closed")
+	}
+	if got := srv.lookup("alias"); got != subB {
+		t.Fatal("alias does not resolve to the new subscription")
+	}
+	// Re-adopting the same subscription must not cancel it.
+	srv.Adopt("alias", subB)
+	if subB.Closed() {
+		t.Fatal("re-adopting the same subscription closed it")
+	}
+	if got := b.Stats().Subscribers; got != 1 {
+		t.Fatalf("%d broker subscribers, want 1", got)
+	}
+}
