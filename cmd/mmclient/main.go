@@ -17,6 +17,7 @@
 //	mmclient stats -http localhost:8080     (full /statsz + /metrics dump)
 //	mmclient trace -http localhost:8080 [-slow] [-n 10] [-id TRACE]
 //	mmclient explain -http localhost:8080 -user alice [-doc 12]
+//	mmclient top -http localhost:8080 [-k 10] [-dim subscriber_drops] [-watch 2s]
 //	mmclient health -http localhost:8080    (liveness + per-component readiness)
 //	mmclient unsubscribe -user alice
 package main
@@ -74,6 +75,29 @@ func main() {
 		}
 		check(httpTrace(*httpAddr, *slow, *n, *id))
 		return
+	}
+
+	if cmd == "top" {
+		// top is HTTP-only: it reads the server's /topz hot-key sketches.
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		httpAddr := fs.String("http", "", "status-listener address (required)")
+		k := fs.Int("k", 10, "entries per dimension")
+		dim := fs.String("dim", "", "show only this dimension (e.g. subscriber_drops)")
+		watch := fs.Duration("watch", 0, "refresh every interval until interrupted (0 = one shot)")
+		parse(fs, rest)
+		if *httpAddr == "" {
+			fail(fmt.Errorf("top needs -http (the mmserver -http address)"))
+		}
+		for {
+			if *watch > 0 {
+				fmt.Print("\033[H\033[2J") // clear and home, like top(1)
+			}
+			check(httpTop(*httpAddr, *k, *dim))
+			if *watch <= 0 {
+				return
+			}
+			time.Sleep(*watch)
+		}
 	}
 
 	if cmd == "health" {
@@ -494,6 +518,25 @@ func httpExplain(addr, user string, doc int64) error {
 	return nil
 }
 
+// httpTop fetches /topz in its table rendering and prints it verbatim:
+// per dimension, the hottest k keys with their sketch counts and error
+// bounds plus the 10s windowed rate.
+func httpTop(addr string, k int, dim string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := fmt.Sprintf("%s/topz?format=table&k=%d", addr, k)
+	if dim != "" {
+		url += "&dim=" + dim
+	}
+	body, err := httpGet(url)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
 // httpHealth reads /healthz (liveness) and /readyz (readiness) and renders
 // both: the liveness line, the readiness rollup, and one line per component
 // with its status, reason, and heartbeat age. Exits 1 when the server is
@@ -616,6 +659,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|listen|feedback|profile|fetch|export|import|stats|trace|explain|health [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mmclient [-addr host:port] subscribe|unsubscribe|publish|poll|watch|listen|feedback|profile|fetch|export|import|stats|trace|explain|top|health [flags]")
 	os.Exit(2)
 }

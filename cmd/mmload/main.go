@@ -24,7 +24,13 @@
 //	       [-docs 2000] [-seed 1] [-trace-every 100] [-status localhost:8080]
 //	mmload -mode sessions [-addr pipe] [-subscribers 100000] [-topics 100]
 //	       [-docs 500] [-publishers 4] [-batch 0] [-queue 128]
-//	       [-out results/delivery.csv]
+//	       [-out results/delivery.csv] [-status localhost:8080]
+//
+// Sessions mode also prints the top-5 sessions by client-observed gaps
+// and cross-checks every session's server-reported drop count against
+// the server's subscriber_drops hot-key sketch (in-process in pipe mode,
+// via /topz with -status over sockets); a count outside the sketch's
+// error band fails the run.
 package main
 
 import (
@@ -56,7 +62,7 @@ func main() {
 		docs        = flag.Int("docs", 2000, "total pages to publish")
 		seed        = flag.Int64("seed", 1, "corpus and workload seed")
 		traceEvery  = flag.Int("trace-every", 0, "propagate trace context on every Nth publish, forcing server-side capture (0 = off)")
-		statusAddr  = flag.String("status", "", "mmserver -http address; after the run, print the server's slow-trace summary from /tracez")
+		statusAddr  = flag.String("status", "", "mmserver -http address; feedback mode prints the slow-trace summary from /tracez, sessions mode cross-checks drops against /topz")
 		topics      = flag.Int("topics", 100, "sessions mode: distinct topics (fan-out per doc = subscribers/topics)")
 		batch       = flag.Int("batch", 0, "sessions mode: deliveries coalesced per pushed frame (0 = server default)")
 		queue       = flag.Int("queue", 128, "sessions mode with -addr pipe: per-subscriber delivery buffer")
@@ -68,6 +74,7 @@ func main() {
 	case "sessions":
 		runSessions(sessionsConfig{
 			addr:       *addr,
+			status:     *statusAddr,
 			sessions:   *subscribers,
 			publishers: *publishers,
 			docs:       *docs,

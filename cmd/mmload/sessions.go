@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,12 +17,14 @@ import (
 
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/text"
+	"mmprofile/internal/topk"
 	"mmprofile/internal/wire"
 )
 
 // sessionsConfig shapes one -mode sessions run.
 type sessionsConfig struct {
 	addr       string // "pipe" = in-process server over net.Pipe
+	status     string // mmserver -http address, for the /topz cross-check
 	sessions   int
 	publishers int
 	docs       int
@@ -59,7 +63,7 @@ func runSessions(cfg sessionsConfig) {
 		cfg.topics = cfg.sessions
 	}
 
-	dial, shutdown := transport(cfg)
+	dial, shutdown, localDrops := transport(cfg)
 	defer shutdown()
 
 	// Topic vocabulary: both the documents and the subscription keywords go
@@ -213,6 +217,14 @@ func runSessions(cfg sessionsConfig) {
 	fmt.Printf("deliveries: %d received, %d dropped (server-reported), %d observed as sequence gaps\n",
 		received, dropped, gaps)
 
+	// Hot-key cross-check: the sessions that observed the most gaps should
+	// be the keys the server's subscriber_drops sketch ranks hottest, and
+	// every session's authoritative drop count must sit inside its sketch
+	// entry's [count−err, count] band (or below the sketch's error bound
+	// when untracked). Pipe mode reads the in-process broker's sketch
+	// directly; socket mode reads /topz via -status.
+	dropsFailed := reportDrops(cfg, states, localDrops)
+
 	// End-to-end latency: join every receive record against its doc's
 	// publish time.
 	var lats []time.Duration
@@ -242,16 +254,139 @@ func runSessions(cfg sessionsConfig) {
 		fail(fmt.Errorf("UNOBSERVED LOSS: %d session(s) with received+dropped != next_seq (%d deliveries unaccounted for)",
 			lossSessions, unobserved))
 	}
+	if dropsFailed {
+		fail(fmt.Errorf("ATTRIBUTION MISMATCH: server subscriber_drops sketch disagrees with session drop counts"))
+	}
 	fmt.Printf("no unobserved loss: received + dropped == next_seq across all %d sessions\n", cfg.sessions)
+}
+
+// reportDrops prints the top-5 sessions by client-observed gaps and
+// cross-checks each session's server-reported drop count against the
+// server's subscriber_drops sketch. The space-saving invariant makes the
+// check exact per tracked key — count−err ≤ true ≤ count — and bounds
+// untracked keys by the sketch's epsilon. Returns true when any session
+// falls outside its band (which, against a freshly started server, means
+// attribution lost or invented drops).
+func reportDrops(cfg sessionsConfig, states []*sessionState, localDrops func() (topk.Snapshot, bool)) bool {
+	type row struct {
+		user string
+		gaps uint64
+		drop uint64
+	}
+	rows := make([]row, 0, len(states))
+	for i, st := range states {
+		rows = append(rows, row{
+			user: fmt.Sprintf("sess-%06d", i),
+			gaps: st.sess.Gaps(),
+			drop: st.sess.Dropped(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].gaps != rows[j].gaps {
+			return rows[i].gaps > rows[j].gaps
+		}
+		return rows[i].user < rows[j].user
+	})
+
+	var snap topk.Snapshot
+	switch {
+	case localDrops != nil:
+		var ok bool
+		if snap, ok = localDrops(); !ok {
+			fmt.Println("subscriber_drops sketch not available in-process; skipping cross-check")
+			return false
+		}
+	case cfg.status != "":
+		var err error
+		if snap, err = fetchDrops(cfg.status); err != nil {
+			fmt.Fprintln(os.Stderr, "mmload: /topz cross-check skipped:", err)
+			return false
+		}
+	default:
+		return false // socket run without -status: nothing to check against
+	}
+
+	byKey := make(map[string]topk.Entry, len(snap.Entries))
+	for _, e := range snap.Entries {
+		byKey[e.Key] = e
+	}
+
+	if rows[0].gaps > 0 {
+		fmt.Println("top droppers (client-observed gaps vs server sketch):")
+		for _, r := range rows[:min(5, len(rows))] {
+			if r.gaps == 0 {
+				break
+			}
+			if e, ok := byKey[r.user]; ok {
+				fmt.Printf("  %-12s %6d gap(s)  sketch %.0f ±%.0f\n", r.user, r.gaps, e.Count, e.Err)
+			} else {
+				fmt.Printf("  %-12s %6d gap(s)  sketch untracked (ε %.0f)\n", r.user, r.gaps, snap.Epsilon)
+			}
+		}
+	}
+
+	bad := 0
+	for _, r := range rows {
+		d := float64(r.drop)
+		if e, ok := byKey[r.user]; ok {
+			if e.Count < d || e.Count-e.Err > d {
+				bad++
+				if bad <= 5 {
+					fmt.Fprintf(os.Stderr, "mmload: %s dropped %d but sketch says %.0f ±%.0f\n",
+						r.user, r.drop, e.Count, e.Err)
+				}
+			}
+		} else if d > snap.Epsilon {
+			bad++
+			if bad <= 5 {
+				fmt.Fprintf(os.Stderr, "mmload: %s dropped %d yet is untracked (sketch ε %.0f)\n",
+					r.user, r.drop, snap.Epsilon)
+			}
+		}
+	}
+	if bad == 0 {
+		fmt.Printf("drop attribution agrees with the server sketch across all %d sessions (%d tracked, ε %.0f)\n",
+			len(states), snap.Tracked, snap.Epsilon)
+	}
+	return bad > 0
+}
+
+// fetchDrops reads the subscriber_drops dimension from a status listener's
+// /topz, asking for every tracked entry.
+func fetchDrops(addr string) (topk.Snapshot, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(addr + "/topz?dim=subscriber_drops&k=1048576")
+	if err != nil {
+		return topk.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return topk.Snapshot{}, fmt.Errorf("GET /topz: %s", resp.Status)
+	}
+	var out struct {
+		Dimensions []topk.Snapshot `json:"dimensions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return topk.Snapshot{}, err
+	}
+	if len(out.Dimensions) == 0 {
+		return topk.Snapshot{}, fmt.Errorf("server reports no subscriber_drops dimension")
+	}
+	return out.Dimensions[0], nil
 }
 
 // transport builds the dial function for the configured address: "pipe"
 // runs the full wire.Server stack in-process and hands out net.Pipe
 // connections (no file descriptors, no ports — how 100k+ sessions fit on
 // one machine with a 20k fd limit); anything else dials a real server.
-func transport(cfg sessionsConfig) (dial func() (*wire.Client, error), shutdown func()) {
+// In pipe mode, drops reads the in-process broker's subscriber_drops
+// sketch for the post-run attribution cross-check; over sockets it is nil
+// and the cross-check goes through -status instead.
+func transport(cfg sessionsConfig) (dial func() (*wire.Client, error), shutdown func(), drops func() (topk.Snapshot, bool)) {
 	if cfg.addr != "pipe" {
-		return func() (*wire.Client, error) { return wire.Dial(cfg.addr) }, func() {}
+		return func() (*wire.Client, error) { return wire.Dial(cfg.addr) }, func() {}, nil
 	}
 	broker := pubsub.New(pubsub.Options{QueueSize: cfg.queue})
 	srv := wire.NewServer(broker, func(string, ...any) {})
@@ -260,7 +395,14 @@ func transport(cfg sessionsConfig) (dial func() (*wire.Client, error), shutdown 
 		srv.ServeConn(remote)
 		return wire.NewClient(local), nil
 	}
-	return dial, func() { srv.Close() }
+	drops = func() (topk.Snapshot, bool) {
+		dim, ok := broker.Top().Find("subscriber_drops")
+		if !ok {
+			return topk.Snapshot{}, false
+		}
+		return dim.Snapshot(0), true
+	}
+	return dial, func() { srv.Close() }, drops
 }
 
 // parallelFor runs fn(0..n-1) on up to workers goroutines and returns the

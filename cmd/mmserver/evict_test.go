@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mmprofile/internal/topk"
+)
+
+// TestDropEvictor drives the -evict-drop-rate policy over a real sketch:
+// a subscriber must breach the rate limit for the full streak of
+// consecutive windows before its sessions are kicked, a slow dropper is
+// never kicked, and a breach that recovers resets the streak.
+func TestDropEvictor(t *testing.T) {
+	sk := topk.New[string]("subscriber_drops", "", 16, 1, topk.HashString, topk.FormatString)
+	var kicked []string
+	e := newDropEvictor(5, 3, func(user, reason string) int {
+		kicked = append(kicked, user)
+		if !strings.Contains(reason, "limit 5.0/s") {
+			t.Errorf("reason missing the limit: %q", reason)
+		}
+		return 1
+	})
+
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	step := func(aliceDrops, bobDrops int) {
+		for i := 0; i < aliceDrops; i++ {
+			sk.Offer("alice", 1)
+		}
+		for i := 0; i < bobDrops; i++ {
+			sk.Offer("bob", 1)
+		}
+		e.tick(now, sk)
+		now = now.Add(time.Second)
+	}
+
+	// Tick 1 baselines; ticks 2-3 breach but the streak (2) is short of 3.
+	step(10, 1)
+	step(10, 1)
+	step(10, 1)
+	if len(kicked) != 0 {
+		t.Fatalf("kicked %v before the streak completed", kicked)
+	}
+	// Tick 4 completes the streak.
+	step(10, 1)
+	if len(kicked) != 1 || kicked[0] != "alice" {
+		t.Fatalf("kicked = %v, want [alice]", kicked)
+	}
+	// The kick reset alice's streak: two more breaching ticks stay quiet...
+	step(10, 1)
+	step(10, 1)
+	// ...then a quiet window resets again, so the next two breaches don't
+	// reach the threshold either.
+	step(0, 0)
+	step(10, 1)
+	step(10, 1)
+	if len(kicked) != 1 {
+		t.Fatalf("kicked = %v after recovery, want just the first", kicked)
+	}
+	// Bob never breached 5/s.
+	for _, u := range kicked {
+		if u == "bob" {
+			t.Fatal("slow dropper was kicked")
+		}
+	}
+}
+
+// TestConfigAttributionFlags pins the new flag surface: sketch capacity
+// reaches the broker options and the eviction policy defaults to off.
+func TestConfigAttributionFlags(t *testing.T) {
+	cfg := parse(t)
+	if cfg.topCap != 0 || cfg.evictRate != 0 || cfg.evictWins != 3 {
+		t.Errorf("attribution defaults = %d %v %d", cfg.topCap, cfg.evictRate, cfg.evictWins)
+	}
+	if opts := cfg.brokerOptions(nil); opts.TopCapacity != 0 {
+		t.Errorf("default TopCapacity = %d", opts.TopCapacity)
+	}
+	cfg = parse(t, "-top-capacity", "-1", "-evict-drop-rate", "12.5", "-evict-windows", "5")
+	if opts := cfg.brokerOptions(nil); opts.TopCapacity != -1 {
+		t.Errorf("-top-capacity -1 → %d", opts.TopCapacity)
+	}
+	if cfg.evictRate != 12.5 || cfg.evictWins != 5 {
+		t.Errorf("eviction flags = %v %d", cfg.evictRate, cfg.evictWins)
+	}
+}

@@ -16,8 +16,16 @@
 // liveness on /healthz and per-component readiness on /readyz (flipped to
 // draining before the listener closes on SIGINT/SIGTERM), runtime
 // telemetry as mm_runtime_* gauges, and a flight recorder that writes a
-// diagnostic bundle under -dump-dir on panic, SIGQUIT, a match-latency
-// p99 over -match-slo, or POST /debugz/dump.
+// diagnostic bundle under -dump-dir on panic, SIGQUIT, a sustained
+// match-latency burn over -match-slo, or POST /debugz/dump.
+//
+// Attribution and windows (DESIGN.md §16): hot-key sketches answer "who
+// is hot" per subscriber/term/lane on /topz (capacity per dimension via
+// -top-capacity), and a ring of per-second metric snapshots serves
+// windowed 1s/10s/60s rates on /tsz. The -match-slo trigger is a
+// multi-window burn rate over that ring, and -evict-drop-rate uses the
+// drops dimension to close push sessions whose windowed drop rate stays
+// pathological for -evict-windows consecutive ticks.
 //
 // Usage:
 //
@@ -27,7 +35,8 @@
 //	         [-max-resident-profiles 0] [-fsync] [-sync-interval 2s]
 //	         [-pubsub-shards N] [-trace-sample 0.01] [-trace-slow 50ms]
 //	         [-log-format text|json] [-log-level info] [-dump-dir DIR]
-//	         [-match-slo 0]
+//	         [-match-slo 0] [-top-capacity 0] [-evict-drop-rate 0]
+//	         [-evict-windows 3]
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"mmprofile/internal/obs"
 	"mmprofile/internal/pubsub"
 	"mmprofile/internal/store"
+	"mmprofile/internal/topk"
 	"mmprofile/internal/trace"
 	"mmprofile/internal/wire"
 )
@@ -75,6 +85,9 @@ type config struct {
 	logLevel    string
 	dumpDir     string
 	matchSLO    time.Duration
+	topCap      int
+	evictRate   float64
+	evictWins   int
 }
 
 func (c *config) register(fs *flag.FlagSet) {
@@ -96,6 +109,9 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
 	fs.StringVar(&c.dumpDir, "dump-dir", "", "flight-recorder bundle directory (default <state>/dumps, or the OS temp dir without -state)")
 	fs.DurationVar(&c.matchSLO, "match-slo", 0, "p99 match-latency SLO; sustained breach triggers a flight-recorder bundle (0 = off)")
+	fs.IntVar(&c.topCap, "top-capacity", 0, "per-dimension hot-key sketch capacity for /topz (0 = default, negative = attribution off)")
+	fs.Float64Var(&c.evictRate, "evict-drop-rate", 0, "drops/second per subscriber that, sustained, closes its push sessions (0 = off)")
+	fs.IntVar(&c.evictWins, "evict-windows", 3, "consecutive 1s windows over -evict-drop-rate before a session is evicted")
 }
 
 // tracer builds the request tracer from the trace flags; nil when both are
@@ -144,6 +160,7 @@ func (c *config) brokerOptions(reg *metrics.Registry) pubsub.Options {
 		Metrics:        reg,
 		Trace:          c.tracer(),
 		NoPrune:        !c.prune,
+		TopCapacity:    c.topCap,
 	}
 }
 
@@ -155,11 +172,19 @@ func (c *config) storeOptions(reg *metrics.Registry) store.Options {
 // heartbeatEvery is how often the pipeline probe beats the health model;
 // heartbeatMaxAge is the staleness bound /readyz degrades at. The gap
 // tolerates scheduler hiccups without flapping.
+// samplerEvery doubles as the window-ring tick: one snapshot per second,
+// windowSamples of history, so /tsz can answer 1s/10s/60s spans with a
+// minute of slack for series plots. sloShort/sloLong are the burn-rate
+// windows the -match-slo trigger evaluates over that ring.
 const (
 	heartbeatEvery  = time.Second
 	heartbeatMaxAge = 5 * time.Second
-	samplerEvery    = 5 * time.Second
+	samplerEvery    = time.Second
+	windowSamples   = 120
 	sloCooldown     = time.Minute
+	sloShort        = 10 * time.Second
+	sloLong         = 60 * time.Second
+	sloObjective    = 0.99
 )
 
 func main() {
@@ -186,12 +211,22 @@ func main() {
 	reg := metrics.NewRegistry()
 	store.RegisterMetrics(reg)
 
+	// One attribution registry too: the store's lane sketches, the
+	// broker's subscriber sketches, and the index's term sketch all land
+	// in it, and /topz + the flight recorder read it.
+	topReg := topk.NewRegistry()
+
 	opts := cfg.brokerOptions(reg)
 	opts.Log = logger
+	opts.Top = topReg
 
 	var st *store.Store
 	if *stateDir != "" {
-		st, err = store.Open(*stateDir, cfg.storeOptions(reg))
+		sopts := cfg.storeOptions(reg)
+		if cfg.topCap >= 0 {
+			sopts.Top = topReg
+		}
+		st, err = store.Open(*stateDir, sopts)
 		if err != nil {
 			fatal(err)
 		}
@@ -236,36 +271,73 @@ func main() {
 		}
 	}()
 
+	// Window ring: one row of counter values + histogram buckets per
+	// sampler tick. Every attribution dimension's total is mirrored in as
+	// "top:<dimension>" so /topz can quote windowed rates next to the
+	// cumulative sketch counts (the naming contract wire.StatusOptions
+	// documents).
+	win := obs.NewWindow(windowSamples)
+	for _, name := range []string{
+		"mm_pubsub_published_total",
+		"mm_pubsub_deliveries_total",
+		"mm_pubsub_dropped_total",
+		"mm_pubsub_feedbacks_total",
+		"mm_pubsub_hydrations_total",
+	} {
+		c := reg.Counter(name, "")
+		win.RegisterCounter(name, func() float64 { return float64(c.Value()) })
+	}
+	matchHist := reg.Histogram("mm_pubsub_match_seconds",
+		"Latency of matching one published document against all subscriber profiles.")
+	win.RegisterHistogram("mm_pubsub_match_seconds", matchHist)
+	win.RegisterHistogram("mm_pubsub_publish_seconds", reg.Histogram("mm_pubsub_publish_seconds", ""))
+	for _, d := range topReg.Dimensions() {
+		win.RegisterCounter("top:"+d.Name(), d.Total)
+	}
+
 	// Flight recorder: panic (via the deferred RecoverRepanic here and in
-	// every wire connection handler), SIGQUIT, the match-SLO watermark
+	// every wire connection handler), SIGQUIT, the match-SLO burn trigger
 	// below, and POST /debugz/dump all write bundles to dumpDir.
 	dumpDir := resolveDumpDir(cfg.dumpDir, *stateDir)
-	src := obs.BundleSources{Metrics: reg, Tracer: broker.Tracer(), Health: health}
+	src := obs.BundleSources{Metrics: reg, Tracer: broker.Tracer(), Health: health, Top: topReg, Window: win}
 	if st != nil {
 		src.WALInfo = func() (any, error) { return st.WALInfo() }
 	}
 	rec := obs.NewRecorder(dumpDir, ring, src)
 	defer rec.RecoverRepanic()
 
-	// Watermark: every sampler tick, compare the match histogram's p99
-	// against the SLO; a breach with fresh traffic dumps a bundle (at most
-	// one per cooldown window). The registry's idempotent registration
-	// returns the broker's own histogram.
-	matchHist := reg.Histogram("mm_pubsub_match_seconds",
-		"Latency of matching one published document against all subscriber profiles.")
-	var lastMatchCount int64
+	srv := wire.NewServerLogger(broker, logger)
+	srv.SetRecorder(rec)
+
+	// SLO trigger: a multi-window burn rate over the ring replaces the old
+	// single-sample p99 watermark — the 10s window proves the breach is
+	// current, the 60s window proves it is sustained, and a tick with no
+	// fresh match samples cannot breach (ShortCount is zero).
+	sloRule := obs.BurnRule{
+		Hist:      "mm_pubsub_match_seconds",
+		Limit:     cfg.matchSLO.Seconds(),
+		Objective: sloObjective,
+		Short:     sloShort,
+		Long:      sloLong,
+		Factor:    1,
+	}
+	var evictor *dropEvictor
+	if cfg.evictRate > 0 {
+		evictor = newDropEvictor(cfg.evictRate, cfg.evictWins, srv.KickSession)
+	}
 	onTick := func(obs.RuntimeStats) {
+		now := time.Now()
+		win.Tick(now)
+		if evictor != nil {
+			if dim, ok := topReg.Find("subscriber_drops"); ok {
+				evictor.tick(now, dim)
+			}
+		}
 		if cfg.matchSLO <= 0 {
 			return
 		}
-		snap := matchHist.Snapshot()
-		fresh := snap.Count > lastMatchCount
-		lastMatchCount = snap.Count
-		if !fresh {
-			return
-		}
-		p99 := matchHist.Quantile(0.99)
-		if p99 <= cfg.matchSLO.Seconds() {
+		burn := win.Burn(sloRule)
+		if !burn.Breached {
 			return
 		}
 		path, skipped, err := rec.DumpCooldown("match_slo", sloCooldown)
@@ -273,8 +345,9 @@ func main() {
 		case err != nil:
 			logger.Error("mmserver: match-slo dump failed", slog.String("err", err.Error()))
 		case !skipped:
-			logger.Warn("mmserver: match p99 over SLO, bundle written",
-				slog.Float64("p99_seconds", p99),
+			logger.Warn("mmserver: match SLO burn-rate breach, bundle written",
+				slog.Float64("short_burn", burn.ShortBurn),
+				slog.Float64("long_burn", burn.LongBurn),
 				slog.Float64("slo_seconds", cfg.matchSLO.Seconds()),
 				slog.String("bundle", path))
 		}
@@ -289,9 +362,6 @@ func main() {
 			"Traces retained for meeting the slow threshold.",
 			func() float64 { _, s := tr.Counts(); return float64(s) })
 	}
-
-	srv := wire.NewServerLogger(broker, logger)
-	srv.SetRecorder(rec)
 
 	if st != nil {
 		if err := restore(st, broker, srv, logger, cfg.maxResident > 0); err != nil {
@@ -326,7 +396,7 @@ func main() {
 			fatal(err)
 		}
 		logger.Info("mmserver: status pages", slog.String("url", "http://"+httpLis.Addr().String()+"/"))
-		handler := wire.NewStatusHandlerOpts(broker, wire.StatusOptions{Health: health, Recorder: rec})
+		handler := wire.NewStatusHandlerOpts(broker, wire.StatusOptions{Health: health, Recorder: rec, Top: topReg, Window: win})
 		go func() {
 			if err := http.Serve(httpLis, handler); err != nil {
 				logger.Warn("mmserver: http", slog.String("err", err.Error()))

@@ -43,6 +43,7 @@ import (
 
 	"mmprofile/internal/intern"
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/topk"
 	"mmprofile/internal/vsm"
 )
 
@@ -296,6 +297,11 @@ type Index struct {
 	// inst is nil until Instrument is called; instrumented paths check it
 	// once and fall through at zero cost when monitoring is off.
 	inst *instruments
+
+	// termAttr is nil until AttributeTerms is called; when set, accumulate
+	// offers each document term's postings-scanned delta so /topz can
+	// answer "which terms make matching expensive" (DESIGN.md §16).
+	termAttr *topk.Sketch[uint32]
 }
 
 // pruneCounters aggregates matcher work; see PruneStats.
@@ -401,6 +407,20 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 			}
 			return float64(stale) / float64(live+stale)
 		})
+}
+
+// AttributeTerms creates the per-term match-cost attribution dimension —
+// key: document term, weight: postings scanned for that term — and
+// registers it with reg. Term ids stay raw uint32 on the hot path; they
+// resolve to strings through the dictionary only at snapshot time. Call
+// before the index is shared across goroutines (the broker does so at
+// construction), like Instrument.
+func (ix *Index) AttributeTerms(reg *topk.Registry, capacity int) {
+	ix.termAttr = topk.New[uint32]("term_postings_scanned",
+		"Postings scanned while matching, by document term.",
+		capacity, 0, topk.HashU32,
+		func(id uint32) string { return ix.dict.String(id) })
+	reg.Register(ix.termAttr)
 }
 
 // New returns an empty index with its own term dictionary.
@@ -1108,6 +1128,7 @@ func (ix *Index) accumulate(m *matcher, ids []uint32, ws []float64, canSort bool
 			break
 		}
 		dw := ws[i]
+		scanBase := scanned
 		s := &ix.shards[shardOf(t)]
 		s.mu.RLock()
 		l := s.lists[t]
@@ -1140,6 +1161,7 @@ func (ix *Index) accumulate(m *matcher, ids []uint32, ws []float64, canSort bool
 			}
 			scanned += len(l.ids)
 			s.mu.RUnlock()
+			ix.termAttr.Offer(t, float64(scanned-scanBase))
 			continue
 		}
 		for k, id := range l.sids { // staged tail: exact, always scanned
@@ -1152,6 +1174,7 @@ func (ix *Index) accumulate(m *matcher, ids []uint32, ws []float64, canSort bool
 		nc := len(l.ids)
 		if nc == 0 {
 			s.mu.RUnlock()
+			ix.termAttr.Offer(t, float64(scanned-scanBase))
 			continue
 		}
 		dws := dw * float64(l.scale) // folds the per-term dequantize scale
@@ -1181,6 +1204,7 @@ func (ix *Index) accumulate(m *matcher, ids []uint32, ws []float64, canSort bool
 			scanned += end - start
 		}
 		s.mu.RUnlock()
+		ix.termAttr.Offer(t, float64(scanned-scanBase))
 	}
 	slackTotal = slack
 	if stop < n {

@@ -328,6 +328,49 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return quantile(&counts, total, q)
 }
 
+// NumBuckets is the number of histogram buckets including the overflow
+// bucket, sized for BucketCounts arrays.
+const NumBuckets = histBuckets + 1
+
+// BucketCounts returns the cumulative per-bucket observation counts as a
+// fixed-size array (by value: no heap allocation, safe to diff between
+// samples). Bucket i covers (BucketBound(i-1), BucketBound(i)]; the last
+// slot is the overflow bucket. A nil histogram returns all zeros.
+func (h *Histogram) BucketCounts() [NumBuckets]int64 {
+	var counts [NumBuckets]int64
+	if h == nil {
+		return counts
+	}
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts
+}
+
+// BucketBound returns bucket i's inclusive upper bound in seconds;
+// i = NumBuckets-1 (the overflow bucket) reports +Inf.
+func BucketBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return upperBound(i)
+}
+
+// CountsQuantile interpolates the q-quantile from an externally-assembled
+// bucket-count array — typically the delta of two BucketCounts samples,
+// which yields a quantile over just the observations between them.
+// Returns 0 when the counts are empty.
+func CountsQuantile(counts *[NumBuckets]int64, q float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return quantile(counts, total, q)
+}
+
 // quantile interpolates linearly inside the bucket containing the target
 // rank; the first bucket's lower bound is 0, the overflow bucket reports
 // its lower bound (the best available answer).

@@ -404,3 +404,49 @@ func TestHistogramExemplarConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestBucketCountsDelta(t *testing.T) {
+	h := NewRegistry().Histogram("t_seconds", "")
+	h.Observe(0.001)
+	h.Observe(0.001)
+	before := h.BucketCounts()
+	// Quantile over the delta of two samples sees only the observations
+	// between them — the windowed-quantile building block.
+	h.Observe(1.0)
+	h.Observe(1.0)
+	h.Observe(1.0)
+	after := h.BucketCounts()
+	var delta [NumBuckets]int64
+	var total int64
+	for i := range after {
+		delta[i] = after[i] - before[i]
+		total += delta[i]
+	}
+	if total != 3 {
+		t.Fatalf("delta total %d, want 3", total)
+	}
+	q := CountsQuantile(&delta, 0.5)
+	if q < 0.5 || q > 1.0 {
+		t.Fatalf("windowed p50 %v should reflect only the 1.0s observations", q)
+	}
+	if got := CountsQuantile(&before, 0.5); got > 0.01 {
+		t.Fatalf("pre-window p50 %v should reflect only the 1ms observations", got)
+	}
+	var zero [NumBuckets]int64
+	if CountsQuantile(&zero, 0.99) != 0 {
+		t.Fatal("empty counts should report 0")
+	}
+	var nilH *Histogram
+	if nilH.BucketCounts() != zero {
+		t.Fatal("nil histogram should report zero counts")
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if !math.IsInf(BucketBound(NumBuckets-1), 1) {
+		t.Fatal("overflow bucket bound should be +Inf")
+	}
+	if BucketBound(0) >= BucketBound(1) {
+		t.Fatal("bounds should increase")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	mm "mmprofile/internal/metrics"
+	"mmprofile/internal/topk"
 	"mmprofile/internal/trace"
 )
 
@@ -30,6 +31,12 @@ type BundleSources struct {
 	// Runtime, when non-nil, supplies the latest sampler reading so the
 	// bundle matches the gauges; otherwise the recorder samples fresh.
 	Runtime func() RuntimeStats
+	// Top, when non-nil, contributes the hot-key attribution sketches
+	// (who was hot at crash time is usually the first triage question).
+	Top *topk.Registry
+	// Window, when non-nil, contributes the windowed time-series ring so
+	// a bundle carries the last minute of rates, not just point totals.
+	Window *Window
 }
 
 // Recorder is the flight recorder: it holds the event ring and, on
@@ -59,8 +66,8 @@ func (r *Recorder) Dir() string {
 	return r.dir
 }
 
-// bundle is the on-disk document. The five required sections —
-// goroutines, metrics, traces, store, events — are always present
+// bundle is the on-disk document. The required sections — goroutines,
+// metrics, traces, store, events, top, window — are always present
 // (possibly as disabled/error placeholders) so bundle readers and the CI
 // jq validation can rely on the shape.
 type bundle struct {
@@ -75,6 +82,8 @@ type bundle struct {
 	Metrics      any            `json:"metrics"`
 	Traces       any            `json:"traces"`
 	Store        any            `json:"store"`
+	Top          any            `json:"top"`
+	Window       any            `json:"window"`
 	Events       []Event        `json:"events"`
 }
 
@@ -122,6 +131,16 @@ func (r *Recorder) Dump(reason string) (string, error) {
 		}
 	} else {
 		b.Store = map[string]any{"enabled": false}
+	}
+	if r.src.Top != nil {
+		b.Top = map[string]any{"enabled": true, "dimensions": r.src.Top.Snapshot(10)}
+	} else {
+		b.Top = map[string]any{"enabled": false}
+	}
+	if r.src.Window != nil {
+		b.Window = r.src.Window.Snapshot(60)
+	} else {
+		b.Window = map[string]any{"enabled": false}
 	}
 
 	data, err := json.MarshalIndent(&b, "", "  ")

@@ -1,0 +1,439 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	mm "mmprofile/internal/metrics"
+)
+
+// Window is a fixed-size ring of periodic metric snapshots: every Tick
+// samples each registered counter source (a float64 func, monotone by
+// convention) and histogram (its full bucket-count array), so rates,
+// deltas, and quantiles can be asked over any span the ring still covers
+// — "deliveries/s over the last 10s", "p99 match latency over the last
+// minute" — without the instruments themselves keeping history.
+//
+// Spans are measured backwards from the newest sample, not from the wall
+// clock, which makes reads deterministic under an injected test clock and
+// correct when ticks arrive late. Ring rows are allocated once on the
+// first lap and reused forever: steady-state Tick allocates nothing.
+//
+// Tick is meant to be driven from one goroutine (the RuntimeSampler's
+// onTick); reads may come from any goroutine.
+type Window struct {
+	mu   sync.Mutex
+	size int
+
+	counters []winCounter
+	hists    []winHist
+
+	rows  []winRow
+	next  int // rows[next] is written by the next Tick
+	count int // rows populated (≤ size)
+}
+
+type winCounter struct {
+	name string
+	fn   func() float64
+}
+
+type winHist struct {
+	name string
+	h    *mm.Histogram
+}
+
+type winRow struct {
+	at   time.Time
+	vals []float64
+	hb   [][mm.NumBuckets]int64
+}
+
+// NewWindow builds a ring holding size samples. With the sampler's 1s
+// interval, size 120 covers the 60s long window twice over.
+func NewWindow(size int) *Window {
+	if size < 2 {
+		size = 2
+	}
+	return &Window{size: size, rows: make([]winRow, size)}
+}
+
+// RegisterCounter adds a monotone float64 source sampled at each tick.
+// Register before the first Tick; names must be unique.
+func (w *Window) RegisterCounter(name string, fn func() float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.counters = append(w.counters, winCounter{name: name, fn: fn})
+}
+
+// RegisterHistogram adds a histogram whose bucket counts are sampled at
+// each tick, enabling windowed quantiles and bad-fraction queries.
+func (w *Window) RegisterHistogram(name string, h *mm.Histogram) {
+	if w == nil || h == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hists = append(w.hists, winHist{name: name, h: h})
+}
+
+// Tick samples every registered source, stamping the row with now.
+func (w *Window) Tick(now time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	row := &w.rows[w.next]
+	row.at = now
+	if cap(row.vals) < len(w.counters) {
+		row.vals = make([]float64, len(w.counters))
+	}
+	row.vals = row.vals[:len(w.counters)]
+	for i, c := range w.counters {
+		row.vals[i] = c.fn()
+	}
+	if cap(row.hb) < len(w.hists) {
+		row.hb = make([][mm.NumBuckets]int64, len(w.hists))
+	}
+	row.hb = row.hb[:len(w.hists)]
+	for i, h := range w.hists {
+		row.hb[i] = h.h.BucketCounts()
+	}
+	w.next = (w.next + 1) % w.size
+	if w.count < w.size {
+		w.count++
+	}
+}
+
+// rowAt returns the i-th most recent row (0 = newest). Caller holds w.mu.
+func (w *Window) rowAt(i int) *winRow {
+	return &w.rows[((w.next-1-i)%w.size+w.size)%w.size]
+}
+
+// baseRow locates the newest row at least span older than the newest
+// sample (falling back to the oldest row the ring holds), the comparison
+// point for every windowed delta. Caller holds w.mu. Returns nil when
+// fewer than two rows exist.
+func (w *Window) baseRow(span time.Duration) (newest, base *winRow) {
+	if w.count < 2 {
+		return nil, nil
+	}
+	newest = w.rowAt(0)
+	cutoff := newest.at.Add(-span)
+	for i := 1; i < w.count; i++ {
+		r := w.rowAt(i)
+		base = r
+		if !r.at.After(cutoff) {
+			break
+		}
+	}
+	return newest, base
+}
+
+// counterIdx finds the registered counter index. Caller holds w.mu.
+func (w *Window) counterIdx(name string) int {
+	for i, c := range w.counters {
+		if c.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// histIdx finds the registered histogram index. Caller holds w.mu.
+func (w *Window) histIdx(name string) int {
+	for i, h := range w.hists {
+		if h.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Delta returns how much counter name grew over the trailing span (newest
+// sample minus the base row) and the actual span between those samples.
+// ok is false when the counter is unknown or fewer than two ticks exist.
+func (w *Window) Delta(name string, span time.Duration) (delta float64, actual time.Duration, ok bool) {
+	if w == nil {
+		return 0, 0, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := w.counterIdx(name)
+	if i < 0 {
+		return 0, 0, false
+	}
+	newest, base := w.baseRow(span)
+	if newest == nil || i >= len(newest.vals) || i >= len(base.vals) {
+		return 0, 0, false
+	}
+	return newest.vals[i] - base.vals[i], newest.at.Sub(base.at), true
+}
+
+// Rate returns counter name's growth per second over the trailing span.
+func (w *Window) Rate(name string, span time.Duration) (perSec float64, ok bool) {
+	d, actual, ok := w.Delta(name, span)
+	if !ok || actual <= 0 {
+		return 0, false
+	}
+	return d / actual.Seconds(), true
+}
+
+// histDelta computes the bucket-count delta for histogram index i over
+// span. Caller holds w.mu.
+func (w *Window) histDelta(i int, span time.Duration) (delta [mm.NumBuckets]int64, total int64, ok bool) {
+	newest, base := w.baseRow(span)
+	if newest == nil || i >= len(newest.hb) || i >= len(base.hb) {
+		return delta, 0, false
+	}
+	for b := range delta {
+		delta[b] = newest.hb[i][b] - base.hb[i][b]
+		total += delta[b]
+	}
+	return delta, total, true
+}
+
+// Quantile returns the interpolated q-quantile of histogram name over
+// just the observations recorded in the trailing span, plus how many
+// observations that window held. ok is false when the histogram is
+// unknown, fewer than two ticks exist, or the window saw no observations.
+func (w *Window) Quantile(name string, span time.Duration, q float64) (v float64, n int64, ok bool) {
+	if w == nil {
+		return 0, 0, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := w.histIdx(name)
+	if i < 0 {
+		return 0, 0, false
+	}
+	delta, total, ok := w.histDelta(i, span)
+	if !ok || total <= 0 {
+		return 0, total, false
+	}
+	return mm.CountsQuantile(&delta, q), total, true
+}
+
+// BadFraction returns the fraction of histogram name's observations in
+// the trailing span whose value exceeded limit, interpolating inside the
+// boundary bucket (observations in the overflow bucket always count as
+// bad — its lower bound, ~12 days, exceeds any realistic SLO).
+func (w *Window) BadFraction(name string, span time.Duration, limit float64) (frac float64, n int64, ok bool) {
+	if w == nil {
+		return 0, 0, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := w.histIdx(name)
+	if i < 0 {
+		return 0, 0, false
+	}
+	delta, total, ok := w.histDelta(i, span)
+	if !ok || total <= 0 {
+		return 0, total, false
+	}
+	var bad float64
+	for b, cnt := range delta {
+		if cnt == 0 {
+			continue
+		}
+		lo := 0.0
+		if b > 0 {
+			lo = mm.BucketBound(b - 1)
+		}
+		hi := mm.BucketBound(b)
+		switch {
+		case lo >= limit:
+			bad += float64(cnt) // entire bucket above the limit
+		case hi > limit && b < mm.NumBuckets-1:
+			// Boundary bucket: distribute observations uniformly.
+			bad += float64(cnt) * (hi - limit) / (hi - lo)
+		case b == mm.NumBuckets-1:
+			bad += float64(cnt)
+		}
+	}
+	return bad / float64(total), total, true
+}
+
+// Point is one sampled value in a counter's series.
+type Point struct {
+	UnixMS int64   `json:"t_unix_ms"`
+	Value  float64 `json:"v"`
+}
+
+// Series returns up to max (≤ 0 means all) of counter name's sampled
+// values, oldest first.
+func (w *Window) Series(name string, max int) []Point {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := w.counterIdx(name)
+	if i < 0 {
+		return nil
+	}
+	n := w.count
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Point, 0, n)
+	for j := n - 1; j >= 0; j-- {
+		r := w.rowAt(j)
+		if i >= len(r.vals) {
+			continue
+		}
+		out = append(out, Point{UnixMS: r.at.UnixMilli(), Value: r.vals[i]})
+	}
+	return out
+}
+
+// BurnRule is a multi-window latency-SLO alerting rule. The objective
+// "fraction Objective of observations complete under Limit seconds"
+// defines an error budget of (1 − Objective); the burn rate of a window
+// is its observed bad fraction divided by that budget (burn 1.0 = exactly
+// spending the budget). The rule fires only when BOTH the short and the
+// long window burn at ≥ Factor — the short window proves the problem is
+// happening now (a stale tail can't trip it), the long window proves it
+// is sustained (a single slow sample can't trip it). This replaces the
+// earlier single-sample watermark gate on -match-slo.
+type BurnRule struct {
+	Hist      string        // registered histogram name
+	Limit     float64       // SLO latency bound, seconds
+	Objective float64       // e.g. 0.99: target fraction under Limit
+	Short     time.Duration // fast window, e.g. 10s
+	Long      time.Duration // sustain window, e.g. 60s
+	Factor    float64       // burn-rate trigger threshold; 0 means 1.0
+}
+
+// BurnStatus reports one evaluation of a BurnRule.
+type BurnStatus struct {
+	Breached   bool    `json:"breached"`
+	ShortBurn  float64 `json:"short_burn"`
+	LongBurn   float64 `json:"long_burn"`
+	ShortCount int64   `json:"short_count"`
+	LongCount  int64   `json:"long_count"`
+}
+
+// Burn evaluates rule against the window's current history.
+func (w *Window) Burn(rule BurnRule) BurnStatus {
+	var st BurnStatus
+	if w == nil || rule.Limit <= 0 {
+		return st
+	}
+	budget := 1 - rule.Objective
+	if budget <= 0 {
+		return st
+	}
+	factor := rule.Factor
+	if factor <= 0 {
+		factor = 1
+	}
+	sf, sn, sok := w.BadFraction(rule.Hist, rule.Short, rule.Limit)
+	lf, ln, lok := w.BadFraction(rule.Hist, rule.Long, rule.Limit)
+	st.ShortCount, st.LongCount = sn, ln
+	if sok {
+		st.ShortBurn = sf / budget
+	}
+	if lok {
+		st.LongBurn = lf / budget
+	}
+	st.Breached = sok && lok && sn > 0 &&
+		st.ShortBurn >= factor && st.LongBurn >= factor
+	return st
+}
+
+// CounterWindow is one counter's /tsz projection.
+type CounterWindow struct {
+	Name  string             `json:"name"`
+	Value float64            `json:"value"`
+	Rates map[string]float64 `json:"rates_per_second"`
+	Serie []Point            `json:"series,omitempty"`
+}
+
+// HistSpan is one histogram's stats over one span.
+type HistSpan struct {
+	Span  string  `json:"span"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// HistWindow is one histogram's /tsz projection.
+type HistWindow struct {
+	Name    string     `json:"name"`
+	Windows []HistSpan `json:"windows"`
+}
+
+// WindowSnapshot is the full /tsz payload.
+type WindowSnapshot struct {
+	Enabled         bool            `json:"enabled"`
+	IntervalSeconds float64         `json:"interval_seconds,omitempty"`
+	Samples         int             `json:"samples"`
+	Counters        []CounterWindow `json:"counters,omitempty"`
+	Histograms      []HistWindow    `json:"histograms,omitempty"`
+}
+
+// StandardSpans are the windows every rate/quantile is reported over.
+var StandardSpans = []time.Duration{time.Second, 10 * time.Second, 60 * time.Second}
+
+// Snapshot projects the whole window for /tsz and the flight recorder:
+// every counter with its standard-span rates and (up to seriesMax points
+// of) raw series, every histogram with windowed p50/p99.
+func (w *Window) Snapshot(seriesMax int) WindowSnapshot {
+	if w == nil {
+		return WindowSnapshot{}
+	}
+	w.mu.Lock()
+	names := make([]string, len(w.counters))
+	for i, c := range w.counters {
+		names[i] = c.name
+	}
+	hnames := make([]string, len(w.hists))
+	for i, h := range w.hists {
+		hnames[i] = h.name
+	}
+	samples := w.count
+	var interval float64
+	if w.count >= 2 {
+		interval = w.rowAt(0).at.Sub(w.rowAt(1).at).Seconds()
+	}
+	w.mu.Unlock()
+
+	snap := WindowSnapshot{Enabled: true, Samples: samples, IntervalSeconds: interval}
+	sort.Strings(names)
+	sort.Strings(hnames)
+	for _, name := range names {
+		cw := CounterWindow{Name: name, Rates: make(map[string]float64, len(StandardSpans))}
+		if pts := w.Series(name, seriesMax); len(pts) > 0 {
+			cw.Value = pts[len(pts)-1].Value
+			cw.Serie = pts
+		}
+		for _, span := range StandardSpans {
+			if r, ok := w.Rate(name, span); ok {
+				cw.Rates[span.String()] = r
+			}
+		}
+		snap.Counters = append(snap.Counters, cw)
+	}
+	for _, name := range hnames {
+		hw := HistWindow{Name: name}
+		for _, span := range StandardSpans {
+			hs := HistSpan{Span: span.String()}
+			if p50, n, ok := w.Quantile(name, span, 0.50); ok {
+				hs.P50, hs.Count = p50, n
+			}
+			if p99, _, ok := w.Quantile(name, span, 0.99); ok {
+				hs.P99 = p99
+			}
+			hw.Windows = append(hw.Windows, hs)
+		}
+		snap.Histograms = append(snap.Histograms, hw)
+	}
+	return snap
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	mm "mmprofile/internal/metrics"
+)
+
+// TestWindowRatesInjectedClock drives the ring with an explicit clock and
+// checks deltas and rates over spans shorter and longer than the history.
+func TestWindowRatesInjectedClock(t *testing.T) {
+	w := NewWindow(120)
+	var v float64
+	w.RegisterCounter("c", func() float64 { return v })
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	// 61 ticks, 1s apart, counter grows by 10 per tick.
+	for i := 0; i <= 60; i++ {
+		v = float64(i * 10)
+		w.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	for _, tc := range []struct {
+		span  time.Duration
+		delta float64
+	}{
+		{time.Second, 10},
+		{10 * time.Second, 100},
+		{60 * time.Second, 600},
+	} {
+		d, actual, ok := w.Delta("c", tc.span)
+		if !ok || d != tc.delta {
+			t.Fatalf("delta over %v: got %v (ok=%v), want %v", tc.span, d, ok, tc.delta)
+		}
+		if actual != tc.span {
+			t.Fatalf("actual span over %v: got %v", tc.span, actual)
+		}
+		r, ok := w.Rate("c", tc.span)
+		if !ok || r != 10 {
+			t.Fatalf("rate over %v: got %v (ok=%v), want 10", tc.span, r, ok)
+		}
+	}
+	// Asking beyond the retained history falls back to the oldest row.
+	if _, actual, ok := w.Delta("c", time.Hour); !ok || actual != 60*time.Second {
+		t.Fatalf("fallback span: got %v", actual)
+	}
+	if _, _, ok := w.Delta("nope", time.Second); ok {
+		t.Fatal("unknown counter should not be ok")
+	}
+}
+
+// TestWindowRingWraps fills the ring past capacity and checks old rows
+// are really gone.
+func TestWindowRingWraps(t *testing.T) {
+	w := NewWindow(4)
+	var v float64
+	w.RegisterCounter("c", func() float64 { return v })
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		v = float64(i)
+		w.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	// Ring of 4 keeps ticks 6..9: the widest delta is 9-6 over 3s.
+	d, actual, ok := w.Delta("c", time.Hour)
+	if !ok || d != 3 || actual != 3*time.Second {
+		t.Fatalf("wrapped delta: got %v over %v (ok=%v)", d, actual, ok)
+	}
+	pts := w.Series("c", 0)
+	if len(pts) != 4 || pts[0].Value != 6 || pts[3].Value != 9 {
+		t.Fatalf("series after wrap: %v", pts)
+	}
+}
+
+// TestWindowQuantileDelta checks that windowed quantiles see only the
+// observations inside the span.
+func TestWindowQuantileDelta(t *testing.T) {
+	reg := mm.NewRegistry()
+	h := reg.Histogram("lat_seconds", "")
+	w := NewWindow(120)
+	w.RegisterHistogram("lat_seconds", h)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	// 60 ticks of fast observations, then 10 ticks of slow ones.
+	for i := 0; i < 60; i++ {
+		h.Observe(0.001)
+		w.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	for i := 60; i < 70; i++ {
+		h.Observe(1.0)
+		w.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	p99short, n, ok := w.Quantile("lat_seconds", 9*time.Second, 0.99)
+	if !ok || n != 9 {
+		t.Fatalf("short quantile: n=%d ok=%v", n, ok)
+	}
+	if p99short < 0.5 {
+		t.Fatalf("short-window p99 %v should only see the slow observations", p99short)
+	}
+	// The cumulative histogram is still dominated by the fast phase.
+	if all := h.Quantile(0.5); all > 0.01 {
+		t.Fatalf("cumulative p50 %v should still be fast", all)
+	}
+}
+
+// TestBurnRule exercises the multi-window rule: a short burst alone must
+// not fire, sustained badness across both windows must.
+func TestBurnRule(t *testing.T) {
+	reg := mm.NewRegistry()
+	h := reg.Histogram("lat_seconds", "")
+	w := NewWindow(120)
+	w.RegisterHistogram("lat_seconds", h)
+	rule := BurnRule{Hist: "lat_seconds", Limit: 0.1, Objective: 0.99, Short: 10 * time.Second, Long: 60 * time.Second}
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	step := func(v float64, times int) {
+		for i := 0; i < times; i++ {
+			h.Observe(v)
+			w.Tick(base.Add(time.Duration(tick) * time.Second))
+			tick++
+		}
+	}
+	// Healthy minute: nothing burns.
+	step(0.001, 60)
+	if st := w.Burn(rule); st.Breached || st.LongBurn != 0 {
+		t.Fatalf("healthy window breached: %+v", st)
+	}
+	// A short 5s burst of slowness: short window burns hot, but the long
+	// window (5 bad of 60) burns 5/60/0.01 ≈ 8.3 — still over. Use a
+	// 2-sample burst instead: long bad fraction 2/60 ≈ 3.3% → burn 3.3;
+	// to prove the sustain requirement we need Factor above the blip's
+	// long burn but below its short burn.
+	blipRule := rule
+	blipRule.Factor = 10 // short blip: shortBurn ≈ 20, longBurn ≈ 3.3
+	step(1.0, 2)
+	st := w.Burn(blipRule)
+	if st.ShortBurn < 10 {
+		t.Fatalf("blip should burn the short window hot: %+v", st)
+	}
+	if st.Breached {
+		t.Fatalf("short blip alone breached the multi-window rule: %+v", st)
+	}
+	// Sustained badness: a full minute of slow observations fires.
+	step(1.0, 60)
+	st = w.Burn(rule)
+	if !st.Breached || st.ShortCount == 0 {
+		t.Fatalf("sustained badness did not breach: %+v", st)
+	}
+}
+
+// TestWindowBadFraction pins the interpolation behavior.
+func TestWindowBadFraction(t *testing.T) {
+	reg := mm.NewRegistry()
+	h := reg.Histogram("lat_seconds", "")
+	w := NewWindow(16)
+	w.RegisterHistogram("lat_seconds", h)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	w.Tick(base)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.001) // fast
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10.0) // slow, well above limit
+	}
+	w.Tick(base.Add(time.Second))
+	frac, n, ok := w.BadFraction("lat_seconds", time.Second, 0.1)
+	if !ok || n != 20 {
+		t.Fatalf("bad fraction: n=%d ok=%v", n, ok)
+	}
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("bad fraction %v, want ≈0.5", frac)
+	}
+}
+
+// TestWindowSnapshot checks the /tsz projection shape.
+func TestWindowSnapshot(t *testing.T) {
+	reg := mm.NewRegistry()
+	h := reg.Histogram("lat_seconds", "")
+	w := NewWindow(16)
+	var v float64
+	w.RegisterCounter("c", func() float64 { return v })
+	w.RegisterHistogram("lat_seconds", h)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		v = float64(i)
+		h.Observe(0.01)
+		w.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	snap := w.Snapshot(3)
+	if !snap.Enabled || snap.Samples != 5 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "c" || snap.Counters[0].Value != 4 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if len(snap.Counters[0].Serie) != 3 {
+		t.Fatalf("series should be capped at 3: %+v", snap.Counters[0].Serie)
+	}
+	if len(snap.Histograms) != 1 || len(snap.Histograms[0].Windows) != 3 {
+		t.Fatalf("histograms: %+v", snap.Histograms)
+	}
+	var nilW *Window
+	if nilW.Snapshot(0).Enabled {
+		t.Fatal("nil window should report disabled")
+	}
+}

@@ -1,0 +1,53 @@
+package pubsub
+
+import "mmprofile/internal/topk"
+
+// DefaultTopCapacity is the per-dimension entry budget when
+// Options.TopCapacity is zero. 1024 tracked subscribers per dimension
+// costs ~100KB and keeps the space-saving error bound at W/1024 — tight
+// enough that anything contributing over 0.1% of a dimension's weight is
+// guaranteed to be visible.
+const DefaultTopCapacity = 1024
+
+// brokerTop bundles the broker's attribution sketches (DESIGN.md §16):
+// per-subscriber dimensions answering "who is receiving / dropping /
+// overflowing / hydrating the most". All sketches are nil when
+// attribution is disabled (TopCapacity < 0) — Offer on a nil sketch is a
+// no-op, so the hot-path call sites stay unconditional.
+type brokerTop struct {
+	reg        *topk.Registry
+	deliveries *topk.Sketch[string]
+	drops      *topk.Sketch[string]
+	queueFull  *topk.Sketch[string]
+	hydrations *topk.Sketch[string]
+}
+
+func newBrokerTop(reg *topk.Registry, capacity int) brokerTop {
+	t := brokerTop{reg: reg}
+	if capacity < 0 {
+		return t
+	}
+	if capacity == 0 {
+		capacity = DefaultTopCapacity
+	}
+	mk := func(name, help string) *topk.Sketch[string] {
+		sk := topk.New[string](name, help, capacity, 0, topk.HashString, topk.FormatString)
+		reg.Register(sk)
+		return sk
+	}
+	t.deliveries = mk("subscriber_deliveries",
+		"Deliveries enqueued, by subscriber.")
+	t.drops = mk("subscriber_drops",
+		"Deliveries discarded by the drop-oldest policy, by subscriber.")
+	t.queueFull = mk("subscriber_queue_full",
+		"Enqueues that found the queue full (each forced at least one drop), by subscriber.")
+	t.hydrations = mk("subscriber_hydrations",
+		"Profile rebuilds from the store after residency eviction, by subscriber.")
+	return t
+}
+
+// Top returns the broker's attribution-dimension registry: every sketch
+// the broker (and, through it, the index) feeds, for /topz, the flight
+// recorder, and eviction policies. Always non-nil; empty when attribution
+// was disabled via Options.TopCapacity < 0.
+func (b *Broker) Top() *topk.Registry { return b.top.reg }

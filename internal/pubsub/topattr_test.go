@@ -1,0 +1,150 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+
+	"mmprofile/internal/filter"
+	"mmprofile/internal/store"
+	"mmprofile/internal/topk"
+)
+
+// TestAttributedPublishAddsNoAllocs pins the hot-path contract of the
+// attribution layer (DESIGN.md §16): with sketches enabled (the default),
+// a steady-state publish — including deliveries, drop-oldest evictions,
+// and per-term match attribution — allocates exactly as much as one with
+// attribution disabled (Options.TopCapacity < 0). Run under -race in CI.
+func TestAttributedPublishAddsNoAllocs(t *testing.T) {
+	doc := vec("cat", 1.0, "dog", 0.5)
+	setup := func(topCap int) *Broker {
+		// QueueSize 1 with no consumer forces the drop-oldest path every
+		// publish, so the drops and queue-full offers are measured too.
+		b := New(Options{Threshold: 0.3, Retention: 1 << 16, QueueSize: 1, TopCapacity: topCap})
+		if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			b.PublishVector(doc)
+		}
+		return b
+	}
+
+	off := setup(-1)
+	on := setup(0)
+
+	const rounds = 200
+	offAllocs := testing.AllocsPerRun(rounds, func() { off.PublishVector(doc) })
+	onAllocs := testing.AllocsPerRun(rounds, func() { on.PublishVector(doc) })
+	if onAllocs > offAllocs {
+		t.Fatalf("attribution adds allocations on the publish path: %v allocs/op attributed vs %v without",
+			onAllocs, offAllocs)
+	}
+}
+
+// TestBrokerAttributionDimensions checks the broker wires every dimension
+// and that deliveries/drops/queue-full/terms attribute to the right keys.
+func TestBrokerAttributionDimensions(t *testing.T) {
+	reg := topk.NewRegistry()
+	b := New(Options{Threshold: 0.3, QueueSize: 2, Top: reg})
+	if b.Top() != reg {
+		t.Fatal("Broker.Top should return the provided registry")
+	}
+	if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+		t.Fatal(err)
+	}
+	doc := vec("cat", 1.0, "dog", 0.5)
+	for i := 0; i < 10; i++ {
+		b.PublishVector(doc)
+	}
+	want := map[string]bool{
+		"subscriber_deliveries": true,
+		"subscriber_drops":      true,
+		"subscriber_queue_full": true,
+		"subscriber_hydrations": true,
+		"term_postings_scanned": true,
+	}
+	for _, d := range reg.Dimensions() {
+		delete(want, d.Name())
+	}
+	for name := range want {
+		t.Errorf("dimension %s not registered", name)
+	}
+
+	del, _ := reg.Find("subscriber_deliveries")
+	snap := del.Snapshot(1)
+	if len(snap.Entries) != 1 || snap.Entries[0].Key != "alice" || snap.Entries[0].Count != 10 {
+		t.Fatalf("deliveries snapshot: %+v", snap)
+	}
+	// Queue of 2 with 10 matched publishes and no consumer: 8 drops, each
+	// preceded by a queue-full event.
+	drops, _ := reg.Find("subscriber_drops")
+	if ds := drops.Snapshot(1); len(ds.Entries) != 1 || ds.Entries[0].Count != 8 {
+		t.Fatalf("drops snapshot: %+v", ds)
+	}
+	qf, _ := reg.Find("subscriber_queue_full")
+	if qs := qf.Snapshot(1); len(qs.Entries) != 1 || qs.Entries[0].Count != 8 {
+		t.Fatalf("queue-full snapshot: %+v", qs)
+	}
+	// Per-term attribution resolves ids back to strings via the dict.
+	terms, _ := reg.Find("term_postings_scanned")
+	ts := terms.Snapshot(10)
+	if ts.Total == 0 {
+		t.Fatal("term dimension saw no postings")
+	}
+	seen := map[string]bool{}
+	for _, e := range ts.Entries {
+		seen[e.Key] = true
+	}
+	if !seen["cat"] || !seen["dog"] {
+		t.Fatalf("term keys should resolve to cat/dog: %+v", ts.Entries)
+	}
+}
+
+// TestAttributionDisabled checks TopCapacity < 0 leaves an empty (but
+// non-nil) registry and publishes still work.
+func TestAttributionDisabled(t *testing.T) {
+	b := New(Options{Threshold: 0.3, TopCapacity: -1})
+	if b.Top() == nil {
+		t.Fatal("Top registry should be non-nil even when disabled")
+	}
+	if dims := b.Top().Dimensions(); len(dims) != 0 {
+		t.Fatalf("disabled attribution registered dimensions: %v", dims)
+	}
+	if _, err := b.Subscribe("alice", trainedMM("cat", "dog")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.PublishVector(vec("cat", 1.0))
+	}
+}
+
+// TestHydrationAttribution drives the evict/hydrate cycle and checks the
+// per-subscriber hydration dimension counts rebuilds.
+func TestHydrationAttribution(t *testing.T) {
+	reg := topk.NewRegistry()
+	st, err := store.Open(t.TempDir(), store.Options{Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := New(Options{Journal: st, Hydrator: st, MaxResident: 1, Top: reg})
+	for i := 0; i < 3; i++ {
+		if _, err := b.Subscribe(fmt.Sprintf("u%d", i), trainedMM("cat")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With MaxResident 1, touching each profile in turn evicts the rest;
+	// feedback on an evicted profile forces hydration.
+	doc, _ := b.PublishVector(vec("cat", 1.0))
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 3; i++ {
+			if err := b.Feedback(fmt.Sprintf("u%d", i), doc, filter.Relevant); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hyd, _ := reg.Find("subscriber_hydrations")
+	if hyd.Total() == 0 {
+		t.Fatal("hydration dimension saw no rebuilds")
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"mmprofile/internal/faultfs"
 	"mmprofile/internal/filter"
 	"mmprofile/internal/metrics"
+	"mmprofile/internal/topk"
 	"mmprofile/internal/trace"
 	"mmprofile/internal/vsm"
 )
@@ -120,6 +121,12 @@ type Options struct {
 	// (append/fsync/checkpoint/group-commit latencies and counts). Nil
 	// disables instrumentation entirely.
 	Metrics *metrics.Registry
+	// Top, when non-nil, receives the store's per-lane attribution
+	// dimensions (DESIGN.md §16): WAL-append weight in bytes and fsync
+	// counts, keyed by lane — the skew view of which lanes the FNV
+	// routing is actually loading. mmserver shares one registry between
+	// the broker and the store.
+	Top *topk.Registry
 }
 
 // Store is a directory-backed profile store. Safe for concurrent use.
@@ -146,6 +153,13 @@ type Store struct {
 	// ckptMu serializes checkpoints and manifest writes; lane generations
 	// only change under it.
 	ckptMu sync.Mutex
+
+	// Per-lane attribution (Options.Top): append weight and fsync counts
+	// keyed by pre-rendered lane names, so the hot path offers a resident
+	// string with zero allocations. All nil (no-op) when Top is nil.
+	laneKeys  []string
+	topAppend *topk.Sketch[string]
+	topFsync  *topk.Sketch[string]
 
 	stopFlush chan struct{} // interval flusher; nil unless SyncInterval armed
 	flushDone chan struct{}
@@ -220,6 +234,20 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	s.m.lanes.Set(float64(len(s.lanes)))
+	if opts.Top != nil {
+		s.laneKeys = make([]string, len(s.lanes))
+		for i := range s.lanes {
+			s.laneKeys[i] = fmt.Sprintf("lane-%d", i)
+		}
+		s.topAppend = topk.New[string]("lane_append_bytes",
+			"WAL bytes appended, by lane.",
+			2*len(s.lanes), 1, topk.HashString, topk.FormatString)
+		s.topFsync = topk.New[string]("lane_fsyncs",
+			"WAL fsyncs performed, by lane.",
+			2*len(s.lanes), 1, topk.HashString, topk.FormatString)
+		opts.Top.Register(s.topAppend)
+		opts.Top.Register(s.topFsync)
+	}
 
 	if !opts.ReadOnly {
 		s.cleanStrays()
@@ -432,6 +460,9 @@ func (s *Store) appendPayload(user string, payload []byte, sp *trace.Span) error
 	ws.End()
 
 	s.m.appends.Inc()
+	if s.topAppend != nil {
+		s.topAppend.Offer(s.laneKeys[ln.id], float64(len(payload))+8)
+	}
 	if s.opts.Durable {
 		cw := sp.Child("store.commit_wait")
 		err := s.waitDurable(ln, pos)
@@ -588,6 +619,9 @@ func (s *Store) syncLane(tg *syncTarget) {
 	if tg.err = tg.f.Sync(); tg.err == nil {
 		s.m.fsyncs.Inc()
 		s.m.fsyncLat.ObserveSince(t0)
+		if s.topFsync != nil {
+			s.topFsync.Offer(s.laneKeys[tg.ln.id], 1)
+		}
 	}
 }
 

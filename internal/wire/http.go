@@ -32,6 +32,7 @@ import (
 	"mmprofile/internal/metrics"
 	"mmprofile/internal/obs"
 	"mmprofile/internal/pubsub"
+	"mmprofile/internal/topk"
 )
 
 // expvar's namespace is process-global, so the "mmprofile" var can only
@@ -62,6 +63,15 @@ type StatusOptions struct {
 	// Recorder backs POST /debugz/dump; nil makes the endpoint answer
 	// 503 with an explanatory error.
 	Recorder *obs.Recorder
+	// Top backs /topz and the "top" section of /statsz; nil falls back to
+	// the broker's own attribution registry (always present).
+	Top *topk.Registry
+	// Window backs /tsz and the per-dimension window rates in /topz; nil
+	// makes /tsz answer {"enabled": false} and /topz omit rates. When
+	// set, mmserver registers every attribution dimension's total weight
+	// as the window counter "top:<dimension>" — the naming contract /topz
+	// relies on for its rate lookups.
+	Window *obs.Window
 }
 
 // NewStatusHandler serves broker observability over HTTP:
@@ -76,6 +86,12 @@ type StatusOptions struct {
 //	                     object with the full registry snapshot
 //	GET  /metrics      — Prometheus text exposition (format 0.0.4);
 //	                     ?format=json returns the registry snapshot as JSON
+//	GET  /topz         — hot-key attribution: top-K entries per dimension
+//	                     with space-saving error bounds (?k=, ?dim=,
+//	                     ?format=table; window rates when a Window is wired)
+//	GET  /tsz          — windowed time series: per-counter 1s/10s/60s rates
+//	                     and raw series, per-histogram windowed quantiles
+//	                     (?name= filters, ?n= caps series length)
 //	GET  /tracez       — sampled + slow request traces as JSON;
 //	                     ?trace=<id> looks up one trace by hex id
 //	GET  /explainz     — ?user= profile vectors + adaptation audit journal;
@@ -97,6 +113,10 @@ func NewStatusHandler(b *pubsub.Broker) http.Handler {
 func NewStatusHandlerOpts(b *pubsub.Broker, o StatusOptions) http.Handler {
 	reg := b.Metrics()
 	publishExpvar(reg)
+	top := o.Top
+	if top == nil {
+		top = b.Top()
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -155,7 +175,91 @@ func NewStatusHandlerOpts(b *pubsub.Broker, o StatusOptions) http.Handler {
 				"index_shards":    lay.IndexShards,
 			},
 			"metrics": reg.Snapshot(),
+			"top":     top.Snapshot(5),
 		})
+	})
+	mux.HandleFunc("/topz", func(w http.ResponseWriter, r *http.Request) {
+		k := 10
+		if v := r.URL.Query().Get("k"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				k = n
+			}
+		}
+		dimFilter := r.URL.Query().Get("dim")
+		type dimOut struct {
+			topk.Snapshot
+			Rates map[string]float64 `json:"rates_per_second,omitempty"`
+		}
+		var dims []dimOut
+		for _, d := range top.Dimensions() {
+			if dimFilter != "" && d.Name() != dimFilter {
+				continue
+			}
+			out := dimOut{Snapshot: d.Snapshot(k)}
+			if o.Window != nil {
+				out.Rates = map[string]float64{}
+				for _, span := range obs.StandardSpans {
+					if rate, ok := o.Window.Rate("top:"+d.Name(), span); ok {
+						out.Rates[span.String()] = rate
+					}
+				}
+			}
+			dims = append(dims, out)
+		}
+		if dimFilter != "" && len(dims) == 0 {
+			w.WriteHeader(http.StatusNotFound)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"error": "unknown dimension", "dim": dimFilter})
+			return
+		}
+		if r.URL.Query().Get("format") == "table" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, d := range dims {
+				fmt.Fprintf(w, "%s  (total %.0f, tracked %d/%d, epsilon %.1f)\n",
+					d.Name, d.Total, d.Tracked, d.Capacity, d.Epsilon)
+				if r1, ok := d.Rates["10s"]; ok {
+					fmt.Fprintf(w, "  rate: %.1f/s over 10s\n", r1)
+				}
+				for _, e := range d.Entries {
+					fmt.Fprintf(w, "  %12.0f ±%-8.0f %s\n", e.Count, e.Err, e.Key)
+				}
+				fmt.Fprintln(w)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"k": k, "dimensions": dims})
+	})
+	mux.HandleFunc("/tsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if o.Window == nil {
+			json.NewEncoder(w).Encode(map[string]any{"enabled": false})
+			return
+		}
+		seriesMax := 60
+		if v := r.URL.Query().Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				seriesMax = n
+			}
+		}
+		snap := o.Window.Snapshot(seriesMax)
+		if name := r.URL.Query().Get("name"); name != "" {
+			var cs []obs.CounterWindow
+			for _, c := range snap.Counters {
+				if c.Name == name {
+					cs = append(cs, c)
+				}
+			}
+			snap.Counters = cs
+			var hs []obs.HistWindow
+			for _, h := range snap.Histograms {
+				if h.Name == name {
+					hs = append(hs, h)
+				}
+			}
+			snap.Histograms = hs
+		}
+		json.NewEncoder(w).Encode(snap)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
@@ -249,13 +353,15 @@ func NewStatusHandlerOpts(b *pubsub.Broker, o StatusOptions) http.Handler {
 <tr><td>index</td><td>%d vectors over %d terms (%d postings)</td></tr>
 <tr><td>sharding</td><td>registry ×%d · docstore ×%d · termstats ×%d · index ×%d</td></tr>
 </table>
-<p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/tracez</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a> · <a href="%s">/readyz</a></p>
+<p><a href="%s">/statsz</a> · <a href="%s">/metrics</a> · <a href="%s">/topz</a> · <a href="%s">/tsz</a> · <a href="%s">/tracez</a> · <a href="%s">/explainz</a> · <a href="%s">/varz</a> · <a href="%s">/debug/pprof/</a> · <a href="%s">/healthz</a> · <a href="%s">/readyz</a> · POST /debugz/dump</p>
 </body></html>`,
 			c.Subscribers, c.Published, c.Deliveries, c.Dropped, c.Feedbacks,
 			ix.Vectors, ix.Terms, ix.Postings,
 			lay.RegistryShards, lay.DocShards, lay.StatsStripes, lay.IndexShards,
 			html.EscapeString("/statsz"), html.EscapeString("/metrics"),
-			html.EscapeString("/tracez"), html.EscapeString("/varz"),
+			html.EscapeString("/topz"), html.EscapeString("/tsz"),
+			html.EscapeString("/tracez"), html.EscapeString("/explainz?user="),
+			html.EscapeString("/varz"),
 			html.EscapeString("/debug/pprof/"), html.EscapeString("/healthz"),
 			html.EscapeString("/readyz"))
 	})

@@ -34,6 +34,7 @@ type Server struct {
 	sessions          *metrics.Gauge   // connections currently in push mode
 	sessionFrames     *metrics.Counter // coalesced frames pushed
 	sessionDeliveries *metrics.Counter // deliveries pushed across all frames
+	slowEvictions     *metrics.Counter // sessions closed by the eviction policy
 
 	mu     sync.Mutex
 	subs   map[string]*pubsub.Subscription
@@ -42,6 +43,12 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	done   chan struct{} // closed by Close; unblocks watch and session handlers
+
+	// sessKicks tracks every in-flight push session's kick channel by
+	// user, so the slow-consumer eviction policy (mmserver
+	// -evict-drop-rate) can end sessions without owning the connection.
+	// Guarded by mu.
+	sessKicks map[string]map[chan string]struct{}
 }
 
 // NewServer wraps a broker. The logf signature is kept for compatibility:
@@ -69,10 +76,65 @@ func NewServerLogger(b *pubsub.Broker, logger *obs.Logger) *Server {
 			"Coalesced delivery frames pushed to session connections."),
 		sessionDeliveries: reg.Counter("mm_wire_session_deliveries_total",
 			"Deliveries pushed to session connections across all frames."),
-		subs:  make(map[string]*pubsub.Subscription),
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		slowEvictions: reg.Counter("mm_pubsub_slow_evictions_total",
+			"Push sessions closed because their windowed drop rate stayed pathological (mmserver -evict-drop-rate)."),
+		subs:      make(map[string]*pubsub.Subscription),
+		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
+		sessKicks: make(map[string]map[chan string]struct{}),
 	}
+}
+
+// addKick registers a session's kick channel under user.
+func (s *Server) addKick(user string, ch chan string) {
+	s.mu.Lock()
+	set := s.sessKicks[user]
+	if set == nil {
+		set = make(map[chan string]struct{})
+		s.sessKicks[user] = set
+	}
+	set[ch] = struct{}{}
+	s.mu.Unlock()
+}
+
+// removeKick unregisters a session's kick channel.
+func (s *Server) removeKick(user string, ch chan string) {
+	s.mu.Lock()
+	if set := s.sessKicks[user]; set != nil {
+		delete(set, ch)
+		if len(set) == 0 {
+			delete(s.sessKicks, user)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// KickSession ends every push session currently open for user: each
+// session's pump sends the client a final error frame carrying reason and
+// returns, releasing the connection. The subscription itself survives —
+// eviction sheds the consumer, not the profile. Returns how many sessions
+// were signalled; each one bumps mm_pubsub_slow_evictions_total and
+// writes an audit event through the server's structured log (which the
+// flight recorder's ring tees into crash bundles).
+func (s *Server) KickSession(user, reason string) int {
+	s.mu.Lock()
+	n := 0
+	for ch := range s.sessKicks[user] {
+		select {
+		case ch <- reason:
+			n++
+		default: // already signalled
+		}
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.slowEvictions.Add(int64(n))
+		s.log.Warn("wire: session evicted",
+			slog.String("user", user),
+			slog.String("reason", reason),
+			slog.Int("sessions", n))
+	}
+	return n
 }
 
 // SetRecorder attaches a flight recorder: a panic in a connection handler
@@ -487,6 +549,12 @@ func (s *Server) session(conn net.Conn, enc *json.Encoder, dec *json.Decoder, re
 		close(clientGone)
 	}()
 
+	// Buffered so KickSession never blocks holding s.mu; a second kick
+	// while one is pending is dropped (the session is ending anyway).
+	kick := make(chan string, 1)
+	s.addKick(req.User, kick)
+	defer s.removeKick(req.User, kick)
+
 	msgs := make([]DeliveryMsg, 0, batch)
 	for {
 		select {
@@ -510,6 +578,9 @@ func (s *Server) session(conn net.Conn, enc *json.Encoder, dec *json.Decoder, re
 				s.unregister(req.User, sub)
 				return
 			}
+		case reason := <-kick:
+			_ = enc.Encode(errResponse("wire: session evicted: %s", reason))
+			return
 		case <-clientGone:
 			return
 		case <-s.done:

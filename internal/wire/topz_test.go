@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mmprofile/internal/obs"
+	"mmprofile/internal/pubsub"
+	"mmprofile/internal/topk"
+)
+
+// topzFixture builds a broker with attribution traffic (drops included),
+// a window ticked twice over its dimensions, and the status handler.
+func topzFixture(t *testing.T) (*pubsub.Broker, *obs.Window, *httptest.ResponseRecorder) {
+	t.Helper()
+	b := pubsub.New(pubsub.Options{Threshold: 0.2, QueueSize: 2})
+	if _, err := b.SubscribeKeywords("alice", []string{"cats"}); err != nil {
+		t.Fatal(err)
+	}
+	win := obs.NewWindow(16)
+	for _, d := range b.Top().Dimensions() {
+		win.RegisterCounter("top:"+d.Name(), d.Total)
+	}
+	// Publish between the two ticks so the windowed deltas are non-zero.
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	win.Tick(now)
+	for i := 0; i < 10; i++ {
+		b.Publish("<html><body>cats cats cats</body></html>")
+	}
+	win.Tick(now.Add(time.Second))
+	return b, win, httptest.NewRecorder()
+}
+
+// TestTopzEndpoint pins the /topz contract: every dimension with its
+// error bound, k honored, dim filtering (404 on unknown), the table
+// rendering, and windowed rates when a Window is wired.
+func TestTopzEndpoint(t *testing.T) {
+	b, win, rec := topzFixture(t)
+	h := NewStatusHandlerOpts(b, StatusOptions{Window: win})
+
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/topz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("topz: %d", rec.Code)
+	}
+	var out struct {
+		K          int `json:"k"`
+		Dimensions []struct {
+			topk.Snapshot
+			Rates map[string]float64 `json:"rates_per_second"`
+		} `json:"dimensions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.K != 10 {
+		t.Errorf("default k = %d", out.K)
+	}
+	byName := map[string]int{}
+	for i, d := range out.Dimensions {
+		byName[d.Name] = i
+	}
+	for _, want := range []string{
+		"subscriber_deliveries", "subscriber_drops",
+		"subscriber_queue_full", "subscriber_hydrations", "term_postings_scanned",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("dimension %s missing from /topz", want)
+		}
+	}
+	del := out.Dimensions[byName["subscriber_deliveries"]]
+	if len(del.Entries) != 1 || del.Entries[0].Key != "alice" || del.Entries[0].Count != 10 {
+		t.Errorf("deliveries = %+v", del.Entries)
+	}
+	if del.Capacity <= 0 || del.Total != 10 {
+		t.Errorf("capacity %d total %v", del.Capacity, del.Total)
+	}
+	// 10 deliveries over the two ticks → a positive 10s-window rate.
+	if del.Rates["10s"] <= 0 {
+		t.Errorf("rates = %v, want a positive 10s rate", del.Rates)
+	}
+
+	// ?k= and ?dim= narrow the response.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/topz?dim=subscriber_drops&k=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Dimensions) != 1 || out.Dimensions[0].Name != "subscriber_drops" || out.K != 1 {
+		t.Errorf("filtered topz = %+v", out)
+	}
+	if n := out.Dimensions[0].Entries[0].Count; n != 8 {
+		t.Errorf("drops = %v, want 8 (queue 2, 10 publishes)", n)
+	}
+
+	// Unknown dimension: 404 with a JSON error.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/topz?dim=nope", nil))
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "nope") {
+		t.Errorf("unknown dim: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Table rendering for terminals.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/topz?format=table", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("table content type = %q", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "subscriber_deliveries") || !strings.Contains(body, "alice") {
+		t.Errorf("table body missing entries:\n%s", body)
+	}
+}
+
+// TestTszEndpoint pins /tsz: disabled without a window, and with one the
+// snapshot carries per-counter rates/series and windowed histogram spans.
+func TestTszEndpoint(t *testing.T) {
+	b, win, rec := topzFixture(t)
+
+	// No window wired → explicitly disabled, not an error.
+	hOff := NewStatusHandlerOpts(b, StatusOptions{})
+	hOff.ServeHTTP(rec, httptest.NewRequest("GET", "/tsz", nil))
+	var off struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &off); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != 200 || off.Enabled {
+		t.Fatalf("tsz without window: %d enabled=%v", rec.Code, off.Enabled)
+	}
+
+	h := NewStatusHandlerOpts(b, StatusOptions{Window: win})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tsz?n=1", nil))
+	var snap obs.WindowSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled || snap.Samples != 2 {
+		t.Fatalf("tsz = enabled %v samples %d", snap.Enabled, snap.Samples)
+	}
+	var found bool
+	for _, c := range snap.Counters {
+		if c.Name == "top:subscriber_deliveries" {
+			found = true
+			if len(c.Serie) > 1 {
+				t.Errorf("?n=1 returned %d series points", len(c.Serie))
+			}
+		}
+	}
+	if !found {
+		t.Error("top:subscriber_deliveries not in /tsz counters")
+	}
+
+	// ?name= filters to one series.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tsz?name=top:subscriber_drops", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "top:subscriber_drops" {
+		t.Errorf("filtered tsz counters = %+v", snap.Counters)
+	}
+}
+
+// TestStatszTopSectionAndRootLinks pins the satellite surface: /statsz
+// embeds a "top" section, and the root page links every endpoint.
+func TestStatszTopSectionAndRootLinks(t *testing.T) {
+	b, win, rec := topzFixture(t)
+	h := NewStatusHandlerOpts(b, StatusOptions{Window: win})
+
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statsz", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	topSec, ok := stats["top"].([]any)
+	if !ok || len(topSec) == 0 {
+		t.Fatalf("statsz top section = %T %v", stats["top"], stats["top"])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body := rec.Body.String()
+	for _, link := range []string{"/topz", "/tsz", "/explainz", "/debugz/dump", "/tracez", "/statsz", "/metrics"} {
+		if !strings.Contains(body, link) {
+			t.Errorf("root page missing %s", link)
+		}
+	}
+}
